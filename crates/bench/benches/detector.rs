@@ -1,0 +1,87 @@
+//! Criterion benches for the detection substrate: histogram construction,
+//! KL distance, iterative bin identification, and full detector-bank
+//! updates (the per-interval online cost, §III-E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anomex_detector::{
+    identify_anomalous_bins, kl_distance, BinHasher, DetectorBank, DetectorConfig,
+    FeatureHistogram,
+};
+use anomex_netflow::FlowFeature;
+use anomex_traffic::Scenario;
+
+fn bench_histogram_build(c: &mut Criterion) {
+    let scenario = Scenario::two_weeks(42, 0.25);
+    let interval = scenario.generate(10);
+    let hasher = BinHasher::new(7);
+    let mut group = c.benchmark_group("histogram_build");
+    for bins in [512u32, 1024, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, &bins| {
+            b.iter(|| {
+                black_box(FeatureHistogram::build(
+                    FlowFeature::SrcIp,
+                    hasher,
+                    bins,
+                    black_box(&interval.flows),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kl_distance(c: &mut Criterion) {
+    let scenario = Scenario::two_weeks(42, 0.25);
+    let hasher = BinHasher::new(7);
+    let a = FeatureHistogram::build(FlowFeature::SrcIp, hasher, 1024, &scenario.generate(10).flows);
+    let b_hist =
+        FeatureHistogram::build(FlowFeature::SrcIp, hasher, 1024, &scenario.generate(11).flows);
+    c.bench_function("kl_distance_1024", |b| {
+        b.iter(|| black_box(kl_distance(black_box(a.counts()), black_box(b_hist.counts()))))
+    });
+}
+
+fn bench_bin_identification(c: &mut Criterion) {
+    // A concentrated spike over a realistic reference.
+    let scenario = Scenario::two_weeks(42, 0.25);
+    let hasher = BinHasher::new(7);
+    let reference =
+        FeatureHistogram::build(FlowFeature::DstPort, hasher, 1024, &scenario.generate(10).flows);
+    let mut current = reference.counts().to_vec();
+    current[hasher.bin_of(7000, 1024) as usize] += 5000;
+    current[hasher.bin_of(9022, 1024) as usize] += 2000;
+    c.bench_function("bin_identification", |b| {
+        b.iter(|| {
+            black_box(identify_anomalous_bins(
+                black_box(&current),
+                black_box(reference.counts()),
+                1e-4,
+            ))
+        })
+    });
+}
+
+fn bench_bank_observe(c: &mut Criterion) {
+    let scenario = Scenario::two_weeks(42, 0.25);
+    let intervals: Vec<_> = (0..8).map(|i| scenario.generate(i)).collect();
+    c.bench_function("detector_bank_interval", |b| {
+        // Fresh bank per batch so training state does not drift mid-bench.
+        b.iter(|| {
+            let mut bank = DetectorBank::new(&DetectorConfig::default());
+            for iv in &intervals {
+                black_box(bank.observe(black_box(&iv.flows)));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_histogram_build,
+    bench_kl_distance,
+    bench_bin_identification,
+    bench_bank_observe
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for the mining substrate: the three miners on the
+//! Table II workload across supports (the §III-E comparison), plus the
+//! maximal-filter ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anomex_mining::{filter_maximal, MinerKind, TransactionSet};
+use anomex_traffic::table2_workload;
+
+fn bench_miners(c: &mut Criterion) {
+    let w = table2_workload(2009, 0.1);
+    let tx = TransactionSet::from_flows(&w.flows);
+    let mut group = c.benchmark_group("miners_table2_scale0.1");
+    group.sample_size(10);
+    for miner in MinerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("maximal", miner.to_string()),
+            &miner,
+            |b, &m| b.iter(|| black_box(m.mine_maximal(black_box(&tx), w.min_support))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_support_sensitivity(c: &mut Criterion) {
+    let w = table2_workload(2009, 0.1);
+    let tx = TransactionSet::from_flows(&w.flows);
+    let mut group = c.benchmark_group("support_sensitivity");
+    group.sample_size(10);
+    for div in [1u64, 4, 16] {
+        let s = (w.min_support / div).max(1);
+        group.bench_with_input(BenchmarkId::new("apriori", s), &s, |b, &s| {
+            b.iter(|| black_box(MinerKind::Apriori.mine_all(black_box(&tx), s)))
+        });
+        group.bench_with_input(BenchmarkId::new("fpgrowth", s), &s, |b, &s| {
+            b.iter(|| black_box(MinerKind::FpGrowth.mine_all(black_box(&tx), s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_maximal_filter(c: &mut Criterion) {
+    let w = table2_workload(2009, 0.1);
+    let tx = TransactionSet::from_flows(&w.flows);
+    let all = MinerKind::FpGrowth.mine_all(&tx, (w.min_support / 4).max(1));
+    c.bench_function("filter_maximal", |b| {
+        b.iter(|| black_box(filter_maximal(black_box(all.clone()))))
+    });
+}
+
+fn bench_transaction_building(c: &mut Criterion) {
+    let w = table2_workload(2009, 0.1);
+    c.bench_function("transactions_from_flows", |b| {
+        b.iter(|| black_box(TransactionSet::from_flows(black_box(&w.flows))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_miners,
+    bench_support_sensitivity,
+    bench_maximal_filter,
+    bench_transaction_building
+);
+criterion_main!(benches);

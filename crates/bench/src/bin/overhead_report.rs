@@ -1,0 +1,76 @@
+//! **§III-E** — computational overhead report: detector memory, per-step
+//! runtimes, and the miner comparison the paper cites (ref. 15: FP-tree
+//! methods outperform hash-based Apriori, growing with dataset size and
+//! falling support).
+//!
+//! ```sh
+//! cargo run --release -p anomex-bench --bin overhead_report [scale]
+//! ```
+
+use std::time::Instant;
+
+use anomex_bench::arg_scale;
+use anomex_core::{extract_with_metadata, PrefilterMode};
+use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
+use anomex_mining::{MinerKind, TransactionSet};
+use anomex_netflow::FlowFeature;
+use anomex_traffic::{table2_workload, Scenario};
+
+fn main() {
+    let scale = arg_scale(1.0);
+
+    // --- Detector memory (paper: 472 kB for 5 detectors × 3 clones × 1024 bins). ---
+    let mut bank = DetectorBank::new(&DetectorConfig::default());
+    let scenario = Scenario::two_weeks(42, 0.25);
+    let interval = scenario.generate(10);
+    let t0 = Instant::now();
+    bank.observe(&interval.flows);
+    let t_observe = t0.elapsed();
+    println!("== §III-E overhead report ==\n");
+    println!(
+        "detector bank (5 features x 3 clones x 1024 bins): {:.1} kB retained \
+         (paper: 472 kB)",
+        bank.memory_bytes() as f64 / 1024.0
+    );
+    println!(
+        "one interval of {} flows through all 15 clones: {t_observe:?}",
+        interval.flows.len()
+    );
+
+    // --- Mining cost: the paper's worst case was 5 minutes (Python). ---
+    let w = table2_workload(2009, scale);
+    let mut md = MetaData::new();
+    for port in [7000u64, 80, 9022, 25] {
+        md.insert(FlowFeature::DstPort, port);
+    }
+    println!(
+        "\nmining the Table II workload ({} flows, s = {}):",
+        w.flows.len(),
+        w.min_support
+    );
+    for miner in MinerKind::ALL {
+        let t0 = Instant::now();
+        let ex = extract_with_metadata(0, &w.flows, &md, PrefilterMode::Union, miner, w.min_support);
+        println!("  {:<10} {:>10.1?}  ({} maximal item-sets)", miner.to_string(), t0.elapsed(), ex.itemsets.len());
+    }
+
+    // --- Support sensitivity (paper: runtimes grow as relative support falls). ---
+    println!("\nApriori vs FP-growth as the support falls (same workload):");
+    let tx = TransactionSet::from_flows(&w.flows);
+    println!("{:>10} {:>12} {:>12} {:>10}", "support", "apriori", "fp-growth", "item-sets");
+    for div in [1u64, 2, 4, 8] {
+        let s = (w.min_support / div).max(1);
+        let t0 = Instant::now();
+        let a = MinerKind::Apriori.mine_all(&tx, s);
+        let t_apriori = t0.elapsed();
+        let t0 = Instant::now();
+        let f = MinerKind::FpGrowth.mine_all(&tx, s);
+        let t_fp = t0.elapsed();
+        assert_eq!(a.len(), f.len());
+        println!("{s:>10} {t_apriori:>12.1?} {t_fp:>12.1?} {:>10}", a.len());
+    }
+    println!(
+        "\n(paper: unoptimized Python Apriori needed up to 5 min per interval on a \
+         2006-era Opteron; tree-based miners scale better at low support [15])"
+    );
+}

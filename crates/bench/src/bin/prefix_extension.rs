@@ -1,0 +1,83 @@
+//! **§III-D extension** — multilevel (prefix) item-set mining on a
+//! distributed subnet scan: "anomalies that affect certain network ranges,
+//! such as outages or routing anomalies, can be either captured by using
+//! IP address prefixes as additional dimensions for item-set mining, or by
+//! applying concepts from the hierarchical heavy-hitter detection domain."
+//!
+//! A botnet scans one /16: no single source or destination address is
+//! frequent, so canonical width-7 mining cannot name the target range.
+//! Width-9 transactions with /16 prefix items pin it exactly.
+//!
+//! ```sh
+//! cargo run --release -p anomex-bench --bin prefix_extension
+//! ```
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use anomex_core::{extract_with_mode, PrefilterMode, TransactionMode};
+use anomex_detector::MetaData;
+use anomex_mining::MinerKind;
+use anomex_netflow::{FlowFeature, FlowRecord, Protocol};
+use anomex_traffic::inject::dscan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn workload() -> Vec<FlowRecord> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut flows =
+        dscan::generate(Ipv4Addr::new(10, 16, 0, 0), 445, 1500, 20_000, 0, 900_000, &mut rng);
+    for i in 0..80_000u32 {
+        flows.push(
+            FlowRecord::new(
+                u64::from(i) * 10,
+                Ipv4Addr::from(rng.random::<u32>() | 0x2000_0000),
+                Ipv4Addr::from(0x0a00_0000 | (rng.random::<u32>() & 0x00FF_FFFF)),
+                rng.random_range(1024..60_000),
+                [80u16, 443, 25, 53][rng.random_range(0..4usize)],
+                Protocol::Tcp,
+            )
+            .with_volume(rng.random_range(1..20), 500),
+        );
+    }
+    flows
+}
+
+fn main() {
+    let flows = workload();
+    let mut md = MetaData::new();
+    md.insert(FlowFeature::DstPort, 445);
+    println!(
+        "== §III-D prefix extension: distributed /16 scan, {} flows ==\n",
+        flows.len()
+    );
+
+    for (label, mode) in [
+        ("canonical width-7", TransactionMode::Canonical),
+        ("prefix-extended width-9", TransactionMode::WithPrefixes),
+    ] {
+        let t0 = Instant::now();
+        let ex = extract_with_mode(
+            0,
+            &flows,
+            &md,
+            PrefilterMode::Union,
+            mode,
+            MinerKind::FpGrowth,
+            2000,
+        );
+        println!("-- {label} ({:?}) --", t0.elapsed());
+        for set in ex.itemsets.iter().rev() {
+            println!("  {set}");
+        }
+        let pins_range = ex.itemsets.iter().any(|s| s.to_string().contains("dstNet16"));
+        println!(
+            "  target range pinned: {}\n",
+            if pins_range { "YES (dstNet16=10.16.0.0/16)" } else { "no — only port + flow shape" }
+        );
+    }
+    println!(
+        "paper: canonical transactions summarize the scan as a port + flow-length\n\
+         pattern only; the prefix dimension names the attacked network range."
+    );
+}

@@ -1,0 +1,124 @@
+//! Pipeline configuration — the paper's Table III parameters in one
+//! struct.
+//!
+//! | Parameter | Paper symbol | Field | Paper value |
+//! |-----------|--------------|-------|-------------|
+//! | number of detectors | m | `detector.features` | 5 features |
+//! | interval length | Δ | `interval_ms` | 15 min (5–15) |
+//! | hash/bin count | k = 2^h | `detector.bins` | 1024 (512–2048) |
+//! | histogram clones | n | `detector.clones` | 3 (1–25 analytic) |
+//! | vote quorum | l | `detector.votes` | 3 (1–n) |
+//! | threshold multiplier | — | `detector.alpha` | 3 |
+//! | minimum support | s | `min_support` | 10 000 (3 000–10 000) |
+
+use anomex_detector::DetectorConfig;
+use anomex_mining::MinerKind;
+use anomex_netflow::MINUTE_MS;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::TransactionMode;
+use crate::prefilter::PrefilterMode;
+
+/// Complete configuration of the anomaly-extraction pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtractionConfig {
+    /// Measurement interval length Δ in milliseconds.
+    pub interval_ms: u64,
+    /// Histogram detector bank parameters (k, n, l, α, features, seed).
+    pub detector: DetectorConfig,
+    /// Pre-filter semantics (union per the paper; intersection as
+    /// baseline).
+    pub prefilter: PrefilterMode,
+    /// Absolute minimum support `s` for frequent item-set mining.
+    pub min_support: u64,
+    /// Which mining algorithm to run (identical outputs, different cost).
+    pub miner: MinerKind,
+    /// Transaction shape: canonical width-7 or prefix-extended width-9
+    /// (the §III-D multilevel mode).
+    pub transactions: TransactionMode,
+}
+
+impl Default for ExtractionConfig {
+    /// The paper's evaluation configuration: Δ = 15 min, k = 1024,
+    /// n = l = 3, α = 3, union pre-filter, Apriori with s = 10 000.
+    fn default() -> Self {
+        ExtractionConfig {
+            interval_ms: 15 * MINUTE_MS,
+            detector: DetectorConfig::default(),
+            prefilter: PrefilterMode::Union,
+            min_support: 10_000,
+            miner: MinerKind::Apriori,
+            transactions: TransactionMode::Canonical,
+        }
+    }
+}
+
+impl ExtractionConfig {
+    /// Validate all parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.interval_ms == 0 {
+            return Err("interval length must be positive".into());
+        }
+        if self.min_support == 0 {
+            return Err("minimum support must be at least 1".into());
+        }
+        self.detector.validate()
+    }
+
+    /// Scale the minimum support relative to an expected interval volume —
+    /// the paper's guidance that "a suitable s is typically in the range
+    /// between 1% and 10% of the total number of input flows" (§II-E).
+    #[must_use]
+    pub fn with_relative_support(mut self, interval_flows: u64, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+        self.min_support = ((interval_flows as f64 * fraction) as u64).max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = ExtractionConfig::default();
+        assert_eq!(c.interval_ms, 900_000);
+        assert_eq!(c.min_support, 10_000);
+        assert_eq!(c.prefilter, PrefilterMode::Union);
+        assert_eq!(c.miner, MinerKind::Apriori);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_cascades_to_detector() {
+        let mut c = ExtractionConfig::default();
+        c.detector.votes = 99;
+        assert!(c.validate().is_err());
+        c = ExtractionConfig::default();
+        c.min_support = 0;
+        assert!(c.validate().is_err());
+        c = ExtractionConfig::default();
+        c.interval_ms = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn relative_support_rule_of_thumb() {
+        // 1% of one million flows → s = 10 000, the paper's setting.
+        let c = ExtractionConfig::default().with_relative_support(1_000_000, 0.01);
+        assert_eq!(c.min_support, 10_000);
+        let c = ExtractionConfig::default().with_relative_support(50, 0.01);
+        assert_eq!(c.min_support, 1, "floored at 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be within")]
+    fn bad_fraction_panics() {
+        let _ = ExtractionConfig::default().with_relative_support(100, 2.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # anomex-core — the anomaly-extraction pipeline
+//!
+//! The primary contribution of Brauckhoff, Dimitropoulos, Wagner &
+//! Salamatian, *Anomaly Extraction in Backbone Networks Using Association
+//! Rules* (ACM IMC 2009; extended in IEEE/ACM ToN 20(6), 2012), as a Rust
+//! library.
+//!
+//! **Problem.** During an interval with an anomaly alarm, find — and
+//! summarize — the flows associated with the event that caused it.
+//!
+//! **Method** (Fig. 3 of the paper):
+//! 1. histogram-based detectors with cloning + voting produce *meta-data*:
+//!    suspicious feature values ([`anomex_detector`]);
+//! 2. the **union** of the meta-data pre-filters the interval's flows into
+//!    a suspicious subset ([`mod@prefilter`]);
+//! 3. **maximal frequent item-set mining** over the suspicious flows
+//!    yields a handful of item-sets that pinpoint the anomaly
+//!    ([`anomex_mining`]).
+//!
+//! Entry points:
+//! - [`AnomalyExtractor`] — the online pipeline (feed intervals, get
+//!   [`Extraction`]s);
+//! - [`extract_with_metadata`] — offline extraction from externally
+//!   provided meta-data;
+//! - [`evaluate`] — the full §III evaluation harness over labeled
+//!   scenarios;
+//! - [`models`] — the analytic voting models, eqs. (1)–(3);
+//! - [`report`] — Table II-style rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classify;
+pub mod config;
+pub mod cost;
+pub mod evaluate;
+pub mod models;
+pub mod pipeline;
+pub mod prefilter;
+pub mod report;
+
+pub use classify::classify_itemset;
+pub use config::ExtractionConfig;
+pub use cost::{average_cost_reduction, cost_reduction};
+pub use evaluate::{
+    evaluate_itemsets, run_scenario, EvaluatedItemSet, IntervalRecord, ScenarioRun,
+    SupportSweepPoint, Table4Row,
+};
+pub use models::{
+    beta_hit_lower, beta_miss_upper, binomial_coefficient, binomial_tail,
+    expected_normal_survivors, gamma_normal_survives,
+};
+pub use pipeline::{
+    extract_with_metadata, extract_with_mode, AnomalyExtractor, Extraction, IntervalOutcome,
+    TransactionMode,
+};
+pub use prefilter::{prefilter, prefilter_indices, PrefilterMode};
+pub use report::{render_csv, render_report};

@@ -1,0 +1,196 @@
+//! Analytic voting models — the paper's equations (1)–(3), behind Figs. 7
+//! and 8.
+//!
+//! Each histogram clone includes a *truly anomalous* feature value in its
+//! candidate set with probability `p` (detection + bin attribution), and a
+//! *normal* value only if that value collides with one of the `b` anomalous
+//! bins out of `k`, i.e. with probability `q = b/k`. Voting keeps a value
+//! proposed by at least `l` of `n` clones. Treating clones as independent:
+//!
+//! - eq. (1): `P[anomalous value kept] ≥ Σ_{i=l}^{n} C(n,i) pⁱ(1-p)^{n-i}`
+//!   (a lower bound — clone detections are positively correlated);
+//! - eq. (2): `β = Σ_{i=0}^{l-1} C(n,i) pⁱ(1-p)^{n-i}` upper-bounds the
+//!   probability of *missing* an anomalous value;
+//! - eq. (3): `γ = Σ_{i=l}^{n} C(n,i) qⁱ(1-q)^{n-i}` is the probability a
+//!   normal value survives voting (collisions are independent across
+//!   clones, so this one is exact).
+
+/// Binomial coefficient as `f64` (exact for the n ≤ 64 used here).
+///
+/// # Panics
+///
+/// Panics if `n > 64` (beyond the model's intended range).
+#[must_use]
+pub fn binomial_coefficient(n: u64, k: u64) -> f64 {
+    assert!(n <= 64, "voting models are defined for small n (≤ 64 clones)");
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Upper tail of the Binomial(n, p): `P[X ≥ l]`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `l > n`.
+#[must_use]
+pub fn binomial_tail(n: u64, l: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    assert!(l <= n, "quorum cannot exceed clone count");
+    let mut acc = 0.0;
+    for i in l..=n {
+        acc += binomial_coefficient(n, i) * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// Equation (1): lower bound on the probability an **anomalous** feature
+/// value is kept by l-of-n voting, given per-clone inclusion probability
+/// `p`.
+#[must_use]
+pub fn beta_hit_lower(p: f64, n: u64, l: u64) -> f64 {
+    binomial_tail(n, l, p)
+}
+
+/// Equation (2): upper bound on the probability an **anomalous** feature
+/// value is *missed* by l-of-n voting (Fig. 7).
+#[must_use]
+pub fn beta_miss_upper(p: f64, n: u64, l: u64) -> f64 {
+    1.0 - beta_hit_lower(p, n, l)
+}
+
+/// Equation (3): probability a **normal** feature value survives l-of-n
+/// voting when `b` of `k` bins are anomalous (Fig. 8). Exact under
+/// independent hash functions.
+///
+/// # Panics
+///
+/// Panics if `b > k` or `k == 0`.
+#[must_use]
+pub fn gamma_normal_survives(b: u64, k: u64, n: u64, l: u64) -> f64 {
+    assert!(k > 0, "bin count must be positive");
+    assert!(b <= k, "anomalous bins cannot exceed total bins");
+    let q = b as f64 / k as f64;
+    binomial_tail(n, l, q)
+}
+
+/// Expected number of normal feature values surviving voting, given the
+/// number of distinct values observed in the interval (paper §III-C:
+/// "the average number of false-positive feature values can be determined
+/// by multiplication of γ with the average number of feature values
+/// observed within one interval").
+#[must_use]
+pub fn expected_normal_survivors(distinct_values: u64, b: u64, k: u64, n: u64, l: u64) -> f64 {
+    distinct_values as f64 * gamma_normal_survives(b, k, n, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_coefficients() {
+        assert_eq!(binomial_coefficient(5, 0), 1.0);
+        assert_eq!(binomial_coefficient(5, 5), 1.0);
+        assert_eq!(binomial_coefficient(5, 2), 10.0);
+        assert_eq!(binomial_coefficient(25, 12), 5_200_300.0);
+        assert_eq!(binomial_coefficient(3, 7), 0.0);
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert!((binomial_tail(5, 0, 0.3) - 1.0).abs() < 1e-12, "P[X >= 0] = 1");
+        assert!((binomial_tail(5, 5, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_tail(5, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn paper_fig7_values() {
+        // §III-C: p = 0.99. "For l = n and n = 5, we obtain β ≈ 0.049,
+        // while for l = n and n = 25 the probability increases to ≈ 0.22."
+        let b5 = beta_miss_upper(0.99, 5, 5);
+        assert!((b5 - (1.0 - 0.99f64.powi(5))).abs() < 1e-12);
+        assert!((0.04..0.06).contains(&b5), "β(5,5) = {b5}");
+        let b25 = beta_miss_upper(0.99, 25, 25);
+        assert!((0.20..0.25).contains(&b25), "β(25,25) = {b25}");
+    }
+
+    #[test]
+    fn beta_minimum_at_l_one() {
+        // Fig. 7: for fixed n, β has its minimum at l = 1 and maximum at
+        // l = n.
+        for n in [3u64, 5, 10, 25] {
+            let betas: Vec<f64> = (1..=n).map(|l| beta_miss_upper(0.99, n, l)).collect();
+            for w in betas.windows(2) {
+                assert!(w[1] >= w[0] - 1e-15, "β must grow with l: {betas:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig8_values() {
+        // §III-B/Fig 8: k = 1024. For l = 1, n = 5, b = 1:
+        // γ = 1 - (1 - 1/1024)^5 ≈ 4.9e-3. For l = n = 5:
+        // γ = (1/1024)^5 ≈ 8.9e-16.
+        let g_union = gamma_normal_survives(1, 1024, 5, 1);
+        assert!((g_union - (1.0 - (1.0 - 1.0 / 1024.0f64).powi(5))).abs() < 1e-12);
+        assert!((4.0e-3..6.0e-3).contains(&g_union), "γ(l=1) = {g_union}");
+        let g_inter = gamma_normal_survives(1, 1024, 5, 5);
+        assert!(g_inter < 1e-14, "γ(l=n) = {g_inter}");
+    }
+
+    #[test]
+    fn gamma_grows_with_anomalous_bins() {
+        // Fig. 8(a) vs 8(b): γ increases dramatically with b.
+        let g1 = gamma_normal_survives(1, 1024, 3, 2);
+        let g5 = gamma_normal_survives(5, 1024, 3, 2);
+        assert!(g5 > 20.0 * g1, "γ(b=5) = {g5} vs γ(b=1) = {g1}");
+    }
+
+    #[test]
+    fn gamma_decreases_with_quorum() {
+        for b in [1u64, 5, 20] {
+            let gammas: Vec<f64> = (1..=5).map(|l| gamma_normal_survives(b, 1024, 5, l)).collect();
+            for w in gammas.windows(2) {
+                assert!(w[1] <= w[0] + 1e-15, "γ must fall with l: {gammas:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hit_plus_miss_is_one() {
+        for n in 1..=25u64 {
+            for l in 1..=n {
+                let sum = beta_hit_lower(0.97, n, l) + beta_miss_upper(0.97, n, l);
+                assert!((sum - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_survivors_scales_with_population() {
+        // Port space: 65 536 values, b = 3, k = 1024, l = n = 3.
+        let e = expected_normal_survivors(65_536, 3, 1024, 3, 3);
+        let manual = 65_536.0 * (3.0 / 1024.0f64).powi(3);
+        assert!((e - manual).abs() < 1e-9);
+        assert!(e < 2.0, "unanimous voting keeps almost no normal ports: {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_probability_panics() {
+        let _ = binomial_tail(5, 1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed total bins")]
+    fn bad_bins_panic() {
+        let _ = gamma_normal_survives(2000, 1024, 3, 1);
+    }
+}

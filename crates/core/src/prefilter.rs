@@ -1,0 +1,135 @@
+//! Flow pre-filtering (paper §II-A).
+//!
+//! Pre-filtering selects the *suspicious* flows an alarm's meta-data points
+//! at, before item-set mining. The paper's key design decision is to keep
+//! flows matching **any** of the meta-data (union) rather than **all** of
+//! it (intersection): multi-stage anomalies like the Sasser worm leave
+//! flow-disjoint meta-data (SYN-scan flows, backdoor-port flows, payload
+//! download flows), whose intersection is *empty* while their union covers
+//! the event. DoWitcher-style intersection filtering is provided as the
+//! comparison baseline.
+
+use anomex_detector::MetaData;
+use anomex_netflow::FlowRecord;
+use serde::{Deserialize, Serialize};
+
+/// Which matching semantics the pre-filter applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PrefilterMode {
+    /// Keep flows matching *any* meta-data value (the paper's choice).
+    #[default]
+    Union,
+    /// Keep flows matching a value in *every* feature present in the
+    /// meta-data (the DoWitcher baseline the paper argues against).
+    Intersection,
+}
+
+impl PrefilterMode {
+    /// Whether one flow passes the filter under this mode.
+    #[must_use]
+    pub fn matches(self, metadata: &MetaData, flow: &FlowRecord) -> bool {
+        match self {
+            PrefilterMode::Union => metadata.matches_any(flow),
+            PrefilterMode::Intersection => metadata.matches_all(flow),
+        }
+    }
+}
+
+/// Filter flows by meta-data, returning the suspicious subset.
+#[must_use]
+pub fn prefilter(flows: &[FlowRecord], metadata: &MetaData, mode: PrefilterMode) -> Vec<FlowRecord> {
+    flows.iter().filter(|f| mode.matches(metadata, f)).copied().collect()
+}
+
+/// Filter flows by meta-data, returning the *indices* of suspicious flows
+/// (used by the evaluation harness to join with ground-truth labels).
+#[must_use]
+pub fn prefilter_indices(
+    flows: &[FlowRecord],
+    metadata: &MetaData,
+    mode: PrefilterMode,
+) -> Vec<usize> {
+    flows
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| mode.matches(metadata, f))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_netflow::{FlowFeature, Protocol};
+    use std::net::Ipv4Addr;
+
+    fn flow(dst_port: u16, packets: u32) -> FlowRecord {
+        FlowRecord::new(
+            0,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            4000,
+            dst_port,
+            Protocol::Tcp,
+        )
+        .with_volume(packets, packets * 40)
+    }
+
+    /// The Sasser-style multistage situation from §II-A: meta-data carries
+    /// a port from stage 2 and a flow size from stage 3, appearing in
+    /// *different* flows.
+    fn sasser_metadata() -> MetaData {
+        let mut md = MetaData::new();
+        md.insert(FlowFeature::DstPort, 9996); // backdoor stage
+        md.insert(FlowFeature::Packets, 12); // 16-kB download stage
+        md
+    }
+
+    #[test]
+    fn union_catches_flow_disjoint_stages() {
+        let md = sasser_metadata();
+        let flows =
+            vec![flow(9996, 1), flow(445, 12), flow(80, 3) /* unrelated */];
+        let union = prefilter(&flows, &md, PrefilterMode::Union);
+        assert_eq!(union.len(), 2, "both stages kept");
+        let inter = prefilter(&flows, &md, PrefilterMode::Intersection);
+        assert!(inter.is_empty(), "intersection misses the anomaly entirely");
+    }
+
+    #[test]
+    fn intersection_keeps_flows_matching_all_features() {
+        let md = sasser_metadata();
+        let both = flow(9996, 12); // matches port AND packet count
+        let flows = vec![both, flow(9996, 1)];
+        let inter = prefilter(&flows, &md, PrefilterMode::Intersection);
+        assert_eq!(inter, vec![both]);
+    }
+
+    #[test]
+    fn union_is_superset_of_intersection() {
+        let md = sasser_metadata();
+        let flows: Vec<FlowRecord> =
+            (0..100).map(|i| flow(9990 + (i % 10) as u16, (i % 15) as u32 + 1)).collect();
+        let union = prefilter_indices(&flows, &md, PrefilterMode::Union);
+        let inter = prefilter_indices(&flows, &md, PrefilterMode::Intersection);
+        for idx in &inter {
+            assert!(union.contains(idx));
+        }
+    }
+
+    #[test]
+    fn empty_metadata_filters_everything_out() {
+        let md = MetaData::new();
+        let flows = vec![flow(80, 1)];
+        assert!(prefilter(&flows, &md, PrefilterMode::Union).is_empty());
+        assert!(prefilter(&flows, &md, PrefilterMode::Intersection).is_empty());
+    }
+
+    #[test]
+    fn indices_align_with_flows() {
+        let md = sasser_metadata();
+        let flows = vec![flow(80, 1), flow(9996, 2), flow(443, 12)];
+        let idx = prefilter_indices(&flows, &md, PrefilterMode::Union);
+        assert_eq!(idx, vec![1, 2]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Human-readable extraction reports (paper Table II style).
+
+use std::fmt::Write as _;
+
+use anomex_traffic::AnomalyClass;
+
+use crate::classify::classify_itemset;
+use crate::pipeline::Extraction;
+
+/// Render an extraction as a Table II-style text report: one row per
+/// maximal item-set (largest support first), the Apriori per-level audit
+/// trail, and the classification-cost summary.
+#[must_use]
+pub fn render_report(extraction: &Extraction) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Anomaly extraction report — interval {} ({} flows, {} suspicious after pre-filtering)",
+        extraction.interval, extraction.total_flows, extraction.suspicious_flows
+    );
+    let _ = writeln!(out, "meta-data:");
+    for line in extraction.metadata.to_string().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+
+    let mut ranked: Vec<_> = extraction.itemsets.iter().collect();
+    ranked.sort_by_key(|s| std::cmp::Reverse(s.support));
+
+    let _ = writeln!(out, "{:>3}  {:>9}  {:>18}  item-set", "#", "support", "class hint");
+    for (i, set) in ranked.iter().enumerate() {
+        let hint = classify_itemset(set)
+            .map_or_else(|| "-".to_string(), |c: AnomalyClass| c.to_string());
+        let items = set
+            .items()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "{:>3}  {:>9}  {:>18}  {{{items}}}", i + 1, set.support, hint);
+    }
+
+    if !extraction.levels.is_empty() {
+        let _ = writeln!(out, "apriori rounds:");
+        for lv in &extraction.levels {
+            let _ = writeln!(
+                out,
+                "  round {}: {} candidates, {} frequent, {} kept as maximal",
+                lv.level, lv.candidates, lv.frequent, lv.maximal
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "classification cost reduction: {:.0} (flows per item-set to classify)",
+        extraction.cost_reduction
+    );
+    out
+}
+
+/// Render the extraction's item-sets as CSV (`support,items`), for piping
+/// into plotting tools.
+#[must_use]
+pub fn render_csv(extraction: &Extraction) -> String {
+    let mut out = String::from("support,itemset\n");
+    for set in &extraction.itemsets {
+        let items = set
+            .items()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "{},\"{items}\"", set.support);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_detector::MetaData;
+    use anomex_mining::{Item, ItemSet};
+    use anomex_netflow::FlowFeature;
+
+    fn extraction() -> Extraction {
+        let mut md = MetaData::new();
+        md.insert(FlowFeature::DstPort, 7000);
+        Extraction {
+            interval: 42,
+            metadata: md,
+            total_flows: 350_862,
+            suspicious_flows: 53_467,
+            itemsets: vec![
+                ItemSet::new(
+                    vec![
+                        Item::new(FlowFeature::SrcIp, 7),
+                        Item::new(FlowFeature::DstIp, 5),
+                        Item::new(FlowFeature::DstPort, 7000),
+                    ],
+                    17_822,
+                ),
+                ItemSet::new(vec![Item::new(FlowFeature::DstPort, 80)], 252_069),
+            ],
+            levels: vec![anomex_mining::LevelStats {
+                level: 1,
+                candidates: 0,
+                frequent: 60,
+                maximal: 2,
+            }],
+            cost_reduction: 175_431.0,
+        }
+    }
+
+    #[test]
+    fn report_contains_the_essentials() {
+        let r = render_report(&extraction());
+        assert!(r.contains("interval 42"));
+        assert!(r.contains("350862 flows"));
+        assert!(r.contains("dstPort=7000"));
+        assert!(r.contains("Flooding"), "class hint column present:\n{r}");
+        assert!(r.contains("round 1: 0 candidates, 60 frequent"));
+        assert!(r.contains("cost reduction: 175431"));
+    }
+
+    #[test]
+    fn report_ranks_by_support() {
+        let r = render_report(&extraction());
+        let web = r.find("dstPort=80").unwrap();
+        let flood = r.find("dstIP").unwrap();
+        assert!(web < flood, "largest support listed first:\n{r}");
+    }
+
+    #[test]
+    fn csv_is_parseable() {
+        let csv = render_csv(&extraction());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "support,itemset");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("17822,") || lines[2].starts_with("17822,"));
+    }
+}

@@ -1,0 +1,304 @@
+//! The detector bank: `m` feature detectors producing consolidated
+//! meta-data.
+//!
+//! The paper runs five histogram detectors (srcIP, dstIP, srcPort, dstPort,
+//! packets-per-flow) and consolidates their per-feature meta-data by
+//! **union** into the pre-filter input (Fig. 3). [`DetectorBank`] is that
+//! assembly: feed it intervals, get alarms plus merged [`MetaData`].
+
+use anomex_netflow::{FlowFeature, FlowRecord};
+use serde::{Deserialize, Serialize};
+
+use crate::detector::{FeatureDetector, FeatureObservation};
+use crate::metadata::MetaData;
+
+/// Configuration of a detector bank — the paper's Table III parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Histogram bins `k` per clone (paper: 1024; range 512–2048).
+    pub bins: u32,
+    /// Histogram clones `n` per feature (paper: 3).
+    pub clones: usize,
+    /// Vote quorum `l` (paper: 3, i.e. unanimous with n = 3).
+    pub votes: usize,
+    /// Threshold multiplier α on the first-difference σ̂ (paper: 3).
+    pub alpha: f64,
+    /// Number of first-difference samples used to fit σ̂.
+    pub training_intervals: usize,
+    /// The monitored features (paper: the five detection features).
+    pub features: Vec<FlowFeature>,
+    /// Master seed for all clone hash functions.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    /// The paper's evaluation setting: k = 1024, n = l = 3, α = 3, five
+    /// detection features.
+    fn default() -> Self {
+        DetectorConfig {
+            bins: 1024,
+            clones: 3,
+            votes: 3,
+            alpha: 3.0,
+            training_intervals: 48,
+            features: FlowFeature::DETECTION_FEATURES.to_vec(),
+            seed: 0x616e_6f6d_6578, // "anomex"
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validate the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bins == 0 {
+            return Err("bins must be positive".into());
+        }
+        if self.clones == 0 {
+            return Err("need at least one clone".into());
+        }
+        if !(1..=self.clones).contains(&self.votes) {
+            return Err(format!("votes {} must be within 1..={}", self.votes, self.clones));
+        }
+        if self.training_intervals < 2 {
+            return Err("need at least 2 training intervals".into());
+        }
+        if self.features.is_empty() {
+            return Err("need at least one monitored feature".into());
+        }
+        if !self.alpha.is_finite() || self.alpha <= 0.0 {
+            return Err("alpha must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
+/// What the whole bank saw in one interval.
+#[derive(Debug, Clone)]
+pub struct BankObservation {
+    /// Zero-based interval index since the bank was created.
+    pub interval: u64,
+    /// Per-feature observations, in configured feature order.
+    pub features: Vec<FeatureObservation>,
+    /// Whether any feature alarmed.
+    pub alarm: bool,
+    /// Union of the voted meta-data of all alarmed features (Fig. 3's
+    /// "⋃ Mᵢ").
+    pub metadata: MetaData,
+}
+
+impl BankObservation {
+    /// The features that alarmed this interval.
+    pub fn alarmed_features(&self) -> impl Iterator<Item = FlowFeature> + '_ {
+        self.features.iter().filter(|o| o.alarm).map(|o| o.feature)
+    }
+}
+
+/// `m` feature detectors operated in lockstep.
+#[derive(Debug)]
+pub struct DetectorBank {
+    detectors: Vec<FeatureDetector>,
+    interval: u64,
+}
+
+impl DetectorBank {
+    /// Build a bank from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`DetectorConfig::validate`]).
+    #[must_use]
+    pub fn new(config: &DetectorConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid detector configuration: {e}");
+        }
+        let detectors = config
+            .features
+            .iter()
+            .map(|&feature| {
+                FeatureDetector::new(
+                    feature,
+                    config.bins,
+                    config.clones,
+                    config.votes,
+                    config.alpha,
+                    config.training_intervals,
+                    config.seed,
+                )
+            })
+            .collect();
+        DetectorBank { detectors, interval: 0 }
+    }
+
+    /// Observe one interval's flows with every detector.
+    pub fn observe(&mut self, flows: &[FlowRecord]) -> BankObservation {
+        let features: Vec<FeatureObservation> =
+            self.detectors.iter_mut().map(|d| d.observe(flows)).collect();
+        let mut metadata = MetaData::new();
+        for obs in &features {
+            if obs.alarm {
+                metadata.insert_all(obs.feature, obs.voted_values.iter().copied());
+            }
+        }
+        let alarm = features.iter().any(|o| o.alarm);
+        let observation = BankObservation { interval: self.interval, features, alarm, metadata };
+        self.interval += 1;
+        observation
+    }
+
+    /// Whether all detectors finished training.
+    #[must_use]
+    pub fn is_trained(&self) -> bool {
+        self.detectors.iter().all(FeatureDetector::is_trained)
+    }
+
+    /// Access the per-feature detectors.
+    #[must_use]
+    pub fn detectors(&self) -> &[FeatureDetector] {
+        &self.detectors
+    }
+
+    /// Number of intervals observed so far.
+    #[must_use]
+    pub fn intervals_observed(&self) -> u64 {
+        self.interval
+    }
+
+    /// Retained heap footprint of all histograms — reproduces the paper's
+    /// §III-E memory accounting (5 detectors × 3 clones × 1024 bins ≈
+    /// hundreds of kB).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.detectors.iter().map(FeatureDetector::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_netflow::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn config() -> DetectorConfig {
+        DetectorConfig { training_intervals: 10, ..DetectorConfig::default() }
+    }
+
+    fn background(interval: u64) -> Vec<FlowRecord> {
+        (0..400u64)
+            .map(|i| {
+                FlowRecord::new(
+                    interval * 60_000 + i,
+                    Ipv4Addr::from(0x0a00_0000 + ((i * 31 + interval) % 256) as u32),
+                    Ipv4Addr::from(0xc0a8_0000 + ((i * 17) % 64) as u32),
+                    (1024 + (i * 7) % 2000) as u16,
+                    (1 + (i * 13) % 800) as u16,
+                    Protocol::Tcp,
+                )
+                .with_volume(1 + (i % 9) as u32, 40 * (1 + (i % 9) as u32))
+            })
+            .collect()
+    }
+
+    fn ddos(interval: u64) -> Vec<FlowRecord> {
+        let mut flows = background(interval);
+        for i in 0..3000u64 {
+            flows.push(
+                FlowRecord::new(
+                    interval * 60_000 + i,
+                    Ipv4Addr::from(0x3000_0000 + (i % 2500) as u32), // many sources
+                    Ipv4Addr::new(10, 0, 0, 77),                     // one victim
+                    (1024 + (i % 50_000)) as u16,
+                    7000,
+                    Protocol::Udp,
+                )
+                .with_volume(2, 96),
+            );
+        }
+        flows
+    }
+
+    #[test]
+    fn default_config_is_the_papers() {
+        let c = DetectorConfig::default();
+        assert_eq!(c.bins, 1024);
+        assert_eq!(c.clones, 3);
+        assert_eq!(c.votes, 3);
+        assert!((c.alpha - 3.0).abs() < f64::EPSILON);
+        assert_eq!(c.features.len(), 5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let mut c = config();
+        c.votes = 5;
+        assert!(c.validate().is_err());
+        c = config();
+        c.bins = 0;
+        assert!(c.validate().is_err());
+        c = config();
+        c.features.clear();
+        assert!(c.validate().is_err());
+        c = config();
+        c.alpha = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ddos_alarms_dst_features_and_produces_metadata() {
+        let mut bank = DetectorBank::new(&config());
+        for i in 0..13 {
+            let obs = bank.observe(&background(i));
+            assert!(!obs.alarm, "training interval {i} alarmed");
+        }
+        assert!(bank.is_trained());
+        let obs = bank.observe(&ddos(13));
+        assert!(obs.alarm, "DDoS must raise an alarm");
+        let alarmed: Vec<FlowFeature> = obs.alarmed_features().collect();
+        assert!(
+            alarmed.contains(&FlowFeature::DstIp) || alarmed.contains(&FlowFeature::DstPort),
+            "a destination feature must alarm, got {alarmed:?}"
+        );
+        assert!(!obs.metadata.is_empty());
+        // The victim artifacts should be in the meta-data.
+        let has_victim_port = obs
+            .metadata
+            .values_for(FlowFeature::DstPort)
+            .is_some_and(|v| v.contains(&7000));
+        let has_victim_ip = obs
+            .metadata
+            .values_for(FlowFeature::DstIp)
+            .is_some_and(|v| v.contains(&u64::from(u32::from(Ipv4Addr::new(10, 0, 0, 77)))));
+        assert!(has_victim_port || has_victim_ip, "victim must appear in meta-data");
+    }
+
+    #[test]
+    fn interval_counter_advances() {
+        let mut bank = DetectorBank::new(&config());
+        assert_eq!(bank.intervals_observed(), 0);
+        bank.observe(&background(0));
+        bank.observe(&background(1));
+        assert_eq!(bank.intervals_observed(), 2);
+    }
+
+    #[test]
+    fn memory_footprint_reported() {
+        let mut bank = DetectorBank::new(&config());
+        bank.observe(&background(0));
+        // 5 features × 3 clones × 1024 bins × 8 bytes = 122 880 minimum.
+        assert!(bank.memory_bytes() >= 5 * 3 * 1024 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid detector configuration")]
+    fn bad_config_panics_on_construction() {
+        let mut c = config();
+        c.clones = 0;
+        let _ = DetectorBank::new(&c);
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-feature detector: `n` histogram clones plus l-of-n voting.
+
+use std::collections::BTreeSet;
+
+use anomex_netflow::{FlowFeature, FlowRecord};
+
+use crate::clone::{CloneObservation, ClonePhase, HistogramClone};
+use crate::hash::{derive_hashers, BinHasher};
+use crate::vote::vote;
+
+/// What one feature detector (all clones + voting) saw in one interval.
+#[derive(Debug, Clone)]
+pub struct FeatureObservation {
+    /// The feature this observation belongs to.
+    pub feature: FlowFeature,
+    /// Per-clone observations, in clone order.
+    pub clones: Vec<CloneObservation>,
+    /// Number of clones that alarmed.
+    pub alarmed_clones: usize,
+    /// Whether the feature-level alarm fired (≥ `l` clones alarmed).
+    pub alarm: bool,
+    /// The voted (l-of-n) anomalous feature values; empty unless `alarm`.
+    pub voted_values: BTreeSet<u64>,
+}
+
+/// A histogram-based detector for one traffic feature.
+#[derive(Debug)]
+pub struct FeatureDetector {
+    feature: FlowFeature,
+    clones: Vec<HistogramClone>,
+    votes: usize,
+}
+
+impl FeatureDetector {
+    /// Build a detector with `clones` clones of `bins` bins each, requiring
+    /// `votes` agreeing clones, thresholding at `alpha·σ̂` after
+    /// `training_intervals` training first-differences.
+    ///
+    /// Clone hash functions are derived deterministically from
+    /// `seed` and the feature index, so detectors over different features
+    /// (and different seeds) use independent binnings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clones` is zero or `votes` is not in `1..=clones`.
+    #[must_use]
+    pub fn new(
+        feature: FlowFeature,
+        bins: u32,
+        clones: usize,
+        votes: usize,
+        alpha: f64,
+        training_intervals: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(clones >= 1, "need at least one clone");
+        assert!(
+            (1..=clones).contains(&votes),
+            "votes {votes} must be within 1..={clones}"
+        );
+        let family_seed = BinHasher::new(seed).mix(feature.index() as u64);
+        let hashers = derive_hashers(family_seed, clones);
+        let clones = hashers
+            .into_iter()
+            .map(|h| HistogramClone::new(feature, h, bins, alpha, training_intervals))
+            .collect();
+        FeatureDetector { feature, clones, votes }
+    }
+
+    /// The monitored feature.
+    #[must_use]
+    pub fn feature(&self) -> FlowFeature {
+        self.feature
+    }
+
+    /// Number of clones `n`.
+    #[must_use]
+    pub fn clone_count(&self) -> usize {
+        self.clones.len()
+    }
+
+    /// The vote quorum `l`.
+    #[must_use]
+    pub fn votes(&self) -> usize {
+        self.votes
+    }
+
+    /// Whether every clone has finished training.
+    #[must_use]
+    pub fn is_trained(&self) -> bool {
+        self.clones.iter().all(|c| c.phase() == ClonePhase::Detecting)
+    }
+
+    /// Access the clones (for ROC evaluation of individual clones).
+    #[must_use]
+    pub fn clones(&self) -> &[HistogramClone] {
+        &self.clones
+    }
+
+    /// Observe one interval.
+    pub fn observe(&mut self, flows: &[FlowRecord]) -> FeatureObservation {
+        let observations: Vec<CloneObservation> =
+            self.clones.iter_mut().map(|c| c.observe(flows)).collect();
+        let alarmed_clones = observations.iter().filter(|o| o.alarm).count();
+        let alarm = alarmed_clones >= self.votes;
+        let voted_values = if alarm {
+            let sets: Vec<BTreeSet<u64>> =
+                observations.iter().map(|o| o.values.clone()).collect();
+            vote(&sets, self.votes)
+        } else {
+            BTreeSet::new()
+        };
+        FeatureObservation {
+            feature: self.feature,
+            clones: observations,
+            alarmed_clones,
+            alarm,
+            voted_values,
+        }
+    }
+
+    /// Retained heap footprint across clones (§III-E overhead report).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.clones.iter().map(HistogramClone::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_netflow::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn background(interval: u64, salt: u64) -> Vec<FlowRecord> {
+        (0..300u64)
+            .map(|i| {
+                FlowRecord::new(
+                    interval * 60_000 + i,
+                    Ipv4Addr::from(0x0a00_0000 + ((i * 7 + salt) % 128) as u32),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    4000,
+                    (1 + (i * 13 + salt) % 500) as u16,
+                    Protocol::Tcp,
+                )
+            })
+            .collect()
+    }
+
+    fn flood(interval: u64, n: u64) -> Vec<FlowRecord> {
+        let mut flows = background(interval, interval);
+        for i in 0..n {
+            flows.push(FlowRecord::new(
+                interval * 60_000 + i,
+                Ipv4Addr::new(192, 168, 1, 1),
+                Ipv4Addr::new(10, 0, 0, 9),
+                (2000 + (i % 30_000)) as u16,
+                7000,
+                Protocol::Tcp,
+            ));
+        }
+        flows
+    }
+
+    fn trained(votes: usize) -> FeatureDetector {
+        let mut det = FeatureDetector::new(FlowFeature::DstPort, 1024, 3, votes, 3.0, 12, 99);
+        for i in 0..14 {
+            det.observe(&background(i, i));
+        }
+        assert!(det.is_trained());
+        det
+    }
+
+    #[test]
+    fn unanimous_vote_finds_the_flood_port() {
+        let mut det = trained(3);
+        let obs = det.observe(&flood(14, 4000));
+        assert!(obs.alarm);
+        assert_eq!(obs.alarmed_clones, 3);
+        assert!(obs.voted_values.contains(&7000));
+        // Unanimous voting keeps very few values besides the true one:
+        // every kept value collided with the anomalous bin in ALL 3 clones.
+        assert!(obs.voted_values.len() < 50, "kept {}", obs.voted_values.len());
+    }
+
+    #[test]
+    fn union_vote_keeps_more_values_than_intersection() {
+        let mut det_union = trained(1);
+        let mut det_inter = trained(3);
+        let union_obs = det_union.observe(&flood(14, 4000));
+        let inter_obs = det_inter.observe(&flood(14, 4000));
+        assert!(union_obs.alarm && inter_obs.alarm);
+        assert!(
+            union_obs.voted_values.len() >= inter_obs.voted_values.len(),
+            "union {} < intersection {}",
+            union_obs.voted_values.len(),
+            inter_obs.voted_values.len()
+        );
+        assert!(inter_obs.voted_values.is_subset(&union_obs.voted_values));
+    }
+
+    #[test]
+    fn no_alarm_without_quorum() {
+        // With votes = 3, nothing fires on steady traffic.
+        let mut det = trained(3);
+        for i in 14..20 {
+            let obs = det.observe(&background(i, i));
+            assert!(!obs.alarm, "steady interval {i} alarmed");
+            assert!(obs.voted_values.is_empty());
+        }
+    }
+
+    #[test]
+    fn clone_hashers_are_distinct() {
+        let det = FeatureDetector::new(FlowFeature::DstPort, 64, 5, 1, 3.0, 5, 1);
+        let mut seeds: Vec<u64> = det.clones().iter().map(|c| c.hasher().seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be within")]
+    fn invalid_quorum_panics() {
+        let _ = FeatureDetector::new(FlowFeature::DstPort, 64, 3, 4, 3.0, 5, 1);
+    }
+
+    #[test]
+    fn memory_scales_with_clones() {
+        let mut one = FeatureDetector::new(FlowFeature::DstPort, 1024, 1, 1, 3.0, 5, 1);
+        let mut three = FeatureDetector::new(FlowFeature::DstPort, 1024, 3, 1, 3.0, 5, 1);
+        one.observe(&background(0, 0));
+        three.observe(&background(0, 0));
+        assert!(three.memory_bytes() > 2 * one.memory_bytes());
+    }
+}

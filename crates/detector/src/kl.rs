@@ -1,0 +1,154 @@
+//! Kullback–Leibler distance between binned flow-count distributions.
+//!
+//! The detector computes, per interval and per feature, the KL distance
+//! between the current interval's histogram `p` and the previous interval's
+//! histogram `q` (paper §II-C):
+//!
+//! ```text
+//! D(p ‖ q) = Σᵢ pᵢ · log₂(pᵢ / qᵢ)
+//! ```
+//!
+//! Zero-count bins would make the distance undefined; the paper does not
+//! specify a convention, so we apply **add-one (Laplace) smoothing** to both
+//! histograms before normalizing. This preserves the two properties the
+//! detector relies on — identical histograms give exactly 0, and
+//! distribution *changes* (not volume changes) drive the distance — while
+//! keeping D finite for disjoint supports. See DESIGN.md §5.
+
+/// KL distance in bits between two histograms of equal bin count, with
+/// add-one smoothing. `p` is the current interval, `q` the reference.
+///
+/// # Panics
+///
+/// Panics if the histograms have different lengths or are empty.
+#[must_use]
+pub fn kl_distance(p: &[u64], q: &[u64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "histograms must have the same bin count");
+    assert!(!p.is_empty(), "histograms must have at least one bin");
+    let k = p.len() as f64;
+    let p_total: u64 = p.iter().sum();
+    let q_total: u64 = q.iter().sum();
+    let p_norm = p_total as f64 + k;
+    let q_norm = q_total as f64 + k;
+    let mut d = 0.0;
+    for (&pc, &qc) in p.iter().zip(q) {
+        let pi = (pc as f64 + 1.0) / p_norm;
+        let qi = (qc as f64 + 1.0) / q_norm;
+        d += pi * (pi / qi).log2();
+    }
+    // Clamp the tiny negative residue floating-point rounding can leave
+    // when p == q.
+    d.max(0.0)
+}
+
+/// KL distance on already-normalized probability vectors (no smoothing).
+/// Bins where `p == 0` contribute zero; bins where `q == 0 < p` make the
+/// distance infinite, faithfully.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn kl_divergence_raw(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have the same length");
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return f64::INFINITY;
+            }
+            d += pi * (pi / qi).log2();
+        }
+    }
+    d.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_histograms_have_zero_distance() {
+        let h = vec![10u64, 20, 30, 0, 5];
+        assert_eq!(kl_distance(&h, &h), 0.0);
+    }
+
+    #[test]
+    fn scaled_histograms_have_zero_distance() {
+        // KL is about the *distribution*: doubling every count leaves the
+        // distribution unchanged (up to smoothing, which vanishes as counts
+        // grow). Uses large counts so smoothing is negligible.
+        let p: Vec<u64> = vec![100_000, 200_000, 300_000, 400_000];
+        let q: Vec<u64> = p.iter().map(|c| c * 2).collect();
+        assert!(kl_distance(&p, &q) < 1e-6);
+    }
+
+    #[test]
+    fn distance_is_positive_for_different_distributions() {
+        let p = vec![1000u64, 0, 0, 0];
+        let q = vec![250u64, 250, 250, 250];
+        assert!(kl_distance(&p, &q) > 1.0);
+    }
+
+    #[test]
+    fn distance_is_asymmetric() {
+        let p = vec![900u64, 50, 25, 25];
+        let q = vec![250u64, 250, 250, 250];
+        let d_pq = kl_distance(&p, &q);
+        let d_qp = kl_distance(&q, &p);
+        assert!((d_pq - d_qp).abs() > 1e-3, "KL should be asymmetric: {d_pq} vs {d_qp}");
+    }
+
+    #[test]
+    fn concentrated_shift_increases_distance() {
+        // An attack concentrating mass on one bin moves the distance more
+        // than a diffuse wiggle of the same volume.
+        let base = vec![100u64; 16];
+        let mut concentrated = base.clone();
+        concentrated[3] += 800;
+        let mut diffuse = base.clone();
+        for c in diffuse.iter_mut() {
+            *c += 50;
+        }
+        assert!(kl_distance(&concentrated, &base) > kl_distance(&diffuse, &base));
+    }
+
+    #[test]
+    fn empty_interval_against_busy_reference_is_finite() {
+        let p = vec![0u64; 8];
+        let q = vec![1000u64; 8];
+        let d = kl_distance(&p, &q);
+        assert!(d.is_finite());
+        assert!(d < 1e-9, "uniform-empty vs uniform-busy has equal distributions: {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same bin count")]
+    fn mismatched_lengths_panic() {
+        let _ = kl_distance(&[1, 2], &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn empty_histograms_panic() {
+        let _ = kl_distance(&[], &[]);
+    }
+
+    #[test]
+    fn raw_divergence_known_value() {
+        // D([1,0] || [0.5,0.5]) = 1*log2(2) = 1 bit.
+        let d = kl_divergence_raw(&[1.0, 0.0], &[0.5, 0.5]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_divergence_infinite_when_q_zero() {
+        assert!(kl_divergence_raw(&[0.5, 0.5], &[1.0, 0.0]).is_infinite());
+    }
+
+    #[test]
+    fn raw_divergence_zero_p_bins_contribute_nothing() {
+        let d = kl_divergence_raw(&[0.0, 1.0], &[0.5, 0.5]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

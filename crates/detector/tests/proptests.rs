@@ -1,0 +1,122 @@
+//! Property-based tests for the detection substrate.
+
+use std::collections::BTreeSet;
+
+use anomex_detector::{
+    identify_anomalous_bins, kl_distance, robust_sigma, vote, BinHasher, RocCurve, SIGMA_FLOOR,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// KL(p, p) = 0 for any histogram.
+    #[test]
+    fn kl_self_is_zero(h in proptest::collection::vec(0u64..100_000, 1..256)) {
+        prop_assert_eq!(kl_distance(&h, &h), 0.0);
+    }
+
+    /// KL is non-negative (Gibbs' inequality, preserved by smoothing).
+    #[test]
+    fn kl_nonnegative(
+        p in proptest::collection::vec(0u64..100_000, 32),
+        q in proptest::collection::vec(0u64..100_000, 32),
+    ) {
+        let d = kl_distance(&p, &q);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d.is_finite());
+    }
+
+    /// Bin identification always converges for a positive target, removes
+    /// no bin twice, and ends below the target.
+    #[test]
+    fn binid_converges(
+        reference in proptest::collection::vec(0u64..10_000, 64),
+        spikes in proptest::collection::vec((0usize..64, 1u64..1_000_000), 0..8),
+        target_milli in 1u64..1000,
+    ) {
+        let mut current = reference.clone();
+        for &(bin, mass) in &spikes {
+            current[bin] += mass;
+        }
+        let target = target_milli as f64 / 1000.0;
+        let id = identify_anomalous_bins(&current, &reference, target);
+        prop_assert!(id.converged);
+        prop_assert!(*id.kl_trajectory.last().unwrap() <= target);
+        let mut bins = id.bins.clone();
+        bins.sort_unstable();
+        bins.dedup();
+        prop_assert_eq!(bins.len(), id.bins.len(), "a bin was removed twice");
+        // Termination bound: at most one round per bin.
+        prop_assert!(id.bins.len() <= reference.len());
+    }
+
+    /// Voting is monotone: raising the quorum never adds values, l=1 is
+    /// the union, l=n the intersection.
+    #[test]
+    fn voting_monotone(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..50, 0..20), 1..6
+        ),
+    ) {
+        let n = sets.len();
+        let union: BTreeSet<u64> = sets.iter().flatten().copied().collect();
+        let inter: BTreeSet<u64> = sets
+            .iter()
+            .skip(1)
+            .fold(sets[0].clone(), |acc, s| acc.intersection(s).copied().collect());
+        prop_assert_eq!(vote(&sets, 1), union);
+        prop_assert_eq!(vote(&sets, n), inter);
+        let mut prev = vote(&sets, 1);
+        for l in 2..=n {
+            let cur = vote(&sets, l);
+            prop_assert!(cur.is_subset(&prev));
+            prev = cur;
+        }
+    }
+
+    /// The robust σ is invariant under shifts and scales with the data.
+    #[test]
+    fn robust_sigma_affine(sample in proptest::collection::vec(-1000.0f64..1000.0, 3..64),
+                           shift in -100.0f64..100.0) {
+        let sigma = robust_sigma(&sample);
+        let shifted: Vec<f64> = sample.iter().map(|x| x + shift).collect();
+        let sigma_shifted = robust_sigma(&shifted);
+        prop_assert!((sigma - sigma_shifted).abs() < 1e-6 * sigma.max(1.0));
+        let scaled: Vec<f64> = sample.iter().map(|x| x * 3.0).collect();
+        let sigma_scaled = robust_sigma(&scaled);
+        if sigma > SIGMA_FLOOR {
+            prop_assert!((sigma_scaled / sigma - 3.0).abs() < 1e-6);
+        }
+    }
+
+    /// Hash binning is deterministic and in-range for any seed.
+    #[test]
+    fn hash_bins_in_range(seed in any::<u64>(), values in proptest::collection::vec(any::<u64>(), 1..100), bins in 1u32..4096) {
+        let h = BinHasher::new(seed);
+        for &v in &values {
+            let b = h.bin_of(v, bins);
+            prop_assert!(b < bins);
+            prop_assert_eq!(b, h.bin_of(v, bins));
+        }
+    }
+
+    /// ROC curves are monotone with endpoints (0,0) and (1,1), and AUC is
+    /// within [0,1].
+    #[test]
+    fn roc_invariants(
+        scored in proptest::collection::vec((0.0f64..100.0, any::<bool>()), 2..100),
+    ) {
+        let scores: Vec<f64> = scored.iter().map(|&(s, _)| s).collect();
+        let truth: Vec<bool> = scored.iter().map(|&(_, t)| t).collect();
+        let roc = RocCurve::from_scores(&scores, &truth);
+        let first = roc.points.first().unwrap();
+        prop_assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        let last = roc.points.last().unwrap();
+        prop_assert!(last.fpr >= 1.0 - 1e-9 || truth.iter().all(|&t| t));
+        for w in roc.points.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+        let auc = roc.auc();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&auc));
+    }
+}

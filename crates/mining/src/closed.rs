@@ -1,0 +1,167 @@
+//! Closed item-set filtering (paper §V future work).
+//!
+//! A frequent item-set is **closed** if no proper superset has the *same*
+//! support. Closed sets are a lossless compression of the frequent-set
+//! lattice: unlike maximal sets they preserve every support value, at the
+//! cost of a (usually slightly) larger report. The paper lists "mining
+//! closed or maximal frequent item-sets" as the natural extension
+//! dimension; maximal is the default in `anomex`, closed is provided here
+//! for operators who need exact supports of sub-patterns.
+
+use std::collections::HashMap;
+
+use crate::item::Item;
+use crate::itemset::ItemSet;
+use crate::transaction::TransactionSet;
+
+/// Retain only the closed item-sets of a complete frequent-set collection.
+///
+/// **Precondition:** `sets` is downward-closed with exact supports (the
+/// output of any miner in this crate with `mine_all`).
+#[must_use]
+pub fn filter_closed(sets: Vec<ItemSet>) -> Vec<ItemSet> {
+    if sets.is_empty() {
+        return sets;
+    }
+    let max_len = sets.iter().map(ItemSet::len).max().unwrap_or(0);
+    let mut by_len: Vec<Vec<ItemSet>> = vec![Vec::new(); max_len + 1];
+    for s in sets {
+        let l = s.len();
+        by_len[l].push(s);
+    }
+    // A k-set is non-closed iff some (k+1)-superset has equal support.
+    // (A longer superset with equal support implies an intermediate one by
+    // monotonicity of support, so one level up suffices.)
+    let coverage: Vec<HashMap<Vec<Item>, u64>> = (0..max_len)
+        .map(|k| {
+            let mut covered: HashMap<Vec<Item>, u64> = HashMap::new();
+            for bigger in &by_len[k + 1] {
+                let items = bigger.items();
+                for skip in 0..items.len() {
+                    let mut sub = Vec::with_capacity(items.len() - 1);
+                    sub.extend_from_slice(&items[..skip]);
+                    sub.extend_from_slice(&items[skip + 1..]);
+                    covered
+                        .entry(sub)
+                        .and_modify(|best| *best = (*best).max(bigger.support))
+                        .or_insert(bigger.support);
+                }
+            }
+            covered
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (k, covered) in coverage.iter().enumerate() {
+        for s in &by_len[k] {
+            let dominated = covered.get(s.items()).is_some_and(|&sup| sup == s.support);
+            if !dominated {
+                out.push(s.clone());
+            }
+        }
+    }
+    out.extend(by_len[max_len].iter().cloned());
+    out.sort_unstable();
+    out
+}
+
+/// Mine the closed frequent item-sets directly (mine-all + filter).
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+#[must_use]
+pub fn mine_closed(
+    set: &TransactionSet,
+    miner: crate::miner::MinerKind,
+    min_support: u64,
+) -> Vec<ItemSet> {
+    filter_closed(miner.mine_all(set, min_support))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::MinerKind;
+    use crate::transaction::Transaction;
+    use anomex_netflow::FlowFeature;
+
+    fn tx(items: &[(FlowFeature, u64)]) -> Transaction {
+        let items: Vec<_> = items.iter().map(|&(f, v)| Item::new(f, v)).collect();
+        Transaction::from_items(&items).unwrap()
+    }
+
+    /// 4x {80, tcp}, 2x {80, udp}: {dstPort=80} has support 6 ≠ any
+    /// superset's support → closed; {proto=6} has support 4 = its
+    /// superset {80, proto=6} → NOT closed.
+    fn sample() -> TransactionSet {
+        let mut set = TransactionSet::new();
+        for _ in 0..4 {
+            set.push(tx(&[(FlowFeature::DstPort, 80), (FlowFeature::Proto, 6)]));
+        }
+        for _ in 0..2 {
+            set.push(tx(&[(FlowFeature::DstPort, 80), (FlowFeature::Proto, 17)]));
+        }
+        set
+    }
+
+    #[test]
+    fn closed_keeps_distinct_support_levels() {
+        let closed = mine_closed(&sample(), MinerKind::Apriori, 2);
+        let rendered: Vec<String> = closed.iter().map(ToString::to_string).collect();
+        assert!(rendered.contains(&"{dstPort=80} x6".to_string()), "{rendered:?}");
+        assert!(rendered.contains(&"{dstPort=80, protocol=6} x4".to_string()));
+        assert!(rendered.contains(&"{dstPort=80, protocol=17} x2".to_string()));
+        // proto=6 alone is absorbed by its equal-support superset.
+        assert!(!rendered.iter().any(|r| r == "{protocol=6} x4"), "{rendered:?}");
+    }
+
+    #[test]
+    fn closed_superset_of_maximal() {
+        let set = sample();
+        let closed = mine_closed(&set, MinerKind::FpGrowth, 2);
+        let maximal = MinerKind::FpGrowth.mine_maximal(&set, 2);
+        for m in &maximal {
+            assert!(closed.contains(m), "maximal {m} must be closed");
+        }
+        assert!(closed.len() >= maximal.len());
+    }
+
+    #[test]
+    fn closed_is_lossless_for_supports() {
+        // Every frequent item-set's support equals the max support of the
+        // closed supersets containing it (the closure property).
+        let set = sample();
+        let all = MinerKind::Eclat.mine_all(&set, 1);
+        let closed = filter_closed(all.clone());
+        for s in &all {
+            let recovered = closed
+                .iter()
+                .filter(|c| s.is_subset_of(c))
+                .map(|c| c.support)
+                .max()
+                .expect("some closed superset exists");
+            assert_eq!(recovered, s.support, "closure lost the support of {s}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(filter_closed(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn identical_transactions_give_single_closed_set() {
+        let mut set = TransactionSet::new();
+        for _ in 0..5 {
+            set.push(tx(&[
+                (FlowFeature::SrcIp, 1),
+                (FlowFeature::DstIp, 2),
+                (FlowFeature::DstPort, 3),
+            ]));
+        }
+        let closed = mine_closed(&set, MinerKind::Apriori, 1);
+        assert_eq!(closed.len(), 1, "one closed set: the full transaction");
+        assert_eq!(closed[0].len(), 3);
+        assert_eq!(closed[0].support, 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Allocation-free k-combination enumeration over small slices.
+//!
+//! Apriori support counting enumerates every k-subset of each width-≤7
+//! transaction; this helper does so into a caller-provided scratch buffer,
+//! so the hot loop performs no heap allocation.
+
+use crate::item::Item;
+use crate::transaction::MAX_WIDTH;
+
+/// Call `f` with every k-combination of `items` (in lexicographic order),
+/// written into the first `k` slots of a scratch buffer.
+///
+/// # Panics
+///
+/// Panics if `items.len() > MAX_WIDTH`.
+pub fn for_each_combination(items: &[Item], k: usize, mut f: impl FnMut(&[Item])) {
+    assert!(items.len() <= MAX_WIDTH, "combination source wider than a transaction");
+    if k == 0 || k > items.len() {
+        return;
+    }
+    let mut scratch = [items[0]; MAX_WIDTH];
+    let mut idx = [0usize; MAX_WIDTH];
+    // Standard iterative combination enumeration over index vectors.
+    for (slot, i) in idx.iter_mut().take(k).enumerate() {
+        *i = slot;
+    }
+    loop {
+        for (slot, &i) in idx.iter().take(k).enumerate() {
+            scratch[slot] = items[i];
+        }
+        f(&scratch[..k]);
+        // Advance the rightmost index that can still move.
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return;
+            }
+            pos -= 1;
+            if idx[pos] != pos + items.len() - k {
+                break;
+            }
+        }
+        idx[pos] += 1;
+        for j in pos + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Number of k-combinations of n elements (small n only; used by tests
+/// and level-statistics reporting).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1u64;
+    let mut den = 1u64;
+    for i in 0..k {
+        num *= (n - i) as u64;
+        den *= (i + 1) as u64;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_netflow::FlowFeature;
+
+    fn items(n: usize) -> Vec<Item> {
+        (0..n as u64).map(|v| Item::new(FlowFeature::Bytes, v)).collect()
+    }
+
+    #[test]
+    fn enumerates_all_combinations() {
+        for n in 0..=7usize {
+            let src = items(n);
+            for k in 0..=n {
+                let mut seen = Vec::new();
+                for_each_combination(&src, k, |combo| seen.push(combo.to_vec()));
+                if k == 0 {
+                    assert!(seen.is_empty(), "k = 0 yields nothing by convention");
+                } else {
+                    assert_eq!(seen.len() as u64, binomial(n, k), "n={n} k={k}");
+                    // All distinct, all sorted, all subsets.
+                    let mut dedup = seen.clone();
+                    dedup.sort();
+                    dedup.dedup();
+                    assert_eq!(dedup.len(), seen.len());
+                    for combo in &seen {
+                        assert!(combo.windows(2).all(|w| w[0] < w[1]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_yields_nothing() {
+        let src = items(3);
+        let mut count = 0;
+        for_each_combination(&src, 5, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let src = items(4);
+        let mut seen = Vec::new();
+        for_each_combination(&src, 2, |c| seen.push((c[0].value(), c[1].value())));
+        assert_eq!(seen, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn binomial_table() {
+        assert_eq!(binomial(7, 0), 1);
+        assert_eq!(binomial(7, 3), 35);
+        assert_eq!(binomial(7, 7), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Frequent item-sets: the mining output.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::item::Item;
+
+/// A frequent item-set together with its support count.
+///
+/// Items are always sorted ascending (feature-major); two `ItemSet`s are
+/// equal iff their item lists are equal — support is metadata and excluded
+/// from `Eq`/`Ord` so result sets can be compared across miners.
+#[derive(Debug, Clone)]
+pub struct ItemSet {
+    items: Vec<Item>,
+    /// Number of transactions containing this item-set.
+    pub support: u64,
+}
+
+impl ItemSet {
+    /// Build from items (sorted internally) and a support count.
+    #[must_use]
+    pub fn new(mut items: Vec<Item>, support: u64) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        ItemSet { items, support }
+    }
+
+    /// The items, sorted ascending.
+    #[must_use]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items (the `k` of a `k`-item-set).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the item-set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `self`'s items are a (not necessarily proper) subset of
+    /// `other`'s.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &ItemSet) -> bool {
+        if self.items.len() > other.items.len() {
+            return false;
+        }
+        // Both sorted: merge scan.
+        let mut j = 0;
+        for &item in &self.items {
+            while j < other.items.len() && other.items[j] < item {
+                j += 1;
+            }
+            if j == other.items.len() || other.items[j] != item {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+}
+
+impl PartialEq for ItemSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+}
+
+impl Eq for ItemSet {}
+
+impl PartialOrd for ItemSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ItemSet {
+    /// Canonical order: by length, then lexicographically by items.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.items.len().cmp(&other.items.len()).then_with(|| self.items.cmp(&other.items))
+    }
+}
+
+impl fmt::Display for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}} x{}", self.support)
+    }
+}
+
+/// Sort a result set into the canonical order (length-major) and return it.
+#[must_use]
+pub fn canonicalize(mut sets: Vec<ItemSet>) -> Vec<ItemSet> {
+    sets.sort_unstable();
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_netflow::FlowFeature;
+
+    fn item(f: FlowFeature, v: u64) -> Item {
+        Item::new(f, v)
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = ItemSet::new(
+            vec![
+                item(FlowFeature::Bytes, 1),
+                item(FlowFeature::SrcIp, 2),
+                item(FlowFeature::Bytes, 1),
+            ],
+            10,
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.items()[0].feature(), FlowFeature::SrcIp);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = ItemSet::new(vec![item(FlowFeature::DstPort, 80)], 5);
+        let big = ItemSet::new(
+            vec![item(FlowFeature::DstPort, 80), item(FlowFeature::Proto, 6)],
+            3,
+        );
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+        let empty = ItemSet::new(vec![], 0);
+        assert!(empty.is_subset_of(&small));
+    }
+
+    #[test]
+    fn equality_ignores_support() {
+        let a = ItemSet::new(vec![item(FlowFeature::DstPort, 80)], 5);
+        let b = ItemSet::new(vec![item(FlowFeature::DstPort, 80)], 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_order_is_length_major() {
+        let one = ItemSet::new(vec![item(FlowFeature::Bytes, 9)], 1);
+        let two = ItemSet::new(
+            vec![item(FlowFeature::SrcIp, 1), item(FlowFeature::DstIp, 1)],
+            1,
+        );
+        let sorted = canonicalize(vec![two.clone(), one.clone()]);
+        assert_eq!(sorted, vec![one, two]);
+    }
+
+    #[test]
+    fn display_renders_paper_style() {
+        let s = ItemSet::new(
+            vec![item(FlowFeature::DstPort, 7000), item(FlowFeature::Proto, 6)],
+            53_467,
+        );
+        assert_eq!(s.to_string(), "{dstPort=7000, protocol=6} x53467");
+    }
+}

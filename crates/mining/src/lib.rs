@@ -1,0 +1,51 @@
+//! # anomex-mining — frequent item-set mining over flow transactions
+//!
+//! The association-rule substrate of the
+//! [anomex](https://crates.io/crates/anomex) anomaly-extraction system
+//! (Brauckhoff et al., IMC 2009 / IEEE ToN 2012).
+//!
+//! The paper models each flow record as a width-7 market-basket transaction
+//! (srcIP, dstIP, srcPort, dstPort, protocol, #packets, #bytes) and mines
+//! **maximal frequent item-sets** with a minimum-support threshold; the
+//! resulting item-sets *are* the extracted anomaly summary.
+//!
+//! Provided here:
+//!
+//! - [`Item`], [`Transaction`], [`TransactionSet`] — the transaction model
+//!   with the no-duplicate-feature invariant;
+//! - [`apriori`](apriori::apriori) — the paper's modified Apriori with
+//!   per-level statistics ([`LevelStats`]) matching the §II-B audit trail;
+//! - [`fpgrowth`](fpgrowth::fpgrowth) and [`eclat`](eclat::eclat) — the
+//!   faster miners the paper cites, with identical output contracts;
+//! - [`filter_maximal`] — maximal-item-set filtering;
+//! - [`MinerKind`] — runtime-selectable miner;
+//! - [`mine_top_k`] and [`mine_closed`] — the paper's §V extensions
+//!   (report-size-driven mining; lossless closed-set compression).
+//!
+//! Only the *first* step of association-rule mining (frequent item-sets) is
+//! implemented, deliberately: the paper argues deriving directional rules
+//! adds nothing for anomaly extraction (§II-B).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apriori;
+pub mod closed;
+pub mod combinations;
+pub mod eclat;
+pub mod fpgrowth;
+pub mod item;
+pub mod itemset;
+pub mod maximal;
+pub mod miner;
+pub mod topk;
+pub mod transaction;
+
+pub use apriori::{AprioriConfig, AprioriOutput, LevelStats};
+pub use closed::{filter_closed, mine_closed};
+pub use item::Item;
+pub use itemset::{canonicalize, ItemSet};
+pub use maximal::{filter_maximal, filter_maximal_general};
+pub use miner::MinerKind;
+pub use topk::{mine_top_k, TopK};
+pub use transaction::{Transaction, TransactionError, TransactionSet, CANONICAL_WIDTH, MAX_WIDTH};

@@ -1,0 +1,123 @@
+//! Unified miner interface: the three algorithms are interchangeable.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::apriori::{apriori, AprioriConfig};
+use crate::eclat::eclat;
+use crate::fpgrowth::fpgrowth;
+use crate::itemset::ItemSet;
+use crate::maximal::filter_maximal;
+use crate::transaction::TransactionSet;
+
+/// Which frequent item-set algorithm to run.
+///
+/// All three produce identical item-sets and supports; they differ only in
+/// time and memory. The paper used Apriori (§II-B) and cites FP-tree and
+/// vertical methods as the faster alternatives (§III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MinerKind {
+    /// Level-wise Apriori (the paper's algorithm).
+    #[default]
+    Apriori,
+    /// FP-growth (pattern-growth, no candidate generation).
+    FpGrowth,
+    /// Eclat (vertical tid-list intersection).
+    Eclat,
+}
+
+impl MinerKind {
+    /// All miners, for cross-checking and benches.
+    pub const ALL: [MinerKind; 3] = [MinerKind::Apriori, MinerKind::FpGrowth, MinerKind::Eclat];
+
+    /// Mine **all** frequent item-sets (support ≥ `min_support`),
+    /// canonically ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero.
+    #[must_use]
+    pub fn mine_all(self, set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
+        match self {
+            MinerKind::Apriori => apriori(set, &AprioriConfig::all_frequent(min_support)).itemsets,
+            MinerKind::FpGrowth => fpgrowth(set, min_support),
+            MinerKind::Eclat => eclat(set, min_support),
+        }
+    }
+
+    /// Mine only **maximal** frequent item-sets — the paper's modified
+    /// output (§II-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero.
+    #[must_use]
+    pub fn mine_maximal(self, set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
+        match self {
+            MinerKind::Apriori => apriori(set, &AprioriConfig::maximal(min_support)).itemsets,
+            MinerKind::FpGrowth => filter_maximal(fpgrowth(set, min_support)),
+            MinerKind::Eclat => filter_maximal(eclat(set, min_support)),
+        }
+    }
+}
+
+impl fmt::Display for MinerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinerKind::Apriori => f.write_str("apriori"),
+            MinerKind::FpGrowth => f.write_str("fp-growth"),
+            MinerKind::Eclat => f.write_str("eclat"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+    use crate::transaction::Transaction;
+    use anomex_netflow::FlowFeature;
+
+    fn sample() -> TransactionSet {
+        let mut set = TransactionSet::new();
+        for i in 0..10u64 {
+            let t = Transaction::from_items(&[
+                Item::new(FlowFeature::DstPort, 80),
+                Item::new(FlowFeature::Packets, i % 2),
+            ])
+            .unwrap();
+            set.push(t);
+        }
+        set
+    }
+
+    #[test]
+    fn all_miners_agree_on_both_modes() {
+        let set = sample();
+        let reference_all = MinerKind::Apriori.mine_all(&set, 3);
+        let reference_max = MinerKind::Apriori.mine_maximal(&set, 3);
+        for kind in MinerKind::ALL {
+            assert_eq!(kind.mine_all(&set, 3), reference_all, "{kind} all");
+            assert_eq!(kind.mine_maximal(&set, 3), reference_max, "{kind} maximal");
+        }
+    }
+
+    #[test]
+    fn maximal_is_subset_of_all() {
+        let set = sample();
+        let all = MinerKind::FpGrowth.mine_all(&set, 2);
+        let maximal = MinerKind::FpGrowth.mine_maximal(&set, 2);
+        for m in &maximal {
+            assert!(all.contains(m));
+        }
+        assert!(maximal.len() <= all.len());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MinerKind::Apriori.to_string(), "apriori");
+        assert_eq!(MinerKind::FpGrowth.to_string(), "fp-growth");
+        assert_eq!(MinerKind::Eclat.to_string(), "eclat");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests: the three miners are interchangeable, and the
+//! mining output satisfies the textbook invariants.
+
+use anomex_mining::{
+    filter_maximal, filter_maximal_general, Item, MinerKind, Transaction, TransactionSet,
+};
+use anomex_netflow::FlowFeature;
+use proptest::prelude::*;
+
+/// A random transaction: 1–7 items, at most one per feature, values from a
+/// small alphabet so that itemsets actually repeat.
+fn arb_transaction() -> impl Strategy<Value = Transaction> {
+    proptest::collection::btree_map(0usize..7, 0u64..4, 1..=7).prop_map(|m| {
+        let items: Vec<Item> =
+            m.into_iter().map(|(f, v)| Item::new(FlowFeature::from_index(f), v)).collect();
+        Transaction::from_items(&items).expect("btree_map keys are distinct features")
+    })
+}
+
+fn arb_set(max: usize) -> impl Strategy<Value = TransactionSet> {
+    proptest::collection::vec(arb_transaction(), 0..max).prop_map(TransactionSet::from_transactions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apriori, FP-growth, and Eclat produce identical item-sets *and*
+    /// identical supports on arbitrary inputs.
+    #[test]
+    fn miners_agree(set in arb_set(60), min_support in 1u64..8) {
+        let a = MinerKind::Apriori.mine_all(&set, min_support);
+        let f = MinerKind::FpGrowth.mine_all(&set, min_support);
+        let e = MinerKind::Eclat.mine_all(&set, min_support);
+        prop_assert_eq!(&a, &f);
+        prop_assert_eq!(&f, &e);
+        for (x, y) in a.iter().zip(&f) {
+            prop_assert_eq!(x.support, y.support);
+        }
+        for (x, y) in f.iter().zip(&e) {
+            prop_assert_eq!(x.support, y.support);
+        }
+    }
+
+    /// Every reported support equals the reference (brute-force) support,
+    /// and every reported item-set meets the threshold.
+    #[test]
+    fn supports_are_exact(set in arb_set(40), min_support in 1u64..6) {
+        for s in MinerKind::FpGrowth.mine_all(&set, min_support) {
+            prop_assert!(s.support >= min_support);
+            prop_assert_eq!(s.support, set.support_of(s.items()));
+        }
+    }
+
+    /// Downward closure: every non-empty subset of a frequent item-set is
+    /// itself in the output.
+    #[test]
+    fn downward_closure(set in arb_set(40), min_support in 1u64..6) {
+        let all = MinerKind::Eclat.mine_all(&set, min_support);
+        for s in &all {
+            if s.len() < 2 { continue; }
+            for skip in 0..s.len() {
+                let mut sub: Vec<Item> = s.items().to_vec();
+                sub.remove(skip);
+                prop_assert!(
+                    all.iter().any(|t| t.items() == sub.as_slice()),
+                    "subset of {} missing from output", s
+                );
+            }
+        }
+    }
+
+    /// Completeness: the miners find *every* frequent item-set. Verified by
+    /// brute force over the item alphabet on small inputs.
+    #[test]
+    fn completeness_small(set in arb_set(12), min_support in 1u64..4) {
+        let mined = MinerKind::Apriori.mine_all(&set, min_support);
+        // Brute force: every subset of every transaction is a candidate.
+        use std::collections::HashSet;
+        let mut candidates: HashSet<Vec<Item>> = HashSet::new();
+        for t in set.transactions() {
+            let items = t.items();
+            for mask in 1u32..(1 << items.len()) {
+                let subset: Vec<Item> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &it)| it)
+                    .collect();
+                candidates.insert(subset);
+            }
+        }
+        let expected: HashSet<Vec<Item>> = candidates
+            .into_iter()
+            .filter(|c| set.support_of(c) >= min_support)
+            .collect();
+        let got: HashSet<Vec<Item>> = mined.iter().map(|s| s.items().to_vec()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Maximality: no maximal item-set is a subset of another, and the fast
+    /// one-level filter agrees with the general quadratic oracle.
+    #[test]
+    fn maximal_invariants(set in arb_set(40), min_support in 1u64..6) {
+        let all = MinerKind::FpGrowth.mine_all(&set, min_support);
+        let maximal = filter_maximal(all.clone());
+        for (i, a) in maximal.iter().enumerate() {
+            for (j, b) in maximal.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!(a.len() < b.len() && a.is_subset_of(b)),
+                        "{} is a subset of {}", a, b);
+                }
+            }
+        }
+        prop_assert_eq!(maximal, filter_maximal_general(&all));
+    }
+
+    /// Monotonicity in the support threshold: raising s never adds
+    /// item-sets.
+    #[test]
+    fn support_monotonicity(set in arb_set(40), s_lo in 1u64..4) {
+        let s_hi = s_lo + 2;
+        let lo = MinerKind::Eclat.mine_all(&set, s_lo);
+        let hi = MinerKind::Eclat.mine_all(&set, s_hi);
+        for s in &hi {
+            prop_assert!(lo.contains(s), "{} found at high support but not low", s);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the flow substrate.
+
+use std::fmt;
+
+/// Errors produced while decoding NetFlow wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than the fixed NetFlow v5 header.
+    TruncatedHeader {
+        /// Bytes available.
+        have: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// The version field is not 5.
+    BadVersion(u16),
+    /// The header's record count does not match the bytes that follow.
+    TruncatedRecords {
+        /// Records promised by the header.
+        declared: u16,
+        /// Bytes available for records.
+        have: usize,
+        /// Bytes required for `declared` records.
+        need: usize,
+    },
+    /// The header declares more records than a v5 datagram can carry (30).
+    TooManyRecords(u16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TruncatedHeader { have, need } => {
+                write!(f, "truncated NetFlow v5 header: have {have} bytes, need {need}")
+            }
+            DecodeError::BadVersion(v) => write!(f, "unsupported NetFlow version {v} (expected 5)"),
+            DecodeError::TruncatedRecords { declared, have, need } => write!(
+                f,
+                "truncated NetFlow v5 records: header declares {declared} records ({need} bytes) but only {have} bytes follow"
+            ),
+            DecodeError::TooManyRecords(n) => {
+                write!(f, "NetFlow v5 header declares {n} records; the maximum per datagram is 30")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Errors produced while encoding NetFlow wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// More records were supplied than fit in one v5 datagram (30).
+    TooManyRecords(usize),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TooManyRecords(n) => {
+                write!(f, "cannot encode {n} records into one NetFlow v5 datagram (max 30)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_error_messages_are_informative() {
+        let e = DecodeError::TruncatedHeader { have: 3, need: 24 };
+        assert!(e.to_string().contains("have 3"));
+        let e = DecodeError::BadVersion(9);
+        assert!(e.to_string().contains('9'));
+        let e = DecodeError::TruncatedRecords { declared: 2, have: 10, need: 96 };
+        assert!(e.to_string().contains("2 records"));
+        let e = DecodeError::TooManyRecords(31);
+        assert!(e.to_string().contains("31"));
+    }
+
+    #[test]
+    fn encode_error_messages_are_informative() {
+        let e = EncodeError::TooManyRecords(31);
+        assert!(e.to_string().contains("31"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&DecodeError::BadVersion(1));
+        assert_err(&EncodeError::TooManyRecords(99));
+    }
+}

@@ -1,0 +1,38 @@
+//! # anomex-netflow — flow-record substrate
+//!
+//! The data layer of the [anomex](https://crates.io/crates/anomex) anomaly
+//! extraction system (Brauckhoff et al., *Anomaly Extraction in Backbone
+//! Networks Using Association Rules*, IMC 2009 / IEEE ToN 2012).
+//!
+//! Provides:
+//!
+//! - [`FlowRecord`] / [`Protocol`] / [`TcpFlags`] — unidirectional NetFlow
+//!   v5-style flow records;
+//! - [`FlowFeature`] / [`FeatureValue`] — the seven per-flow traffic
+//!   features the paper histograms and mines, with a uniform `u64` value
+//!   encoding;
+//! - [`v5`] — a complete NetFlow v5 wire codec (header + 48-byte records,
+//!   big-endian) with a sequence-tracking exporter and collector;
+//! - [`FlowTrace`] / [`Interval`] — batch traces sliced into measurement
+//!   intervals;
+//! - [`IntervalAssembler`] — streaming interval assembly for online
+//!   operation.
+//!
+//! This crate has no opinion about detection or mining; it only defines
+//! what a flow is and how flows are grouped in time.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod feature;
+pub mod flow;
+pub mod stream;
+pub mod trace;
+pub mod v5;
+
+pub use error::{DecodeError, EncodeError};
+pub use feature::{FeatureValue, FlowFeature, ParseFeatureValueError};
+pub use flow::{FlowRecord, Protocol, TcpFlags};
+pub use stream::{ClosedInterval, IntervalAssembler};
+pub use trace::{FlowTrace, Interval, MINUTE_MS};

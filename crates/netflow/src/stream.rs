@@ -1,0 +1,218 @@
+//! Streaming interval assembly for online operation.
+//!
+//! In the paper's *online* mode, the detector consumes flows as the router
+//! exports them and closes a measurement interval every Δ minutes.
+//! [`IntervalAssembler`] implements exactly that: feed it flows in rough
+//! arrival order and it emits a [`ClosedInterval`] each time a flow arrives
+//! past the current window's end (plus a final flush).
+//!
+//! The assembler tolerates the mild reordering NetFlow collectors see
+//! (export batching): flows belonging to an *already-closed* window are
+//! counted as `late_flows` and dropped, mirroring collector practice.
+
+use crate::flow::FlowRecord;
+
+/// An interval that has been closed by the assembler, with owned flows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedInterval {
+    /// Zero-based index since the stream origin.
+    pub index: u64,
+    /// Inclusive window start, ms.
+    pub begin_ms: u64,
+    /// Exclusive window end, ms.
+    pub end_ms: u64,
+    /// Flows that started within the window, in arrival order.
+    pub flows: Vec<FlowRecord>,
+}
+
+/// Streaming assembler turning a flow stream into closed intervals.
+#[derive(Debug)]
+pub struct IntervalAssembler {
+    origin_ms: u64,
+    interval_ms: u64,
+    current_index: u64,
+    current: Vec<FlowRecord>,
+    late_flows: u64,
+    started: bool,
+}
+
+impl IntervalAssembler {
+    /// New assembler with windows `[origin + i*Δ, origin + (i+1)*Δ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ms` is zero.
+    #[must_use]
+    pub fn new(origin_ms: u64, interval_ms: u64) -> Self {
+        assert!(interval_ms > 0, "interval length must be positive");
+        IntervalAssembler {
+            origin_ms,
+            interval_ms,
+            current_index: 0,
+            current: Vec::new(),
+            late_flows: 0,
+            started: false,
+        }
+    }
+
+    /// Index of the window a start time falls into.
+    fn window_of(&self, start_ms: u64) -> Option<u64> {
+        start_ms.checked_sub(self.origin_ms).map(|off| off / self.interval_ms)
+    }
+
+    /// Feed one flow; returns every interval this flow's arrival closes
+    /// (possibly several, when the stream skips empty windows — empties are
+    /// emitted too, so the downstream KL time series stays aligned).
+    pub fn push(&mut self, flow: FlowRecord) -> Vec<ClosedInterval> {
+        let Some(window) = self.window_of(flow.start_ms) else {
+            // Before the stream origin: late by definition.
+            self.late_flows += 1;
+            return Vec::new();
+        };
+        if !self.started {
+            self.started = true;
+            self.current_index = window;
+            // Emit empty windows from the origin up to the first flow so
+            // interval indices always start at zero.
+            let mut closed = Vec::new();
+            for idx in 0..window {
+                closed.push(self.make_closed(idx, Vec::new()));
+            }
+            self.current.push(flow);
+            return closed;
+        }
+        if window < self.current_index {
+            self.late_flows += 1;
+            return Vec::new();
+        }
+        let mut closed = Vec::new();
+        while window > self.current_index {
+            let flows = std::mem::take(&mut self.current);
+            closed.push(self.make_closed(self.current_index, flows));
+            self.current_index += 1;
+        }
+        self.current.push(flow);
+        closed
+    }
+
+    /// Close and emit the in-progress interval (end of stream).
+    pub fn flush(&mut self) -> Option<ClosedInterval> {
+        if !self.started {
+            return None;
+        }
+        let flows = std::mem::take(&mut self.current);
+        let iv = self.make_closed(self.current_index, flows);
+        self.current_index += 1;
+        Some(iv)
+    }
+
+    /// Flows dropped because they arrived after their window closed.
+    #[must_use]
+    pub fn late_flows(&self) -> u64 {
+        self.late_flows
+    }
+
+    fn make_closed(&self, index: u64, flows: Vec<FlowRecord>) -> ClosedInterval {
+        let begin = self.origin_ms + index * self.interval_ms;
+        ClosedInterval { index, begin_ms: begin, end_ms: begin + self.interval_ms, flows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn flow_at(ms: u64) -> FlowRecord {
+        FlowRecord::new(
+            ms,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            Protocol::Udp,
+        )
+    }
+
+    #[test]
+    fn closes_interval_when_next_window_starts() {
+        let mut asm = IntervalAssembler::new(0, 1000);
+        assert!(asm.push(flow_at(10)).is_empty());
+        assert!(asm.push(flow_at(900)).is_empty());
+        let closed = asm.push(flow_at(1000));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].index, 0);
+        assert_eq!(closed[0].flows.len(), 2);
+        let last = asm.flush().unwrap();
+        assert_eq!(last.index, 1);
+        assert_eq!(last.flows.len(), 1);
+    }
+
+    #[test]
+    fn emits_empty_windows_for_gaps() {
+        let mut asm = IntervalAssembler::new(0, 1000);
+        assert!(asm.push(flow_at(100)).is_empty());
+        let closed = asm.push(flow_at(3500));
+        assert_eq!(closed.len(), 3); // windows 0,1,2 close
+        assert_eq!(closed[0].flows.len(), 1);
+        assert!(closed[1].flows.is_empty());
+        assert!(closed[2].flows.is_empty());
+    }
+
+    #[test]
+    fn leading_gap_emits_empty_windows_from_origin() {
+        let mut asm = IntervalAssembler::new(0, 1000);
+        let closed = asm.push(flow_at(2500));
+        assert_eq!(closed.len(), 2);
+        assert!(closed.iter().all(|c| c.flows.is_empty()));
+        assert_eq!(asm.flush().unwrap().index, 2);
+    }
+
+    #[test]
+    fn late_flows_are_counted_and_dropped() {
+        let mut asm = IntervalAssembler::new(0, 1000);
+        asm.push(flow_at(1500));
+        let closed = asm.push(flow_at(500)); // window 0 already closed
+        assert!(closed.is_empty());
+        assert_eq!(asm.late_flows(), 1);
+        assert_eq!(asm.flush().unwrap().flows.len(), 1);
+    }
+
+    #[test]
+    fn flows_before_origin_are_late() {
+        let mut asm = IntervalAssembler::new(10_000, 1000);
+        assert!(asm.push(flow_at(500)).is_empty());
+        assert_eq!(asm.late_flows(), 1);
+        assert!(asm.flush().is_none(), "never started");
+    }
+
+    #[test]
+    fn flush_on_empty_assembler_is_none() {
+        let mut asm = IntervalAssembler::new(0, 1000);
+        assert!(asm.flush().is_none());
+    }
+
+    #[test]
+    fn streaming_matches_batch_slicing() {
+        use crate::trace::FlowTrace;
+        let starts = [10u64, 999, 1000, 1001, 2500, 2600, 7000];
+        let flows: Vec<_> = starts.iter().map(|&s| flow_at(s)).collect();
+
+        let mut trace = FlowTrace::from_flows(flows.clone());
+        let batch: Vec<(u64, usize)> =
+            trace.intervals(0, 1000).iter().map(|iv| (iv.index, iv.len())).collect();
+
+        let mut asm = IntervalAssembler::new(0, 1000);
+        let mut streamed: Vec<(u64, usize)> = Vec::new();
+        for f in flows {
+            for c in asm.push(f) {
+                streamed.push((c.index, c.flows.len()));
+            }
+        }
+        if let Some(c) = asm.flush() {
+            streamed.push((c.index, c.flows.len()));
+        }
+        assert_eq!(streamed, batch);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the flow substrate.
+
+use std::net::Ipv4Addr;
+
+use anomex_netflow::v5::{decode_datagram, encode_datagram, V5Collector, V5Exporter};
+use anomex_netflow::{FlowFeature, FlowRecord, FlowTrace, IntervalAssembler, Protocol, TcpFlags};
+use proptest::prelude::*;
+
+fn arb_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        0u64..10_000_000,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        1u32..100_000,
+        1u32..100_000_000,
+        any::<u8>(),
+        0u64..60_000,
+    )
+        .prop_map(
+            |(start, src, dst, sport, dport, proto, pkts, bytes, flags, dur)| FlowRecord {
+                start_ms: start,
+                end_ms: start + dur,
+                src_ip: Ipv4Addr::from(src),
+                dst_ip: Ipv4Addr::from(dst),
+                src_port: sport,
+                dst_port: dport,
+                proto: Protocol::from_number(proto),
+                packets: pkts,
+                bytes,
+                tcp_flags: TcpFlags(flags),
+            },
+        )
+}
+
+proptest! {
+    /// Encoding then decoding a datagram preserves every modeled field.
+    /// Note: v5 timestamps are u32 ms, so we constrain start times above.
+    #[test]
+    fn v5_round_trip(flows in proptest::collection::vec(arb_flow(), 0..=30)) {
+        let bytes = encode_datagram(&flows, 42, 7).unwrap();
+        let dgram = decode_datagram(&bytes).unwrap();
+        prop_assert_eq!(dgram.flows, flows);
+    }
+
+    /// Decoding arbitrary bytes never panics — it either parses or errors.
+    #[test]
+    fn v5_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode_datagram(&data);
+    }
+
+    /// Exporter → collector is lossless for arbitrary flow streams.
+    #[test]
+    fn export_collect_lossless(flows in proptest::collection::vec(arb_flow(), 0..200)) {
+        let mut exporter = V5Exporter::new();
+        let mut collector = V5Collector::new();
+        for dgram in exporter.export(&flows) {
+            collector.ingest(&dgram).unwrap();
+        }
+        prop_assert_eq!(collector.lost_flows(), 0);
+        prop_assert_eq!(collector.into_flows(), flows);
+    }
+
+    /// Interval slicing partitions the trace: every flow appears in exactly
+    /// one interval and the interval windows tile the time axis.
+    #[test]
+    fn intervals_partition(
+        flows in proptest::collection::vec(arb_flow(), 1..300),
+        interval_ms in 1u64..100_000,
+    ) {
+        let n = flows.len();
+        let mut trace = FlowTrace::from_flows(flows);
+        let ivs = trace.intervals(0, interval_ms);
+        let total: usize = ivs.iter().map(|iv| iv.flows.len()).sum();
+        prop_assert_eq!(total, n);
+        for (i, iv) in ivs.iter().enumerate() {
+            prop_assert_eq!(iv.index, i as u64);
+            prop_assert_eq!(iv.end_ms - iv.begin_ms, interval_ms);
+            for f in iv.flows {
+                prop_assert!(f.start_ms >= iv.begin_ms && f.start_ms < iv.end_ms);
+            }
+        }
+    }
+
+    /// Streaming assembly of a time-sorted flow stream produces the same
+    /// interval contents as batch slicing.
+    #[test]
+    fn streaming_equals_batch(
+        flows in proptest::collection::vec(arb_flow(), 1..300),
+        interval_ms in 1u64..100_000,
+    ) {
+        let mut sorted = flows;
+        sorted.sort_by_key(|f| f.start_ms);
+
+        let mut trace = FlowTrace::from_flows(sorted.clone());
+        let batch: Vec<usize> = trace.intervals(0, interval_ms).iter().map(|iv| iv.flows.len()).collect();
+
+        let mut asm = IntervalAssembler::new(0, interval_ms);
+        let mut streamed = Vec::new();
+        for f in sorted {
+            for c in asm.push(f) {
+                streamed.push(c.flows.len());
+            }
+        }
+        if let Some(c) = asm.flush() {
+            streamed.push(c.flows.len());
+        }
+        prop_assert_eq!(asm.late_flows(), 0);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    /// Feature extraction is total and the rendered value parses back for
+    /// port/count features.
+    #[test]
+    fn feature_values_render(flow in arb_flow()) {
+        for feat in FlowFeature::ALL {
+            let v = feat.value_of(&flow);
+            prop_assert!(v.matches(&flow));
+            let s = v.render();
+            match feat {
+                FlowFeature::SrcIp | FlowFeature::DstIp => {
+                    let ip: Ipv4Addr = s.parse().unwrap();
+                    prop_assert_eq!(u64::from(u32::from(ip)), v.raw);
+                }
+                _ => {
+                    prop_assert_eq!(s.parse::<u64>().unwrap(), v.raw);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # anomex-traffic — synthetic backbone workloads with exact ground truth
+//!
+//! The workload substrate of the
+//! [anomex](https://crates.io/crates/anomex) anomaly-extraction system
+//! (Brauckhoff et al., IMC 2009 / IEEE ToN 2012).
+//!
+//! The paper evaluates on two weeks of proprietary SWITCH/AS559 NetFlow;
+//! this crate synthesizes the closest open equivalent (see DESIGN.md §2 for
+//! the substitution argument):
+//!
+//! - [`background`] — Zipf-popular endpoints/services, Pareto flow sizes,
+//!   diurnal cycle, configurable heavy hitters (the paper's proxies
+//!   A/B/C);
+//! - [`inject`] — one injector per Table IV anomaly class: Flooding,
+//!   Backscatter, Network Experiment, DDoS, Scanning, Spam, Unknown;
+//! - [`scenario`] — [`Scenario::two_weeks`] plants 36 events in 31
+//!   anomalous intervals over two weeks of 15-minute windows, streaming
+//!   and fully deterministic;
+//! - [`table2`] — the §II-B worked example (port-7000 flood + injected
+//!   popular ports) at any scale;
+//! - [`labeled`] — per-flow ground-truth labels, exact by construction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod anomaly;
+pub mod background;
+pub mod dist;
+pub mod inject;
+pub mod labeled;
+pub mod scenario;
+pub mod table2;
+
+pub use anomaly::{AnomalyClass, EventId, EventParams, EventSpec};
+pub use background::{BackgroundConfig, BackgroundModel, HeavyHitter};
+pub use dist::{BoundedPareto, Zipf};
+pub use labeled::LabeledInterval;
+pub use scenario::{Scenario, ScenarioConfig, FIFTEEN_MIN_MS, INTERVALS_PER_DAY, TWO_WEEKS_INTERVALS};
+pub use table2::{table2_workload, Table2Workload};

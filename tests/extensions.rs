@@ -1,0 +1,117 @@
+//! Integration tests for the paper's §V / Table I extensions: top-k
+//! mining, closed item-sets, and the entropy detector driving the same
+//! extraction pipeline.
+
+use anomex::core::{extract_with_metadata, PrefilterMode};
+use anomex::detector::EntropyDetector;
+use anomex::mining::{filter_closed, mine_top_k};
+use anomex::prelude::*;
+use anomex::traffic::table2_workload;
+
+/// Top-k mining over the Table II workload finds the same leading
+/// item-sets as fixed-support mining, without the operator choosing s.
+#[test]
+fn topk_matches_fixed_support_leaders() {
+    let w = table2_workload(2009, 0.05);
+    let transactions = TransactionSet::from_flows(&w.flows);
+
+    let fixed = MinerKind::FpGrowth.mine_maximal(&transactions, w.min_support);
+    let mut fixed_ranked = fixed.clone();
+    fixed_ranked.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.cmp(b)));
+
+    let top = mine_top_k(&transactions, MinerKind::FpGrowth, 5, w.min_support);
+    assert_eq!(top.itemsets.len(), 5);
+    // The k leaders at the *same* support agree (top-k only lowers s when
+    // needed).
+    for (a, b) in top.itemsets.iter().zip(fixed_ranked.iter()) {
+        assert_eq!(a, b);
+        assert_eq!(a.support, b.support);
+    }
+    // The paper's workflow: the top item-sets pin the flood.
+    let joined =
+        top.itemsets.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+    assert!(joined.contains("dstPort=7000") || joined.contains("dstPort=80"), "{joined}");
+}
+
+/// Closed item-sets are a lossless superset of maximal ones on real
+/// pipeline output.
+#[test]
+fn closed_supersets_maximal_on_table2() {
+    let w = table2_workload(2009, 0.05);
+    let transactions = TransactionSet::from_flows(&w.flows);
+    let all = MinerKind::Eclat.mine_all(&transactions, w.min_support);
+    let closed = filter_closed(all.clone());
+    let maximal = MinerKind::Eclat.mine_maximal(&transactions, w.min_support);
+
+    for m in &maximal {
+        assert!(closed.contains(m), "maximal {m} must be closed");
+    }
+    // Lossless: every frequent set's support is recoverable from closed.
+    for s in &all {
+        let recovered = closed
+            .iter()
+            .filter(|c| s.is_subset_of(c))
+            .map(|c| c.support)
+            .max()
+            .expect("closed superset exists");
+        assert_eq!(recovered, s.support, "support of {s} lost");
+    }
+}
+
+/// The entropy detector (Table I family) catches the Table II flood via
+/// an entropy drop and its meta-data extracts the same anomaly as the
+/// histogram pipeline.
+#[test]
+fn entropy_detector_drives_extraction() {
+    // Train on backgrounds without the flood (scaled-down port mix).
+    let mut detector = EntropyDetector::new(FlowFeature::DstPort, 3.0, 6);
+    for seed in 0..9 {
+        // Background-only intervals: the web/backscatter/smtp parts of the
+        // Table II mix, no port-7000 flood (tiny pseudo-interval).
+        let w = table2_workload(seed, 0.01);
+        let background: Vec<FlowRecord> =
+            w.flows.iter().filter(|f| f.dst_port != w.flood_port).copied().collect();
+        let obs = detector.observe(&background);
+        assert!(!obs.alarm, "training/quiet interval alarmed");
+    }
+    // Flood interval.
+    let w = table2_workload(77, 0.01);
+    let obs = detector.observe(&w.flows);
+    assert!(obs.alarm, "the flood must disturb the port entropy");
+    assert!(obs.values.contains(&u64::from(w.flood_port)), "{:?}", obs.values);
+
+    let mut metadata = MetaData::new();
+    metadata.insert_all(FlowFeature::DstPort, obs.values.iter().copied());
+    let extraction = extract_with_metadata(
+        0,
+        &w.flows,
+        &metadata,
+        PrefilterMode::Union,
+        MinerKind::FpGrowth,
+        w.min_support,
+    );
+    let joined =
+        extraction.itemsets.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+    assert!(joined.contains("dstPort=7000"), "flood extracted via entropy meta-data:\n{joined}");
+    assert!(
+        joined.contains(&format!("dstIP={}", w.victim)),
+        "victim pinned:\n{joined}"
+    );
+}
+
+/// Top-k, closed, and maximal agree on supports for the sets they share.
+#[test]
+fn extension_modes_are_mutually_consistent() {
+    let w = table2_workload(3, 0.02);
+    let tx = TransactionSet::from_flows(&w.flows);
+    let maximal = MinerKind::FpGrowth.mine_maximal(&tx, w.min_support);
+    let closed = filter_closed(MinerKind::FpGrowth.mine_all(&tx, w.min_support));
+    let top = mine_top_k(&tx, MinerKind::FpGrowth, maximal.len(), w.min_support);
+    for m in &maximal {
+        let in_closed = closed.iter().find(|c| c == &m).expect("maximal ⊆ closed");
+        assert_eq!(in_closed.support, m.support);
+        if let Some(in_top) = top.itemsets.iter().find(|t| t == &m) {
+            assert_eq!(in_top.support, m.support);
+        }
+    }
+}
