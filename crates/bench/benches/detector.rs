@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use anomex_detector::{
-    identify_anomalous_bins, kl_distance, BinHasher, DetectorBank, DetectorConfig,
-    FeatureHistogram,
+    identify_anomalous_bins, kl_distance, BinHasher, DetectorBank, DetectorConfig, FeatureHistogram,
 };
 use anomex_netflow::FlowFeature;
 use anomex_traffic::Scenario;
@@ -35,11 +34,25 @@ fn bench_histogram_build(c: &mut Criterion) {
 fn bench_kl_distance(c: &mut Criterion) {
     let scenario = Scenario::two_weeks(42, 0.25);
     let hasher = BinHasher::new(7);
-    let a = FeatureHistogram::build(FlowFeature::SrcIp, hasher, 1024, &scenario.generate(10).flows);
-    let b_hist =
-        FeatureHistogram::build(FlowFeature::SrcIp, hasher, 1024, &scenario.generate(11).flows);
+    let a = FeatureHistogram::build(
+        FlowFeature::SrcIp,
+        hasher,
+        1024,
+        &scenario.generate(10).flows,
+    );
+    let b_hist = FeatureHistogram::build(
+        FlowFeature::SrcIp,
+        hasher,
+        1024,
+        &scenario.generate(11).flows,
+    );
     c.bench_function("kl_distance_1024", |b| {
-        b.iter(|| black_box(kl_distance(black_box(a.counts()), black_box(b_hist.counts()))))
+        b.iter(|| {
+            black_box(kl_distance(
+                black_box(a.counts()),
+                black_box(b_hist.counts()),
+            ))
+        })
     });
 }
 
@@ -47,8 +60,12 @@ fn bench_bin_identification(c: &mut Criterion) {
     // A concentrated spike over a realistic reference.
     let scenario = Scenario::two_weeks(42, 0.25);
     let hasher = BinHasher::new(7);
-    let reference =
-        FeatureHistogram::build(FlowFeature::DstPort, hasher, 1024, &scenario.generate(10).flows);
+    let reference = FeatureHistogram::build(
+        FlowFeature::DstPort,
+        hasher,
+        1024,
+        &scenario.generate(10).flows,
+    );
     let mut current = reference.counts().to_vec();
     current[hasher.bin_of(7000, 1024) as usize] += 5000;
     current[hasher.bin_of(9022, 1024) as usize] += 2000;

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use anomex_core::{extract_with_metadata, prefilter, AnomalyExtractor, ExtractionConfig, PrefilterMode};
+use anomex_core::{
+    extract_with_metadata, prefilter, AnomalyExtractor, ExtractionConfig, PrefilterMode,
+};
 use anomex_detector::{DetectorConfig, MetaData};
 use anomex_mining::MinerKind;
 use anomex_netflow::FlowFeature;
@@ -48,7 +50,10 @@ fn bench_online_interval(c: &mut Criterion) {
     let anomalous = scenario.generate(scenario.events()[0].start_interval);
     let config = ExtractionConfig {
         interval_ms: scenario.interval_ms(),
-        detector: DetectorConfig { training_intervals: 48, ..DetectorConfig::default() },
+        detector: DetectorConfig {
+            training_intervals: 48,
+            ..DetectorConfig::default()
+        },
         min_support: 700,
         ..ExtractionConfig::default()
     };
@@ -84,5 +89,10 @@ fn bench_online_interval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prefilter, bench_offline_extraction, bench_online_interval);
+criterion_group!(
+    benches,
+    bench_prefilter,
+    bench_offline_extraction,
+    bench_online_interval
+);
 criterion_main!(benches);

@@ -23,8 +23,11 @@ fn main() {
     );
     println!("== Fig. 10: classification-cost reduction vs minimum support (scale {scale}) ==");
     let run = run_scenario(&scenario, &config);
-    let flows: Vec<usize> =
-        run.alarmed_anomalous().iter().map(|r| r.total_flows).collect();
+    let flows: Vec<usize> = run
+        .alarmed_anomalous()
+        .iter()
+        .map(|r| r.total_flows)
+        .collect();
     println!(
         "alarmed anomalous intervals: {} | flows per interval: {}..{}\n",
         flows.len(),

@@ -31,7 +31,12 @@ fn main() {
     let at = flood_event.start_interval;
     let hasher = BinHasher::new(77);
     let hist = |i: u64| {
-        FeatureHistogram::build(FlowFeature::DstPort, hasher, 1024, &scenario.generate(i).flows)
+        FeatureHistogram::build(
+            FlowFeature::DstPort,
+            hasher,
+            1024,
+            &scenario.generate(i).flows,
+        )
     };
 
     // KL series over the 40 intervals before the event.

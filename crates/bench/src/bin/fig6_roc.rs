@@ -40,9 +40,7 @@ fn main() {
     let scenario = Scenario::new(base.config().clone(), events);
 
     let config = eval_config(FIFTEEN_MIN_MS, INTERVALS_PER_DAY as usize / 2, 100);
-    println!(
-        "== Fig. 6: per-clone ROC over two weeks with graded events (scale {scale}) =="
-    );
+    println!("== Fig. 6: per-clone ROC over two weeks with graded events (scale {scale}) ==");
     let run = run_scenario(&scenario, &config);
 
     // Skip the training day: scores there are zero by construction.

@@ -21,7 +21,10 @@ fn main() {
         let b1 = beta_miss_upper(p, n, 1);
         let bm = beta_miss_upper(p, n, l_mid);
         let bn = beta_miss_upper(p, n, n);
-        println!("{n:>3} {b1:>12.3e} {bm:>12.3e} {bn:>12.3e} {:>12.2}", bn.log10());
+        println!(
+            "{n:>3} {b1:>12.3e} {bm:>12.3e} {bn:>12.3e} {:>12.2}",
+            bn.log10()
+        );
     }
 
     println!("\npaper checkpoints:");

@@ -10,7 +10,10 @@ use anomex_core::{expected_normal_survivors, gamma_normal_survives};
 
 fn panel(b: u64, k: u64) {
     println!("-- panel: b = {b}, k = {k} --");
-    println!("{:>3} {:>12} {:>12} {:>12}", "n", "l=1", "l=ceil(n/2)", "l=n");
+    println!(
+        "{:>3} {:>12} {:>12} {:>12}",
+        "n", "l=1", "l=ceil(n/2)", "l=n"
+    );
     for n in 1..=25u64 {
         let l_mid = n.div_ceil(2);
         println!(

@@ -59,7 +59,10 @@ fn main() {
     );
     print!("{:>10}", "support");
     for &i in prone.iter().take(10) {
-        print!(" {:>6}", format!("iv{}", run.alarmed_anomalous()[i].interval));
+        print!(
+            " {:>6}",
+            format!("iv{}", run.alarmed_anomalous()[i].interval)
+        );
     }
     println!();
     for point in &sweep {

@@ -50,14 +50,23 @@ fn main() {
     );
     for miner in MinerKind::ALL {
         let t0 = Instant::now();
-        let ex = extract_with_metadata(0, &w.flows, &md, PrefilterMode::Union, miner, w.min_support);
-        println!("  {:<10} {:>10.1?}  ({} maximal item-sets)", miner.to_string(), t0.elapsed(), ex.itemsets.len());
+        let ex =
+            extract_with_metadata(0, &w.flows, &md, PrefilterMode::Union, miner, w.min_support);
+        println!(
+            "  {:<10} {:>10.1?}  ({} maximal item-sets)",
+            miner.to_string(),
+            t0.elapsed(),
+            ex.itemsets.len()
+        );
     }
 
     // --- Support sensitivity (paper: runtimes grow as relative support falls). ---
     println!("\nApriori vs FP-growth as the support falls (same workload):");
     let tx = TransactionSet::from_flows(&w.flows);
-    println!("{:>10} {:>12} {:>12} {:>10}", "support", "apriori", "fp-growth", "item-sets");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "support", "apriori", "fp-growth", "item-sets"
+    );
     for div in [1u64, 2, 4, 8] {
         let s = (w.min_support / div).max(1);
         let t0 = Instant::now();

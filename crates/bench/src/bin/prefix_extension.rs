@@ -25,8 +25,15 @@ use rand::{Rng, SeedableRng};
 
 fn workload() -> Vec<FlowRecord> {
     let mut rng = StdRng::seed_from_u64(99);
-    let mut flows =
-        dscan::generate(Ipv4Addr::new(10, 16, 0, 0), 445, 1500, 20_000, 0, 900_000, &mut rng);
+    let mut flows = dscan::generate(
+        Ipv4Addr::new(10, 16, 0, 0),
+        445,
+        1500,
+        20_000,
+        0,
+        900_000,
+        &mut rng,
+    );
     for i in 0..80_000u32 {
         flows.push(
             FlowRecord::new(
@@ -70,10 +77,17 @@ fn main() {
         for set in ex.itemsets.iter().rev() {
             println!("  {set}");
         }
-        let pins_range = ex.itemsets.iter().any(|s| s.to_string().contains("dstNet16"));
+        let pins_range = ex
+            .itemsets
+            .iter()
+            .any(|s| s.to_string().contains("dstNet16"));
         println!(
             "  target range pinned: {}\n",
-            if pins_range { "YES (dstNet16=10.16.0.0/16)" } else { "no — only port + flow shape" }
+            if pins_range {
+                "YES (dstNet16=10.16.0.0/16)"
+            } else {
+                "no — only port + flow shape"
+            }
         );
     }
     println!(

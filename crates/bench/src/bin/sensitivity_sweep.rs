@@ -23,7 +23,11 @@ use anomex_traffic::{Scenario, INTERVALS_PER_DAY};
 fn run(scenario: &Scenario, delta_ms: u64, bins: u32) -> (usize, usize, usize, usize) {
     // Scale the training period so σ̂ always sees one day of traffic.
     let training = (INTERVALS_PER_DAY as usize) * 15 * 60_000 / (delta_ms as usize) / 2;
-    let config = DetectorConfig { bins, training_intervals: training, ..DetectorConfig::default() };
+    let config = DetectorConfig {
+        bins,
+        training_intervals: training,
+        ..DetectorConfig::default()
+    };
     let mut bank = DetectorBank::new(&config);
     let mut assembler = IntervalAssembler::new(0, delta_ms);
 
@@ -37,24 +41,25 @@ fn run(scenario: &Scenario, delta_ms: u64, bins: u32) -> (usize, usize, usize, u
 
     let skip_ms = INTERVALS_PER_DAY * 15 * MINUTE_MS; // training day
     let (mut tp, mut pos, mut fp, mut neg) = (0, 0, 0, 0);
-    let mut process = |begin_ms: u64, flows: &[anomex_netflow::FlowRecord], bank: &mut DetectorBank| {
-        let obs = bank.observe(flows);
-        if begin_ms < skip_ms {
-            return;
-        }
-        match (is_anomalous(begin_ms), obs.alarm) {
-            (true, true) => {
-                tp += 1;
-                pos += 1;
+    let mut process =
+        |begin_ms: u64, flows: &[anomex_netflow::FlowRecord], bank: &mut DetectorBank| {
+            let obs = bank.observe(flows);
+            if begin_ms < skip_ms {
+                return;
             }
-            (true, false) => pos += 1,
-            (false, true) => {
-                fp += 1;
-                neg += 1;
+            match (is_anomalous(begin_ms), obs.alarm) {
+                (true, true) => {
+                    tp += 1;
+                    pos += 1;
+                }
+                (true, false) => pos += 1,
+                (false, true) => {
+                    fp += 1;
+                    neg += 1;
+                }
+                (false, false) => neg += 1,
             }
-            (false, false) => neg += 1,
-        }
-    };
+        };
 
     for i in 0..scenario.interval_count() {
         let labeled = scenario.generate(i);
@@ -82,7 +87,10 @@ fn main() {
     );
     for minutes in [5u64, 10, 15] {
         let (tp, pos, fp, neg) = run(&scenario, minutes * MINUTE_MS, 1024);
-        println!("{minutes:>8} {:>18} {fp:>12} {neg:>12}", format!("{tp}/{pos}"));
+        println!(
+            "{minutes:>8} {:>18} {fp:>12} {neg:>12}",
+            format!("{tp}/{pos}")
+        );
     }
     println!(
         "(paper: 62 / 52 / 31 detected intervals at Δ = 5/10/15: shorter intervals\n\

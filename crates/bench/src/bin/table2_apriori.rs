@@ -20,7 +20,11 @@ fn main() {
     let scale = arg_scale(1.0);
     let w = table2_workload(2009, scale);
     println!("== Table II reproduction (scale {scale}) ==");
-    println!("input flows: {} | minimum support: {}\n", w.flows.len(), w.min_support);
+    println!(
+        "input flows: {} | minimum support: {}\n",
+        w.flows.len(),
+        w.min_support
+    );
 
     let mut metadata = MetaData::new();
     for port in [u64::from(w.flood_port), 80, 9022, 25] {
@@ -40,20 +44,32 @@ fn main() {
 
     println!("{}", render_report(&extraction));
 
-    let port7000 =
-        extraction.itemsets.iter().filter(|s| s.to_string().contains("dstPort=7000")).count();
+    let port7000 = extraction
+        .itemsets
+        .iter()
+        .filter(|s| s.to_string().contains("dstPort=7000"))
+        .count();
     let proxies = w
         .proxies
         .iter()
         .filter(|p| {
-            extraction.itemsets.iter().any(|s| s.to_string().contains(&format!("srcIP={p}")))
+            extraction
+                .itemsets
+                .iter()
+                .any(|s| s.to_string().contains(&format!("srcIP={p}")))
         })
         .count();
-    let backscatter =
-        extraction.itemsets.iter().filter(|s| s.to_string().contains("dstPort=9022")).count();
+    let backscatter = extraction
+        .itemsets
+        .iter()
+        .filter(|s| s.to_string().contains("dstPort=9022"))
+        .count();
 
     println!("-- paper-vs-measured --");
-    println!("total maximal item-sets     paper: 15   measured: {}", extraction.itemsets.len());
+    println!(
+        "total maximal item-sets     paper: 15   measured: {}",
+        extraction.itemsets.len()
+    );
     println!("item-sets with dstPort=7000 paper:  3   measured: {port7000}");
     println!("proxies A/B/C surfaced      paper:  3   measured: {proxies}");
     println!("backscatter item-sets       paper:  1+  measured: {backscatter}");

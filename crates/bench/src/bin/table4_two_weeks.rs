@@ -18,9 +18,12 @@ fn main() {
     let scenario = Scenario::two_weeks(42, scale);
     // The paper's s = 10 000 against ~1 M-flow intervals is ~1% of the
     // interval volume; use the same relative support here.
-    let min_support =
-        ((scenario.config().background.flows_per_interval as f64) * 0.01) as u64;
-    let config = eval_config(FIFTEEN_MIN_MS, INTERVALS_PER_DAY as usize / 2, min_support.max(10));
+    let min_support = ((scenario.config().background.flows_per_interval as f64) * 0.01) as u64;
+    let config = eval_config(
+        FIFTEEN_MIN_MS,
+        INTERVALS_PER_DAY as usize / 2,
+        min_support.max(10),
+    );
 
     println!(
         "== Table IV reproduction: two weeks, {} intervals, ~{} flows/interval, s = {} ==",
@@ -54,13 +57,19 @@ fn main() {
 
     let (tp, fp, fns, tn) = run.detection_counts(INTERVALS_PER_DAY as usize);
     println!("\ninterval-level detection after the training day:");
-    println!("  anomalous intervals alarmed: {tp} / {} (paper: 31/31 analyzed)", tp + fns);
+    println!(
+        "  anomalous intervals alarmed: {tp} / {} (paper: 31/31 analyzed)",
+        tp + fns
+    );
     println!("  false alarms: {fp} over {} clean intervals", fp + tn);
 
     // The paper's §III-D headline: item-set mining extracted the anomaly
     // in all studied cases.
     let alarmed = run.alarmed_anomalous();
-    let extracted = alarmed.iter().filter(|r| r.evaluated.iter().any(|e| e.is_tp)).count();
+    let extracted = alarmed
+        .iter()
+        .filter(|r| r.evaluated.iter().any(|e| e.is_tp))
+        .count();
     println!(
         "  alarmed anomalous intervals with the event extracted: {extracted} / {}",
         alarmed.len()

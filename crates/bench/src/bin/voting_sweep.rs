@@ -35,10 +35,16 @@ fn main() {
         let run = run_scenario(&scenario, &config);
 
         let alarmed = run.alarmed_anomalous();
-        let meta_values: usize =
-            alarmed.iter().filter_map(|r| r.extraction.as_ref()).map(|e| e.metadata.len()).sum();
+        let meta_values: usize = alarmed
+            .iter()
+            .filter_map(|r| r.extraction.as_ref())
+            .map(|e| e.metadata.len())
+            .sum();
         let suspicious: usize = alarmed.iter().map(|r| r.suspicious.len()).sum();
-        let extracted = alarmed.iter().filter(|r| r.evaluated.iter().any(|e| e.is_tp)).count();
+        let extracted = alarmed
+            .iter()
+            .filter(|r| r.evaluated.iter().any(|e| e.is_tp))
+            .count();
         let tp: usize = alarmed.iter().map(|r| r.tp_itemsets()).sum();
         let fp: usize = alarmed.iter().map(|r| r.fp_itemsets()).sum();
 

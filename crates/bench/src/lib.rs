@@ -19,7 +19,8 @@ use anomex_detector::DetectorConfig;
 #[must_use]
 pub fn arg_scale(default: f64) -> f64 {
     std::env::args().nth(1).map_or(default, |s| {
-        s.parse().unwrap_or_else(|_| panic!("expected a numeric scale, got {s:?}"))
+        s.parse()
+            .unwrap_or_else(|_| panic!("expected a numeric scale, got {s:?}"))
     })
 }
 
@@ -27,10 +28,17 @@ pub fn arg_scale(default: f64) -> f64 {
 /// experiments: the paper's detector settings with a scenario-appropriate
 /// training period and minimum support.
 #[must_use]
-pub fn eval_config(interval_ms: u64, training_intervals: usize, min_support: u64) -> ExtractionConfig {
+pub fn eval_config(
+    interval_ms: u64,
+    training_intervals: usize,
+    min_support: u64,
+) -> ExtractionConfig {
     ExtractionConfig {
         interval_ms,
-        detector: DetectorConfig { training_intervals, ..DetectorConfig::default() },
+        detector: DetectorConfig {
+            training_intervals,
+            ..DetectorConfig::default()
+        },
         min_support,
         ..ExtractionConfig::default()
     }
@@ -53,7 +61,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
         return String::new();
     }
-    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let n = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(n)
 }
 

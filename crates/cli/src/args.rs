@@ -39,7 +39,11 @@ impl std::fmt::Display for ArgsError {
             ArgsError::UnexpectedPositional(p) => {
                 write!(f, "unexpected argument {p:?}; options start with --")
             }
-            ArgsError::BadValue { key, value, expected } => {
+            ArgsError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} {value:?}: expected {expected}")
             }
         }
@@ -69,10 +73,16 @@ impl Args {
                 flags.push(key.to_string());
                 continue;
             }
-            let value = iter.next().ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
             options.insert(key.to_string(), value);
         }
-        Ok(Args { command, options, flags })
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
     }
 
     /// A string option.
@@ -83,7 +93,8 @@ impl Args {
 
     /// A required string option with error text.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// A typed option with a default.

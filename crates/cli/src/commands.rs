@@ -6,7 +6,7 @@ use anomex_core::{
     extract_with_mode, render_report, AnomalyExtractor, ExtractionConfig, PrefilterMode,
     TransactionMode,
 };
-use anomex_detector::MetaData;
+use anomex_detector::{DetectorConfig, MetaData};
 use anomex_mining::{mine_top_k, MinerKind, TransactionSet};
 use anomex_netflow::v5::{decode_stream, V5Exporter};
 use anomex_netflow::{FeatureValue, FlowRecord, FlowTrace, MINUTE_MS};
@@ -75,7 +75,11 @@ pub fn generate(args: &Args) -> Result<(), String> {
     println!(
         "ground truth: {} events in intervals {:?}",
         scenario.events().len(),
-        scenario.anomalous_intervals().iter().take(16).collect::<Vec<_>>()
+        scenario
+            .anomalous_intervals()
+            .iter()
+            .take(16)
+            .collect::<Vec<_>>()
     );
     Ok(())
 }
@@ -113,19 +117,27 @@ fn parse_modes(args: &Args) -> (PrefilterMode, TransactionMode) {
 /// `anomex extract`.
 pub fn extract(args: &Args) -> Result<(), String> {
     let input = args.require("in")?;
-    let interval_min = args.get_or("interval-min", 15u64).map_err(|e| e.to_string())?;
-    let training = args.get_or("training", 48usize).map_err(|e| e.to_string())?;
+    let interval_min = args
+        .get_or("interval-min", 15u64)
+        .map_err(|e| e.to_string())?;
+    let training = args
+        .get_or("training", 48usize)
+        .map_err(|e| e.to_string())?;
     let support = args.get_or("support", 50u64).map_err(|e| e.to_string())?;
     let miner = parse_miner(args)?;
     let (prefilter, transactions) = parse_modes(args);
 
-    let mut config = ExtractionConfig::default();
-    config.interval_ms = interval_min * MINUTE_MS;
-    config.detector.training_intervals = training;
-    config.min_support = support;
-    config.miner = miner;
-    config.prefilter = prefilter;
-    config.transactions = transactions;
+    let config = ExtractionConfig {
+        interval_ms: interval_min * MINUTE_MS,
+        detector: DetectorConfig {
+            training_intervals: training,
+            ..DetectorConfig::default()
+        },
+        min_support: support,
+        miner,
+        prefilter,
+        transactions,
+    };
     config.validate()?;
 
     let mut trace = FlowTrace::from_flows(load_flows(input)?);
@@ -196,8 +208,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let extraction =
-        extract_with_mode(0, &flows, &metadata, prefilter, tx_mode, miner, support);
+    let extraction = extract_with_mode(0, &flows, &metadata, prefilter, tx_mode, miner, support);
     println!("{}", render_report(&extraction));
     Ok(())
 }
@@ -256,7 +267,9 @@ mod tests {
     #[test]
     fn mode_flags() {
         let a = Args::parse(
-            ["x", "--prefixes", "--intersection"].iter().map(ToString::to_string),
+            ["x", "--prefixes", "--intersection"]
+                .iter()
+                .map(ToString::to_string),
         )
         .unwrap();
         let (p, t) = parse_modes(&a);
@@ -274,9 +287,17 @@ mod tests {
         let path_s = path.to_str().unwrap().to_string();
 
         let args = Args::parse(
-            ["generate", "--out", &path_s, "--seed", "7", "--intervals", "25"]
-                .iter()
-                .map(ToString::to_string),
+            [
+                "generate",
+                "--out",
+                &path_s,
+                "--seed",
+                "7",
+                "--intervals",
+                "25",
+            ]
+            .iter()
+            .map(ToString::to_string),
         )
         .unwrap();
         generate(&args).unwrap();
@@ -296,7 +317,9 @@ mod tests {
             1000,
         );
         assert!(
-            ex.itemsets.iter().any(|s| s.to_string().contains("dstPort=7000")),
+            ex.itemsets
+                .iter()
+                .any(|s| s.to_string().contains("dstPort=7000")),
             "flood recovered from the file"
         );
         std::fs::remove_file(&path).ok();

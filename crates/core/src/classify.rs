@@ -33,7 +33,11 @@ const SMTP: u64 = 25;
 pub fn classify_itemset(itemset: &ItemSet) -> Option<AnomalyClass> {
     let has = |f: FlowFeature| itemset.items().iter().any(|i| i.feature() == f);
     let value_of = |f: FlowFeature| -> Option<u64> {
-        itemset.items().iter().find(|i| i.feature() == f).map(|i| i.value())
+        itemset
+            .items()
+            .iter()
+            .find(|i| i.feature() == f)
+            .map(|i| i.value())
     };
 
     let src_ip = has(FlowFeature::SrcIp);
@@ -72,7 +76,10 @@ mod tests {
     use anomex_mining::Item;
 
     fn set(items: &[(FlowFeature, u64)]) -> ItemSet {
-        ItemSet::new(items.iter().map(|&(f, v)| Item::new(f, v)).collect(), 10_000)
+        ItemSet::new(
+            items.iter().map(|&(f, v)| Item::new(f, v)).collect(),
+            10_000,
+        )
     }
 
     #[test]

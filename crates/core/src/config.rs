@@ -74,7 +74,10 @@ impl ExtractionConfig {
     /// between 1% and 10% of the total number of input flows" (§II-E).
     #[must_use]
     pub fn with_relative_support(mut self, interval_flows: u64, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be within [0, 1]"
+        );
         self.min_support = ((interval_flows as f64 * fraction) as u64).max(1);
         self
     }

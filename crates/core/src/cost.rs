@@ -23,7 +23,10 @@ pub fn average_cost_reduction(per_interval: &[(u64, usize)]) -> f64 {
     if per_interval.is_empty() {
         return 0.0;
     }
-    per_interval.iter().map(|&(f, i)| cost_reduction(f, i)).sum::<f64>()
+    per_interval
+        .iter()
+        .map(|&(f, i)| cost_reduction(f, i))
+        .sum::<f64>()
         / per_interval.len() as f64
 }
 
@@ -70,6 +73,9 @@ mod tests {
         for w in rs.windows(2) {
             assert!(w[1] >= w[0]);
         }
-        assert_eq!(rs[3], rs[5], "saturates once the item-set count bottoms out");
+        assert_eq!(
+            rs[3], rs[5],
+            "saturates once the item-set count bottoms out"
+        );
     }
 }

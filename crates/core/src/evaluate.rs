@@ -67,9 +67,12 @@ pub fn evaluate_itemsets(
                     }
                 }
             }
-            let fraction = if matching == 0 { 0.0 } else { labeled as f64 / matching as f64 };
-            let dominant =
-                per_event.iter().max_by_key(|&(_, n)| *n).map(|(&id, _)| id);
+            let fraction = if matching == 0 {
+                0.0
+            } else {
+                labeled as f64 / matching as f64
+            };
+            let dominant = per_event.iter().max_by_key(|&(_, n)| *n).map(|(&id, _)| id);
             EvaluatedItemSet {
                 itemset: set.clone(),
                 matching_flows: matching,
@@ -217,7 +220,11 @@ pub fn run_scenario(scenario: &Scenario, config: &ExtractionConfig) -> ScenarioR
         });
     }
 
-    ScenarioRun { records, clone_scores, truth }
+    ScenarioRun {
+        records,
+        clone_scores,
+        truth,
+    }
 }
 
 impl ScenarioRun {
@@ -241,7 +248,10 @@ impl ScenarioRun {
     /// intervals" whose item-sets get analyzed).
     #[must_use]
     pub fn alarmed_anomalous(&self) -> Vec<&IntervalRecord> {
-        self.records.iter().filter(|r| r.alarm && r.truth_anomalous).collect()
+        self.records
+            .iter()
+            .filter(|r| r.alarm && r.truth_anomalous)
+            .collect()
     }
 
     /// Fig. 9: re-mine every alarmed anomalous interval at each support
@@ -257,8 +267,7 @@ impl ScenarioRun {
                 for r in self.alarmed_anomalous() {
                     let transactions = TransactionSet::from_flows(&r.suspicious);
                     let itemsets = miner.mine_maximal(&transactions, s);
-                    let judged =
-                        evaluate_itemsets(&itemsets, &r.suspicious, &r.suspicious_labels);
+                    let judged = evaluate_itemsets(&itemsets, &r.suspicious, &r.suspicious_labels);
                     let fps = judged.iter().filter(|e| !e.is_tp).count();
                     if fps == 0 {
                         zero_fp += 1;
@@ -306,8 +315,11 @@ impl ScenarioRun {
     pub fn table4(&self, scenario: &Scenario) -> Vec<Table4Row> {
         let mut rows = Vec::new();
         for class in AnomalyClass::ALL {
-            let events: Vec<_> =
-                scenario.events().iter().filter(|e| e.class() == class).collect();
+            let events: Vec<_> = scenario
+                .events()
+                .iter()
+                .filter(|e| e.class() == class)
+                .collect();
             if events.is_empty() {
                 continue;
             }
@@ -326,7 +338,9 @@ impl ScenarioRun {
                     .any(|&i| self.records.get(i as usize).is_some_and(|r| r.alarm));
                 let was_extracted = intervals.iter().any(|&i| {
                     self.records.get(i as usize).is_some_and(|r| {
-                        r.evaluated.iter().any(|e| e.dominant_event == Some(event.id))
+                        r.evaluated
+                            .iter()
+                            .any(|e| e.dominant_event == Some(event.id))
                     })
                 });
                 if was_detected {
@@ -389,7 +403,10 @@ mod tests {
 
         let scan_set = ItemSet::new(
             vec![
-                Item::new(FlowFeature::SrcIp, u64::from(u32::from(Ipv4Addr::new(66, 6, 6, 6)))),
+                Item::new(
+                    FlowFeature::SrcIp,
+                    u64::from(u32::from(Ipv4Addr::new(66, 6, 6, 6))),
+                ),
                 Item::new(FlowFeature::DstPort, 445),
             ],
             100,
@@ -409,7 +426,10 @@ mod tests {
         let labels = vec![Some(EventId(0)); 10];
         let set = ItemSet::new(
             vec![
-                Item::new(FlowFeature::SrcIp, u64::from(u32::from(Ipv4Addr::new(66, 6, 6, 6)))),
+                Item::new(
+                    FlowFeature::SrcIp,
+                    u64::from(u32::from(Ipv4Addr::new(66, 6, 6, 6))),
+                ),
                 Item::new(FlowFeature::DstPort, 445),
             ],
             10,
@@ -423,7 +443,10 @@ mod tests {
         let scenario = Scenario::small(23);
         let config = ExtractionConfig {
             interval_ms: 60_000,
-            detector: DetectorConfig { training_intervals: 10, ..DetectorConfig::default() },
+            detector: DetectorConfig {
+                training_intervals: 10,
+                ..DetectorConfig::default()
+            },
             min_support: 700,
             ..ExtractionConfig::default()
         };
@@ -449,16 +472,26 @@ mod tests {
         // Sweep machinery runs and behaves monotonically-ish.
         let sweep = run.fp_sweep(&[300, 700, 1500], MinerKind::FpGrowth);
         assert_eq!(sweep.len(), 3);
-        assert!(sweep[0].avg_fp >= sweep[2].avg_fp, "FPs shrink with support");
+        assert!(
+            sweep[0].avg_fp >= sweep[2].avg_fp,
+            "FPs shrink with support"
+        );
         let costs = run.cost_sweep(&[300, 1500], MinerKind::FpGrowth);
-        assert!(costs[1].1 >= costs[0].1, "cost reduction grows with support");
+        assert!(
+            costs[1].1 >= costs[0].1,
+            "cost reduction grows with support"
+        );
 
         // Table IV summary covers the three planted classes.
         let table = run.table4(&scenario);
         assert_eq!(table.len(), 3);
         for row in &table {
             assert_eq!(row.detected, row.occurrences, "{} missed", row.class);
-            assert_eq!(row.extracted, row.occurrences, "{} not extracted", row.class);
+            assert_eq!(
+                row.extracted, row.occurrences,
+                "{} not extracted",
+                row.class
+            );
         }
 
         // Clone scores align with intervals.

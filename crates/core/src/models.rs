@@ -22,7 +22,10 @@
 /// Panics if `n > 64` (beyond the model's intended range).
 #[must_use]
 pub fn binomial_coefficient(n: u64, k: u64) -> f64 {
-    assert!(n <= 64, "voting models are defined for small n (≤ 64 clones)");
+    assert!(
+        n <= 64,
+        "voting models are defined for small n (≤ 64 clones)"
+    );
     if k > n {
         return 0.0;
     }
@@ -105,7 +108,10 @@ mod tests {
 
     #[test]
     fn tail_edge_cases() {
-        assert!((binomial_tail(5, 0, 0.3) - 1.0).abs() < 1e-12, "P[X >= 0] = 1");
+        assert!(
+            (binomial_tail(5, 0, 0.3) - 1.0).abs() < 1e-12,
+            "P[X >= 0] = 1"
+        );
         assert!((binomial_tail(5, 5, 1.0) - 1.0).abs() < 1e-12);
         assert_eq!(binomial_tail(5, 1, 0.0), 0.0);
     }
@@ -156,7 +162,9 @@ mod tests {
     #[test]
     fn gamma_decreases_with_quorum() {
         for b in [1u64, 5, 20] {
-            let gammas: Vec<f64> = (1..=5).map(|l| gamma_normal_survives(b, 1024, 5, l)).collect();
+            let gammas: Vec<f64> = (1..=5)
+                .map(|l| gamma_normal_survives(b, 1024, 5, l))
+                .collect();
             for w in gammas.windows(2) {
                 assert!(w[1] <= w[0] + 1e-15, "γ must fall with l: {gammas:?}");
             }
@@ -179,7 +187,10 @@ mod tests {
         let e = expected_normal_survivors(65_536, 3, 1024, 3, 3);
         let manual = 65_536.0 * (3.0 / 1024.0f64).powi(3);
         assert!((e - manual).abs() < 1e-9);
-        assert!(e < 2.0, "unanimous voting keeps almost no normal ports: {e}");
+        assert!(
+            e < 2.0,
+            "unanimous voting keeps almost no normal ports: {e}"
+        );
     }
 
     #[test]

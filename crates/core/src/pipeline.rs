@@ -75,7 +75,15 @@ pub fn extract_with_metadata(
     miner: MinerKind,
     min_support: u64,
 ) -> Extraction {
-    extract_with_mode(interval, flows, metadata, mode, TransactionMode::Canonical, miner, min_support)
+    extract_with_mode(
+        interval,
+        flows,
+        metadata,
+        mode,
+        TransactionMode::Canonical,
+        miner,
+        min_support,
+    )
 }
 
 /// Offline extraction with an explicit [`TransactionMode`] (canonical or
@@ -183,7 +191,10 @@ impl AnomalyExtractor {
         } else {
             None
         };
-        IntervalOutcome { observation, extraction }
+        IntervalOutcome {
+            observation,
+            extraction,
+        }
     }
 }
 
@@ -198,7 +209,10 @@ mod tests {
     fn test_config(min_support: u64) -> ExtractionConfig {
         ExtractionConfig {
             interval_ms: 60_000,
-            detector: DetectorConfig { training_intervals: 10, ..DetectorConfig::default() },
+            detector: DetectorConfig {
+                training_intervals: 10,
+                ..DetectorConfig::default()
+            },
             min_support,
             ..ExtractionConfig::default()
         }
@@ -234,7 +248,14 @@ mod tests {
         }
         let mut md = MetaData::new();
         md.insert(FlowFeature::DstPort, 7000);
-        let ex = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::Apriori, 400);
+        let ex = extract_with_metadata(
+            0,
+            &flows,
+            &md,
+            PrefilterMode::Union,
+            MinerKind::Apriori,
+            400,
+        );
         assert_eq!(ex.total_flows, 1000);
         assert_eq!(ex.suspicious_flows, 500);
         assert!(!ex.itemsets.is_empty());
@@ -253,9 +274,30 @@ mod tests {
         let mut md = MetaData::new();
         md.insert(FlowFeature::DstPort, 7000);
         md.insert(FlowFeature::DstPort, 80);
-        let a = extract_with_metadata(0, &w.flows, &md, PrefilterMode::Union, MinerKind::Apriori, w.min_support);
-        let f = extract_with_metadata(0, &w.flows, &md, PrefilterMode::Union, MinerKind::FpGrowth, w.min_support);
-        let e = extract_with_metadata(0, &w.flows, &md, PrefilterMode::Union, MinerKind::Eclat, w.min_support);
+        let a = extract_with_metadata(
+            0,
+            &w.flows,
+            &md,
+            PrefilterMode::Union,
+            MinerKind::Apriori,
+            w.min_support,
+        );
+        let f = extract_with_metadata(
+            0,
+            &w.flows,
+            &md,
+            PrefilterMode::Union,
+            MinerKind::FpGrowth,
+            w.min_support,
+        );
+        let e = extract_with_metadata(
+            0,
+            &w.flows,
+            &md,
+            PrefilterMode::Union,
+            MinerKind::Eclat,
+            w.min_support,
+        );
         assert_eq!(a.itemsets, f.itemsets);
         assert_eq!(f.itemsets, e.itemsets);
         assert_eq!(a.suspicious_flows, f.suspicious_flows);
@@ -305,7 +347,10 @@ mod tests {
         // A 3σ̂ one-sided threshold admits the occasional stray alarm on
         // clean traffic (that is the point of the ROC analysis); what must
         // not happen is routine alarming.
-        assert!(alarms_in_quiet <= 1, "got {alarms_in_quiet} alarms on quiet traffic");
+        assert!(
+            alarms_in_quiet <= 1,
+            "got {alarms_in_quiet} alarms on quiet traffic"
+        );
     }
 
     #[test]

@@ -37,8 +37,16 @@ impl PrefilterMode {
 
 /// Filter flows by meta-data, returning the suspicious subset.
 #[must_use]
-pub fn prefilter(flows: &[FlowRecord], metadata: &MetaData, mode: PrefilterMode) -> Vec<FlowRecord> {
-    flows.iter().filter(|f| mode.matches(metadata, f)).copied().collect()
+pub fn prefilter(
+    flows: &[FlowRecord],
+    metadata: &MetaData,
+    mode: PrefilterMode,
+) -> Vec<FlowRecord> {
+    flows
+        .iter()
+        .filter(|f| mode.matches(metadata, f))
+        .copied()
+        .collect()
 }
 
 /// Filter flows by meta-data, returning the *indices* of suspicious flows
@@ -88,8 +96,11 @@ mod tests {
     #[test]
     fn union_catches_flow_disjoint_stages() {
         let md = sasser_metadata();
-        let flows =
-            vec![flow(9996, 1), flow(445, 12), flow(80, 3) /* unrelated */];
+        let flows = vec![
+            flow(9996, 1),
+            flow(445, 12),
+            flow(80, 3), /* unrelated */
+        ];
         let union = prefilter(&flows, &md, PrefilterMode::Union);
         assert_eq!(union.len(), 2, "both stages kept");
         let inter = prefilter(&flows, &md, PrefilterMode::Intersection);
@@ -108,8 +119,9 @@ mod tests {
     #[test]
     fn union_is_superset_of_intersection() {
         let md = sasser_metadata();
-        let flows: Vec<FlowRecord> =
-            (0..100).map(|i| flow(9990 + (i % 10) as u16, (i % 15) as u32 + 1)).collect();
+        let flows: Vec<FlowRecord> = (0..100)
+            .map(|i| flow(9990 + (i % 10) as u16, (i % 15) as u32 + 1))
+            .collect();
         let union = prefilter_indices(&flows, &md, PrefilterMode::Union);
         let inter = prefilter_indices(&flows, &md, PrefilterMode::Intersection);
         for idx in &inter {

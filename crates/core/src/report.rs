@@ -26,17 +26,27 @@ pub fn render_report(extraction: &Extraction) -> String {
     let mut ranked: Vec<_> = extraction.itemsets.iter().collect();
     ranked.sort_by_key(|s| std::cmp::Reverse(s.support));
 
-    let _ = writeln!(out, "{:>3}  {:>9}  {:>18}  item-set", "#", "support", "class hint");
+    let _ = writeln!(
+        out,
+        "{:>3}  {:>9}  {:>18}  item-set",
+        "#", "support", "class hint"
+    );
     for (i, set) in ranked.iter().enumerate() {
-        let hint = classify_itemset(set)
-            .map_or_else(|| "-".to_string(), |c: AnomalyClass| c.to_string());
+        let hint =
+            classify_itemset(set).map_or_else(|| "-".to_string(), |c: AnomalyClass| c.to_string());
         let items = set
             .items()
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", ");
-        let _ = writeln!(out, "{:>3}  {:>9}  {:>18}  {{{items}}}", i + 1, set.support, hint);
+        let _ = writeln!(
+            out,
+            "{:>3}  {:>9}  {:>18}  {{{items}}}",
+            i + 1,
+            set.support,
+            hint
+        );
     }
 
     if !extraction.levels.is_empty() {

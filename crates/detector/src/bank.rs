@@ -62,7 +62,10 @@ impl DetectorConfig {
             return Err("need at least one clone".into());
         }
         if !(1..=self.clones).contains(&self.votes) {
-            return Err(format!("votes {} must be within 1..={}", self.votes, self.clones));
+            return Err(format!(
+                "votes {} must be within 1..={}",
+                self.votes, self.clones
+            ));
         }
         if self.training_intervals < 2 {
             return Err("need at least 2 training intervals".into());
@@ -132,13 +135,19 @@ impl DetectorBank {
                 )
             })
             .collect();
-        DetectorBank { detectors, interval: 0 }
+        DetectorBank {
+            detectors,
+            interval: 0,
+        }
     }
 
     /// Observe one interval's flows with every detector.
     pub fn observe(&mut self, flows: &[FlowRecord]) -> BankObservation {
-        let features: Vec<FeatureObservation> =
-            self.detectors.iter_mut().map(|d| d.observe(flows)).collect();
+        let features: Vec<FeatureObservation> = self
+            .detectors
+            .iter_mut()
+            .map(|d| d.observe(flows))
+            .collect();
         let mut metadata = MetaData::new();
         for obs in &features {
             if obs.alarm {
@@ -146,7 +155,12 @@ impl DetectorBank {
             }
         }
         let alarm = features.iter().any(|o| o.alarm);
-        let observation = BankObservation { interval: self.interval, features, alarm, metadata };
+        let observation = BankObservation {
+            interval: self.interval,
+            features,
+            alarm,
+            metadata,
+        };
         self.interval += 1;
         observation
     }
@@ -174,7 +188,10 @@ impl DetectorBank {
     /// hundreds of kB).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        self.detectors.iter().map(FeatureDetector::memory_bytes).sum()
+        self.detectors
+            .iter()
+            .map(FeatureDetector::memory_bytes)
+            .sum()
     }
 }
 
@@ -185,7 +202,10 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn config() -> DetectorConfig {
-        DetectorConfig { training_intervals: 10, ..DetectorConfig::default() }
+        DetectorConfig {
+            training_intervals: 10,
+            ..DetectorConfig::default()
+        }
     }
 
     fn background(interval: u64) -> Vec<FlowRecord> {
@@ -274,7 +294,10 @@ mod tests {
             .metadata
             .values_for(FlowFeature::DstIp)
             .is_some_and(|v| v.contains(&u64::from(u32::from(Ipv4Addr::new(10, 0, 0, 77)))));
-        assert!(has_victim_port || has_victim_ip, "victim must appear in meta-data");
+        assert!(
+            has_victim_port || has_victim_ip,
+            "victim must appear in meta-data"
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ pub fn identify_anomalous_bins(
     reference: &[u64],
     target_kl: f64,
 ) -> BinIdentification {
-    assert_eq!(current.len(), reference.len(), "histograms must have the same bin count");
+    assert_eq!(
+        current.len(),
+        reference.len(),
+        "histograms must have the same bin count"
+    );
     let mut work: Vec<u64> = current.to_vec();
     let mut bins = Vec::new();
     let mut kl_trajectory = vec![kl_distance(&work, reference)];
@@ -58,13 +62,21 @@ pub fn identify_anomalous_bins(
             // Fully aligned with the reference yet still above target:
             // the target is unreachable (e.g., negative). Report
             // non-convergence instead of looping.
-            return BinIdentification { bins, kl_trajectory, converged: false };
+            return BinIdentification {
+                bins,
+                kl_trajectory,
+                converged: false,
+            };
         };
         work[bin] = reference[bin];
         bins.push(bin as u32);
         kl_trajectory.push(kl_distance(&work, reference));
     }
-    BinIdentification { bins, kl_trajectory, converged: true }
+    BinIdentification {
+        bins,
+        kl_trajectory,
+        converged: true,
+    }
 }
 
 #[cfg(test)]

@@ -75,7 +75,10 @@ impl HistogramClone {
         training_intervals: usize,
     ) -> Self {
         assert!(bins > 0, "bin count must be positive");
-        assert!(training_intervals >= 2, "need at least 2 training intervals");
+        assert!(
+            training_intervals >= 2,
+            "need at least 2 training intervals"
+        );
         HistogramClone {
             feature,
             hasher,
@@ -121,7 +124,10 @@ impl HistogramClone {
     pub fn observe(&mut self, flows: &[FlowRecord]) -> CloneObservation {
         let current = FeatureHistogram::build(self.feature, self.hasher, self.bins, flows);
 
-        let kl = self.prev_histogram.as_ref().map(|prev| kl_distance(current.counts(), prev.counts()));
+        let kl = self
+            .prev_histogram
+            .as_ref()
+            .map(|prev| kl_distance(current.counts(), prev.counts()));
         let first_diff = match (kl, self.prev_kl) {
             (Some(now), Some(before)) => Some(now - before),
             _ => None,
@@ -150,14 +156,12 @@ impl HistogramClone {
                             .prev_histogram
                             .as_ref()
                             .expect("first_diff exists ⇒ previous histogram exists");
-                        let target_kl =
-                            self.prev_kl.expect("first_diff exists ⇒ previous KL exists")
-                                + threshold.value();
-                        let id = identify_anomalous_bins(
-                            current.counts(),
-                            prev.counts(),
-                            target_kl,
-                        );
+                        let target_kl = self
+                            .prev_kl
+                            .expect("first_diff exists ⇒ previous KL exists")
+                            + threshold.value();
+                        let id =
+                            identify_anomalous_bins(current.counts(), prev.counts(), target_kl);
                         values = current.values_in_bins(&id.bins);
                         bin_identification = Some(id);
                     }
@@ -168,14 +172,22 @@ impl HistogramClone {
         self.prev_kl = kl;
         self.prev_histogram = Some(current);
 
-        CloneObservation { kl, first_diff, alarm, values, bin_identification }
+        CloneObservation {
+            kl,
+            first_diff,
+            alarm,
+            values,
+            bin_identification,
+        }
     }
 
     /// Approximate retained heap footprint (the previous histogram), for
     /// the §III-E overhead report.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        self.prev_histogram.as_ref().map_or(0, FeatureHistogram::memory_bytes)
+        self.prev_histogram
+            .as_ref()
+            .map_or(0, FeatureHistogram::memory_bytes)
     }
 }
 
@@ -218,8 +230,7 @@ mod tests {
     }
 
     fn trained_clone() -> HistogramClone {
-        let mut clone =
-            HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 1024, 3.0, 10);
+        let mut clone = HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 1024, 3.0, 10);
         // 12 intervals of steady traffic: 10 first-diffs → training done.
         for i in 0..12 {
             let obs = clone.observe(&background(i));
@@ -231,8 +242,7 @@ mod tests {
 
     #[test]
     fn first_interval_has_no_kl() {
-        let mut clone =
-            HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 64, 3.0, 5);
+        let mut clone = HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 64, 3.0, 5);
         let obs = clone.observe(&background(0));
         assert!(obs.kl.is_none());
         assert!(obs.first_diff.is_none());
@@ -257,8 +267,14 @@ mod tests {
         let mut clone = trained_clone();
         let obs = clone.observe(&flooded(12));
         assert!(obs.alarm, "flood must alarm");
-        assert!(obs.values.contains(&7000), "port 7000 must be proposed: {:?}", obs.values);
-        let id = obs.bin_identification.expect("alarm carries the audit trail");
+        assert!(
+            obs.values.contains(&7000),
+            "port 7000 must be proposed: {:?}",
+            obs.values
+        );
+        let id = obs
+            .bin_identification
+            .expect("alarm carries the audit trail");
         assert!(id.converged);
         assert!(!id.bins.is_empty());
         // The flood is concentrated: the first removed bin is the port-7000
@@ -292,8 +308,7 @@ mod tests {
 
     #[test]
     fn empty_intervals_are_tolerated() {
-        let mut clone =
-            HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 64, 3.0, 3);
+        let mut clone = HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 64, 3.0, 3);
         for _ in 0..6 {
             let obs = clone.observe(&[]);
             assert!(!obs.alarm);
@@ -305,8 +320,7 @@ mod tests {
 
     #[test]
     fn memory_is_reported_after_first_interval() {
-        let mut clone =
-            HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 1024, 3.0, 5);
+        let mut clone = HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 1024, 3.0, 5);
         assert_eq!(clone.memory_bytes(), 0);
         clone.observe(&background(0));
         assert!(clone.memory_bytes() >= 1024 * 8);

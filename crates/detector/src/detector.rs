@@ -64,7 +64,11 @@ impl FeatureDetector {
             .into_iter()
             .map(|h| HistogramClone::new(feature, h, bins, alpha, training_intervals))
             .collect();
-        FeatureDetector { feature, clones, votes }
+        FeatureDetector {
+            feature,
+            clones,
+            votes,
+        }
     }
 
     /// The monitored feature.
@@ -88,7 +92,9 @@ impl FeatureDetector {
     /// Whether every clone has finished training.
     #[must_use]
     pub fn is_trained(&self) -> bool {
-        self.clones.iter().all(|c| c.phase() == ClonePhase::Detecting)
+        self.clones
+            .iter()
+            .all(|c| c.phase() == ClonePhase::Detecting)
     }
 
     /// Access the clones (for ROC evaluation of individual clones).
@@ -104,8 +110,7 @@ impl FeatureDetector {
         let alarmed_clones = observations.iter().filter(|o| o.alarm).count();
         let alarm = alarmed_clones >= self.votes;
         let voted_values = if alarm {
-            let sets: Vec<BTreeSet<u64>> =
-                observations.iter().map(|o| o.values.clone()).collect();
+            let sets: Vec<BTreeSet<u64>> = observations.iter().map(|o| o.values.clone()).collect();
             vote(&sets, self.votes)
         } else {
             BTreeSet::new()
@@ -180,7 +185,11 @@ mod tests {
         assert!(obs.voted_values.contains(&7000));
         // Unanimous voting keeps very few values besides the true one:
         // every kept value collided with the anomalous bin in ALL 3 clones.
-        assert!(obs.voted_values.len() < 50, "kept {}", obs.voted_values.len());
+        assert!(
+            obs.voted_values.len() < 50,
+            "kept {}",
+            obs.voted_values.len()
+        );
     }
 
     #[test]

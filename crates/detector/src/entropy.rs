@@ -80,7 +80,10 @@ impl EntropyDetector {
     /// Panics if `training_intervals < 2`.
     #[must_use]
     pub fn new(feature: FlowFeature, alpha: f64, training_intervals: usize) -> Self {
-        assert!(training_intervals >= 2, "need at least 2 training intervals");
+        assert!(
+            training_intervals >= 2,
+            "need at least 2 training intervals"
+        );
         EntropyDetector {
             feature,
             alpha,
@@ -144,7 +147,12 @@ impl EntropyDetector {
 
         self.prev_entropy = Some(entropy);
         self.prev_counts = Some(counts);
-        EntropyObservation { entropy, first_diff, alarm, values }
+        EntropyObservation {
+            entropy,
+            first_diff,
+            alarm,
+            values,
+        }
     }
 
     /// The values whose probability shifted most against the previous
@@ -154,12 +162,9 @@ impl EntropyDetector {
         let empty = HashMap::new();
         let prev = self.prev_counts.as_ref().unwrap_or(&empty);
         let prev_total: u64 = prev.values().sum();
-        let p_now = |v: u64| {
-            counts.get(&v).copied().unwrap_or(0) as f64 / total.max(1) as f64
-        };
-        let p_before = |v: u64| {
-            prev.get(&v).copied().unwrap_or(0) as f64 / prev_total.max(1) as f64
-        };
+        let p_now = |v: u64| counts.get(&v).copied().unwrap_or(0) as f64 / total.max(1) as f64;
+        let p_before =
+            |v: u64| prev.get(&v).copied().unwrap_or(0) as f64 / prev_total.max(1) as f64;
         let mut shifts: Vec<(u64, f64)> = counts
             .keys()
             .chain(prev.keys())
@@ -255,7 +260,11 @@ mod tests {
         let obs = d.observe(&flows);
         assert!(obs.first_diff.unwrap() < 0.0, "concentration drops entropy");
         assert!(obs.alarm, "two-sided threshold catches the drop");
-        assert!(obs.values.contains(&7000), "the flooded port is the top mover: {:?}", obs.values);
+        assert!(
+            obs.values.contains(&7000),
+            "the flooded port is the top mover: {:?}",
+            obs.values
+        );
     }
 
     #[test]
@@ -274,7 +283,11 @@ mod tests {
         flows.extend(flows_to_ports(&(2000..4000).collect::<Vec<u16>>()));
         let obs = d.observe(&flows);
         assert!(obs.alarm);
-        assert!(obs.values.len() <= 32, "meta-data capped: {}", obs.values.len());
+        assert!(
+            obs.values.len() <= 32,
+            "meta-data capped: {}",
+            obs.values.len()
+        );
     }
 
     #[test]

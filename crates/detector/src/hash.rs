@@ -33,7 +33,9 @@ impl BinHasher {
     /// the seed-offset input).
     #[must_use]
     pub fn mix(&self, value: u64) -> u64 {
-        let mut z = value.wrapping_add(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = value
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
@@ -59,7 +61,9 @@ impl BinHasher {
 #[must_use]
 pub fn derive_hashers(master_seed: u64, n: usize) -> Vec<BinHasher> {
     let master = BinHasher::new(master_seed);
-    (0..n as u64).map(|i| BinHasher::new(master.mix(i))).collect()
+    (0..n as u64)
+        .map(|i| BinHasher::new(master.mix(i)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -77,9 +81,14 @@ mod tests {
     fn different_seeds_bin_differently() {
         let a = BinHasher::new(1);
         let b = BinHasher::new(2);
-        let differing = (0..1000u64).filter(|&v| a.bin_of(v, 1024) != b.bin_of(v, 1024)).count();
+        let differing = (0..1000u64)
+            .filter(|&v| a.bin_of(v, 1024) != b.bin_of(v, 1024))
+            .count();
         // With 1024 bins, ~99.9% of values should land in different bins.
-        assert!(differing > 950, "only {differing}/1000 values binned differently");
+        assert!(
+            differing > 950,
+            "only {differing}/1000 values binned differently"
+        );
     }
 
     #[test]
@@ -113,7 +122,10 @@ mod tests {
         let expect = 1024.0;
         for (i, &c) in counts.iter().enumerate() {
             let dev = (f64::from(c) - expect).abs() / expect;
-            assert!(dev < 0.2, "bin {i} count {c} deviates {dev:.2} from uniform");
+            assert!(
+                dev < 0.2,
+                "bin {i} count {c} deviates {dev:.2} from uniform"
+            );
         }
     }
 

@@ -45,12 +45,7 @@ impl FeatureHistogram {
 
     /// Build a histogram over one interval's flows.
     #[must_use]
-    pub fn build(
-        feature: FlowFeature,
-        hasher: BinHasher,
-        bins: u32,
-        flows: &[FlowRecord],
-    ) -> Self {
+    pub fn build(feature: FlowFeature, hasher: BinHasher, bins: u32, flows: &[FlowRecord]) -> Self {
         let mut h = Self::new(feature, hasher, bins);
         for flow in flows {
             h.add(flow);
@@ -185,7 +180,10 @@ mod tests {
         let flows = vec![flow_to_port(80), flow_to_port(7000), flow_to_port(25)];
         let hasher = BinHasher::new(3);
         let h = FeatureHistogram::build(FlowFeature::DstPort, hasher, 1024, &flows);
-        let bins: Vec<u32> = [80u64, 7000, 25].iter().map(|&v| hasher.bin_of(v, 1024)).collect();
+        let bins: Vec<u32> = [80u64, 7000, 25]
+            .iter()
+            .map(|&v| hasher.bin_of(v, 1024))
+            .collect();
         let vals = h.values_in_bins(&bins);
         assert!(vals.contains(&80) && vals.contains(&7000) && vals.contains(&25));
     }

@@ -96,7 +96,10 @@ mod tests {
         let q = vec![250u64, 250, 250, 250];
         let d_pq = kl_distance(&p, &q);
         let d_qp = kl_distance(&q, &p);
-        assert!((d_pq - d_qp).abs() > 1e-3, "KL should be asymmetric: {d_pq} vs {d_qp}");
+        assert!(
+            (d_pq - d_qp).abs() > 1e-3,
+            "KL should be asymmetric: {d_pq} vs {d_qp}"
+        );
     }
 
     #[test]
@@ -119,7 +122,10 @@ mod tests {
         let q = vec![1000u64; 8];
         let d = kl_distance(&p, &q);
         assert!(d.is_finite());
-        assert!(d < 1e-9, "uniform-empty vs uniform-busy has equal distributions: {d}");
+        assert!(
+            d < 1e-9,
+            "uniform-empty vs uniform-busy has equal distributions: {d}"
+        );
     }
 
     #[test]

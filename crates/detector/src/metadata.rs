@@ -41,7 +41,10 @@ impl MetaData {
     /// Merge another meta-data set into this one (set union per feature).
     pub fn merge(&mut self, other: &MetaData) {
         for (&feature, vals) in &other.values {
-            self.values.entry(feature).or_default().extend(vals.iter().copied());
+            self.values
+                .entry(feature)
+                .or_default()
+                .extend(vals.iter().copied());
         }
     }
 
@@ -53,7 +56,10 @@ impl MetaData {
 
     /// Features that carry at least one value.
     pub fn features(&self) -> impl Iterator<Item = FlowFeature> + '_ {
-        self.values.iter().filter(|(_, v)| !v.is_empty()).map(|(&f, _)| f)
+        self.values
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&f, _)| f)
     }
 
     /// The suspicious values for one feature.
@@ -79,9 +85,9 @@ impl MetaData {
     /// suspicious value in *any* feature?
     #[must_use]
     pub fn matches_any(&self, flow: &FlowRecord) -> bool {
-        self.values.iter().any(|(&feature, vals)| {
-            !vals.is_empty() && vals.contains(&feature.value_of(flow).raw)
-        })
+        self.values
+            .iter()
+            .any(|(&feature, vals)| !vals.is_empty() && vals.contains(&feature.value_of(flow).raw))
     }
 
     /// **Intersection semantics** (the DoWitcher baseline): does the flow

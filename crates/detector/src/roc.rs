@@ -49,7 +49,11 @@ impl RocCurve {
         let positives = truth.iter().filter(|&&t| t).count().max(1) as f64;
         let negatives = truth.iter().filter(|&&t| !t).count().max(1) as f64;
 
-        let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            fpr: 0.0,
+            tpr: 0.0,
+        }];
         for &thr in &thresholds {
             let mut tp = 0usize;
             let mut fp = 0usize;
@@ -62,7 +66,11 @@ impl RocCurve {
                     }
                 }
             }
-            points.push(RocPoint { threshold: thr, fpr: fp as f64 / negatives, tpr: tp as f64 / positives });
+            points.push(RocPoint {
+                threshold: thr,
+                fpr: fp as f64 / negatives,
+                tpr: tp as f64 / positives,
+            });
         }
         // Ensure the terminal (1,1)-ish point exists: threshold below min.
         let min_score = scores.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -63,7 +63,10 @@ impl FirstDiffThreshold {
     /// Panics on an empty training sample.
     #[must_use]
     pub fn fit(alpha: f64, training_diffs: &[f64]) -> Self {
-        FirstDiffThreshold { alpha, sigma: robust_sigma(training_diffs) }
+        FirstDiffThreshold {
+            alpha,
+            sigma: robust_sigma(training_diffs),
+        }
     }
 
     /// The fitted robust σ̂.

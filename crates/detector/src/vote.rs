@@ -32,7 +32,11 @@ pub fn vote(clone_sets: &[BTreeSet<u64>], votes: usize) -> BTreeSet<u64> {
             *tally.entry(value).or_insert(0) += 1;
         }
     }
-    tally.into_iter().filter(|&(_, n)| n >= votes).map(|(v, _)| v).collect()
+    tally
+        .into_iter()
+        .filter(|&(_, n)| n >= votes)
+        .map(|(v, _)| v)
+        .collect()
 }
 
 #[cfg(test)]
@@ -63,7 +67,12 @@ mod tests {
 
     #[test]
     fn raising_quorum_never_adds_values() {
-        let sets = vec![set(&[1, 2, 5]), set(&[2, 5, 7]), set(&[5, 7, 9]), set(&[5, 1])];
+        let sets = vec![
+            set(&[1, 2, 5]),
+            set(&[2, 5, 7]),
+            set(&[5, 7, 9]),
+            set(&[5, 1]),
+        ];
         let mut prev = vote(&sets, 1);
         for l in 2..=4 {
             let cur = vote(&sets, l);

@@ -49,13 +49,19 @@ impl AprioriConfig {
     /// Config with the paper's modification enabled.
     #[must_use]
     pub fn maximal(min_support: u64) -> Self {
-        AprioriConfig { min_support, maximal_only: true }
+        AprioriConfig {
+            min_support,
+            maximal_only: true,
+        }
     }
 
     /// Config producing all frequent item-sets (classic Apriori).
     #[must_use]
     pub fn all_frequent(min_support: u64) -> Self {
-        AprioriConfig { min_support, maximal_only: false }
+        AprioriConfig {
+            min_support,
+            maximal_only: false,
+        }
     }
 }
 
@@ -92,7 +98,10 @@ pub struct AprioriOutput {
 /// every subset of every transaction "frequent", which is never meaningful.
 #[must_use]
 pub fn apriori(set: &TransactionSet, config: &AprioriConfig) -> AprioriOutput {
-    assert!(config.min_support >= 1, "minimum support must be at least 1");
+    assert!(
+        config.min_support >= 1,
+        "minimum support must be at least 1"
+    );
     let min_support = config.min_support;
 
     let mut all_frequent: Vec<ItemSet> = Vec::new();
@@ -127,7 +136,12 @@ pub fn apriori(set: &TransactionSet, config: &AprioriConfig) -> AprioriOutput {
         if candidates.is_empty() {
             // Record the empty round (the paper's audit trail includes the
             // terminating round), then stop without another dataset pass.
-            levels.push(LevelStats { level: k, candidates: 0, frequent: 0, maximal: 0 });
+            levels.push(LevelStats {
+                level: k,
+                candidates: 0,
+                frequent: 0,
+                maximal: 0,
+            });
             all_frequent.extend(current.drain(..).map(|(items, c)| ItemSet::new(items, c)));
             break;
         }
@@ -187,7 +201,11 @@ pub fn apriori(set: &TransactionSet, config: &AprioriConfig) -> AprioriOutput {
         }
     }
 
-    AprioriOutput { itemsets, levels, passes }
+    AprioriOutput {
+        itemsets,
+        levels,
+        passes,
+    }
 }
 
 /// Candidate generation: join L(k-1) with itself on the (k-2)-prefix, then
@@ -302,7 +320,11 @@ mod tests {
         let set = small_set();
         let out = apriori(&set, &AprioriConfig::all_frequent(1));
         for s in &out.itemsets {
-            assert_eq!(s.support, set.support_of(s.items()), "support mismatch for {s}");
+            assert_eq!(
+                s.support,
+                set.support_of(s.items()),
+                "support mismatch for {s}"
+            );
         }
     }
 

@@ -108,11 +108,17 @@ mod tests {
     fn closed_keeps_distinct_support_levels() {
         let closed = mine_closed(&sample(), MinerKind::Apriori, 2);
         let rendered: Vec<String> = closed.iter().map(ToString::to_string).collect();
-        assert!(rendered.contains(&"{dstPort=80} x6".to_string()), "{rendered:?}");
+        assert!(
+            rendered.contains(&"{dstPort=80} x6".to_string()),
+            "{rendered:?}"
+        );
         assert!(rendered.contains(&"{dstPort=80, protocol=6} x4".to_string()));
         assert!(rendered.contains(&"{dstPort=80, protocol=17} x2".to_string()));
         // proto=6 alone is absorbed by its equal-support superset.
-        assert!(!rendered.iter().any(|r| r == "{protocol=6} x4"), "{rendered:?}");
+        assert!(
+            !rendered.iter().any(|r| r == "{protocol=6} x4"),
+            "{rendered:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ use crate::transaction::MAX_WIDTH;
 ///
 /// Panics if `items.len() > MAX_WIDTH`.
 pub fn for_each_combination(items: &[Item], k: usize, mut f: impl FnMut(&[Item])) {
-    assert!(items.len() <= MAX_WIDTH, "combination source wider than a transaction");
+    assert!(
+        items.len() <= MAX_WIDTH,
+        "combination source wider than a transaction"
+    );
     if k == 0 || k > items.len() {
         return;
     }
@@ -70,7 +73,9 @@ mod tests {
     use anomex_netflow::FlowFeature;
 
     fn items(n: usize) -> Vec<Item> {
-        (0..n as u64).map(|v| Item::new(FlowFeature::Bytes, v)).collect()
+        (0..n as u64)
+            .map(|v| Item::new(FlowFeature::Bytes, v))
+            .collect()
     }
 
     #[test]

@@ -62,7 +62,12 @@ impl FpTree {
                 at = child;
             } else {
                 let idx = self.arena.len();
-                self.arena.push(Node { item, count, parent: at, children: HashMap::new() });
+                self.arena.push(Node {
+                    item,
+                    count,
+                    parent: at,
+                    children: HashMap::new(),
+                });
                 self.arena[at].children.insert(item, idx);
                 self.header.entry(item).or_default().push(idx);
                 at = idx;
@@ -87,7 +92,11 @@ impl FpTree {
 /// Rank items of one transaction by global frequency (descending), keeping
 /// only frequent ones. Deterministic: ties break on the item encoding.
 fn ranked_items(items: &[Item], rank: &HashMap<Item, usize>) -> Vec<Item> {
-    let mut v: Vec<Item> = items.iter().copied().filter(|i| rank.contains_key(i)).collect();
+    let mut v: Vec<Item> = items
+        .iter()
+        .copied()
+        .filter(|i| rank.contains_key(i))
+        .collect();
     v.sort_unstable_by_key(|i| rank[i]);
     v
 }
@@ -112,12 +121,17 @@ pub fn fpgrowth(set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
             *counts.entry(item).or_insert(0) += 1;
         }
     }
-    let mut frequent: Vec<(Item, u64)> =
-        counts.into_iter().filter(|&(_, c)| c >= min_support).collect();
+    let mut frequent: Vec<(Item, u64)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .collect();
     // Rank: descending frequency, ties by encoding for determinism.
     frequent.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    let rank: HashMap<Item, usize> =
-        frequent.iter().enumerate().map(|(r, &(i, _))| (i, r)).collect();
+    let rank: HashMap<Item, usize> = frequent
+        .iter()
+        .enumerate()
+        .map(|(r, &(i, _))| (i, r))
+        .collect();
 
     // Pass 2: build the tree.
     let mut tree = FpTree::new();

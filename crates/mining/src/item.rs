@@ -99,7 +99,10 @@ mod tests {
     fn orders_feature_major() {
         let a = Item::new(FlowFeature::SrcIp, u64::from(u32::MAX));
         let b = Item::new(FlowFeature::DstIp, 0);
-        assert!(a < b, "srcIP items sort before dstIP items regardless of value");
+        assert!(
+            a < b,
+            "srcIP items sort before dstIP items regardless of value"
+        );
         let c = Item::new(FlowFeature::DstIp, 1);
         assert!(b < c);
     }

@@ -83,7 +83,10 @@ impl PartialOrd for ItemSet {
 impl Ord for ItemSet {
     /// Canonical order: by length, then lexicographically by items.
     fn cmp(&self, other: &Self) -> Ordering {
-        self.items.len().cmp(&other.items.len()).then_with(|| self.items.cmp(&other.items))
+        self.items
+            .len()
+            .cmp(&other.items.len())
+            .then_with(|| self.items.cmp(&other.items))
     }
 }
 
@@ -165,7 +168,10 @@ mod tests {
     #[test]
     fn display_renders_paper_style() {
         let s = ItemSet::new(
-            vec![item(FlowFeature::DstPort, 7000), item(FlowFeature::Proto, 6)],
+            vec![
+                item(FlowFeature::DstPort, 7000),
+                item(FlowFeature::Proto, 6),
+            ],
             53_467,
         );
         assert_eq!(s.to_string(), "{dstPort=7000, protocol=6} x53467");

@@ -66,9 +66,10 @@ pub fn filter_maximal(sets: Vec<ItemSet>) -> Vec<ItemSet> {
 pub fn filter_maximal_general(sets: &[ItemSet]) -> Vec<ItemSet> {
     let mut out: Vec<ItemSet> = Vec::new();
     for (i, s) in sets.iter().enumerate() {
-        let dominated = sets.iter().enumerate().any(|(j, t)| {
-            j != i && s.len() < t.len() && s.is_subset_of(t)
-        });
+        let dominated = sets
+            .iter()
+            .enumerate()
+            .any(|(j, t)| j != i && s.len() < t.len() && s.is_subset_of(t));
         if !dominated && !out.contains(s) {
             out.push(s.clone());
         }
@@ -83,7 +84,10 @@ mod tests {
     use anomex_netflow::FlowFeature;
 
     fn set(items: &[(FlowFeature, u64)], support: u64) -> ItemSet {
-        ItemSet::new(items.iter().map(|&(f, v)| Item::new(f, v)).collect(), support)
+        ItemSet::new(
+            items.iter().map(|&(f, v)| Item::new(f, v)).collect(),
+            support,
+        )
     }
 
     #[test]

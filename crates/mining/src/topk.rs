@@ -34,12 +34,7 @@ pub struct TopK {
 ///
 /// Panics if `k` is zero or `start_support` is zero.
 #[must_use]
-pub fn mine_top_k(
-    set: &TransactionSet,
-    miner: MinerKind,
-    k: usize,
-    start_support: u64,
-) -> TopK {
+pub fn mine_top_k(set: &TransactionSet, miner: MinerKind, k: usize, start_support: u64) -> TopK {
     assert!(k >= 1, "k must be at least 1");
     assert!(start_support >= 1, "starting support must be at least 1");
     let mut support = start_support;
@@ -50,7 +45,11 @@ pub fn mine_top_k(
         if itemsets.len() >= k || support == 1 {
             itemsets.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.cmp(b)));
             itemsets.truncate(k);
-            return TopK { itemsets, effective_support: support, rounds };
+            return TopK {
+                itemsets,
+                effective_support: support,
+                rounds,
+            };
         }
         support = (support / 2).max(1);
     }

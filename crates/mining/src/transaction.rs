@@ -34,7 +34,10 @@ impl fmt::Display for TransactionError {
                 write!(f, "transaction has two items of feature {feat}")
             }
             TransactionError::TooWide(n) => {
-                write!(f, "transaction has {n} items; the maximum width is {MAX_WIDTH}")
+                write!(
+                    f,
+                    "transaction has {n} items; the maximum width is {MAX_WIDTH}"
+                )
             }
         }
     }
@@ -61,7 +64,10 @@ impl Transaction {
         }
         // FlowFeature::ALL is in index order and Item orders feature-major,
         // so the array is already sorted.
-        Transaction { items, len: CANONICAL_WIDTH as u8 }
+        Transaction {
+            items,
+            len: CANONICAL_WIDTH as u8,
+        }
     }
 
     /// Build the width-9 *extended* transaction including the source and
@@ -74,7 +80,10 @@ impl Transaction {
             let v = feat.value_of(flow);
             *slot = Item::new(feat, v.raw);
         }
-        Transaction { items, len: MAX_WIDTH as u8 }
+        Transaction {
+            items,
+            len: MAX_WIDTH as u8,
+        }
     }
 
     /// Build a transaction from explicit items (sorted internally).
@@ -96,7 +105,10 @@ impl Transaction {
                 return Err(TransactionError::DuplicateFeature(pair[0].feature()));
             }
         }
-        Ok(Transaction { items, len: src.len() as u8 })
+        Ok(Transaction {
+            items,
+            len: src.len() as u8,
+        })
     }
 
     /// The items, sorted ascending.
@@ -154,7 +166,9 @@ impl TransactionSet {
     /// Map a slice of flows to their canonical transactions.
     #[must_use]
     pub fn from_flows(flows: &[FlowRecord]) -> Self {
-        TransactionSet { transactions: flows.iter().map(Transaction::from_flow).collect() }
+        TransactionSet {
+            transactions: flows.iter().map(Transaction::from_flow).collect(),
+        }
     }
 
     /// Map a slice of flows to width-9 extended transactions (with /16
@@ -199,7 +213,10 @@ impl TransactionSet {
     /// reference support definition all miners must agree with.
     #[must_use]
     pub fn support_of(&self, itemset: &[Item]) -> u64 {
-        self.transactions.iter().filter(|t| t.contains_all(itemset)).count() as u64
+        self.transactions
+            .iter()
+            .filter(|t| t.contains_all(itemset))
+            .count() as u64
     }
 }
 
@@ -266,16 +283,25 @@ mod tests {
     #[test]
     fn contains_all_merge_logic() {
         let t = Transaction::from_flow(&flow());
-        let sub = vec![Item::new(FlowFeature::DstPort, 80), Item::new(FlowFeature::Bytes, 200)];
+        let sub = vec![
+            Item::new(FlowFeature::DstPort, 80),
+            Item::new(FlowFeature::Bytes, 200),
+        ];
         assert!(t.contains_all(&sub));
-        let not_sub = vec![Item::new(FlowFeature::DstPort, 80), Item::new(FlowFeature::Bytes, 999)];
+        let not_sub = vec![
+            Item::new(FlowFeature::DstPort, 80),
+            Item::new(FlowFeature::Bytes, 999),
+        ];
         assert!(!t.contains_all(&not_sub));
         assert!(t.contains_all(&[]), "empty itemset is contained everywhere");
     }
 
     #[test]
     fn from_items_rejects_duplicate_feature() {
-        let items = vec![Item::new(FlowFeature::DstPort, 80), Item::new(FlowFeature::DstPort, 443)];
+        let items = vec![
+            Item::new(FlowFeature::DstPort, 80),
+            Item::new(FlowFeature::DstPort, 443),
+        ];
         assert_eq!(
             Transaction::from_items(&items).unwrap_err(),
             TransactionError::DuplicateFeature(FlowFeature::DstPort)
@@ -285,13 +311,18 @@ mod tests {
     #[test]
     fn from_items_rejects_too_wide() {
         let items: Vec<_> = (0..10).map(|i| Item::new(FlowFeature::Bytes, i)).collect();
-        assert_eq!(Transaction::from_items(&items).unwrap_err(), TransactionError::TooWide(10));
+        assert_eq!(
+            Transaction::from_items(&items).unwrap_err(),
+            TransactionError::TooWide(10)
+        );
     }
 
     #[test]
     fn from_items_sorts() {
-        let items =
-            vec![Item::new(FlowFeature::Bytes, 1), Item::new(FlowFeature::SrcIp, 9)];
+        let items = vec![
+            Item::new(FlowFeature::Bytes, 1),
+            Item::new(FlowFeature::SrcIp, 9),
+        ];
         let t = Transaction::from_items(&items).unwrap();
         assert_eq!(t.items()[0].feature(), FlowFeature::SrcIp);
         assert_eq!(t.width(), 2);
@@ -310,7 +341,10 @@ mod tests {
         }
         assert_eq!(set.support_of(&[Item::new(FlowFeature::DstPort, 80)]), 2);
         assert_eq!(set.support_of(&[Item::new(FlowFeature::Proto, 6)]), 3);
-        let both = vec![Item::new(FlowFeature::DstPort, 80), Item::new(FlowFeature::Proto, 6)];
+        let both = vec![
+            Item::new(FlowFeature::DstPort, 80),
+            Item::new(FlowFeature::Proto, 6),
+        ];
         // note: both must be in sorted order — DstPort(idx 3) < Proto(idx 4)
         assert_eq!(set.support_of(&both), 2);
     }

@@ -11,8 +11,10 @@ use proptest::prelude::*;
 /// small alphabet so that itemsets actually repeat.
 fn arb_transaction() -> impl Strategy<Value = Transaction> {
     proptest::collection::btree_map(0usize..7, 0u64..4, 1..=7).prop_map(|m| {
-        let items: Vec<Item> =
-            m.into_iter().map(|(f, v)| Item::new(FlowFeature::from_index(f), v)).collect();
+        let items: Vec<Item> = m
+            .into_iter()
+            .map(|(f, v)| Item::new(FlowFeature::from_index(f), v))
+            .collect();
         Transaction::from_items(&items).expect("btree_map keys are distinct features")
     })
 }

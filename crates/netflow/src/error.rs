@@ -58,7 +58,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::TooManyRecords(n) => {
-                write!(f, "cannot encode {n} records into one NetFlow v5 datagram (max 30)")
+                write!(
+                    f,
+                    "cannot encode {n} records into one NetFlow v5 datagram (max 30)"
+                )
             }
         }
     }
@@ -76,7 +79,11 @@ mod tests {
         assert!(e.to_string().contains("have 3"));
         let e = DecodeError::BadVersion(9);
         assert!(e.to_string().contains('9'));
-        let e = DecodeError::TruncatedRecords { declared: 2, have: 10, need: 96 };
+        let e = DecodeError::TruncatedRecords {
+            declared: 2,
+            have: 10,
+            need: 96,
+        };
         assert!(e.to_string().contains("2 records"));
         let e = DecodeError::TooManyRecords(31);
         assert!(e.to_string().contains("31"));

@@ -234,8 +234,9 @@ impl std::str::FromStr for FeatureValue {
     /// Parse the rendered form back: `dstPort=7000`, `srcIP=10.0.0.1`,
     /// `dstNet16=10.16.0.0/16`, `#packets=3` (the `#` is optional).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (label, value) =
-            s.split_once('=').ok_or(ParseFeatureValueError::MissingSeparator)?;
+        let (label, value) = s
+            .split_once('=')
+            .ok_or(ParseFeatureValueError::MissingSeparator)?;
         let label = label.trim();
         let feature = FlowFeature::EXTENDED
             .into_iter()
@@ -289,7 +290,10 @@ mod tests {
     fn prefix_features_extract_and_render() {
         let f = flow();
         let v = FlowFeature::SrcNet16.value_of(&f);
-        assert_eq!(v.raw, u64::from(u32::from("192.168.1.10".parse::<Ipv4Addr>().unwrap()) >> 16));
+        assert_eq!(
+            v.raw,
+            u64::from(u32::from("192.168.1.10".parse::<Ipv4Addr>().unwrap()) >> 16)
+        );
         assert_eq!(v.render(), "192.168.0.0/16");
         let v = FlowFeature::DstNet16.value_of(&f);
         assert_eq!(v.to_string(), "dstNet16=10.20.0.0/16");

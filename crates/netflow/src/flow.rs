@@ -209,7 +209,13 @@ impl fmt::Display for FlowRecord {
         write!(
             f,
             "{} {}:{} -> {}:{} pkts={} bytes={}",
-            self.proto, self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.packets, self.bytes
+            self.proto,
+            self.src_ip,
+            self.src_port,
+            self.dst_ip,
+            self.dst_port,
+            self.packets,
+            self.bytes
         )
     }
 }
@@ -254,10 +260,17 @@ mod tests {
 
     #[test]
     fn flow_builder_sets_fields() {
-        let f = FlowRecord::new(1000, ip("10.0.0.1"), ip("10.0.0.2"), 1234, 80, Protocol::Tcp)
-            .with_volume(10, 4000)
-            .with_end(1500)
-            .with_flags(TcpFlags::syn_only());
+        let f = FlowRecord::new(
+            1000,
+            ip("10.0.0.1"),
+            ip("10.0.0.2"),
+            1234,
+            80,
+            Protocol::Tcp,
+        )
+        .with_volume(10, 4000)
+        .with_end(1500)
+        .with_flags(TcpFlags::syn_only());
         assert_eq!(f.duration_ms(), 500);
         assert_eq!(f.packets, 10);
         assert_eq!(f.bytes, 4000);

@@ -57,7 +57,9 @@ impl IntervalAssembler {
 
     /// Index of the window a start time falls into.
     fn window_of(&self, start_ms: u64) -> Option<u64> {
-        start_ms.checked_sub(self.origin_ms).map(|off| off / self.interval_ms)
+        start_ms
+            .checked_sub(self.origin_ms)
+            .map(|off| off / self.interval_ms)
     }
 
     /// Feed one flow; returns every interval this flow's arrival closes
@@ -114,7 +116,12 @@ impl IntervalAssembler {
 
     fn make_closed(&self, index: u64, flows: Vec<FlowRecord>) -> ClosedInterval {
         let begin = self.origin_ms + index * self.interval_ms;
-        ClosedInterval { index, begin_ms: begin, end_ms: begin + self.interval_ms, flows }
+        ClosedInterval {
+            index,
+            begin_ms: begin,
+            end_ms: begin + self.interval_ms,
+            flows,
+        }
     }
 }
 
@@ -200,8 +207,11 @@ mod tests {
         let flows: Vec<_> = starts.iter().map(|&s| flow_at(s)).collect();
 
         let mut trace = FlowTrace::from_flows(flows.clone());
-        let batch: Vec<(u64, usize)> =
-            trace.intervals(0, 1000).iter().map(|iv| (iv.index, iv.len())).collect();
+        let batch: Vec<(u64, usize)> = trace
+            .intervals(0, 1000)
+            .iter()
+            .map(|iv| (iv.index, iv.len()))
+            .collect();
 
         let mut asm = IntervalAssembler::new(0, 1000);
         let mut streamed: Vec<(u64, usize)> = Vec::new();

@@ -24,14 +24,20 @@ impl FlowTrace {
     /// New, empty trace.
     #[must_use]
     pub fn new() -> Self {
-        FlowTrace { flows: Vec::new(), sorted: true }
+        FlowTrace {
+            flows: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Build from flows, sorting them by start time.
     #[must_use]
     pub fn from_flows(mut flows: Vec<FlowRecord>) -> Self {
         flows.sort_by_key(|f| f.start_ms);
-        FlowTrace { flows, sorted: true }
+        FlowTrace {
+            flows,
+            sorted: true,
+        }
     }
 
     /// Append one flow. Order is re-established lazily on first use.
@@ -116,7 +122,12 @@ impl FlowTrace {
                 break;
             }
             let hi = self.flows[lo..].partition_point(|f| f.start_ms < end) + lo;
-            out.push(Interval { index, begin_ms: begin, end_ms: end, flows: &self.flows[lo..hi] });
+            out.push(Interval {
+                index,
+                begin_ms: begin,
+                end_ms: end,
+                flows: &self.flows[lo..hi],
+            });
             lo = hi;
             index += 1;
         }

@@ -84,7 +84,7 @@ pub fn encode_datagram(
     buf.put_u8(0); // engine_type
     buf.put_u8(0); // engine_id
     buf.put_u16(0); // sampling: non-sampled
-    // -- records --
+                    // -- records --
     for flow in flows {
         buf.put_u32(u32::from(flow.src_ip));
         buf.put_u32(u32::from(flow.dst_ip));
@@ -118,7 +118,10 @@ pub fn encode_datagram(
 /// record count above 30, or fewer record bytes than the header declares.
 pub fn decode_datagram(mut data: &[u8]) -> Result<V5Datagram, DecodeError> {
     if data.len() < V5_HEADER_LEN {
-        return Err(DecodeError::TruncatedHeader { have: data.len(), need: V5_HEADER_LEN });
+        return Err(DecodeError::TruncatedHeader {
+            have: data.len(),
+            need: V5_HEADER_LEN,
+        });
     }
     let version = data.get_u16();
     if version != 5 {
@@ -260,8 +263,12 @@ impl V5Collector {
             // A gap means datagrams were dropped between exporter and us.
             self.lost_flows += u64::from(dgram.header.flow_sequence.wrapping_sub(expected));
         }
-        self.expected_sequence =
-            Some(dgram.header.flow_sequence.wrapping_add(u32::from(dgram.header.count)));
+        self.expected_sequence = Some(
+            dgram
+                .header
+                .flow_sequence
+                .wrapping_add(u32::from(dgram.header.count)),
+        );
         self.flows.extend(dgram.flows);
         Ok(())
     }
@@ -336,7 +343,10 @@ mod tests {
         let flows = vec![sample_flow(0)];
         let mut bytes = encode_datagram(&flows, 0, 0).unwrap().to_vec();
         bytes[1] = 9; // version low byte
-        assert_eq!(decode_datagram(&bytes).unwrap_err(), DecodeError::BadVersion(9));
+        assert_eq!(
+            decode_datagram(&bytes).unwrap_err(),
+            DecodeError::BadVersion(9)
+        );
     }
 
     #[test]
@@ -356,7 +366,10 @@ mod tests {
         let mut bytes = encode_datagram(&flows, 0, 0).unwrap().to_vec();
         bytes[2] = 0;
         bytes[3] = 31; // count
-        assert_eq!(decode_datagram(&bytes).unwrap_err(), DecodeError::TooManyRecords(31));
+        assert_eq!(
+            decode_datagram(&bytes).unwrap_err(),
+            DecodeError::TooManyRecords(31)
+        );
     }
 
     #[test]
@@ -421,8 +434,7 @@ mod tests {
         }
         let dgrams = decode_stream(&file).unwrap();
         assert_eq!(dgrams.len(), 3);
-        let decoded: Vec<FlowRecord> =
-            dgrams.into_iter().flat_map(|d| d.flows).collect();
+        let decoded: Vec<FlowRecord> = dgrams.into_iter().flat_map(|d| d.flows).collect();
         assert_eq!(decoded, flows);
     }
 

@@ -197,18 +197,30 @@ impl EventSpec {
     pub fn signature_values(&self) -> Vec<FeatureValue> {
         let ip = |addr: Ipv4Addr| u64::from(u32::from(addr));
         match &self.params {
-            EventParams::Flooding { sources, victim, port } => {
+            EventParams::Flooding {
+                sources,
+                victim,
+                port,
+            } => {
                 let mut v = vec![
                     FeatureValue::new(FlowFeature::DstIp, ip(*victim)),
                     FeatureValue::new(FlowFeature::DstPort, u64::from(*port)),
                 ];
-                v.extend(sources.iter().map(|s| FeatureValue::new(FlowFeature::SrcIp, ip(*s))));
+                v.extend(
+                    sources
+                        .iter()
+                        .map(|s| FeatureValue::new(FlowFeature::SrcIp, ip(*s))),
+                );
                 v
             }
             EventParams::Backscatter { port } => {
                 vec![FeatureValue::new(FlowFeature::DstPort, u64::from(*port))]
             }
-            EventParams::NetworkExperiment { node, src_port, dst_port } => vec![
+            EventParams::NetworkExperiment {
+                node,
+                src_port,
+                dst_port,
+            } => vec![
                 FeatureValue::new(FlowFeature::SrcIp, ip(*node)),
                 FeatureValue::new(FlowFeature::SrcPort, u64::from(*src_port)),
                 FeatureValue::new(FlowFeature::DstPort, u64::from(*dst_port)),
@@ -227,7 +239,11 @@ impl EventSpec {
             ],
             EventParams::Spam { servers, .. } => {
                 let mut v = vec![FeatureValue::new(FlowFeature::DstPort, 25)];
-                v.extend(servers.iter().map(|s| FeatureValue::new(FlowFeature::DstIp, ip(*s))));
+                v.extend(
+                    servers
+                        .iter()
+                        .map(|s| FeatureValue::new(FlowFeature::DstIp, ip(*s))),
+                );
                 v
             }
             // The exchange is bidirectional: both hosts appear as source
@@ -252,7 +268,10 @@ mod tests {
             start_interval: 10,
             duration: 2,
             flows_per_interval: 1000,
-            params: EventParams::Scanning { scanner: Ipv4Addr::new(1, 2, 3, 4), port: 445 },
+            params: EventParams::Scanning {
+                scanner: Ipv4Addr::new(1, 2, 3, 4),
+                port: 445,
+            },
         }
     }
 
@@ -275,8 +294,10 @@ mod tests {
     fn scanning_signature_has_scanner_and_port() {
         let sig = spec().signature_values();
         assert!(sig.contains(&FeatureValue::new(FlowFeature::DstPort, 445)));
-        assert!(sig
-            .contains(&FeatureValue::new(FlowFeature::SrcIp, u64::from(u32::from(Ipv4Addr::new(1, 2, 3, 4))))));
+        assert!(sig.contains(&FeatureValue::new(
+            FlowFeature::SrcIp,
+            u64::from(u32::from(Ipv4Addr::new(1, 2, 3, 4)))
+        )));
     }
 
     #[test]
@@ -293,10 +314,23 @@ mod tests {
                 src_port: 33434,
                 dst_port: 33435,
             },
-            EventParams::DDoS { victim: Ipv4Addr::new(10, 0, 0, 6), port: 80, attackers: 500 },
-            EventParams::Scanning { scanner: Ipv4Addr::new(7, 7, 7, 7), port: 22 },
-            EventParams::Spam { servers: vec![Ipv4Addr::new(10, 0, 0, 25)], senders: 40 },
-            EventParams::Unknown { a: Ipv4Addr::new(1, 1, 1, 1), b: Ipv4Addr::new(2, 2, 2, 2) },
+            EventParams::DDoS {
+                victim: Ipv4Addr::new(10, 0, 0, 6),
+                port: 80,
+                attackers: 500,
+            },
+            EventParams::Scanning {
+                scanner: Ipv4Addr::new(7, 7, 7, 7),
+                port: 22,
+            },
+            EventParams::Spam {
+                servers: vec![Ipv4Addr::new(10, 0, 0, 25)],
+                senders: 40,
+            },
+            EventParams::Unknown {
+                a: Ipv4Addr::new(1, 1, 1, 1),
+                b: Ipv4Addr::new(2, 2, 2, 2),
+            },
         ];
         for (i, p) in params.into_iter().enumerate() {
             let spec = EventSpec {
@@ -312,7 +346,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(AnomalyClass::NetworkExperiment.to_string(), "Network Experiment");
+        assert_eq!(
+            AnomalyClass::NetworkExperiment.to_string(),
+            "Network Experiment"
+        );
         assert_eq!(EventId(7).to_string(), "E07");
         assert_eq!(AnomalyClass::ALL.len(), 7);
     }

@@ -27,7 +27,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(alpha.is_finite() && alpha >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 1..=n {
@@ -78,7 +81,11 @@ impl BoundedPareto {
     pub fn new(x_min: f64, x_max: f64, alpha: f64) -> Self {
         assert!(x_min > 0.0 && x_max > x_min, "need 0 < x_min < x_max");
         assert!(alpha > 0.0, "shape must be positive");
-        BoundedPareto { x_min, x_max, alpha }
+        BoundedPareto {
+            x_min,
+            x_max,
+            alpha,
+        }
     }
 
     /// Draw a sample in `[x_min, x_max]` (inverse-CDF of the truncated

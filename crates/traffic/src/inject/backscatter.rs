@@ -49,13 +49,19 @@ mod tests {
         let distinct_srcs: std::collections::BTreeSet<Ipv4Addr> =
             flows.iter().map(|f| f.src_ip).collect();
         // "each flow has a different source IP": collisions are rare.
-        assert!(distinct_srcs.len() > 1990, "only {} distinct sources", distinct_srcs.len());
+        assert!(
+            distinct_srcs.len() > 1990,
+            "only {} distinct sources",
+            distinct_srcs.len()
+        );
     }
 
     #[test]
     fn single_packet_syn_ack_replies() {
         let mut rng = StdRng::seed_from_u64(2);
         let flows = generate(9022, 100, 0, 60_000, &mut rng);
-        assert!(flows.iter().all(|f| f.packets == 1 && f.tcp_flags == TcpFlags::syn_ack()));
+        assert!(flows
+            .iter()
+            .all(|f| f.packets == 1 && f.tcp_flags == TcpFlags::syn_ack()));
     }
 }

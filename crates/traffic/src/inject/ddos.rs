@@ -58,7 +58,11 @@ mod tests {
         assert!(flows.iter().all(|f| f.dst_ip == victim && f.dst_port == 80));
         let sources: std::collections::BTreeSet<Ipv4Addr> =
             flows.iter().map(|f| f.src_ip).collect();
-        assert!(sources.len() > 500, "expected a large bot army, got {}", sources.len());
+        assert!(
+            sources.len() > 500,
+            "expected a large bot army, got {}",
+            sources.len()
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub fn generate(
     interval_ms: u64,
     rng: &mut StdRng,
 ) -> Vec<FlowRecord> {
-    assert!(attackers > 0, "distributed scan needs at least one attacker");
+    assert!(
+        attackers > 0,
+        "distributed scan needs at least one attacker"
+    );
     let net = u32::from(subnet) & 0xFFFF_0000;
     let bot_base: u32 = 0x7300_0000 ^ (u32::from(port) << 10);
     (0..n)
@@ -34,9 +37,16 @@ pub fn generate(
             // Each probe hits a random host inside the target subnet.
             let dst = Ipv4Addr::from(net | (rng.random::<u32>() & 0xFFFF));
             let start = start_in(begin_ms, interval_ms, rng);
-            FlowRecord::new(start, Ipv4Addr::from(bot), dst, ephemeral_port(rng), port, Protocol::Tcp)
-                .with_volume(1, 40)
-                .with_flags(TcpFlags::syn_only())
+            FlowRecord::new(
+                start,
+                Ipv4Addr::from(bot),
+                dst,
+                ephemeral_port(rng),
+                port,
+                Protocol::Tcp,
+            )
+            .with_volume(1, 40)
+            .with_flags(TcpFlags::syn_only())
         })
         .collect()
 }
@@ -60,7 +70,15 @@ mod tests {
     #[test]
     fn no_single_endpoint_dominates() {
         let mut rng = StdRng::seed_from_u64(2);
-        let flows = generate(Ipv4Addr::new(10, 16, 0, 0), 445, 800, 4000, 0, 60_000, &mut rng);
+        let flows = generate(
+            Ipv4Addr::new(10, 16, 0, 0),
+            445,
+            800,
+            4000,
+            0,
+            60_000,
+            &mut rng,
+        );
         let mut src_counts = std::collections::HashMap::new();
         let mut dst_counts = std::collections::HashMap::new();
         for f in &flows {

@@ -52,7 +52,17 @@ mod tests {
     #[test]
     fn probes_are_udp_with_fixed_size() {
         let mut rng = StdRng::seed_from_u64(2);
-        let flows = generate(Ipv4Addr::new(10, 2, 3, 4), 33434, 33435, 100, 0, 60_000, &mut rng);
-        assert!(flows.iter().all(|f| f.proto == Protocol::Udp && f.packets == 3));
+        let flows = generate(
+            Ipv4Addr::new(10, 2, 3, 4),
+            33434,
+            33435,
+            100,
+            0,
+            60_000,
+            &mut rng,
+        );
+        assert!(flows
+            .iter()
+            .all(|f| f.proto == Protocol::Udp && f.packets == 3));
     }
 }

@@ -29,8 +29,8 @@ pub fn generate(
             // and sizes vary flow to flow (scripted floods retransmit and
             // fragment), so no single (#packets, #bytes) pair dominates —
             // what stays frequent is the (source, victim, port) triple.
-            let packets = rng.random_range(1..=8);
-            let bytes = packets * rng.random_range(40..=60);
+            let packets = rng.random_range(1..=8u32);
+            let bytes = packets * rng.random_range(40..=60u32);
             FlowRecord::new(start, src, victim, ephemeral_port(rng), port, Protocol::Tcp)
                 .with_volume(packets, bytes)
                 .with_end(start + u64::from(rng.random_range(0..200u32)))
@@ -51,7 +51,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let flows = generate(&sources, victim, 7000, 1000, 0, 60_000, &mut rng);
         assert_eq!(flows.len(), 1000);
-        assert!(flows.iter().all(|f| f.dst_ip == victim && f.dst_port == 7000));
+        assert!(flows
+            .iter()
+            .all(|f| f.dst_ip == victim && f.dst_port == 7000));
         assert!(flows.iter().all(|f| sources.contains(&f.src_ip)));
     }
 
@@ -59,7 +61,15 @@ mod tests {
     fn uses_few_sources_many_src_ports() {
         let sources = vec![Ipv4Addr::new(9, 1, 1, 1)];
         let mut rng = StdRng::seed_from_u64(2);
-        let flows = generate(&sources, Ipv4Addr::new(10, 0, 0, 5), 7000, 500, 0, 60_000, &mut rng);
+        let flows = generate(
+            &sources,
+            Ipv4Addr::new(10, 0, 0, 5),
+            7000,
+            500,
+            0,
+            60_000,
+            &mut rng,
+        );
         let distinct_src_ports: std::collections::BTreeSet<u16> =
             flows.iter().map(|f| f.src_port).collect();
         assert!(distinct_src_ports.len() > 300, "source ports should churn");
@@ -69,6 +79,14 @@ mod tests {
     #[should_panic(expected = "at least one source")]
     fn empty_sources_panic() {
         let mut rng = StdRng::seed_from_u64(3);
-        let _ = generate(&[], Ipv4Addr::new(10, 0, 0, 5), 7000, 10, 0, 60_000, &mut rng);
+        let _ = generate(
+            &[],
+            Ipv4Addr::new(10, 0, 0, 5),
+            7000,
+            10,
+            0,
+            60_000,
+            &mut rng,
+        );
     }
 }

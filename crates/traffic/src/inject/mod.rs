@@ -47,24 +47,32 @@ pub fn inject(
     let interval_ms = burst_ms;
     let n = spec.flows_per_interval;
     match &spec.params {
-        EventParams::Flooding { sources, victim, port } => {
-            flooding::generate(sources, *victim, *port, n, begin_ms, interval_ms, rng)
-        }
+        EventParams::Flooding {
+            sources,
+            victim,
+            port,
+        } => flooding::generate(sources, *victim, *port, n, begin_ms, interval_ms, rng),
         EventParams::Backscatter { port } => {
             backscatter::generate(*port, n, begin_ms, interval_ms, rng)
         }
-        EventParams::NetworkExperiment { node, src_port, dst_port } => {
-            experiment::generate(*node, *src_port, *dst_port, n, begin_ms, interval_ms, rng)
-        }
-        EventParams::DDoS { victim, port, attackers } => {
-            ddos::generate(*victim, *port, *attackers, n, begin_ms, interval_ms, rng)
-        }
+        EventParams::NetworkExperiment {
+            node,
+            src_port,
+            dst_port,
+        } => experiment::generate(*node, *src_port, *dst_port, n, begin_ms, interval_ms, rng),
+        EventParams::DDoS {
+            victim,
+            port,
+            attackers,
+        } => ddos::generate(*victim, *port, *attackers, n, begin_ms, interval_ms, rng),
         EventParams::Scanning { scanner, port } => {
             scan::generate(*scanner, *port, n, begin_ms, interval_ms, rng)
         }
-        EventParams::DistributedScan { subnet, port, attackers } => {
-            dscan::generate(*subnet, *port, *attackers, n, begin_ms, interval_ms, rng)
-        }
+        EventParams::DistributedScan {
+            subnet,
+            port,
+            attackers,
+        } => dscan::generate(*subnet, *port, *attackers, n, begin_ms, interval_ms, rng),
         EventParams::Spam { servers, senders } => {
             spam::generate(servers, *senders, n, begin_ms, interval_ms, rng)
         }
@@ -112,7 +120,10 @@ mod tests {
 
     #[test]
     fn active_interval_injects_requested_count() {
-        let s = spec(EventParams::Scanning { scanner: Ipv4Addr::new(7, 7, 7, 7), port: 22 });
+        let s = spec(EventParams::Scanning {
+            scanner: Ipv4Addr::new(7, 7, 7, 7),
+            port: 22,
+        });
         let flows = inject(&s, 5, 300_000, 60_000, &mut rng());
         assert_eq!(flows.len(), 500);
         for f in &flows {
@@ -146,10 +157,23 @@ mod tests {
                 src_port: 33434,
                 dst_port: 33435,
             },
-            EventParams::DDoS { victim: Ipv4Addr::new(10, 0, 0, 6), port: 80, attackers: 300 },
-            EventParams::Scanning { scanner: Ipv4Addr::new(7, 7, 7, 7), port: 445 },
-            EventParams::Spam { servers: vec![Ipv4Addr::new(10, 0, 0, 25)], senders: 30 },
-            EventParams::Unknown { a: Ipv4Addr::new(1, 1, 1, 1), b: Ipv4Addr::new(2, 2, 2, 2) },
+            EventParams::DDoS {
+                victim: Ipv4Addr::new(10, 0, 0, 6),
+                port: 80,
+                attackers: 300,
+            },
+            EventParams::Scanning {
+                scanner: Ipv4Addr::new(7, 7, 7, 7),
+                port: 445,
+            },
+            EventParams::Spam {
+                servers: vec![Ipv4Addr::new(10, 0, 0, 25)],
+                senders: 30,
+            },
+            EventParams::Unknown {
+                a: Ipv4Addr::new(1, 1, 1, 1),
+                b: Ipv4Addr::new(2, 2, 2, 2),
+            },
         ];
         for params in all {
             let s = spec(params);

@@ -29,9 +29,16 @@ pub fn generate(
             let dst = Ipv4Addr::from(sweep_base.wrapping_add(i as u32));
             let start = start_in(begin_ms, interval_ms, rng);
             // Fixed flow length: 1 SYN packet, 40 bytes.
-            FlowRecord::new(start, scanner, dst, ephemeral_port(rng), port, Protocol::Tcp)
-                .with_volume(1, 40)
-                .with_flags(TcpFlags::syn_only())
+            FlowRecord::new(
+                start,
+                scanner,
+                dst,
+                ephemeral_port(rng),
+                port,
+                Protocol::Tcp,
+            )
+            .with_volume(1, 40)
+            .with_flags(TcpFlags::syn_only())
         })
         .collect()
 }
@@ -46,7 +53,9 @@ mod tests {
         let scanner = Ipv4Addr::new(66, 6, 6, 6);
         let mut rng = StdRng::seed_from_u64(1);
         let flows = generate(scanner, 445, 3000, 0, 60_000, &mut rng);
-        assert!(flows.iter().all(|f| f.src_ip == scanner && f.dst_port == 445));
+        assert!(flows
+            .iter()
+            .all(|f| f.src_ip == scanner && f.dst_port == 445));
         let dsts: std::collections::BTreeSet<Ipv4Addr> = flows.iter().map(|f| f.dst_ip).collect();
         assert_eq!(dsts.len(), 3000, "every probe hits a distinct destination");
     }

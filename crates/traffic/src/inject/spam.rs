@@ -31,8 +31,8 @@ pub fn generate(
             let server = servers[rng.random_range(0..servers.len())];
             let start = start_in(begin_ms, interval_ms, rng);
             // A mail delivery: handshake + DATA, a few kB.
-            let packets = rng.random_range(8..25);
-            let bytes = packets * rng.random_range(300..900);
+            let packets = rng.random_range(8..25u32);
+            let bytes = packets * rng.random_range(300..900u32);
             FlowRecord::new(
                 start,
                 Ipv4Addr::from(bot),
@@ -43,7 +43,9 @@ pub fn generate(
             )
             .with_volume(packets, bytes)
             .with_end(start + u64::from(rng.random_range(500..5000u32)))
-            .with_flags(TcpFlags(TcpFlags::SYN | TcpFlags::ACK | TcpFlags::PSH | TcpFlags::FIN))
+            .with_flags(TcpFlags(
+                TcpFlags::SYN | TcpFlags::ACK | TcpFlags::PSH | TcpFlags::FIN,
+            ))
         })
         .collect()
 }

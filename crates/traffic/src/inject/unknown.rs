@@ -59,8 +59,14 @@ mod tests {
     #[test]
     fn ports_churn() {
         let mut rng = StdRng::seed_from_u64(2);
-        let flows =
-            generate(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 400, 0, 60_000, &mut rng);
+        let flows = generate(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            400,
+            0,
+            60_000,
+            &mut rng,
+        );
         let ports: std::collections::BTreeSet<u16> = flows.iter().map(|f| f.dst_port).collect();
         assert!(ports.len() > 350);
     }

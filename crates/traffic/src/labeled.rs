@@ -82,7 +82,13 @@ mod tests {
             begin_ms: 0,
             end_ms: 1000,
             flows: vec![flow(); 5],
-            labels: vec![None, Some(EventId(1)), Some(EventId(1)), Some(EventId(2)), None],
+            labels: vec![
+                None,
+                Some(EventId(1)),
+                Some(EventId(1)),
+                Some(EventId(2)),
+                None,
+            ],
         }
     }
 

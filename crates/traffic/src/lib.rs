@@ -35,5 +35,7 @@ pub use anomaly::{AnomalyClass, EventId, EventParams, EventSpec};
 pub use background::{BackgroundConfig, BackgroundModel, HeavyHitter};
 pub use dist::{BoundedPareto, Zipf};
 pub use labeled::LabeledInterval;
-pub use scenario::{Scenario, ScenarioConfig, FIFTEEN_MIN_MS, INTERVALS_PER_DAY, TWO_WEEKS_INTERVALS};
+pub use scenario::{
+    Scenario, ScenarioConfig, FIFTEEN_MIN_MS, INTERVALS_PER_DAY, TWO_WEEKS_INTERVALS,
+};
 pub use table2::{table2_workload, Table2Workload};

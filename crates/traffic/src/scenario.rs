@@ -82,7 +82,11 @@ impl Scenario {
             assert!(e.duration > 0, "{} has zero duration", e.id);
         }
         let model = BackgroundModel::new(config.background.clone());
-        Scenario { config, model, events }
+        Scenario {
+            config,
+            model,
+            events,
+        }
     }
 
     /// The paper-shaped evaluation workload: two weeks, Δ = 15 min,
@@ -120,26 +124,31 @@ impl Scenario {
         let local = |a: u8, b: u8, c: u8| Ipv4Addr::new(10, a, b, c);
         let mut events = Vec::new();
         let mut next_id = 0u32;
-        let mut push = |events: &mut Vec<EventSpec>,
-                        interval: u64,
-                        flows: u64,
-                        params: EventParams| {
-            events.push(EventSpec {
-                id: EventId(next_id),
-                start_interval: interval,
-                duration: 1,
-                flows_per_interval: s(flows),
-                params,
-            });
-            next_id += 1;
-        };
+        let mut push =
+            |events: &mut Vec<EventSpec>, interval: u64, flows: u64, params: EventParams| {
+                events.push(EventSpec {
+                    id: EventId(next_id),
+                    start_interval: interval,
+                    duration: 1,
+                    flows_per_interval: s(flows),
+                    params,
+                });
+                next_id += 1;
+            };
 
         // Class layout: 12 scans, 5 floods, 5 backscatter, 4 DDoS, 4 spam,
         // 3 network experiments, 3 unknown = 36 events.
-        let scan_ports = [445u16, 22, 3389, 23, 1433, 5900, 139, 445, 80, 8080, 22, 445];
+        let scan_ports = [
+            445u16, 22, 3389, 23, 1433, 5900, 139, 445, 80, 8080, 22, 445,
+        ];
         for (i, &port) in scan_ports.iter().enumerate() {
             let scanner = Ipv4Addr::new(60 + i as u8, 7, 7, 7);
-            push(&mut events, slots[i], 700 + (i as u64 % 3) * 150, EventParams::Scanning { scanner, port });
+            push(
+                &mut events,
+                slots[i],
+                700 + (i as u64 % 3) * 150,
+                EventParams::Scanning { scanner, port },
+            );
         }
         for i in 0..5u64 {
             let sources = vec![
@@ -151,7 +160,11 @@ impl Scenario {
                 &mut events,
                 slots[12 + i as usize],
                 1200 + i * 150,
-                EventParams::Flooding { sources, victim: local(3, i as u8, 7), port: 7000 + i as u16 },
+                EventParams::Flooding {
+                    sources,
+                    victim: local(3, i as u8, 7),
+                    port: 7000 + i as u16,
+                },
             );
         }
         for i in 0..5u64 {
@@ -159,7 +172,9 @@ impl Scenario {
                 &mut events,
                 slots[17 + i as usize],
                 600 + i * 100,
-                EventParams::Backscatter { port: 9022 + (i as u16) * 100 },
+                EventParams::Backscatter {
+                    port: 9022 + (i as u16) * 100,
+                },
             );
         }
         for i in 0..4u64 {
@@ -216,7 +231,10 @@ impl Scenario {
             &mut events,
             slots[30],
             800,
-            EventParams::Unknown { a: local(13, 9, 1), b: Ipv4Addr::new(185, 44, 9, 9) },
+            EventParams::Unknown {
+                a: local(13, 9, 1),
+                b: Ipv4Addr::new(185, 44, 9, 9),
+            },
         );
 
         Scenario::new(config, events)
@@ -236,8 +254,12 @@ impl Scenario {
             mix_seed: seed ^ 0xD1F7,
             ..BackgroundConfig::default()
         };
-        let config =
-            ScenarioConfig { seed, intervals: 40, interval_ms: 60_000, background };
+        let config = ScenarioConfig {
+            seed,
+            intervals: 40,
+            interval_ms: 60_000,
+            background,
+        };
         let events = vec![
             EventSpec {
                 id: EventId(0),
@@ -255,7 +277,10 @@ impl Scenario {
                 start_interval: 28,
                 duration: 1,
                 flows_per_interval: 2500,
-                params: EventParams::Scanning { scanner: Ipv4Addr::new(66, 6, 6, 6), port: 445 },
+                params: EventParams::Scanning {
+                    scanner: Ipv4Addr::new(66, 6, 6, 6),
+                    port: 445,
+                },
             },
             EventSpec {
                 id: EventId(2),
@@ -295,13 +320,19 @@ impl Scenario {
     /// The set of intervals containing at least one active event.
     #[must_use]
     pub fn anomalous_intervals(&self) -> BTreeSet<u64> {
-        self.events.iter().flat_map(EventSpec::active_intervals).collect()
+        self.events
+            .iter()
+            .flat_map(EventSpec::active_intervals)
+            .collect()
     }
 
     /// Events active in a given interval.
     #[must_use]
     pub fn events_in(&self, interval: u64) -> Vec<&EventSpec> {
-        self.events.iter().filter(|e| e.active_in(interval)).collect()
+        self.events
+            .iter()
+            .filter(|e| e.active_in(interval))
+            .collect()
     }
 
     /// Generate one interval (background + active events), time-sorted and
@@ -330,9 +361,13 @@ impl Scenario {
                     self.config.seed,
                     mix(u64::from(event.id.0) + 1, interval),
                 ));
-                for flow in
-                    inject::inject(event, interval, begin_ms, self.config.interval_ms, &mut ev_rng)
-                {
+                for flow in inject::inject(
+                    event,
+                    interval,
+                    begin_ms,
+                    self.config.interval_ms,
+                    &mut ev_rng,
+                ) {
                     pairs.push((flow, Some(event.id)));
                 }
             }
@@ -340,7 +375,13 @@ impl Scenario {
 
         pairs.sort_by_key(|(f, _)| f.start_ms);
         let (flows, labels) = pairs.into_iter().unzip();
-        LabeledInterval { index: interval, begin_ms, end_ms, flows, labels }
+        LabeledInterval {
+            index: interval,
+            begin_ms,
+            end_ms,
+            flows,
+            labels,
+        }
     }
 }
 
@@ -356,7 +397,10 @@ mod tests {
         assert_eq!(sc.events().len(), 36, "36 events like the paper");
         assert_eq!(sc.anomalous_intervals().len(), 31, "31 anomalous intervals");
         // First day is clean for training.
-        assert!(sc.anomalous_intervals().iter().all(|&i| i >= INTERVALS_PER_DAY));
+        assert!(sc
+            .anomalous_intervals()
+            .iter()
+            .all(|&i| i >= INTERVALS_PER_DAY));
         // All seven classes are represented.
         let classes: BTreeSet<AnomalyClass> = sc.events().iter().map(EventSpec::class).collect();
         assert_eq!(classes.len(), 7);
@@ -365,9 +409,7 @@ mod tests {
     #[test]
     fn class_counts_match_layout() {
         let sc = Scenario::two_weeks(1, 0.1);
-        let count = |class: AnomalyClass| {
-            sc.events().iter().filter(|e| e.class() == class).count()
-        };
+        let count = |class: AnomalyClass| sc.events().iter().filter(|e| e.class() == class).count();
         assert_eq!(count(AnomalyClass::Scanning), 12);
         assert_eq!(count(AnomalyClass::Flooding), 5);
         assert_eq!(count(AnomalyClass::Backscatter), 5);
@@ -409,7 +451,10 @@ mod tests {
         let sc = Scenario::small(7);
         let iv = sc.generate(20);
         assert!(iv.flows.windows(2).all(|w| w[0].start_ms <= w[1].start_ms));
-        assert!(iv.flows.iter().all(|f| f.start_ms >= iv.begin_ms && f.start_ms < iv.end_ms));
+        assert!(iv
+            .flows
+            .iter()
+            .all(|f| f.start_ms >= iv.begin_ms && f.start_ms < iv.end_ms));
     }
 
     #[test]

@@ -69,10 +69,16 @@ pub fn table2_workload(seed: u64, scale: f64) -> Table2Workload {
 
     let victim = Ipv4Addr::new(10, 3, 0, 7);
     let flood_port = 7000;
-    let flood_sources =
-        vec![Ipv4Addr::new(91, 7, 1, 1), Ipv4Addr::new(91, 7, 1, 2), Ipv4Addr::new(91, 7, 1, 3)];
-    let proxies =
-        [Ipv4Addr::new(10, 1, 0, 10), Ipv4Addr::new(10, 1, 0, 11), Ipv4Addr::new(10, 1, 0, 12)];
+    let flood_sources = vec![
+        Ipv4Addr::new(91, 7, 1, 1),
+        Ipv4Addr::new(91, 7, 1, 2),
+        Ipv4Addr::new(91, 7, 1, 3),
+    ];
+    let proxies = [
+        Ipv4Addr::new(10, 1, 0, 10),
+        Ipv4Addr::new(10, 1, 0, 11),
+        Ipv4Addr::new(10, 1, 0, 12),
+    ];
     let mail_servers = [Ipv4Addr::new(10, 8, 0, 25), Ipv4Addr::new(10, 8, 1, 25)];
 
     let mut flows = Vec::new();
@@ -152,12 +158,19 @@ fn web_flow(src: Ipv4Addr, rng: &mut StdRng, window_ms: u64, bulk: bool) -> Flow
     let bytes = if packets <= 3 {
         packets * [40u32, 48, 52][rng.random_range(0..3usize)]
     } else {
-        packets * rng.random_range(200..1400)
+        packets * rng.random_range(200..1400u32)
     };
-    FlowRecord::new(start, src, dst, rng.random_range(1024..=u16::MAX), 80, Protocol::Tcp)
-        .with_volume(packets, bytes)
-        .with_end(start + u64::from(rng.random_range(1..20_000u32)))
-        .with_flags(TcpFlags(TcpFlags::SYN | TcpFlags::ACK | TcpFlags::FIN))
+    FlowRecord::new(
+        start,
+        src,
+        dst,
+        rng.random_range(1024..=u16::MAX),
+        80,
+        Protocol::Tcp,
+    )
+    .with_volume(packets, bytes)
+    .with_end(start + u64::from(rng.random_range(1..20_000u32)))
+    .with_flags(TcpFlags(TcpFlags::SYN | TcpFlags::ACK | TcpFlags::FIN))
 }
 
 /// One mail delivery toward `server` from a random sender.
@@ -165,10 +178,19 @@ fn smtp_flow(server: Ipv4Addr, rng: &mut StdRng, window_ms: u64) -> FlowRecord {
     let sender = Ipv4Addr::from(rng.random::<u32>() | 0x2000_0000);
     let start = rng.random_range(0..window_ms);
     let packets = rng.random_range(8..25u32);
-    FlowRecord::new(start, sender, server, rng.random_range(1024..=u16::MAX), 25, Protocol::Tcp)
-        .with_volume(packets, packets * rng.random_range(300..900))
-        .with_end(start + u64::from(rng.random_range(500..8000u32)))
-        .with_flags(TcpFlags(TcpFlags::SYN | TcpFlags::ACK | TcpFlags::PSH | TcpFlags::FIN))
+    FlowRecord::new(
+        start,
+        sender,
+        server,
+        rng.random_range(1024..=u16::MAX),
+        25,
+        Protocol::Tcp,
+    )
+    .with_volume(packets, packets * rng.random_range(300..900u32))
+    .with_end(start + u64::from(rng.random_range(500..8000u32)))
+    .with_flags(TcpFlags(
+        TcpFlags::SYN | TcpFlags::ACK | TcpFlags::PSH | TcpFlags::FIN,
+    ))
 }
 
 #[cfg(test)]
@@ -186,7 +208,10 @@ mod tests {
         assert_eq!(w.min_support, paper_counts::MIN_SUPPORT);
         assert_eq!(
             w.flows.len() as u64,
-            paper_counts::FLOODING + paper_counts::WEB + paper_counts::BACKSCATTER + paper_counts::SMTP
+            paper_counts::FLOODING
+                + paper_counts::WEB
+                + paper_counts::BACKSCATTER
+                + paper_counts::SMTP
         );
     }
 

@@ -24,7 +24,10 @@ fn main() {
     // thresholds |ΔH| two-sided).
     let mut detector = EntropyDetector::new(FlowFeature::DstPort, 3.0, 10);
 
-    println!("entropy-driven extraction over {} intervals\n", scenario.interval_count());
+    println!(
+        "entropy-driven extraction over {} intervals\n",
+        scenario.interval_count()
+    );
     for i in 0..scenario.interval_count() {
         let interval = scenario.generate(i);
         let obs = detector.observe(&interval.flows);
@@ -33,7 +36,8 @@ fn main() {
             println!(
                 "interval {i:>2}: H(dstPort) = {:.3} bits{}{}",
                 obs.entropy,
-                obs.first_diff.map_or(String::new(), |d| format!(" (Δ {d:+.3})")),
+                obs.first_diff
+                    .map_or(String::new(), |d| format!(" (Δ {d:+.3})")),
                 if obs.alarm { "  << ALARM" } else { "" }
             );
         }
@@ -54,8 +58,11 @@ fn main() {
             800,
         );
         println!("{}", render_report(&extraction));
-        let truth: Vec<String> =
-            scenario.events_in(i).iter().map(|e| format!("{} ({})", e.id, e.class())).collect();
+        let truth: Vec<String> = scenario
+            .events_in(i)
+            .iter()
+            .map(|e| format!("{} ({})", e.id, e.class()))
+            .collect();
         println!("ground truth: {}\n", truth.join(", "));
     }
 }

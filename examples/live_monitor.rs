@@ -56,16 +56,21 @@ fn collector_thread(
     interval_ms: u64,
     stats: &Mutex<Stats>,
 ) {
-    let mut config = ExtractionConfig::default();
-    config.interval_ms = interval_ms;
-    config.detector.training_intervals = 10;
-    config.min_support = 800;
+    let config = ExtractionConfig {
+        interval_ms,
+        detector: DetectorConfig {
+            training_intervals: 10,
+            ..DetectorConfig::default()
+        },
+        min_support: 800,
+        ..ExtractionConfig::default()
+    };
     let mut pipeline = AnomalyExtractor::new(config);
     let mut assembler = IntervalAssembler::new(0, interval_ms);
 
     let process = |flows: Vec<FlowRecord>,
-                       pipeline: &mut AnomalyExtractor,
-                       stats: &Mutex<Stats>|
+                   pipeline: &mut AnomalyExtractor,
+                   stats: &Mutex<Stats>|
      -> Option<String> {
         let outcome = pipeline.process_interval(&flows);
         if outcome.observation.alarm {
@@ -76,7 +81,9 @@ fn collector_thread(
 
     let mut collector = V5Collector::new();
     for datagram in rx {
-        collector.ingest(&datagram).expect("exporter sends well-formed datagrams");
+        collector
+            .ingest(&datagram)
+            .expect("exporter sends well-formed datagrams");
         let flows = std::mem::take(&mut collector).into_flows();
         collector = V5Collector::new();
         stats.lock().flows += flows.len() as u64;

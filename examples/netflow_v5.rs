@@ -6,9 +6,7 @@
 //! cargo run --release --example netflow_v5
 //! ```
 
-use anomex::netflow::v5::{
-    decode_datagram, V5Collector, V5Exporter, V5_HEADER_LEN, V5_RECORD_LEN,
-};
+use anomex::netflow::v5::{decode_datagram, V5Collector, V5Exporter, V5_HEADER_LEN, V5_RECORD_LEN};
 use anomex::prelude::*;
 
 fn main() {
@@ -39,7 +37,11 @@ fn main() {
     // --- Export ---
     let mut exporter = V5Exporter::new();
     let datagrams = exporter.export(&flows);
-    println!("exported {} flows in {} datagram(s)", flows.len(), datagrams.len());
+    println!(
+        "exported {} flows in {} datagram(s)",
+        flows.len(),
+        datagrams.len()
+    );
     let wire = &datagrams[0];
     println!(
         "datagram: {} bytes = {}-byte header + {} x {}-byte records",

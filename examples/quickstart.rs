@@ -17,10 +17,15 @@ fn main() {
     // The paper's pipeline configuration (Table III), adapted to the
     // workload's 1-minute intervals and ~4k-flow volume: k = 1024 bins,
     // n = l = 3 clones, α = 3, union pre-filter, maximal Apriori.
-    let mut config = ExtractionConfig::default();
-    config.interval_ms = scenario.interval_ms();
-    config.detector.training_intervals = 10;
-    config.min_support = 800;
+    let config = ExtractionConfig {
+        interval_ms: scenario.interval_ms(),
+        detector: DetectorConfig {
+            training_intervals: 10,
+            ..DetectorConfig::default()
+        },
+        min_support: 800,
+        ..ExtractionConfig::default()
+    };
 
     let mut pipeline = AnomalyExtractor::new(config);
 

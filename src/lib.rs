@@ -65,5 +65,5 @@ pub mod prelude {
     pub use anomex_netflow::{
         FlowFeature, FlowRecord, FlowTrace, IntervalAssembler, Protocol, TcpFlags,
     };
-    pub use anomex_traffic::{AnomalyClass, EventSpec, Scenario, table2_workload};
+    pub use anomex_traffic::{table2_workload, AnomalyClass, EventSpec, Scenario};
 }

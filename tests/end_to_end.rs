@@ -16,7 +16,12 @@ fn one_event_scenario(params: EventParams, flows_per_interval: u64, seed: u64) -
         noise: 0.03,
         ..BackgroundConfig::default()
     };
-    let config = ScenarioConfig { seed, intervals: 30, interval_ms: 60_000, background };
+    let config = ScenarioConfig {
+        seed,
+        intervals: 30,
+        interval_ms: 60_000,
+        background,
+    };
     let events = vec![anomex::traffic::EventSpec {
         id: EventId(0),
         start_interval: 24,
@@ -28,11 +33,15 @@ fn one_event_scenario(params: EventParams, flows_per_interval: u64, seed: u64) -
 }
 
 fn pipeline_config() -> ExtractionConfig {
-    let mut config = ExtractionConfig::default();
-    config.interval_ms = 60_000;
-    config.detector.training_intervals = 10;
-    config.min_support = 900;
-    config
+    ExtractionConfig {
+        interval_ms: 60_000,
+        detector: DetectorConfig {
+            training_intervals: 10,
+            ..DetectorConfig::default()
+        },
+        min_support: 900,
+        ..ExtractionConfig::default()
+    }
 }
 
 /// Drive the scenario through the pipeline; return the extraction at the
@@ -88,7 +97,11 @@ fn flooding_is_extracted() {
 #[test]
 fn ddos_is_extracted() {
     let scenario = one_event_scenario(
-        EventParams::DDoS { victim: Ipv4Addr::new(10, 5, 0, 80), port: 80, attackers: 900 },
+        EventParams::DDoS {
+            victim: Ipv4Addr::new(10, 5, 0, 80),
+            port: 80,
+            attackers: 900,
+        },
         3500,
         102,
     );
@@ -98,15 +111,23 @@ fn ddos_is_extracted() {
     let per_source = ex
         .itemsets
         .iter()
-        .filter(|s| s.to_string().contains("srcIP=45.") && s.to_string().contains("dstIP=10.5.0.80"))
+        .filter(|s| {
+            s.to_string().contains("srcIP=45.") && s.to_string().contains("dstIP=10.5.0.80")
+        })
         .count();
-    assert_eq!(per_source, 0, "no attacking bot should be frequent on its own");
+    assert_eq!(
+        per_source, 0,
+        "no attacking bot should be frequent on its own"
+    );
 }
 
 #[test]
 fn scanning_is_extracted() {
     let scenario = one_event_scenario(
-        EventParams::Scanning { scanner: Ipv4Addr::new(66, 6, 6, 6), port: 445 },
+        EventParams::Scanning {
+            scanner: Ipv4Addr::new(66, 6, 6, 6),
+            port: 445,
+        },
         2500,
         103,
     );
@@ -116,8 +137,7 @@ fn scanning_is_extracted() {
 
 #[test]
 fn backscatter_is_extracted() {
-    let scenario =
-        one_event_scenario(EventParams::Backscatter { port: 9022 }, 2500, 104);
+    let scenario = one_event_scenario(EventParams::Backscatter { port: 9022 }, 2500, 104);
     let ex = extract_event(&scenario);
     assert_extracts(&ex, &["dstPort=9022", "#packets=1"]);
 }
@@ -154,7 +174,10 @@ fn network_experiment_is_extracted() {
 #[test]
 fn unknown_exchange_is_extracted() {
     let scenario = one_event_scenario(
-        EventParams::Unknown { a: Ipv4Addr::new(10, 13, 0, 1), b: Ipv4Addr::new(185, 44, 0, 9) },
+        EventParams::Unknown {
+            a: Ipv4Addr::new(10, 13, 0, 1),
+            b: Ipv4Addr::new(185, 44, 0, 9),
+        },
         2500,
         107,
     );
@@ -177,7 +200,10 @@ fn unknown_exchange_is_extracted() {
 #[test]
 fn extraction_is_deterministic() {
     let scenario = one_event_scenario(
-        EventParams::Scanning { scanner: Ipv4Addr::new(66, 6, 6, 6), port: 23 },
+        EventParams::Scanning {
+            scanner: Ipv4Addr::new(66, 6, 6, 6),
+            port: 23,
+        },
         2500,
         108,
     );

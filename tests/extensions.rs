@@ -28,9 +28,16 @@ fn topk_matches_fixed_support_leaders() {
         assert_eq!(a.support, b.support);
     }
     // The paper's workflow: the top item-sets pin the flood.
-    let joined =
-        top.itemsets.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
-    assert!(joined.contains("dstPort=7000") || joined.contains("dstPort=80"), "{joined}");
+    let joined = top
+        .itemsets
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        joined.contains("dstPort=7000") || joined.contains("dstPort=80"),
+        "{joined}"
+    );
 }
 
 /// Closed item-sets are a lossless superset of maximal ones on real
@@ -69,8 +76,12 @@ fn entropy_detector_drives_extraction() {
         // Background-only intervals: the web/backscatter/smtp parts of the
         // Table II mix, no port-7000 flood (tiny pseudo-interval).
         let w = table2_workload(seed, 0.01);
-        let background: Vec<FlowRecord> =
-            w.flows.iter().filter(|f| f.dst_port != w.flood_port).copied().collect();
+        let background: Vec<FlowRecord> = w
+            .flows
+            .iter()
+            .filter(|f| f.dst_port != w.flood_port)
+            .copied()
+            .collect();
         let obs = detector.observe(&background);
         assert!(!obs.alarm, "training/quiet interval alarmed");
     }
@@ -78,7 +89,11 @@ fn entropy_detector_drives_extraction() {
     let w = table2_workload(77, 0.01);
     let obs = detector.observe(&w.flows);
     assert!(obs.alarm, "the flood must disturb the port entropy");
-    assert!(obs.values.contains(&u64::from(w.flood_port)), "{:?}", obs.values);
+    assert!(
+        obs.values.contains(&u64::from(w.flood_port)),
+        "{:?}",
+        obs.values
+    );
 
     let mut metadata = MetaData::new();
     metadata.insert_all(FlowFeature::DstPort, obs.values.iter().copied());
@@ -90,9 +105,16 @@ fn entropy_detector_drives_extraction() {
         MinerKind::FpGrowth,
         w.min_support,
     );
-    let joined =
-        extraction.itemsets.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
-    assert!(joined.contains("dstPort=7000"), "flood extracted via entropy meta-data:\n{joined}");
+    let joined = extraction
+        .itemsets
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        joined.contains("dstPort=7000"),
+        "flood extracted via entropy meta-data:\n{joined}"
+    );
     assert!(
         joined.contains(&format!("dstIP={}", w.victim)),
         "victim pinned:\n{joined}"

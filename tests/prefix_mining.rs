@@ -51,13 +51,31 @@ fn metadata() -> MetaData {
 #[test]
 fn canonical_mining_cannot_pin_the_subnet() {
     let flows = workload();
-    let ex = extract_with_metadata(0, &flows, &metadata(), PrefilterMode::Union, MinerKind::FpGrowth, 500);
-    let joined = ex.itemsets.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+    let ex = extract_with_metadata(
+        0,
+        &flows,
+        &metadata(),
+        PrefilterMode::Union,
+        MinerKind::FpGrowth,
+        500,
+    );
+    let joined = ex
+        .itemsets
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
     // The port and flow shape are found...
     assert!(joined.contains("dstPort=445"), "{joined}");
     // ...but nothing identifies the target network.
-    assert!(!joined.contains("dstIP="), "no single host is frequent:\n{joined}");
-    assert!(!joined.contains("Net16"), "canonical transactions have no prefix items");
+    assert!(
+        !joined.contains("dstIP="),
+        "no single host is frequent:\n{joined}"
+    );
+    assert!(
+        !joined.contains("Net16"),
+        "canonical transactions have no prefix items"
+    );
 }
 
 #[test]
@@ -72,7 +90,12 @@ fn prefix_mining_pins_the_scanned_range() {
         MinerKind::FpGrowth,
         500,
     );
-    let joined = ex.itemsets.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+    let joined = ex
+        .itemsets
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
     assert!(
         joined.contains("dstNet16=10.16.0.0/16"),
         "the scanned /16 must be pinned:\n{joined}"
@@ -80,17 +103,47 @@ fn prefix_mining_pins_the_scanned_range() {
     // The top item-set couples the range with the scanned port.
     let top = ex.itemsets.iter().max_by_key(|s| s.support).unwrap();
     let top_s = top.to_string();
-    assert!(top_s.contains("dstNet16=10.16.0.0/16") && top_s.contains("dstPort=445"), "{top_s}");
-    assert_eq!(top.support, 3000, "every probe matches the range+port pattern");
+    assert!(
+        top_s.contains("dstNet16=10.16.0.0/16") && top_s.contains("dstPort=445"),
+        "{top_s}"
+    );
+    assert_eq!(
+        top.support, 3000,
+        "every probe matches the range+port pattern"
+    );
 }
 
 #[test]
 fn miners_agree_in_prefix_mode() {
     let flows = workload();
     let md = metadata();
-    let a = extract_with_mode(0, &flows, &md, PrefilterMode::Union, TransactionMode::WithPrefixes, MinerKind::Apriori, 500);
-    let f = extract_with_mode(0, &flows, &md, PrefilterMode::Union, TransactionMode::WithPrefixes, MinerKind::FpGrowth, 500);
-    let e = extract_with_mode(0, &flows, &md, PrefilterMode::Union, TransactionMode::WithPrefixes, MinerKind::Eclat, 500);
+    let a = extract_with_mode(
+        0,
+        &flows,
+        &md,
+        PrefilterMode::Union,
+        TransactionMode::WithPrefixes,
+        MinerKind::Apriori,
+        500,
+    );
+    let f = extract_with_mode(
+        0,
+        &flows,
+        &md,
+        PrefilterMode::Union,
+        TransactionMode::WithPrefixes,
+        MinerKind::FpGrowth,
+        500,
+    );
+    let e = extract_with_mode(
+        0,
+        &flows,
+        &md,
+        PrefilterMode::Union,
+        TransactionMode::WithPrefixes,
+        MinerKind::Eclat,
+        500,
+    );
     assert_eq!(a.itemsets, f.itemsets);
     assert_eq!(f.itemsets, e.itemsets);
 }
@@ -131,14 +184,25 @@ fn prefix_detector_feature_works_in_the_bank() {
     }
     // Scan interval.
     let mut flows = background(&mut rng);
-    flows.extend(dscan::generate(Ipv4Addr::new(10, 16, 0, 0), 445, 900, 2500, 0, 60_000, &mut rng));
+    flows.extend(dscan::generate(
+        Ipv4Addr::new(10, 16, 0, 0),
+        445,
+        900,
+        2500,
+        0,
+        60_000,
+        &mut rng,
+    ));
     let obs = bank.observe(&flows);
     assert!(obs.alarm, "the subnet scan must alarm");
     let net_alarmed = obs
         .features
         .iter()
         .any(|f| f.feature == FlowFeature::DstNet16 && f.alarm);
-    assert!(net_alarmed, "the prefix detector must be among the alarming features");
+    assert!(
+        net_alarmed,
+        "the prefix detector must be among the alarming features"
+    );
     // And the voted meta-data contains the scanned prefix value.
     let prefix_value = u64::from(u32::from(Ipv4Addr::new(10, 16, 0, 0)) >> 16);
     assert!(obs

@@ -79,8 +79,18 @@ fn multistage_metadata() -> MetaData {
 fn intersection_misses_multistage_anomalies() {
     let flows = multistage_trace();
     let md = multistage_metadata();
-    let ex = extract_with_metadata(0, &flows, &md, PrefilterMode::Intersection, MinerKind::Apriori, 400);
-    assert_eq!(ex.suspicious_flows, 0, "no flow carries all three stage markers");
+    let ex = extract_with_metadata(
+        0,
+        &flows,
+        &md,
+        PrefilterMode::Intersection,
+        MinerKind::Apriori,
+        400,
+    );
+    assert_eq!(
+        ex.suspicious_flows, 0,
+        "no flow carries all three stage markers"
+    );
     assert!(ex.itemsets.is_empty(), "the anomaly is missed entirely");
 }
 
@@ -88,7 +98,14 @@ fn intersection_misses_multistage_anomalies() {
 fn union_extracts_every_stage() {
     let flows = multistage_trace();
     let md = multistage_metadata();
-    let ex = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::Apriori, 400);
+    let ex = extract_with_metadata(
+        0,
+        &flows,
+        &md,
+        PrefilterMode::Union,
+        MinerKind::Apriori,
+        400,
+    );
     // 3600 worm flows, plus the benign web flows that happen to have
     // 12 packets (8000 / 20 = 400) — flow-size meta-data inevitably drags
     // in some normal traffic, which is what mining then sorts out.
@@ -103,7 +120,10 @@ fn union_extracts_every_stage() {
     assert!(joined.contains("dstPort=9996"), "backdoor stage:\n{joined}");
     assert!(joined.contains("#packets=12"), "download stage:\n{joined}");
     // The infected host is pinned in the item-sets.
-    assert!(joined.contains("10.5.5.5"), "infected host pinned:\n{joined}");
+    assert!(
+        joined.contains("10.5.5.5"),
+        "infected host pinned:\n{joined}"
+    );
 }
 
 #[test]
@@ -125,8 +145,22 @@ fn single_feature_metadata_modes_agree() {
     let flows = multistage_trace();
     let mut md = MetaData::new();
     md.insert(FlowFeature::DstPort, 445);
-    let u = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::FpGrowth, 400);
-    let i = extract_with_metadata(0, &flows, &md, PrefilterMode::Intersection, MinerKind::FpGrowth, 400);
+    let u = extract_with_metadata(
+        0,
+        &flows,
+        &md,
+        PrefilterMode::Union,
+        MinerKind::FpGrowth,
+        400,
+    );
+    let i = extract_with_metadata(
+        0,
+        &flows,
+        &md,
+        PrefilterMode::Intersection,
+        MinerKind::FpGrowth,
+        400,
+    );
     assert_eq!(u.suspicious_flows, i.suspicious_flows);
     assert_eq!(u.itemsets, i.itemsets);
 }

@@ -10,11 +10,15 @@ fn scenario() -> Scenario {
 }
 
 fn config(interval_ms: u64) -> ExtractionConfig {
-    let mut config = ExtractionConfig::default();
-    config.interval_ms = interval_ms;
-    config.detector.training_intervals = 10;
-    config.min_support = 800;
-    config
+    ExtractionConfig {
+        interval_ms,
+        detector: DetectorConfig {
+            training_intervals: 10,
+            ..DetectorConfig::default()
+        },
+        min_support: 800,
+        ..ExtractionConfig::default()
+    }
 }
 
 /// Run the pipeline on flows that have round-tripped through the v5 codec
@@ -135,7 +139,9 @@ fn datagram_loss_is_detected_and_survivable() {
         500,
     );
     assert!(
-        ex.itemsets.iter().any(|s| s.to_string().contains("dstPort=7000")),
+        ex.itemsets
+            .iter()
+            .any(|s| s.to_string().contains("dstPort=7000")),
         "flood still extracted from the lossy stream"
     );
 }

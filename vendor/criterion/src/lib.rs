@@ -1,0 +1,351 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! benchmark harness.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a simple
+//! wall-clock measurement loop: per benchmark it warms up, sizes an
+//! iteration batch to the routine's cost, takes `sample_size` samples,
+//! and prints min/median/max per-iteration times in criterion's
+//! familiar `time: [low mid high]` shape. No statistical analysis,
+//! plots, or baseline persistence — swap the real criterion in via
+//! `Cargo.toml` when crates.io access is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup cost. The stand-in
+/// runs one setup per measured batch regardless, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch freely.
+    SmallInput,
+    /// Inputs are expensive; keep batches small.
+    LargeInput,
+    /// Exactly one input per batch.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` — e.g. `apriori/3000`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter — for groups benching one function across
+    /// inputs.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// The benchmark driver handed to every bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply CLI arguments (`cargo bench -- <filter>`); criterion's
+    /// harness flags (`--bench`, `--test`, ...) are accepted and
+    /// ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--quiet" | "--verbose" | "--noplot" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                flag if flag.starts_with("--") => {
+                    // Unknown harness flag: skip a value if one follows.
+                    let _ = args.next();
+                }
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Override the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one(&self, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: sample_size.max(2),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, samples, &mut f);
+        self
+    }
+
+    /// Run one benchmark in this group with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group. (No cross-benchmark reporting in the stand-in,
+    /// so this is a no-op beyond dropping the group.)
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Benchmark `routine` by timing batches of calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and size the batch so one sample costs ~1-10 ms.
+        let once = Self::time(|| {
+            black_box(routine());
+        });
+        let iters = Self::batch_iters(once);
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let elapsed = Self::time(|| {
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                });
+                elapsed / u32::try_from(iters).unwrap_or(u32::MAX)
+            })
+            .collect();
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                Self::time(|| {
+                    black_box(routine(input));
+                })
+            })
+            .collect();
+    }
+
+    fn time(body: impl FnOnce()) -> Duration {
+        let start = Instant::now();
+        body();
+        start.elapsed()
+    }
+
+    /// Iterations per sample so that a sample takes roughly 2 ms, capped
+    /// to keep total bench time bounded for slow routines.
+    fn batch_iters(once: Duration) -> u64 {
+        let nanos = once.as_nanos().max(1);
+        (2_000_000 / nanos).clamp(1, 100_000) as u64
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (benchmark ran no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let low = sorted[0];
+        let mid = sorted[sorted.len() / 2];
+        let high = sorted[sorted.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            Self::fmt_duration(low),
+            Self::fmt_duration(mid),
+            Self::fmt_duration(high),
+        );
+    }
+
+    fn fmt_duration(d: Duration) -> String {
+        let nanos = d.as_nanos();
+        if nanos < 1_000 {
+            format!("{nanos} ns")
+        } else if nanos < 1_000_000 {
+            format!("{:.2} µs", nanos as f64 / 1_000.0)
+        } else if nanos < 1_000_000_000 {
+            format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+        } else {
+            format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+        }
+    }
+}
+
+/// Bundle bench functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64 + 2));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        assert_eq!(
+            BenchmarkId::new("apriori", 3000).to_string(),
+            "apriori/3000"
+        );
+        assert_eq!(BenchmarkId::from_parameter(1024).to_string(), "1024");
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            );
+        });
+        assert_eq!(setups, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for [`crossbeam`](https://docs.rs/crossbeam/0.8).
+//!
+//! Provides [`channel::bounded`] with crossbeam's API shape over
+//! `std::sync::mpsc::sync_channel`: cloneable senders, blocking
+//! back-pressured sends, and receivers that iterate until every sender
+//! hangs up. Single-consumer only (std mpsc), which is all the
+//! workspace's exporter → collector pipelines need; swapping the real
+//! crossbeam in is a manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer channels with back-pressure.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver hung up; the
+    /// unsent value is returned to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending half of a bounded channel. Cloneable; `send` blocks
+    /// while the channel is full.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    /// The receiving half of a bounded channel. Iterating consumes
+    /// messages until all senders disconnect.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty
+    /// and every sender has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create a channel holding at most `cap` in-flight messages
+    /// (`cap == 0` gives a rendezvous channel, like crossbeam).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if the receiver has hung up.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next message, blocking while the channel is
+        /// empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once every sender has hung up and the
+        /// channel is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Iterate over messages, blocking between them, until every
+        /// sender disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn messages_flow_in_order() {
+            let (tx, rx) = bounded::<u32>(4);
+            let producer = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.into_iter().collect();
+            producer.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn cloned_senders_feed_one_receiver() {
+            let (tx, rx) = bounded::<u32>(8);
+            let tx2 = tx.clone();
+            let a = std::thread::spawn(move || tx.send(1).unwrap());
+            let b = std::thread::spawn(move || tx2.send(2).unwrap());
+            a.join().unwrap();
+            b.join().unwrap();
+            let mut got: Vec<u32> = rx.into_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+    }
+}

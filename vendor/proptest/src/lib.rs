@@ -1,0 +1,152 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest/1)
+//! crate.
+//!
+//! This is a real randomized property-test runner — strategies generate
+//! fresh random inputs every case — covering the API surface the
+//! workspace's property suites use: the [`proptest!`] macro (with
+//! `#![proptest_config]`), range/tuple/[`any`](strategy::any)
+//! strategies, [`prop_map`](strategy::Strategy::prop_map),
+//! [`collection`] strategies, [`sample::select`]
+//! and the `prop_assert*` macros. Two deliberate simplifications versus
+//! the real crate:
+//!
+//! 1. **No shrinking.** A failing case panics with the generated values
+//!    via the assertion message, the case index, and the seed; re-runs
+//!    are deterministic (see below) so failures reproduce exactly.
+//! 2. **Deterministic seeding.** Each test's RNG is seeded from a hash
+//!    of its full module path (overridable with `PROPTEST_SEED`), so CI
+//!    runs are reproducible. Set `PROPTEST_CASES` to widen exploration.
+//!
+//! Swapping the real proptest in is a manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+/// Per-test configuration, set with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, like the real proptest; `PROPTEST_CASES` overrides.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from its module path.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drive `body` through `cases` random cases. Called by the generated
+/// test fns; not part of the public proptest API.
+#[doc(hidden)]
+pub fn run_cases(test_path: &str, cases: u32, mut body: impl FnMut(&mut StdRng)) {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fnv1a(test_path));
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest: property {test_path} failed at case {case}/{cases} (seed {seed}); \
+                 rerun with PROPTEST_SEED={seed} to reproduce"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Everything a property-test module needs in one import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against many random
+/// instantiations of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.cases,
+                |rng| {
+                    let ($($arg,)+) = $crate::strategy::Strategy::generate(&strategy, rng);
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Property-scoped `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Property-scoped `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Property-scoped `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

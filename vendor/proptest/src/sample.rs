@@ -1,0 +1,48 @@
+//! Sampling strategies over fixed collections.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Uniformly pick one of `items` (cloned) per generated value.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+#[must_use]
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}
+
+/// Strategy produced by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.items[rng.random_range(0..self.items.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn select_covers_all_items() {
+        let strat = select(vec![80u16, 25, 445]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen, std::collections::BTreeSet::from([80, 25, 445]));
+    }
+}

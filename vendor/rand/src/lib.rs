@@ -1,0 +1,329 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand/0.9) crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the exact 0.9 API surface the workspace uses —
+//! [`Rng::random`], [`Rng::random_range`], [`rngs::StdRng`] and
+//! [`SeedableRng::seed_from_u64`] — over a xoshiro256++ core seeded via
+//! SplitMix64. Streams are deterministic per seed (the property the
+//! traffic generators rely on) but are **not** bit-compatible with the
+//! real `rand::rngs::StdRng` (ChaCha12); nothing in the workspace
+//! depends on the exact stream, only on seed-determinism and uniformity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s — the subset of `rand_core::RngCore` the
+/// workspace exercises.
+pub trait RngCore {
+    /// Next 64 uniformly-distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly-distributed random bits (upper half of
+    /// [`next_u64`](Self::next_u64), which has the better-mixed bits in
+    /// xoshiro-family generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly over the type's whole domain (`[0, 1)`
+    /// for floats).
+    fn random<T: Uniformable>(&mut self) -> T {
+        T::sample_uniform(self)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be sampled uniformly over their whole domain.
+pub trait Uniformable: Sized {
+    /// Draw one uniform value from `rng`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniformable_int {
+    ($($t:ty),*) => {$(
+        impl Uniformable for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniformable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Uniformable for bool {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Uniformable for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Uniformable for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` below `span` (`span > 0`) via Lemire's multiply-shift
+/// with a widening 128-bit product. The bias of the plain multiply-shift
+/// is at most 2⁻⁶⁴·span, far below anything the synthetic workloads or
+/// tests can observe, so no rejection step is needed.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + sample_below(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit domain: the +1 below would overflow.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + sample_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = Uniformable::sample_uniform(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let unit: $t = Uniformable::sample_uniform(rng);
+                start + (end - start) * unit
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
+/// Generators that can be built from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with SplitMix64 (the standard
+    /// seeding recipe for xoshiro-family generators) and build the
+    /// generator from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: used only to expand `u64` seeds into full seed material.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    ///
+    /// Not the real `rand` `StdRng` (ChaCha12) — see the crate docs for
+    /// why that is fine here.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (lane, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9e37_79b9_7f4a_7c15,
+                    0x6a09_e667_f3bc_c909,
+                    0xbb67_ae85_84ca_a73b,
+                    1,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert!(same < 4, "streams should be essentially uncorrelated");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(5u64..=5);
+            assert_eq!(y, 5);
+            let z = rng.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&z));
+            let f = rng.random_range(0.25f64..=1.0);
+            assert!((0.25..=1.0).contains(&f));
+            let p = rng.random_range(1024u16..=u16::MAX);
+            assert!(p >= 1024);
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn full_range_bounds_hit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // The all-inclusive u8 range exercises the span == MAX guard
+        // at type scale: every draw must be valid.
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let v = rng.random_range(0u8..=u8::MAX);
+            seen_high |= v > 200;
+        }
+        assert!(seen_high);
+    }
+}

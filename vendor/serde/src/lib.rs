@@ -1,0 +1,25 @@
+//! Offline stand-in for the [`serde`](https://docs.rs/serde/1) crate.
+//!
+//! The workspace annotates its data model with
+//! `#[derive(Serialize, Deserialize)]` so downstream consumers with the
+//! real serde can round-trip it, but nothing in-tree performs actual
+//! serialization (there is no `serde_json` or similar in the dependency
+//! graph). Since the build environment has no crates.io access, this
+//! vendored crate supplies just enough for those annotations to compile:
+//! the two marker traits and, behind the `derive` feature, no-op derive
+//! macros of the same names. Swapping in the real serde is a
+//! one-line `Cargo.toml` change — no source edits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for serializable types. The real trait's methods are not
+/// reproduced because no in-tree code calls them.
+pub trait Serialize {}
+
+/// Marker for deserializable types. The real trait's methods are not
+/// reproduced because no in-tree code calls them.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

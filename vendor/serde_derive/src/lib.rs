@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde
+//! stand-in: they accept the same attribute grammar (`#[serde(...)]`)
+//! but expand to nothing, because no in-tree code serializes.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
