@@ -1,16 +1,20 @@
 //! **§III-E** — computational overhead report: detector memory, per-step
-//! runtimes, and the miner comparison the paper cites (ref. 15: FP-tree
+//! runtimes, the miner comparison the paper cites (ref. 15: FP-tree
 //! methods outperform hash-based Apriori, growing with dataset size and
-//! falling support).
+//! falling support), and the sharded-engine scaling column. The sharding
+//! numbers are also emitted as `BENCH_sharded.json` in the working
+//! directory so the perf trajectory is machine-readable across PRs.
 //!
 //! ```sh
 //! cargo run --release -p anomex-bench --bin overhead_report [scale]
 //! ```
 
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 use anomex_bench::arg_scale;
-use anomex_core::{extract_with_metadata, PrefilterMode};
+use anomex_core::{extract_sharded, extract_with_metadata, PrefilterMode, TransactionMode};
 use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
 use anomex_mining::{MinerKind, TransactionSet};
 use anomex_netflow::FlowFeature;
@@ -82,4 +86,66 @@ fn main() {
         "\n(paper: unoptimized Python Apriori needed up to 5 min per interval on a \
          2006-era Opteron; tree-based miners scale better at low support [15])"
     );
+
+    // --- Sharded engine scaling: the same extraction fanned out over
+    // worker threads (output bit-identical for every shard count). ---
+    let hardware = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    println!(
+        "\nsharded extraction on the Table II workload ({} hardware threads available):",
+        hardware
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "shards", "time", "speedup", "item-sets"
+    );
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+    let mut baseline_ms = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let n = NonZeroUsize::new(shards).unwrap();
+        let t0 = Instant::now();
+        let ex = extract_sharded(
+            0,
+            &w.flows,
+            &md,
+            PrefilterMode::Union,
+            TransactionMode::Canonical,
+            MinerKind::Apriori,
+            w.min_support,
+            n,
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if shards == 1 {
+            baseline_ms = ms;
+        }
+        let speedup = if ms > 0.0 { baseline_ms / ms } else { 1.0 };
+        println!(
+            "{shards:>8} {ms:>10.1}ms {speedup:>9.2}x {:>10}",
+            ex.itemsets.len()
+        );
+        rows.push((shards, ms));
+    }
+
+    // --- Machine-readable emitter: BENCH_sharded.json. ---
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"sharded_extract_table2\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"flows\": {},", w.flows.len());
+    let _ = writeln!(json, "  \"min_support\": {},", w.min_support);
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, &(shards, ms)) in rows.iter().enumerate() {
+        let speedup = if ms > 0.0 { baseline_ms / ms } else { 1.0 };
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {shards}, \"millis\": {ms:.3}, \"speedup\": {speedup:.3}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write("BENCH_sharded.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_sharded.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_sharded.json: {e}"),
+    }
 }

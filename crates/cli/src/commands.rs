@@ -1,15 +1,16 @@
 //! The `anomex` subcommands.
 
 use std::fs;
+use std::num::NonZeroUsize;
 
 use anomex_core::{
-    extract_with_mode, render_report, AnomalyExtractor, ExtractionConfig, PrefilterMode,
-    TransactionMode,
+    extract_sharded, extract_with_mode, prefilter_indices_sharded, render_report, ExtractionConfig,
+    PrefilterMode, ShardedExtractor, TransactionMode,
 };
 use anomex_detector::{DetectorConfig, MetaData};
-use anomex_mining::{mine_top_k, MinerKind, TransactionSet};
+use anomex_mining::{mine_top_k, MinerKind};
 use anomex_netflow::v5::{decode_stream, V5Exporter};
-use anomex_netflow::{FeatureValue, FlowRecord, FlowTrace, MINUTE_MS};
+use anomex_netflow::{default_shards, FeatureValue, FlowRecord, FlowTrace, MINUTE_MS};
 use anomex_traffic::{table2_workload, Scenario};
 
 use crate::args::Args;
@@ -24,12 +25,15 @@ USAGE:
       Synthesize a workload and write it as concatenated NetFlow v5 datagrams.
 
   anomex extract --in FILE [--interval-min N] [--training N] [--support N]
-                 [--miner apriori|fpgrowth|eclat] [--prefixes] [--intersection]
+                 [--miner apriori|fpgrowth|eclat] [--threads N]
+                 [--prefixes] [--intersection]
       Run the full detection + extraction pipeline over a trace file and
-      print a Table II-style report per alarmed interval.
+      print a Table II-style report per alarmed interval. --threads N
+      shards each interval over N worker threads (0 = one per hardware
+      thread); the output is bit-identical for every thread count.
 
   anomex analyze --in FILE --metadata \"dstPort=7000,#packets=12\" [--support N]
-                 [--top] [--k N] [--prefixes] [--intersection]
+                 [--top] [--k N] [--threads N] [--prefixes] [--intersection]
       Offline extraction with explicit meta-data (the §II-B workflow).
       With --top, mine the k most frequent item-sets instead of using a
       fixed support.
@@ -100,6 +104,13 @@ fn parse_miner(args: &Args) -> Result<MinerKind, String> {
     }
 }
 
+/// Parse `--threads N`: the shard/worker count, where `0` means one per
+/// available hardware thread. Defaults to 1 (sequential).
+fn parse_threads(args: &Args) -> Result<NonZeroUsize, String> {
+    let n = args.get_or("threads", 1usize).map_err(|e| e.to_string())?;
+    Ok(NonZeroUsize::new(n).unwrap_or_else(default_shards))
+}
+
 fn parse_modes(args: &Args) -> (PrefilterMode, TransactionMode) {
     let prefilter = if args.flag("intersection") {
         PrefilterMode::Intersection
@@ -125,6 +136,7 @@ pub fn extract(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let support = args.get_or("support", 50u64).map_err(|e| e.to_string())?;
     let miner = parse_miner(args)?;
+    let threads = parse_threads(args)?;
     let (prefilter, transactions) = parse_modes(args);
 
     let config = ExtractionConfig {
@@ -138,14 +150,14 @@ pub fn extract(args: &Args) -> Result<(), String> {
         prefilter,
         transactions,
     };
-    config.validate()?;
+    // Validate before touching the trace: a bad configuration should
+    // fail instantly, not after decoding a multi-hundred-MB file.
+    let mut pipeline = ShardedExtractor::try_new(config.clone(), threads).map_err(String::from)?;
 
     let mut trace = FlowTrace::from_flows(load_flows(input)?);
     let origin = trace.start_ms().ok_or("trace is empty")?;
     // Align windows to the interval grid containing the first flow.
     let origin = origin - origin % config.interval_ms;
-
-    let mut pipeline = AnomalyExtractor::new(config.clone());
     let mut alarms = 0u32;
     let intervals = trace.intervals(origin, config.interval_ms);
     let total = intervals.len();
@@ -156,7 +168,7 @@ pub fn extract(args: &Args) -> Result<(), String> {
             println!("{}", render_report(&extraction));
         }
     }
-    println!("processed {total} intervals, {alarms} alarmed (s = {support}, Δ = {interval_min} min, miner = {miner})");
+    println!("processed {total} intervals, {alarms} alarmed (s = {support}, Δ = {interval_min} min, miner = {miner}, threads = {threads})");
     Ok(())
 }
 
@@ -183,22 +195,20 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let metadata = parse_metadata(args.require("metadata")?)?;
     let support = args.get_or("support", 50u64).map_err(|e| e.to_string())?;
     let miner = parse_miner(args)?;
+    let threads = parse_threads(args)?;
     let (prefilter, tx_mode) = parse_modes(args);
     let flows = load_flows(input)?;
 
     if args.flag("top") {
         let k = args.get_or("k", 10usize).map_err(|e| e.to_string())?;
-        let suspicious = anomex_core::prefilter(&flows, &metadata, prefilter);
-        let transactions = match tx_mode {
-            TransactionMode::Canonical => TransactionSet::from_flows(&suspicious),
-            TransactionMode::WithPrefixes => TransactionSet::from_flows_extended(&suspicious),
-        };
-        let start = (suspicious.len() as u64 / 10).max(1);
+        let indices = prefilter_indices_sharded(&flows, &metadata, prefilter, threads);
+        let transactions = tx_mode.transactions_at(&flows, &indices);
+        let start = (indices.len() as u64 / 10).max(1);
         let top = mine_top_k(&transactions, miner, k, start);
         println!(
             "top {} item-sets of {} suspicious flows (effective support {}, {} rounds):",
             top.itemsets.len(),
-            suspicious.len(),
+            indices.len(),
             top.effective_support,
             top.rounds
         );
@@ -208,7 +218,9 @@ pub fn analyze(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let extraction = extract_with_mode(0, &flows, &metadata, prefilter, tx_mode, miner, support);
+    let extraction = extract_sharded(
+        0, &flows, &metadata, prefilter, tx_mode, miner, support, threads,
+    );
     println!("{}", render_report(&extraction));
     Ok(())
 }
@@ -262,6 +274,18 @@ mod tests {
         assert_eq!(parse_miner(&a).unwrap(), MinerKind::Apriori);
         let a = Args::parse(["x", "--miner", "zzz"].iter().map(ToString::to_string)).unwrap();
         assert!(parse_miner(&a).is_err());
+    }
+
+    #[test]
+    fn threads_parsing() {
+        let a = Args::parse(["x", "--threads", "4"].iter().map(ToString::to_string)).unwrap();
+        assert_eq!(parse_threads(&a).unwrap().get(), 4);
+        let a = Args::parse(["x"].iter().map(ToString::to_string)).unwrap();
+        assert_eq!(parse_threads(&a).unwrap().get(), 1, "sequential by default");
+        let a = Args::parse(["x", "--threads", "0"].iter().map(ToString::to_string)).unwrap();
+        assert!(parse_threads(&a).unwrap().get() >= 1, "0 means auto");
+        let a = Args::parse(["x", "--threads", "no"].iter().map(ToString::to_string)).unwrap();
+        assert!(parse_threads(&a).is_err());
     }
 
     #[test]

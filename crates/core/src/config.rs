@@ -11,6 +11,8 @@
 //! | threshold multiplier | — | `detector.alpha` | 3 |
 //! | minimum support | s | `min_support` | 10 000 (3 000–10 000) |
 
+use std::fmt;
+
 use anomex_detector::DetectorConfig;
 use anomex_mining::MinerKind;
 use anomex_netflow::MINUTE_MS;
@@ -18,6 +20,35 @@ use serde::{Deserialize, Serialize};
 
 use crate::pipeline::TransactionMode;
 use crate::prefilter::PrefilterMode;
+
+/// An invalid [`ExtractionConfig`]: which constraint was violated, in
+/// human-readable form. Returned by [`ExtractionConfig::validate`] and
+/// [`AnomalyExtractor::try_new`](crate::AnomalyExtractor::try_new) so
+/// library users get a `Result` instead of a panic path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// Wrap a constraint-violation description.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError(message.into())
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> Self {
+        e.0
+    }
+}
 
 /// Complete configuration of the anomaly-extraction pipeline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -59,14 +90,14 @@ impl ExtractionConfig {
     /// # Errors
     ///
     /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.interval_ms == 0 {
-            return Err("interval length must be positive".into());
+            return Err(ConfigError::new("interval length must be positive"));
         }
         if self.min_support == 0 {
-            return Err("minimum support must be at least 1".into());
+            return Err(ConfigError::new("minimum support must be at least 1"));
         }
-        self.detector.validate()
+        self.detector.validate().map_err(ConfigError::new)
     }
 
     /// Scale the minimum support relative to an expected interval volume —

@@ -20,8 +20,12 @@
 //! Entry points:
 //! - [`AnomalyExtractor`] — the online pipeline (feed intervals, get
 //!   [`Extraction`]s);
+//! - [`ShardedExtractor`] — the same pipeline fanned out over worker
+//!   threads per interval shard, with output bit-identical to the
+//!   sequential path for every shard count;
 //! - [`extract_with_metadata`] — offline extraction from externally
-//!   provided meta-data;
+//!   provided meta-data ([`extract_sharded`] is its parallel
+//!   counterpart);
 //! - [`evaluate`] — the full §III evaluation harness over labeled
 //!   scenarios;
 //! - [`models`] — the analytic voting models, eqs. (1)–(3);
@@ -38,9 +42,10 @@ pub mod models;
 pub mod pipeline;
 pub mod prefilter;
 pub mod report;
+pub mod sharded;
 
 pub use classify::classify_itemset;
-pub use config::ExtractionConfig;
+pub use config::{ConfigError, ExtractionConfig};
 pub use cost::{average_cost_reduction, cost_reduction};
 pub use evaluate::{
     evaluate_itemsets, run_scenario, EvaluatedItemSet, IntervalRecord, ScenarioRun,
@@ -56,3 +61,4 @@ pub use pipeline::{
 };
 pub use prefilter::{prefilter, prefilter_indices, PrefilterMode};
 pub use report::{render_csv, render_report};
+pub use sharded::{extract_sharded, observe_sharded, prefilter_indices_sharded, ShardedExtractor};

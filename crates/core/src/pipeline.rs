@@ -7,15 +7,18 @@
 //! comes from elsewhere (another detector type from Table I, or an
 //! administrator's manual hints).
 
+use std::num::NonZeroUsize;
+
 use anomex_detector::{BankObservation, DetectorBank, MetaData};
-use anomex_mining::apriori::{apriori, AprioriConfig};
+use anomex_mining::apriori::{apriori_par, AprioriConfig};
 use anomex_mining::{ItemSet, LevelStats, MinerKind, TransactionSet};
 use anomex_netflow::FlowRecord;
 use serde::{Deserialize, Serialize};
 
-use crate::config::ExtractionConfig;
+use crate::config::{ConfigError, ExtractionConfig};
 use crate::cost::cost_reduction;
-use crate::prefilter::{prefilter, PrefilterMode};
+use crate::prefilter::{prefilter_indices, PrefilterMode};
+use crate::sharded::ShardedExtractor;
 
 /// How flows are mapped to mining transactions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -36,6 +39,21 @@ impl TransactionMode {
         match self {
             TransactionMode::Canonical => TransactionSet::from_flows(flows),
             TransactionMode::WithPrefixes => TransactionSet::from_flows_extended(flows),
+        }
+    }
+
+    /// Build the transaction set for the flows selected by `indices` —
+    /// the zero-copy path from a pre-filter index slice straight to
+    /// mining input, with no intermediate `Vec<FlowRecord>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for `flows`.
+    #[must_use]
+    pub fn transactions_at(self, flows: &[FlowRecord], indices: &[usize]) -> TransactionSet {
+        match self {
+            TransactionMode::Canonical => TransactionSet::from_flows_at(flows, indices),
+            TransactionMode::WithPrefixes => TransactionSet::from_flows_extended_at(flows, indices),
         }
     }
 }
@@ -103,21 +121,51 @@ pub fn extract_with_mode(
     miner: MinerKind,
     min_support: u64,
 ) -> Extraction {
-    let suspicious = prefilter(flows, metadata, mode);
-    let transactions = tx_mode.transactions(&suspicious);
+    mine_at_indices(
+        interval,
+        flows,
+        &prefilter_indices(flows, metadata, mode),
+        metadata,
+        tx_mode,
+        miner,
+        min_support,
+        NonZeroUsize::MIN,
+    )
+}
+
+/// The shared mining tail of every extraction path: build transactions
+/// for the pre-filtered `indices` (zero-copy — straight from index slice
+/// to transactions, no intermediate `Vec<FlowRecord>`), mine maximal
+/// item-sets with up to `threads` worker threads, and assemble the
+/// [`Extraction`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mine_at_indices(
+    interval: u64,
+    flows: &[FlowRecord],
+    indices: &[usize],
+    metadata: &MetaData,
+    tx_mode: TransactionMode,
+    miner: MinerKind,
+    min_support: u64,
+    threads: NonZeroUsize,
+) -> Extraction {
+    let transactions = tx_mode.transactions_at(flows, indices);
     let (itemsets, levels) = match miner {
         MinerKind::Apriori => {
-            let out = apriori(&transactions, &AprioriConfig::maximal(min_support));
+            let out = apriori_par(&transactions, &AprioriConfig::maximal(min_support), threads);
             (out.itemsets, out.levels)
         }
-        other => (other.mine_maximal(&transactions, min_support), Vec::new()),
+        other => (
+            other.mine_maximal_par(&transactions, min_support, threads),
+            Vec::new(),
+        ),
     };
     let cost = cost_reduction(flows.len() as u64, itemsets.len());
     Extraction {
         interval,
         metadata: metadata.clone(),
         total_flows: flows.len(),
-        suspicious_flows: suspicious.len(),
+        suspicious_flows: indices.len(),
         itemsets,
         levels,
         cost_reduction: cost,
@@ -137,64 +185,61 @@ pub struct IntervalOutcome {
 /// The online anomaly-extraction pipeline.
 #[derive(Debug)]
 pub struct AnomalyExtractor {
-    config: ExtractionConfig,
-    bank: DetectorBank,
+    inner: ShardedExtractor,
 }
 
 impl AnomalyExtractor {
+    /// Build the pipeline from a configuration, rejecting invalid
+    /// parameters with an error instead of a panic — the entry point for
+    /// library users who propagate configuration problems.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (see
+    /// [`ExtractionConfig::validate`]).
+    pub fn try_new(config: ExtractionConfig) -> Result<Self, ConfigError> {
+        // One shard ⇒ the engine runs every stage inline, with no worker
+        // threads — the sequential pipeline is the sharded pipeline at
+        // K = 1, so there is exactly one implementation to keep correct.
+        let inner = ShardedExtractor::try_new(config, NonZeroUsize::MIN)?;
+        Ok(AnomalyExtractor { inner })
+    }
+
     /// Build the pipeline from a configuration.
+    ///
+    /// A thin wrapper over [`try_new`](Self::try_new) for callers who
+    /// treat a bad configuration as a programming error.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn new(config: ExtractionConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid extraction configuration: {e}");
-        }
-        let bank = DetectorBank::new(&config.detector);
-        AnomalyExtractor { config, bank }
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid extraction configuration: {e}"))
     }
 
     /// The pipeline configuration.
     #[must_use]
     pub fn config(&self) -> &ExtractionConfig {
-        &self.config
+        self.inner.config()
     }
 
     /// The underlying detector bank (KL series, memory accounting, …).
     #[must_use]
     pub fn bank(&self) -> &DetectorBank {
-        &self.bank
+        self.inner.bank()
     }
 
     /// Whether all detectors have finished training.
     #[must_use]
     pub fn is_trained(&self) -> bool {
-        self.bank.is_trained()
+        self.inner.is_trained()
     }
 
     /// Feed one interval's flows through detection and, on alarm,
     /// extraction.
     pub fn process_interval(&mut self, flows: &[FlowRecord]) -> IntervalOutcome {
-        let observation = self.bank.observe(flows);
-        let extraction = if observation.alarm && !observation.metadata.is_empty() {
-            Some(extract_with_mode(
-                observation.interval,
-                flows,
-                &observation.metadata,
-                self.config.prefilter,
-                self.config.transactions,
-                self.config.miner,
-                self.config.min_support,
-            ))
-        } else {
-            None
-        };
-        IntervalOutcome {
-            observation,
-            extraction,
-        }
+        self.inner.process_interval(flows)
     }
 }
 
@@ -359,5 +404,14 @@ mod tests {
         let mut c = test_config(100);
         c.min_support = 0;
         let _ = AnomalyExtractor::new(c);
+    }
+
+    #[test]
+    fn try_new_reports_the_violation_without_panicking() {
+        let mut c = test_config(100);
+        c.min_support = 0;
+        let err = AnomalyExtractor::try_new(c).unwrap_err();
+        assert!(err.to_string().contains("support"), "{err}");
+        assert!(AnomalyExtractor::try_new(test_config(100)).is_ok());
     }
 }

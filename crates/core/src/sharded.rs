@@ -1,0 +1,354 @@
+//! The sharded parallel extraction engine.
+//!
+//! Every per-interval structure the pipeline builds is a sum over flows:
+//! detector histograms (integer bin counts), pre-filter verdicts
+//! (per-flow predicates), and miner support counts. [`ShardedExtractor`]
+//! exploits that by splitting each interval into balanced contiguous
+//! shards ([`anomex_netflow::shard`]) and fanning the work across scoped
+//! worker threads (`crossbeam::scope`):
+//!
+//! ```text
+//!            interval flows  ────────┬──────────┬──────────┐
+//!                                 shard 0    shard 1    shard K
+//!  detect:                       partial₀   partial₁   partialₖ     (threads)
+//!                                    └──── merge in order ────┘
+//!                                   DetectorBank::observe_partial    (scored once)
+//!  pre-filter:                    indices₀   indices₁   indicesₖ     (threads)
+//!                                    └─ concat in shard order ─┘
+//!  mine:                      transactions built from index slices;
+//!                             support counting over chunks, merged     (threads)
+//! ```
+//!
+//! **Determinism is the load-bearing design constraint**: every merge is
+//! either an exact integer sum (histogram bins, support counts), a set
+//! union (bin value maps), or an in-order concatenation (pre-filter
+//! indices, Eclat tid-lists). All are independent of thread scheduling,
+//! so the sharded output is **bit-identical** to the sequential path for
+//! every shard count and all three miners — asserted by the cross-shard
+//! determinism property suite.
+
+use std::num::NonZeroUsize;
+
+use anomex_detector::{BankObservation, DetectorBank, MetaData};
+use anomex_mining::par::map_chunks;
+use anomex_mining::MinerKind;
+use anomex_netflow::shard::default_shards;
+use anomex_netflow::FlowRecord;
+
+use crate::config::{ConfigError, ExtractionConfig};
+use crate::pipeline::{mine_at_indices, Extraction, IntervalOutcome, TransactionMode};
+use crate::prefilter::PrefilterMode;
+
+/// Observe one interval with a detector bank, histogramming `shards`
+/// flow shards on worker threads and scoring the merged result — the
+/// build-partials → merge → score decomposition of
+/// [`DetectorBank::observe`]. Bit-identical KL values to a sequential
+/// `observe` call, by construction. Runs inline (no threads) for one
+/// shard or intervals too small to amortize spawning.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn observe_sharded(
+    bank: &mut DetectorBank,
+    flows: &[FlowRecord],
+    shards: NonZeroUsize,
+) -> BankObservation {
+    let bank_ref: &DetectorBank = bank;
+    let partials = map_chunks(flows, shards, |_, chunk| bank_ref.partial(chunk));
+    match partials.into_iter().reduce(|mut acc, p| {
+        acc.merge(p);
+        acc
+    }) {
+        Some(merged) => bank.observe_partial(merged),
+        // Empty interval: nothing to shard, observe it directly.
+        None => bank.observe(flows),
+    }
+}
+
+/// Pre-filter `flows` into suspicious indices, evaluating shards on
+/// worker threads and concatenating the per-shard indices in shard
+/// order — identical to [`prefilter_indices`](crate::prefilter_indices)
+/// for every shard count.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+#[must_use]
+pub fn prefilter_indices_sharded(
+    flows: &[FlowRecord],
+    metadata: &MetaData,
+    mode: PrefilterMode,
+    shards: NonZeroUsize,
+) -> Vec<usize> {
+    map_chunks(flows, shards, |start, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| mode.matches(metadata, f))
+            .map(|(i, _)| start + i)
+            .collect::<Vec<usize>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Offline sharded extraction: the parallel counterpart of
+/// [`extract_with_mode`](crate::extract_with_mode). Pre-filtering runs
+/// over flow shards, transactions are built zero-copy from the index
+/// slices, and the miner's support counting runs over transaction
+/// chunks — all on up to `shards` worker threads, with output
+/// bit-identical to the sequential call.
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero or a worker thread panics.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn extract_sharded(
+    interval: u64,
+    flows: &[FlowRecord],
+    metadata: &MetaData,
+    mode: PrefilterMode,
+    tx_mode: TransactionMode,
+    miner: MinerKind,
+    min_support: u64,
+    shards: NonZeroUsize,
+) -> Extraction {
+    let indices = prefilter_indices_sharded(flows, metadata, mode, shards);
+    mine_at_indices(
+        interval,
+        flows,
+        &indices,
+        metadata,
+        tx_mode,
+        miner,
+        min_support,
+        shards,
+    )
+}
+
+/// The online anomaly-extraction pipeline, sharded: the drop-in parallel
+/// counterpart of [`AnomalyExtractor`](crate::AnomalyExtractor). Each
+/// interval is split into `shards` contiguous flow shards; detection,
+/// pre-filtering, and mining all fan out over scoped worker threads and
+/// merge deterministically, so for any fixed input the outcome stream is
+/// bit-identical to the sequential pipeline's regardless of shard count.
+#[derive(Debug)]
+pub struct ShardedExtractor {
+    config: ExtractionConfig,
+    shards: NonZeroUsize,
+    bank: DetectorBank,
+}
+
+impl ShardedExtractor {
+    /// Build the sharded pipeline, rejecting an invalid configuration
+    /// with an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn try_new(config: ExtractionConfig, shards: NonZeroUsize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let bank = DetectorBank::new(&config.detector);
+        Ok(ShardedExtractor {
+            config,
+            shards,
+            bank,
+        })
+    }
+
+    /// Build the sharded pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: ExtractionConfig, shards: NonZeroUsize) -> Self {
+        Self::try_new(config, shards)
+            .unwrap_or_else(|e| panic!("invalid extraction configuration: {e}"))
+    }
+
+    /// Build the sharded pipeline with one shard per available hardware
+    /// thread — the "as fast as the hardware allows" default.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn with_available_parallelism(config: ExtractionConfig) -> Result<Self, ConfigError> {
+        Self::try_new(config, default_shards())
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExtractionConfig {
+        &self.config
+    }
+
+    /// The number of shards each interval is split into.
+    #[must_use]
+    pub fn shards(&self) -> NonZeroUsize {
+        self.shards
+    }
+
+    /// The underlying detector bank (KL series, memory accounting, …).
+    #[must_use]
+    pub fn bank(&self) -> &DetectorBank {
+        &self.bank
+    }
+
+    /// Whether all detectors have finished training.
+    #[must_use]
+    pub fn is_trained(&self) -> bool {
+        self.bank.is_trained()
+    }
+
+    /// Feed one interval's flows through sharded detection and, on
+    /// alarm, sharded extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn process_interval(&mut self, flows: &[FlowRecord]) -> IntervalOutcome {
+        let observation = observe_sharded(&mut self.bank, flows, self.shards);
+        let extraction = if observation.alarm && !observation.metadata.is_empty() {
+            Some(extract_sharded(
+                observation.interval,
+                flows,
+                &observation.metadata,
+                self.config.prefilter,
+                self.config.transactions,
+                self.config.miner,
+                self.config.min_support,
+                self.shards,
+            ))
+        } else {
+            None
+        };
+        IntervalOutcome {
+            observation,
+            extraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{extract_with_mode, AnomalyExtractor};
+    use crate::prefilter::prefilter_indices;
+    use anomex_detector::DetectorConfig;
+    use anomex_netflow::FlowFeature;
+    use anomex_traffic::{table2_workload, Scenario};
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    fn test_config(min_support: u64) -> ExtractionConfig {
+        ExtractionConfig {
+            interval_ms: 60_000,
+            detector: DetectorConfig {
+                training_intervals: 10,
+                ..DetectorConfig::default()
+            },
+            min_support,
+            ..ExtractionConfig::default()
+        }
+    }
+
+    #[test]
+    fn offline_sharded_extraction_matches_sequential() {
+        let w = table2_workload(7, 0.05);
+        let mut md = MetaData::new();
+        md.insert(FlowFeature::DstPort, 7000);
+        md.insert(FlowFeature::DstPort, 80);
+        let reference = extract_with_mode(
+            0,
+            &w.flows,
+            &md,
+            PrefilterMode::Union,
+            TransactionMode::Canonical,
+            MinerKind::Apriori,
+            w.min_support,
+        );
+        for shards in 1..=6 {
+            let sharded = extract_sharded(
+                0,
+                &w.flows,
+                &md,
+                PrefilterMode::Union,
+                TransactionMode::Canonical,
+                MinerKind::Apriori,
+                w.min_support,
+                nz(shards),
+            );
+            assert_eq!(sharded.itemsets, reference.itemsets, "shards={shards}");
+            assert_eq!(sharded.levels, reference.levels, "shards={shards}");
+            assert_eq!(sharded.suspicious_flows, reference.suspicious_flows);
+            assert_eq!(
+                sharded.cost_reduction.to_bits(),
+                reference.cost_reduction.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_prefilter_preserves_index_order() {
+        let w = table2_workload(3, 0.02);
+        let mut md = MetaData::new();
+        md.insert(FlowFeature::DstPort, 7000);
+        let reference = prefilter_indices(&w.flows, &md, PrefilterMode::Union);
+        for shards in 1..=5 {
+            assert_eq!(
+                prefilter_indices_sharded(&w.flows, &md, PrefilterMode::Union, nz(shards)),
+                reference,
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn online_sharded_pipeline_matches_sequential_bit_for_bit() {
+        let scenario = Scenario::small(11);
+        let mut sequential = AnomalyExtractor::new(test_config(800));
+        let mut sharded = ShardedExtractor::new(test_config(800), nz(4));
+        for i in 0..scenario.interval_count().min(24) {
+            let interval = scenario.generate(i);
+            let a = sequential.process_interval(&interval.flows);
+            let b = sharded.process_interval(&interval.flows);
+            assert_eq!(a.observation.alarm, b.observation.alarm, "interval {i}");
+            assert_eq!(a.observation.metadata, b.observation.metadata);
+            for (x, y) in a.observation.features.iter().zip(&b.observation.features) {
+                for (cx, cy) in x.clones.iter().zip(&y.clones) {
+                    assert_eq!(cx.kl.map(f64::to_bits), cy.kl.map(f64::to_bits));
+                }
+            }
+            match (&a.extraction, &b.extraction) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.itemsets, y.itemsets, "interval {i}");
+                    assert_eq!(x.levels, y.levels);
+                    assert_eq!(x.suspicious_flows, y.suspicious_flows);
+                    assert_eq!(x.cost_reduction.to_bits(), y.cost_reduction.to_bits());
+                }
+                _ => panic!("extraction presence diverged at interval {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn available_parallelism_constructor_works() {
+        let e = ShardedExtractor::with_available_parallelism(test_config(500)).unwrap();
+        assert!(e.shards().get() >= 1);
+        assert!(!e.is_trained());
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut c = test_config(100);
+        c.min_support = 0;
+        assert!(ShardedExtractor::try_new(c, nz(4)).is_err());
+    }
+}

@@ -9,7 +9,7 @@
 use anomex_netflow::{FlowFeature, FlowRecord};
 use serde::{Deserialize, Serialize};
 
-use crate::detector::{FeatureDetector, FeatureObservation};
+use crate::detector::{FeatureDetector, FeatureObservation, FeaturePartial};
 use crate::metadata::MetaData;
 
 /// Configuration of a detector bank — the paper's Table III parameters.
@@ -101,6 +101,37 @@ impl BankObservation {
     }
 }
 
+/// All detectors' partial histograms over one flow shard — what one
+/// worker thread produces from its chunk of an interval. Partials over
+/// disjoint shards [`merge`](BankPartial::merge) into exactly the state a
+/// sequential [`DetectorBank::observe`] would build, so the sharded and
+/// sequential paths score bit-identical KL values by construction.
+#[derive(Debug, Clone)]
+pub struct BankPartial {
+    features: Vec<FeaturePartial>,
+}
+
+impl BankPartial {
+    /// Merge another shard's partial into this one. Merging is
+    /// order-independent (integer count sums and value-set unions), so
+    /// any merge tree over the shards yields the same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partials come from banks with different
+    /// configurations.
+    pub fn merge(&mut self, other: BankPartial) {
+        assert_eq!(
+            self.features.len(),
+            other.features.len(),
+            "cannot merge partials of different banks"
+        );
+        for (mine, theirs) in self.features.iter_mut().zip(other.features) {
+            mine.merge(theirs);
+        }
+    }
+}
+
 /// `m` feature detectors operated in lockstep.
 #[derive(Debug)]
 pub struct DetectorBank {
@@ -141,12 +172,43 @@ impl DetectorBank {
         }
     }
 
+    /// Build every detector's partial histograms over one flow shard
+    /// without advancing any state. Takes `&self`, so worker threads can
+    /// histogram disjoint shards concurrently; the partials then
+    /// [`merge`](BankPartial::merge) and a single
+    /// [`observe_partial`](Self::observe_partial) call scores the result.
+    #[must_use]
+    pub fn partial(&self, flows: &[FlowRecord]) -> BankPartial {
+        BankPartial {
+            features: self.detectors.iter().map(|d| d.partial(flows)).collect(),
+        }
+    }
+
     /// Observe one interval's flows with every detector.
     pub fn observe(&mut self, flows: &[FlowRecord]) -> BankObservation {
+        let partial = self.partial(flows);
+        self.observe_partial(partial)
+    }
+
+    /// Score a (merged) partial and advance every detector — the
+    /// sequential tail of a sharded observation. Produces exactly what
+    /// [`observe`](Self::observe) over the concatenated shards would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partial was built by a bank with a different
+    /// configuration.
+    pub fn observe_partial(&mut self, partial: BankPartial) -> BankObservation {
+        assert_eq!(
+            partial.features.len(),
+            self.detectors.len(),
+            "partial was built by a different bank"
+        );
         let features: Vec<FeatureObservation> = self
             .detectors
             .iter_mut()
-            .map(|d| d.observe(flows))
+            .zip(partial.features)
+            .map(|(d, p)| d.observe_partial(p))
             .collect();
         let mut metadata = MetaData::new();
         for obs in &features {
@@ -315,6 +377,35 @@ mod tests {
         bank.observe(&background(0));
         // 5 features × 3 clones × 1024 bins × 8 bytes = 122 880 minimum.
         assert!(bank.memory_bytes() >= 5 * 3 * 1024 * 8);
+    }
+
+    #[test]
+    fn sharded_observation_is_bit_identical_to_sequential() {
+        let mut sequential = DetectorBank::new(&config());
+        let mut sharded = DetectorBank::new(&config());
+        for i in 0..16 {
+            let flows = if i == 14 { ddos(i) } else { background(i) };
+            let a = sequential.observe(&flows);
+            // Four uneven shards, merged in order.
+            let quarter = flows.len() / 4;
+            let mut partial = sharded.partial(&flows[..quarter]);
+            partial.merge(sharded.partial(&flows[quarter..2 * quarter]));
+            partial.merge(sharded.partial(&flows[2 * quarter..3 * quarter + 1]));
+            partial.merge(sharded.partial(&flows[3 * quarter + 1..]));
+            let b = sharded.observe_partial(partial);
+            assert_eq!(a.alarm, b.alarm, "interval {i}");
+            assert_eq!(a.metadata, b.metadata, "interval {i}");
+            for (x, y) in a.features.iter().zip(&b.features) {
+                for (cx, cy) in x.clones.iter().zip(&y.clones) {
+                    assert_eq!(
+                        cx.kl.map(f64::to_bits),
+                        cy.kl.map(f64::to_bits),
+                        "interval {i} feature {:?}",
+                        x.feature
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -120,10 +120,37 @@ impl HistogramClone {
         self.threshold.as_ref()
     }
 
+    /// Build this clone's histogram over a batch of flows *without*
+    /// advancing the state machine — the per-shard "partial" of the
+    /// build-partials → merge → score decomposition. Partials built over
+    /// disjoint flow shards [`merge`](FeatureHistogram::merge) into
+    /// exactly the histogram a single pass would produce, so sharded
+    /// observation is bit-identical to sequential by construction.
+    #[must_use]
+    pub fn build_histogram(&self, flows: &[FlowRecord]) -> FeatureHistogram {
+        FeatureHistogram::build(self.feature, self.hasher, self.bins, flows)
+    }
+
     /// Observe one interval's flows and advance the state machine.
     pub fn observe(&mut self, flows: &[FlowRecord]) -> CloneObservation {
-        let current = FeatureHistogram::build(self.feature, self.hasher, self.bins, flows);
+        let current = self.build_histogram(flows);
+        self.observe_histogram(current)
+    }
 
+    /// Score a pre-built interval histogram and advance the state machine
+    /// — the "score" half of [`build_histogram`](Self::build_histogram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` was built by a different clone (feature,
+    /// hasher, or bin count mismatch).
+    pub fn observe_histogram(&mut self, current: FeatureHistogram) -> CloneObservation {
+        assert!(
+            current.feature() == self.feature
+                && current.hasher() == self.hasher
+                && current.bins() == self.bins,
+            "histogram was built by a different clone"
+        );
         let kl = self
             .prev_histogram
             .as_ref()
@@ -324,6 +351,40 @@ mod tests {
         assert_eq!(clone.memory_bytes(), 0);
         clone.observe(&background(0));
         assert!(clone.memory_bytes() >= 1024 * 8);
+    }
+
+    #[test]
+    fn merged_shard_partials_score_bit_identically() {
+        // Two clones fed the same traffic, one via observe(), one via
+        // per-shard partials merged then scored: every KL must match to
+        // the bit.
+        let mut whole = trained_clone();
+        let mut sharded = trained_clone();
+        for i in 12..18 {
+            let flows = if i == 14 { flooded(i) } else { background(i) };
+            let a = whole.observe(&flows);
+            let third = flows.len() / 3;
+            let mut partial = sharded.build_histogram(&flows[..third]);
+            partial.merge(sharded.build_histogram(&flows[third..2 * third]));
+            partial.merge(sharded.build_histogram(&flows[2 * third..]));
+            let b = sharded.observe_histogram(partial);
+            assert_eq!(
+                a.kl.map(f64::to_bits),
+                b.kl.map(f64::to_bits),
+                "interval {i}"
+            );
+            assert_eq!(a.alarm, b.alarm, "interval {i}");
+            assert_eq!(a.values, b.values, "interval {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different clone")]
+    fn foreign_histogram_panics() {
+        let mut clone = HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 64, 3.0, 5);
+        let other = HistogramClone::new(FlowFeature::DstPort, BinHasher::new(8), 64, 3.0, 5);
+        let h = other.build_histogram(&background(0));
+        let _ = clone.observe_histogram(h);
     }
 
     #[test]

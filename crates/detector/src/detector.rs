@@ -23,6 +23,38 @@ pub struct FeatureObservation {
     pub voted_values: BTreeSet<u64>,
 }
 
+/// Per-clone partial histograms of one feature detector over one flow
+/// shard — the mergeable unit of the build-partials → merge → score
+/// decomposition. Built by [`FeatureDetector::partial`] (a `&self`
+/// method, so shards can run on worker threads), merged with
+/// [`merge`](FeaturePartial::merge), and scored by
+/// [`FeatureDetector::observe_partial`].
+#[derive(Debug, Clone)]
+pub struct FeaturePartial {
+    histograms: Vec<crate::histogram::FeatureHistogram>,
+}
+
+impl FeaturePartial {
+    /// Merge (and consume) another shard's partial into this one —
+    /// per-clone histogram merges: exact integer count sums,
+    /// order-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partials come from detectors with different clone
+    /// configurations.
+    pub fn merge(&mut self, other: FeaturePartial) {
+        assert_eq!(
+            self.histograms.len(),
+            other.histograms.len(),
+            "cannot merge partials of different detectors"
+        );
+        for (mine, theirs) in self.histograms.iter_mut().zip(other.histograms) {
+            mine.merge(theirs);
+        }
+    }
+}
+
 /// A histogram-based detector for one traffic feature.
 #[derive(Debug)]
 pub struct FeatureDetector {
@@ -103,10 +135,45 @@ impl FeatureDetector {
         &self.clones
     }
 
+    /// Build all clones' histograms over one flow shard without touching
+    /// detector state. Partials over disjoint shards merge into exactly
+    /// what one pass over the whole interval builds.
+    #[must_use]
+    pub fn partial(&self, flows: &[FlowRecord]) -> FeaturePartial {
+        FeaturePartial {
+            histograms: self
+                .clones
+                .iter()
+                .map(|c| c.build_histogram(flows))
+                .collect(),
+        }
+    }
+
     /// Observe one interval.
     pub fn observe(&mut self, flows: &[FlowRecord]) -> FeatureObservation {
-        let observations: Vec<CloneObservation> =
-            self.clones.iter_mut().map(|c| c.observe(flows)).collect();
+        let partial = self.partial(flows);
+        self.observe_partial(partial)
+    }
+
+    /// Score a merged partial and advance every clone's state machine —
+    /// the sequential tail of a sharded observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partial was built by a detector with a different
+    /// clone configuration.
+    pub fn observe_partial(&mut self, partial: FeaturePartial) -> FeatureObservation {
+        assert_eq!(
+            partial.histograms.len(),
+            self.clones.len(),
+            "partial was built by a different detector"
+        );
+        let observations: Vec<CloneObservation> = self
+            .clones
+            .iter_mut()
+            .zip(partial.histograms)
+            .map(|(c, h)| c.observe_histogram(h))
+            .collect();
         let alarmed_clones = observations.iter().filter(|o| o.alarm).count();
         let alarm = alarmed_clones >= self.votes;
         let voted_values = if alarm {

@@ -53,6 +53,41 @@ impl FeatureHistogram {
         h
     }
 
+    /// Merge another partial histogram into this one: per-bin counts add
+    /// and per-bin value sets union, so merging shard partials yields
+    /// exactly the histogram a single pass over the concatenated shards
+    /// would have built (counts are integers — no rounding, no order
+    /// dependence). Consumes `other` so bins observed in only one shard
+    /// move their value set instead of copying it — the merge is the
+    /// sequential fraction of a sharded observation, so it stays cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms disagree on feature, hasher, or bin
+    /// count — partials are only mergeable within one clone.
+    pub fn merge(&mut self, other: FeatureHistogram) {
+        assert!(
+            self.feature == other.feature
+                && self.hasher == other.hasher
+                && self.counts.len() == other.counts.len(),
+            "cannot merge histograms of different clones"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        for (bin, values) in other.values {
+            match self.values.entry(bin) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().extend(values);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(values);
+                }
+            }
+        }
+    }
+
     /// Count one flow.
     pub fn add(&mut self, flow: &FlowRecord) {
         let value = self.feature.value_of(flow).raw;
@@ -212,6 +247,42 @@ mod tests {
             &(0..10u16).map(flow_to_port).collect::<Vec<_>>(),
         );
         assert!(big.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn merged_partials_equal_a_single_pass() {
+        let flows: Vec<_> = (0..997u16).map(flow_to_port).collect();
+        let whole = FeatureHistogram::build(FlowFeature::DstPort, BinHasher::new(5), 64, &flows);
+        for split in [1usize, 250, 500, 996] {
+            let (a, b) = flows.split_at(split);
+            let mut merged =
+                FeatureHistogram::build(FlowFeature::DstPort, BinHasher::new(5), 64, a);
+            merged.merge(FeatureHistogram::build(
+                FlowFeature::DstPort,
+                BinHasher::new(5),
+                64,
+                b,
+            ));
+            assert_eq!(merged.counts(), whole.counts(), "split at {split}");
+            assert_eq!(merged.total(), whole.total());
+            assert_eq!(merged.distinct_values(), whole.distinct_values());
+            for bin in 0..64 {
+                assert_eq!(
+                    merged.values_in_bin(bin).collect::<Vec<_>>(),
+                    whole.values_in_bin(bin).collect::<Vec<_>>(),
+                    "bin {bin} split {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different clones")]
+    fn merging_across_clones_panics() {
+        let flows = vec![flow_to_port(80)];
+        let mut a = FeatureHistogram::build(FlowFeature::DstPort, BinHasher::new(1), 64, &flows);
+        let b = FeatureHistogram::build(FlowFeature::DstPort, BinHasher::new(2), 64, &flows);
+        a.merge(b);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! allocation-free (≤ 126 subsets per transaction per level).
 
 use std::collections::{HashMap, HashSet};
+use std::num::NonZeroUsize;
 
 use serde::{Deserialize, Serialize};
 
@@ -19,7 +20,8 @@ use crate::combinations::for_each_combination;
 use crate::item::Item;
 use crate::itemset::ItemSet;
 use crate::maximal::filter_maximal;
-use crate::transaction::{TransactionSet, MAX_WIDTH};
+use crate::par::{map_chunks, sum_count_vecs};
+use crate::transaction::{Transaction, TransactionSet, MAX_WIDTH};
 
 /// Padding value for fixed-size candidate keys. Never a valid item
 /// encoding (feature indices stop at 8, so valid encodings are < 9 << 56).
@@ -66,7 +68,7 @@ impl AprioriConfig {
 }
 
 /// Counters for one Apriori level (one `k`).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LevelStats {
     /// The level `k` (item-set size).
     pub level: usize,
@@ -90,7 +92,7 @@ pub struct AprioriOutput {
     pub passes: usize,
 }
 
-/// Run Apriori over a transaction set.
+/// Run Apriori over a transaction set (single-threaded support counting).
 ///
 /// # Panics
 ///
@@ -98,6 +100,53 @@ pub struct AprioriOutput {
 /// every subset of every transaction "frequent", which is never meaningful.
 #[must_use]
 pub fn apriori(set: &TransactionSet, config: &AprioriConfig) -> AprioriOutput {
+    apriori_par(set, config, NonZeroUsize::MIN)
+}
+
+/// Pass 1 of every miner: global single-item occurrence counts, computed
+/// over transaction chunks on up to `threads` worker threads and merged
+/// by summation (exact, order-independent — bit-identical to a
+/// sequential count for every thread count).
+#[must_use]
+pub(crate) fn count_single_items(
+    set: &TransactionSet,
+    threads: NonZeroUsize,
+) -> HashMap<Item, u64> {
+    let parts = map_chunks(set.transactions(), threads, |_, chunk: &[Transaction]| {
+        let mut counts: HashMap<Item, u64> = HashMap::new();
+        for t in chunk {
+            for &item in t.items() {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        counts
+    });
+    let mut total: HashMap<Item, u64> = HashMap::new();
+    for part in parts {
+        for (item, c) in part {
+            *total.entry(item).or_insert(0) += c;
+        }
+    }
+    total
+}
+
+/// Run Apriori with support counting parallelized over transaction
+/// chunks on up to `threads` worker threads.
+///
+/// Per level, each worker counts candidate hits in its own index-aligned
+/// vector and the vectors are summed — integer adds, so the output is
+/// **bit-identical** to [`apriori`] for every `threads` value; only the
+/// wall-clock changes.
+///
+/// # Panics
+///
+/// Panics if `config.min_support` is zero.
+#[must_use]
+pub fn apriori_par(
+    set: &TransactionSet,
+    config: &AprioriConfig,
+    threads: NonZeroUsize,
+) -> AprioriOutput {
     assert!(
         config.min_support >= 1,
         "minimum support must be at least 1"
@@ -108,12 +157,7 @@ pub fn apriori(set: &TransactionSet, config: &AprioriConfig) -> AprioriOutput {
     let mut levels: Vec<LevelStats> = Vec::new();
 
     // --- Pass 1: count single items. ---
-    let mut counts: HashMap<Item, u64> = HashMap::new();
-    for t in set.transactions() {
-        for &item in t.items() {
-            *counts.entry(item).or_insert(0) += 1;
-        }
-    }
+    let counts = count_single_items(set, threads);
     let mut current: Vec<(Vec<Item>, u64)> = counts
         .into_iter()
         .filter(|&(_, c)| c >= min_support)
@@ -147,26 +191,36 @@ pub fn apriori(set: &TransactionSet, config: &AprioriConfig) -> AprioriOutput {
         }
 
         // Support counting: enumerate each transaction's k-subsets.
-        let mut support: HashMap<CandKey, u64> = candidates
+        // Workers count into index-aligned vectors against a shared
+        // read-only candidate index; the vectors sum exactly.
+        let index: HashMap<CandKey, usize> = candidates
             .iter()
-            .map(|items| (key_of(items), 0u64))
+            .enumerate()
+            .map(|(i, items)| (key_of(items), i))
             .collect();
-        for t in set.transactions() {
-            if t.width() < k {
-                continue;
-            }
-            for_each_combination(t.items(), k, |combo| {
-                if let Some(c) = support.get_mut(&key_of(combo)) {
-                    *c += 1;
+        let n = candidates.len();
+        let parts = map_chunks(set.transactions(), threads, |_, chunk: &[Transaction]| {
+            let mut counts = vec![0u64; n];
+            for t in chunk {
+                if t.width() < k {
+                    continue;
                 }
-            });
-        }
+                for_each_combination(t.items(), k, |combo| {
+                    if let Some(&i) = index.get(&key_of(combo)) {
+                        counts[i] += 1;
+                    }
+                });
+            }
+            counts
+        });
+        let support = sum_count_vecs(parts);
         passes += 1;
 
         let mut next: Vec<(Vec<Item>, u64)> = candidates
             .into_iter()
-            .filter_map(|items| {
-                let c = support[&key_of(&items)];
+            .enumerate()
+            .filter_map(|(i, items)| {
+                let c = support.get(i).copied().unwrap_or(0);
                 (c >= min_support).then_some((items, c))
             })
             .collect();
@@ -387,5 +441,40 @@ mod tests {
     fn passes_bounded_by_transaction_width() {
         let out = apriori(&small_set(), &AprioriConfig::all_frequent(1));
         assert!(out.passes <= MAX_WIDTH);
+    }
+
+    #[test]
+    fn parallel_counting_is_identical_for_every_thread_count() {
+        // Big enough to actually split into chunks (see par::MIN_ITEMS_PER_THREAD).
+        let mut set = TransactionSet::new();
+        for i in 0..6000u64 {
+            set.push(tx(&[
+                (FlowFeature::DstPort, 80 + i % 3),
+                (FlowFeature::Proto, 6 + (i % 2) * 11),
+                (FlowFeature::Packets, i % 5),
+            ]));
+        }
+        for config in [
+            AprioriConfig::all_frequent(500),
+            AprioriConfig::maximal(500),
+        ] {
+            let reference = apriori(&set, &config);
+            for threads in 2..=8 {
+                let par = apriori_par(&set, &config, NonZeroUsize::new(threads).unwrap());
+                assert_eq!(par.itemsets, reference.itemsets, "threads={threads}");
+                for (a, b) in par.itemsets.iter().zip(&reference.itemsets) {
+                    assert_eq!(a.support, b.support, "threads={threads} {a}");
+                }
+                assert_eq!(par.passes, reference.passes);
+                assert_eq!(par.levels.len(), reference.levels.len());
+                for (a, b) in par.levels.iter().zip(&reference.levels) {
+                    assert_eq!(
+                        (a.level, a.candidates, a.frequent, a.maximal),
+                        (b.level, b.candidates, b.frequent, b.maximal),
+                        "threads={threads}"
+                    );
+                }
+            }
+        }
     }
 }

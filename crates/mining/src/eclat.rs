@@ -7,10 +7,12 @@
 //! mining; we include it as the third interchangeable miner.
 
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
 
 use crate::item::Item;
 use crate::itemset::ItemSet;
-use crate::transaction::TransactionSet;
+use crate::par::map_chunks;
+use crate::transaction::{Transaction, TransactionSet};
 
 /// Mine all frequent item-sets with Eclat.
 ///
@@ -22,16 +24,53 @@ use crate::transaction::TransactionSet;
 /// Panics if `min_support` is zero.
 #[must_use]
 pub fn eclat(set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
-    assert!(min_support >= 1, "minimum support must be at least 1");
+    eclat_par(set, min_support, NonZeroUsize::MIN)
+}
 
-    // Build vertical tid-lists.
-    let mut tidlists: HashMap<Item, Vec<u32>> = HashMap::new();
-    for (tid, t) in set.transactions().iter().enumerate() {
-        for &item in t.items() {
-            tidlists.entry(item).or_default().push(tid as u32);
+/// Build the vertical representation: item → sorted list of the ids of
+/// the transactions containing it. Chunks of the transaction slice are
+/// scanned on up to `threads` worker threads, each recording *global*
+/// transaction ids (chunk start + offset); concatenating the per-chunk
+/// lists in chunk order reproduces the sequential construction exactly.
+fn tidlists(set: &TransactionSet, threads: NonZeroUsize) -> HashMap<Item, Vec<u32>> {
+    let parts = map_chunks(
+        set.transactions(),
+        threads,
+        |start, chunk: &[Transaction]| {
+            let mut lists: HashMap<Item, Vec<u32>> = HashMap::new();
+            for (offset, t) in chunk.iter().enumerate() {
+                let tid = (start + offset) as u32;
+                for &item in t.items() {
+                    lists.entry(item).or_default().push(tid);
+                }
+            }
+            lists
+        },
+    );
+    let mut merged: HashMap<Item, Vec<u32>> = HashMap::new();
+    // Chunk order + ascending tids within each chunk ⇒ merged lists are
+    // sorted without any post-hoc sort.
+    for part in parts {
+        for (item, mut tids) in part {
+            merged.entry(item).or_default().append(&mut tids);
         }
     }
-    // tid-lists are sorted by construction (tid increases monotonically).
+    merged
+}
+
+/// Eclat with tid-list construction parallelized over transaction chunks
+/// on up to `threads` worker threads. The per-chunk lists concatenate in
+/// chunk order into exactly the sequential tid-lists, so the output is
+/// **bit-identical** to [`eclat`] for every thread count.
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+#[must_use]
+pub fn eclat_par(set: &TransactionSet, min_support: u64, threads: NonZeroUsize) -> Vec<ItemSet> {
+    assert!(min_support >= 1, "minimum support must be at least 1");
+
+    let tidlists = tidlists(set, threads);
     let mut roots: Vec<(Item, Vec<u32>)> = tidlists
         .into_iter()
         .filter(|(_, tids)| tids.len() as u64 >= min_support)
@@ -156,5 +195,25 @@ mod tests {
     #[should_panic(expected = "minimum support must be at least 1")]
     fn zero_support_panics() {
         let _ = eclat(&TransactionSet::new(), 0);
+    }
+
+    #[test]
+    fn parallel_tidlists_are_identical_for_every_thread_count() {
+        let mut set = TransactionSet::new();
+        for i in 0..5000u64 {
+            set.push(tx(&[
+                (FlowFeature::DstPort, 80 + i % 4),
+                (FlowFeature::Proto, 6),
+                (FlowFeature::Packets, i % 7),
+            ]));
+        }
+        let reference = eclat(&set, 300);
+        for threads in 2..=8 {
+            let par = eclat_par(&set, 300, NonZeroUsize::new(threads).unwrap());
+            assert_eq!(par, reference, "threads={threads}");
+            for (a, b) in par.iter().zip(&reference) {
+                assert_eq!(a.support, b.support, "threads={threads} {a}");
+            }
+        }
     }
 }

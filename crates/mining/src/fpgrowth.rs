@@ -10,7 +10,9 @@
 //! no unsafe.
 
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
 
+use crate::apriori::count_single_items;
 use crate::item::Item;
 use crate::itemset::ItemSet;
 use crate::transaction::TransactionSet;
@@ -112,15 +114,24 @@ fn ranked_items(items: &[Item], rank: &HashMap<Item, usize>) -> Vec<Item> {
 /// Panics if `min_support` is zero.
 #[must_use]
 pub fn fpgrowth(set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
+    fpgrowth_par(set, min_support, NonZeroUsize::MIN)
+}
+
+/// FP-growth with the first (support-counting) scan parallelized over
+/// transaction chunks on up to `threads` worker threads. The merged
+/// counts are exact integer sums, so the ranking — and therefore the
+/// tree and the mined output — is **bit-identical** to [`fpgrowth`] for
+/// every thread count.
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+#[must_use]
+pub fn fpgrowth_par(set: &TransactionSet, min_support: u64, threads: NonZeroUsize) -> Vec<ItemSet> {
     assert!(min_support >= 1, "minimum support must be at least 1");
 
-    // Pass 1: global item counts.
-    let mut counts: HashMap<Item, u64> = HashMap::new();
-    for t in set.transactions() {
-        for &item in t.items() {
-            *counts.entry(item).or_insert(0) += 1;
-        }
-    }
+    // Pass 1: global item counts (parallel over chunks, merged by sum).
+    let counts = count_single_items(set, threads);
     let mut frequent: Vec<(Item, u64)> = counts
         .into_iter()
         .filter(|&(_, c)| c >= min_support)
@@ -242,6 +253,26 @@ mod tests {
     #[should_panic(expected = "minimum support must be at least 1")]
     fn zero_support_panics() {
         let _ = fpgrowth(&TransactionSet::new(), 0);
+    }
+
+    #[test]
+    fn parallel_first_scan_is_identical_for_every_thread_count() {
+        let mut set = TransactionSet::new();
+        for i in 0..4000u64 {
+            set.push(tx(&[
+                (FlowFeature::DstPort, 80 + i % 3),
+                (FlowFeature::Proto, 6 + (i % 2) * 11),
+                (FlowFeature::Packets, i % 4),
+            ]));
+        }
+        let reference = fpgrowth(&set, 250);
+        for threads in 2..=8 {
+            let par = fpgrowth_par(&set, 250, NonZeroUsize::new(threads).unwrap());
+            assert_eq!(par, reference, "threads={threads}");
+            for (a, b) in par.iter().zip(&reference) {
+                assert_eq!(a.support, b.support, "threads={threads} {a}");
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! - [`filter_maximal`] — maximal-item-set filtering;
 //! - [`MinerKind`] — runtime-selectable miner;
 //! - [`mine_top_k`] and [`mine_closed`] — the paper's §V extensions
-//!   (report-size-driven mining; lossless closed-set compression).
+//!   (report-size-driven mining; lossless closed-set compression);
+//! - [`par`] — deterministic chunked parallelism for the support-counting
+//!   passes: every miner has a `*_par` variant whose output is
+//!   bit-identical to the sequential one for every thread count.
 //!
 //! Only the *first* step of association-rule mining (frequent item-sets) is
 //! implemented, deliberately: the paper argues deriving directional rules
@@ -38,14 +41,18 @@ pub mod item;
 pub mod itemset;
 pub mod maximal;
 pub mod miner;
+pub mod par;
 pub mod topk;
 pub mod transaction;
 
-pub use apriori::{AprioriConfig, AprioriOutput, LevelStats};
+pub use apriori::{apriori_par, AprioriConfig, AprioriOutput, LevelStats};
 pub use closed::{filter_closed, mine_closed};
+pub use eclat::eclat_par;
+pub use fpgrowth::fpgrowth_par;
 pub use item::Item;
 pub use itemset::{canonicalize, ItemSet};
 pub use maximal::{filter_maximal, filter_maximal_general};
 pub use miner::MinerKind;
+pub use par::map_chunks;
 pub use topk::{mine_top_k, TopK};
 pub use transaction::{Transaction, TransactionError, TransactionSet, CANONICAL_WIDTH, MAX_WIDTH};

@@ -1,12 +1,13 @@
 //! Unified miner interface: the three algorithms are interchangeable.
 
 use std::fmt;
+use std::num::NonZeroUsize;
 
 use serde::{Deserialize, Serialize};
 
-use crate::apriori::{apriori, AprioriConfig};
-use crate::eclat::eclat;
-use crate::fpgrowth::fpgrowth;
+use crate::apriori::{apriori_par, AprioriConfig};
+use crate::eclat::eclat_par;
+use crate::fpgrowth::fpgrowth_par;
 use crate::itemset::ItemSet;
 use crate::maximal::filter_maximal;
 use crate::transaction::TransactionSet;
@@ -39,11 +40,7 @@ impl MinerKind {
     /// Panics if `min_support` is zero.
     #[must_use]
     pub fn mine_all(self, set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
-        match self {
-            MinerKind::Apriori => apriori(set, &AprioriConfig::all_frequent(min_support)).itemsets,
-            MinerKind::FpGrowth => fpgrowth(set, min_support),
-            MinerKind::Eclat => eclat(set, min_support),
-        }
+        self.mine_all_par(set, min_support, NonZeroUsize::MIN)
     }
 
     /// Mine only **maximal** frequent item-sets — the paper's modified
@@ -54,10 +51,54 @@ impl MinerKind {
     /// Panics if `min_support` is zero.
     #[must_use]
     pub fn mine_maximal(self, set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
+        self.mine_maximal_par(set, min_support, NonZeroUsize::MIN)
+    }
+
+    /// [`mine_all`](Self::mine_all) with support counting parallelized
+    /// over transaction chunks on up to `threads` worker threads. Output
+    /// is bit-identical to the single-threaded call for every miner and
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero.
+    #[must_use]
+    pub fn mine_all_par(
+        self,
+        set: &TransactionSet,
+        min_support: u64,
+        threads: NonZeroUsize,
+    ) -> Vec<ItemSet> {
         match self {
-            MinerKind::Apriori => apriori(set, &AprioriConfig::maximal(min_support)).itemsets,
-            MinerKind::FpGrowth => filter_maximal(fpgrowth(set, min_support)),
-            MinerKind::Eclat => filter_maximal(eclat(set, min_support)),
+            MinerKind::Apriori => {
+                apriori_par(set, &AprioriConfig::all_frequent(min_support), threads).itemsets
+            }
+            MinerKind::FpGrowth => fpgrowth_par(set, min_support, threads),
+            MinerKind::Eclat => eclat_par(set, min_support, threads),
+        }
+    }
+
+    /// [`mine_maximal`](Self::mine_maximal) with support counting
+    /// parallelized over transaction chunks on up to `threads` worker
+    /// threads. Output is bit-identical to the single-threaded call for
+    /// every miner and thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero.
+    #[must_use]
+    pub fn mine_maximal_par(
+        self,
+        set: &TransactionSet,
+        min_support: u64,
+        threads: NonZeroUsize,
+    ) -> Vec<ItemSet> {
+        match self {
+            MinerKind::Apriori => {
+                apriori_par(set, &AprioriConfig::maximal(min_support), threads).itemsets
+            }
+            MinerKind::FpGrowth => filter_maximal(fpgrowth_par(set, min_support, threads)),
+            MinerKind::Eclat => filter_maximal(eclat_par(set, min_support, threads)),
         }
     }
 }

@@ -1,0 +1,138 @@
+//! Deterministic parallel map over transaction chunks.
+//!
+//! Every support-counting pass in this crate — Apriori's level-1 and
+//! level-k counts, FP-growth's first scan, Eclat's tid-list construction
+//! — is a sum over transactions, so it can run as: split the transaction
+//! slice into balanced contiguous chunks
+//! ([`anomex_netflow::shard::chunk_ranges`]), map each chunk on its own
+//! worker thread, and reduce the per-chunk results **in chunk order** on
+//! the calling thread. Integer-count reductions are order-independent and
+//! exact, and ordered reductions (tid-list concatenation) see chunks in
+//! slice order, so the parallel passes are bit-identical to the
+//! sequential ones for every thread count — the engine's load-bearing
+//! determinism guarantee.
+
+use std::num::NonZeroUsize;
+
+use anomex_netflow::shard::chunks_of;
+
+/// Minimum number of items per worker before a parallel pass is worth its
+/// thread spawns: below this, counting a chunk is faster than starting a
+/// thread for it, so the pass runs inline.
+pub const MIN_ITEMS_PER_THREAD: usize = 1024;
+
+/// Map balanced contiguous chunks of `items` in parallel, returning the
+/// per-chunk results **in chunk order**.
+///
+/// The mapper receives each chunk's starting index in `items` plus the
+/// chunk itself, so chunk-relative positions can be rebased to global
+/// ones (Eclat's transaction ids). Runs inline — no threads — when
+/// `threads` is 1 or the input is too small to amortize spawning; the
+/// result is identical either way, only the wall-clock differs.
+///
+/// # Panics
+///
+/// Propagates a panic from the mapper (on the calling thread).
+pub fn map_chunks<T, R, F>(items: &[T], threads: NonZeroUsize, map: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads.get() == 1 || items.len() < 2 * MIN_ITEMS_PER_THREAD {
+        return vec![map(0, items)];
+    }
+    let workers = threads.get().min(items.len() / MIN_ITEMS_PER_THREAD).max(2);
+    let chunks = chunks_of(items, NonZeroUsize::new(workers).expect("workers >= 2"));
+    let map = &map;
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(start, chunk)| s.spawn(move |_| map(start, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+    .expect("scoped worker threads failed to join")
+}
+
+/// Sum per-chunk `u64` count vectors element-wise into the first one —
+/// the reduce step for index-aligned support counting. Returns an empty
+/// vector if there are no parts.
+#[must_use]
+pub fn sum_count_vecs(parts: Vec<Vec<u64>>) -> Vec<u64> {
+    let mut parts = parts.into_iter();
+    let Some(mut total) = parts.next() else {
+        return Vec::new();
+    };
+    for part in parts {
+        debug_assert_eq!(total.len(), part.len());
+        for (t, p) in total.iter_mut().zip(part) {
+            *t += p;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn chunk_results_arrive_in_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let parts = map_chunks(&data, nz(threads), |start, chunk| (start, chunk.len()));
+            let mut next = 0;
+            for (start, len) in parts {
+                assert_eq!(start, next, "threads={threads}");
+                next = start + len;
+            }
+            assert_eq!(next, data.len());
+        }
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let data: Vec<u64> = (0..50_000).map(|i| i % 97).collect();
+        let expected: u64 = data.iter().sum();
+        for threads in 1..=8 {
+            let total: u64 = map_chunks(&data, nz(threads), |_, chunk| chunk.iter().sum::<u64>())
+                .into_iter()
+                .sum();
+            assert_eq!(total, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline_as_one_chunk() {
+        let data: Vec<u64> = (0..100).collect();
+        let parts = map_chunks(&data, nz(8), |start, chunk| (start, chunk.len()));
+        assert_eq!(parts, vec![(0, 100)]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_parts() {
+        let parts = map_chunks(&[] as &[u64], nz(4), |_, _| 0u64);
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn sum_count_vecs_adds_elementwise() {
+        let parts = vec![vec![1u64, 2, 3], vec![10, 20, 30], vec![100, 200, 300]];
+        assert_eq!(sum_count_vecs(parts), vec![111, 222, 333]);
+        assert!(sum_count_vecs(Vec::new()).is_empty());
+    }
+}

@@ -180,6 +180,40 @@ impl TransactionSet {
         }
     }
 
+    /// Build canonical transactions for the flows selected by `indices` —
+    /// the zero-copy pre-filter path: the pre-filter yields index slices
+    /// into the interval and transactions are built straight from them,
+    /// with no intermediate `Vec<FlowRecord>` materialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for `flows`.
+    #[must_use]
+    pub fn from_flows_at(flows: &[FlowRecord], indices: &[usize]) -> Self {
+        TransactionSet {
+            transactions: indices
+                .iter()
+                .map(|&i| Transaction::from_flow(&flows[i]))
+                .collect(),
+        }
+    }
+
+    /// [`from_flows_at`](Self::from_flows_at) for width-9 extended
+    /// transactions (with /16 prefix dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for `flows`.
+    #[must_use]
+    pub fn from_flows_extended_at(flows: &[FlowRecord], indices: &[usize]) -> Self {
+        TransactionSet {
+            transactions: indices
+                .iter()
+                .map(|&i| Transaction::from_flow_extended(&flows[i]))
+                .collect(),
+        }
+    }
+
     /// Build from explicit transactions.
     #[must_use]
     pub fn from_transactions(transactions: Vec<Transaction>) -> Self {
@@ -326,6 +360,32 @@ mod tests {
         let t = Transaction::from_items(&items).unwrap();
         assert_eq!(t.items()[0].feature(), FlowFeature::SrcIp);
         assert_eq!(t.width(), 2);
+    }
+
+    #[test]
+    fn indexed_construction_matches_filtered_copy() {
+        let flows: Vec<FlowRecord> = (0..50u16)
+            .map(|p| {
+                FlowRecord::new(
+                    u64::from(p),
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    4000,
+                    p,
+                    Protocol::Tcp,
+                )
+            })
+            .collect();
+        let indices: Vec<usize> = (0..50).filter(|i| i % 3 == 0).collect();
+        let copied: Vec<FlowRecord> = indices.iter().map(|&i| flows[i]).collect();
+        assert_eq!(
+            TransactionSet::from_flows_at(&flows, &indices).transactions(),
+            TransactionSet::from_flows(&copied).transactions()
+        );
+        assert_eq!(
+            TransactionSet::from_flows_extended_at(&flows, &indices).transactions(),
+            TransactionSet::from_flows_extended(&copied).transactions()
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! - [`FlowTrace`] / [`Interval`] — batch traces sliced into measurement
 //!   intervals;
 //! - [`IntervalAssembler`] — streaming interval assembly for online
-//!   operation.
+//!   operation;
+//! - [`shard`] — deterministic balanced chunking of flow batches, the
+//!   partitioning contract of the sharded parallel extraction engine.
 //!
 //! This crate has no opinion about detection or mining; it only defines
 //! what a flow is and how flows are grouped in time.
@@ -27,6 +29,7 @@
 pub mod error;
 pub mod feature;
 pub mod flow;
+pub mod shard;
 pub mod stream;
 pub mod trace;
 pub mod v5;
@@ -34,5 +37,6 @@ pub mod v5;
 pub use error::{DecodeError, EncodeError};
 pub use feature::{FeatureValue, FlowFeature, ParseFeatureValueError};
 pub use flow::{FlowRecord, Protocol, TcpFlags};
+pub use shard::{chunk_ranges, chunks_of, default_shards};
 pub use stream::{ClosedInterval, IntervalAssembler};
 pub use trace::{FlowTrace, Interval, MINUTE_MS};

@@ -57,8 +57,8 @@ pub use anomex_traffic as traffic;
 /// The commonly-used types in one import.
 pub mod prelude {
     pub use anomex_core::{
-        classify_itemset, extract_with_metadata, render_report, run_scenario, AnomalyExtractor,
-        Extraction, ExtractionConfig, PrefilterMode,
+        classify_itemset, extract_sharded, extract_with_metadata, render_report, run_scenario,
+        AnomalyExtractor, Extraction, ExtractionConfig, PrefilterMode, ShardedExtractor,
     };
     pub use anomex_detector::{DetectorBank, DetectorConfig, MetaData, RocCurve};
     pub use anomex_mining::{ItemSet, MinerKind, Transaction, TransactionSet};

@@ -1,0 +1,159 @@
+//! Cross-shard determinism suite: the sharded parallel engine must be
+//! **bit-identical** to the sequential pipeline for every shard count
+//! (1..=8), every miner, and arbitrary workloads — the load-bearing
+//! design constraint of the sharded extraction engine. Every merge in
+//! the engine is an exact integer sum, a set union, or an in-order
+//! concatenation, so equality holds exactly, not approximately; these
+//! properties assert it across random scenario seeds, scales, supports,
+//! and transaction modes.
+
+use anomex::core::{
+    extract_sharded, extract_with_mode, prefilter_indices, ShardedExtractor, TransactionMode,
+};
+use anomex::core::{AnomalyExtractor, ExtractionConfig, PrefilterMode};
+use anomex::prelude::*;
+use anomex_core::prefilter_indices_sharded;
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+fn nz(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).unwrap()
+}
+
+/// Assert two extractions are the same to the bit.
+fn assert_extractions_identical(a: &Extraction, b: &Extraction, context: &str) {
+    assert_eq!(a.itemsets, b.itemsets, "{context}: itemsets diverged");
+    for (x, y) in a.itemsets.iter().zip(&b.itemsets) {
+        assert_eq!(x.support, y.support, "{context}: support diverged on {x}");
+    }
+    assert_eq!(a.levels, b.levels, "{context}: level stats diverged");
+    assert_eq!(a.total_flows, b.total_flows, "{context}");
+    assert_eq!(a.suspicious_flows, b.suspicious_flows, "{context}");
+    assert_eq!(
+        a.cost_reduction.to_bits(),
+        b.cost_reduction.to_bits(),
+        "{context}: cost reduction diverged"
+    );
+    assert_eq!(a.metadata, b.metadata, "{context}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Offline: for a random Table-2-style workload, every (miner,
+    /// shards, tx-mode) combination extracts exactly what the
+    /// sequential path does.
+    #[test]
+    fn offline_extraction_is_shard_invariant(
+        seed in 0u64..10_000,
+        scale_pct in 1u64..=4,
+        support_div in 1u64..=4,
+        shards in 1usize..=8,
+        miner_idx in 0usize..3,
+        extended in proptest::sample::select(vec![false, true]),
+    ) {
+        let w = table2_workload(seed, scale_pct as f64 * 0.01);
+        let miner = MinerKind::ALL[miner_idx];
+        let tx_mode = if extended {
+            TransactionMode::WithPrefixes
+        } else {
+            TransactionMode::Canonical
+        };
+        let support = (w.min_support / support_div).max(1);
+        let mut md = MetaData::new();
+        for port in [7000u64, 80, 9022, 25] {
+            md.insert(FlowFeature::DstPort, port);
+        }
+        let sequential = extract_with_mode(
+            0, &w.flows, &md, PrefilterMode::Union, tx_mode, miner, support,
+        );
+        let sharded = extract_sharded(
+            0, &w.flows, &md, PrefilterMode::Union, tx_mode, miner, support, nz(shards),
+        );
+        assert_extractions_identical(
+            &sequential,
+            &sharded,
+            &format!("seed={seed} miner={miner} shards={shards} extended={extended}"),
+        );
+    }
+
+    /// The sharded pre-filter yields the exact index sequence of the
+    /// sequential one, for both union and intersection semantics.
+    #[test]
+    fn prefilter_is_shard_invariant(
+        seed in 0u64..10_000,
+        shards in 1usize..=8,
+        intersection in proptest::sample::select(vec![false, true]),
+    ) {
+        let w = table2_workload(seed, 0.03);
+        let mode = if intersection {
+            PrefilterMode::Intersection
+        } else {
+            PrefilterMode::Union
+        };
+        let mut md = MetaData::new();
+        md.insert(FlowFeature::DstPort, 7000);
+        md.insert(FlowFeature::Packets, 2);
+        let sequential = prefilter_indices(&w.flows, &md, mode);
+        let sharded = prefilter_indices_sharded(&w.flows, &md, mode, nz(shards));
+        prop_assert_eq!(sequential, sharded);
+    }
+}
+
+proptest! {
+    // The online property runs whole scenarios (training + detection),
+    // so fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Online: a [`ShardedExtractor`] fed a full scenario produces the
+    /// same alarm stream, the same meta-data, bit-identical KL series,
+    /// and identical extractions as the sequential [`AnomalyExtractor`],
+    /// for every shard count and miner.
+    #[test]
+    fn online_pipeline_is_shard_invariant(
+        seed in 0u64..1_000,
+        shards in 2usize..=8,
+        miner_idx in 0usize..3,
+    ) {
+        let scenario = Scenario::small(seed);
+        let config = ExtractionConfig {
+            interval_ms: scenario.interval_ms(),
+            detector: DetectorConfig {
+                training_intervals: 10,
+                ..DetectorConfig::default()
+            },
+            min_support: 800,
+            miner: MinerKind::ALL[miner_idx],
+            ..ExtractionConfig::default()
+        };
+        let mut sequential = AnomalyExtractor::new(config.clone());
+        let mut sharded = ShardedExtractor::new(config, nz(shards));
+        for i in 0..scenario.interval_count().min(23) {
+            let interval = scenario.generate(i);
+            let a = sequential.process_interval(&interval.flows);
+            let b = sharded.process_interval(&interval.flows);
+            prop_assert_eq!(a.observation.alarm, b.observation.alarm, "interval {}", i);
+            prop_assert_eq!(&a.observation.metadata, &b.observation.metadata);
+            for (x, y) in a.observation.features.iter().zip(&b.observation.features) {
+                prop_assert_eq!(x.alarm, y.alarm);
+                prop_assert_eq!(&x.voted_values, &y.voted_values);
+                for (cx, cy) in x.clones.iter().zip(&y.clones) {
+                    prop_assert_eq!(cx.kl.map(f64::to_bits), cy.kl.map(f64::to_bits));
+                    prop_assert_eq!(
+                        cx.first_diff.map(f64::to_bits),
+                        cy.first_diff.map(f64::to_bits)
+                    );
+                }
+            }
+            match (&a.extraction, &b.extraction) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert_extractions_identical(
+                    x,
+                    y,
+                    &format!("seed={seed} shards={shards} interval={i}"),
+                ),
+                _ => panic!("extraction presence diverged at interval {i}"),
+            }
+        }
+    }
+}

@@ -6,9 +6,119 @@
 //! hangs up. Single-consumer only (std mpsc), which is all the
 //! workspace's exporter → collector pipelines need; swapping the real
 //! crossbeam in is a manifest-only change.
+//!
+//! Also provides [`scope`]/[`thread::Scope`] with crossbeam's scoped-thread
+//! API shape over `std::thread::scope`: spawned closures may borrow from
+//! the enclosing stack frame, every thread is joined before `scope`
+//! returns, and the result surfaces panics as `std::thread::Result` the
+//! way crossbeam does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use thread::scope;
+
+/// Scoped threads with crossbeam's API shape over `std::thread::scope`.
+pub mod thread {
+    /// A scope handed to [`scope`]'s closure; spawn borrowing threads
+    /// through it.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; [`join`](ScopedJoinHandle::join) it to
+    /// collect the closure's result (threads not joined explicitly are
+    /// joined when the scope ends, as with crossbeam).
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. Like crossbeam (and unlike
+        /// `std`), the closure receives the scope so it can spawn nested
+        /// threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller's
+    /// stack. All threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature by returning `std::thread::Result`;
+    /// with the std backing, a panicking child propagates its panic at
+    /// scope exit instead, so the `Err` arm is never actually produced.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+            let (left, right) = data.split_at(4);
+            let total = scope(|s| {
+                let a = s.spawn(|_| left.iter().sum::<u64>());
+                let b = s.spawn(|_| right.iter().sum::<u64>());
+                a.join().unwrap() + b.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(total, 36);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let n = scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+
+        #[test]
+        fn unjoined_threads_finish_before_scope_returns() {
+            use std::sync::atomic::{AtomicU32, Ordering};
+            let counter = AtomicU32::new(0);
+            scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        }
+    }
+}
 
 /// Multi-producer channels with back-pressure.
 pub mod channel {
