@@ -1,11 +1,13 @@
 //! The `anomex` subcommands.
 
 use std::fs;
+use std::io::Read as _;
 use std::num::NonZeroUsize;
 
 use anomex_core::{
-    extract_sharded, extract_with_mode, prefilter_indices_sharded, render_report, ExtractionConfig,
-    PrefilterMode, ShardedExtractor, TransactionMode,
+    extract_sharded, extract_with_mode, latency_percentile, prefilter_indices_sharded,
+    render_report, ExtractionConfig, PrefilterMode, ShardedExtractor, StreamEvent,
+    StreamingExtractor, TransactionMode,
 };
 use anomex_detector::{DetectorConfig, MetaData};
 use anomex_mining::{mine_top_k, MinerKind};
@@ -31,6 +33,17 @@ USAGE:
       print a Table II-style report per alarmed interval. --threads N
       shards each interval over N worker threads (0 = one per hardware
       thread); the output is bit-identical for every thread count.
+
+  anomex stream --in FILE|- [--interval-min N] [--training N] [--support N]
+                [--miner apriori|fpgrowth|eclat] [--threads N]
+                [--prefixes] [--intersection] [--verbose]
+      Replay a trace (or NetFlow v5 datagrams on stdin with --in -)
+      through the continuous streaming engine: flows are assembled into
+      Δ-minute intervals while the previous interval runs detection and
+      extraction on a persistent worker pool. Prints a report per
+      alarmed interval as it closes, then per-interval latency
+      percentiles and drop counters. Output is bit-identical to
+      `anomex extract` over the same trace.
 
   anomex analyze --in FILE --metadata \"dstPort=7000,#packets=12\" [--support N]
                  [--top] [--k N] [--threads N] [--prefixes] [--intersection]
@@ -88,9 +101,18 @@ pub fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Load all flows from a v5 trace file.
+/// Load all flows from a v5 trace file, or from stdin when `path` is
+/// `-` (the streaming replay's pipe mode).
 fn load_flows(path: &str) -> Result<Vec<FlowRecord>, String> {
-    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let bytes = if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
     let dgrams = decode_stream(&bytes).map_err(|e| format!("{path}: {e}"))?;
     Ok(dgrams.into_iter().flat_map(|d| d.flows).collect())
 }
@@ -169,6 +191,87 @@ pub fn extract(args: &Args) -> Result<(), String> {
         }
     }
     println!("processed {total} intervals, {alarms} alarmed (s = {support}, Δ = {interval_min} min, miner = {miner}, threads = {threads})");
+    Ok(())
+}
+
+/// Render one streaming event: a verbose per-interval line and, on
+/// alarm, the full Table II-style report.
+fn print_stream_event(event: &StreamEvent, verbose: bool) {
+    if verbose {
+        println!(
+            "interval {:>4}  [{} ms, {} ms)  {:>8} flows  {:>8} µs  {}",
+            event.index,
+            event.begin_ms,
+            event.end_ms,
+            event.flows,
+            event.process_micros,
+            if event.alarmed() { "ALARM" } else { "ok" }
+        );
+    }
+    if let Some(extraction) = &event.outcome.extraction {
+        println!("{}", render_report(extraction));
+    }
+}
+
+/// `anomex stream`.
+pub fn stream(args: &Args) -> Result<(), String> {
+    let input = args.require("in")?;
+    let interval_min = args
+        .get_or("interval-min", 15u64)
+        .map_err(|e| e.to_string())?;
+    let training = args
+        .get_or("training", 48usize)
+        .map_err(|e| e.to_string())?;
+    let support = args.get_or("support", 50u64).map_err(|e| e.to_string())?;
+    let miner = parse_miner(args)?;
+    let threads = parse_threads(args)?;
+    let verbose = args.flag("verbose");
+    let (prefilter, transactions) = parse_modes(args);
+
+    let config = ExtractionConfig {
+        interval_ms: interval_min * MINUTE_MS,
+        detector: DetectorConfig {
+            training_intervals: training,
+            ..DetectorConfig::default()
+        },
+        min_support: support,
+        miner,
+        prefilter,
+        transactions,
+    };
+    config.validate().map_err(String::from)?;
+
+    // Replay in trace order (sorted by start time) so the event stream
+    // is bit-identical to what `anomex extract` prints for this trace.
+    let mut trace = FlowTrace::from_flows(load_flows(input)?);
+    let origin = trace.start_ms().ok_or("trace is empty")?;
+    let origin = origin - origin % config.interval_ms;
+
+    let mut engine = StreamingExtractor::try_new(config, threads, origin).map_err(String::from)?;
+    let mut latencies: Vec<u64> = Vec::new();
+    for flow in trace.into_flows() {
+        for event in engine.push(flow) {
+            latencies.push(event.process_micros);
+            print_stream_event(&event, verbose);
+        }
+    }
+    let (tail, summary) = engine.finish();
+    for event in tail {
+        latencies.push(event.process_micros);
+        print_stream_event(&event, verbose);
+    }
+
+    let p50 = latency_percentile(&mut latencies, 50.0);
+    let p95 = latency_percentile(&mut latencies, 95.0);
+    println!(
+        "streamed {} flows into {} intervals: {} alarmed, {} extracted \
+         (s = {support}, Δ = {interval_min} min, miner = {miner}, threads = {threads})",
+        summary.total_flows, summary.intervals, summary.alarms, summary.extractions
+    );
+    println!(
+        "per-interval latency: p50 = {p50} µs, p95 = {p95} µs; dropped flows: {} late, {} pre-origin",
+        summary.late_flows, summary.pre_origin_flows
+    );
     Ok(())
 }
 
@@ -299,6 +402,67 @@ mod tests {
         let (p, t) = parse_modes(&a);
         assert_eq!(p, PrefilterMode::Intersection);
         assert_eq!(t, TransactionMode::WithPrefixes);
+    }
+
+    /// The streaming replay must reproduce exactly the per-interval
+    /// outcomes the batch `extract` path computes over the same trace.
+    #[test]
+    fn stream_replay_matches_batch_extract() {
+        use anomex_traffic::Scenario;
+        let scenario = Scenario::small(23);
+        let config = ExtractionConfig {
+            interval_ms: scenario.interval_ms(),
+            detector: DetectorConfig {
+                training_intervals: 10,
+                ..DetectorConfig::default()
+            },
+            min_support: 800,
+            ..ExtractionConfig::default()
+        };
+        // Round-trip the flows through the wire format, as `stream` does.
+        let mut exporter = V5Exporter::new();
+        let mut bytes = Vec::new();
+        for i in 0..scenario.interval_count().min(23) {
+            for dgram in exporter.export(&scenario.generate(i).flows) {
+                bytes.extend_from_slice(&dgram);
+            }
+        }
+        let decoded: Vec<FlowRecord> = decode_stream(&bytes)
+            .unwrap()
+            .into_iter()
+            .flat_map(|d| d.flows)
+            .collect();
+
+        let mut trace = FlowTrace::from_flows(decoded);
+        let origin = trace.start_ms().unwrap();
+        let origin = origin - origin % config.interval_ms;
+
+        let mut batch = ShardedExtractor::try_new(config.clone(), NonZeroUsize::MIN).unwrap();
+        let mut batch_reports = Vec::new();
+        for iv in &trace.intervals(origin, config.interval_ms) {
+            if let Some(ex) = batch.process_interval(iv.flows).extraction {
+                batch_reports.push(render_report(&ex));
+            }
+        }
+
+        let threads = NonZeroUsize::new(2).unwrap();
+        let mut engine = StreamingExtractor::try_new(config, threads, origin).unwrap();
+        let mut stream_reports = Vec::new();
+        let mut events = Vec::new();
+        for flow in trace.into_flows() {
+            events.extend(engine.push(flow));
+        }
+        let (tail, summary) = engine.finish();
+        events.extend(tail);
+        for event in &events {
+            if let Some(ex) = &event.outcome.extraction {
+                stream_reports.push(render_report(ex));
+            }
+        }
+        assert!(!batch_reports.is_empty(), "the scenario must alarm");
+        assert_eq!(stream_reports, batch_reports, "replay diverged");
+        assert_eq!(summary.extractions as usize, batch_reports.len());
+        assert_eq!(summary.late_flows + summary.pre_origin_flows, 0);
     }
 
     /// End-to-end through temp files: generate a small trace, reload it,

@@ -4,6 +4,8 @@
 //! anomex generate --out trace.nfv5 [--seed 42] [--scale 0.25] [--scenario small|two-weeks]
 //! anomex extract  --in trace.nfv5 [--interval-min 15] [--training 48] [--support 50]
 //!                 [--miner apriori|fpgrowth|eclat] [--prefixes] [--intersection]
+//! anomex stream   --in trace.nfv5|- [--interval-min 15] [--training 48] [--support 50]
+//!                 [--miner apriori|fpgrowth|eclat] [--threads N] [--verbose]
 //! anomex analyze  --in trace.nfv5 --metadata "dstPort=7000,#packets=12" [--support 50]
 //!                 [--top N] [--prefixes] [--intersection]
 //! anomex table2   [--scale 1.0]
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
     let result = match parsed.command.as_str() {
         "generate" => commands::generate(&parsed),
         "extract" => commands::extract(&parsed),
+        "stream" => commands::stream(&parsed),
         "analyze" => commands::analyze(&parsed),
         "table2" => commands::table2(&parsed),
         "help" | "--help" | "-h" => {

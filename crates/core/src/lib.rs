@@ -20,9 +20,12 @@
 //! Entry points:
 //! - [`AnomalyExtractor`] — the online pipeline (feed intervals, get
 //!   [`Extraction`]s);
-//! - [`ShardedExtractor`] — the same pipeline fanned out over worker
-//!   threads per interval shard, with output bit-identical to the
-//!   sequential path for every shard count;
+//! - [`ShardedExtractor`] — the same pipeline fanned out over a
+//!   persistent worker pool per interval shard, with output
+//!   bit-identical to the sequential path for every shard count;
+//! - [`StreamingExtractor`] — the continuous engine: feed flows, get a
+//!   [`StreamEvent`] per closed Δ-interval, with interval `t+1`
+//!   assembling while interval `t` extracts (double buffering);
 //! - [`extract_with_metadata`] — offline extraction from externally
 //!   provided meta-data ([`extract_sharded`] is its parallel
 //!   counterpart);
@@ -43,6 +46,7 @@ pub mod pipeline;
 pub mod prefilter;
 pub mod report;
 pub mod sharded;
+pub mod streaming;
 
 pub use classify::classify_itemset;
 pub use config::{ConfigError, ExtractionConfig};
@@ -62,3 +66,4 @@ pub use pipeline::{
 pub use prefilter::{prefilter, prefilter_indices, PrefilterMode};
 pub use report::{render_csv, render_report};
 pub use sharded::{extract_sharded, observe_sharded, prefilter_indices_sharded, ShardedExtractor};
+pub use streaming::{latency_percentile, StreamEvent, StreamSummary, StreamingExtractor};

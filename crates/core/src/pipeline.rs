@@ -10,7 +10,8 @@
 use std::num::NonZeroUsize;
 
 use anomex_detector::{BankObservation, DetectorBank, MetaData};
-use anomex_mining::apriori::{apriori_par, AprioriConfig};
+use anomex_mining::apriori::{apriori_exec, AprioriConfig};
+use anomex_mining::par::Exec;
 use anomex_mining::{ItemSet, LevelStats, MinerKind, TransactionSet};
 use anomex_netflow::FlowRecord;
 use serde::{Deserialize, Serialize};
@@ -129,14 +130,15 @@ pub fn extract_with_mode(
         tx_mode,
         miner,
         min_support,
-        NonZeroUsize::MIN,
+        Exec::inline(),
     )
 }
 
 /// The shared mining tail of every extraction path: build transactions
 /// for the pre-filtered `indices` (zero-copy — straight from index slice
 /// to transactions, no intermediate `Vec<FlowRecord>`), mine maximal
-/// item-sets with up to `threads` worker threads, and assemble the
+/// item-sets in the given execution context (inline, scoped threads, or
+/// the engine's persistent worker pool), and assemble the
 /// [`Extraction`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn mine_at_indices(
@@ -147,16 +149,16 @@ pub(crate) fn mine_at_indices(
     tx_mode: TransactionMode,
     miner: MinerKind,
     min_support: u64,
-    threads: NonZeroUsize,
+    exec: Exec<'_>,
 ) -> Extraction {
     let transactions = tx_mode.transactions_at(flows, indices);
     let (itemsets, levels) = match miner {
         MinerKind::Apriori => {
-            let out = apriori_par(&transactions, &AprioriConfig::maximal(min_support), threads);
+            let out = apriori_exec(&transactions, &AprioriConfig::maximal(min_support), exec);
             (out.itemsets, out.levels)
         }
         other => (
-            other.mine_maximal_par(&transactions, min_support, threads),
+            other.mine_maximal_exec(&transactions, min_support, exec),
             Vec::new(),
         ),
     };

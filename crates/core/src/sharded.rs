@@ -26,14 +26,30 @@
 //! so the sharded output is **bit-identical** to the sequential path for
 //! every shard count and all three miners — asserted by the cross-shard
 //! determinism property suite.
+//!
+//! **Execution model.** A [`ShardedExtractor`] with more than one shard
+//! owns a persistent [`crossbeam::WorkerPool`]: its worker threads are
+//! spawned once at construction and every interval's shard work —
+//! histogram partials, pre-filter verdicts, miner support counts — is
+//! submitted to them as jobs, so the per-interval cost is queue pushes,
+//! not thread spawns. (The one-shot `*_sharded` free functions below
+//! keep using scoped threads: they are batch entry points called once,
+//! where a persistent pool would have nothing to amortize.) Pool jobs
+//! are `'static`, so per-interval state is shared by `Arc`: the flows
+//! ([`process_shared`](ShardedExtractor::process_shared)), the
+//! detector's immutable hash specification
+//! ([`BankHasher`]), and the alarm
+//! meta-data.
 
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 
-use anomex_detector::{BankObservation, DetectorBank, MetaData};
-use anomex_mining::par::map_chunks;
+use anomex_detector::{BankHasher, BankObservation, DetectorBank, MetaData};
+use anomex_mining::par::{map_chunks, map_chunks_arc, Exec, MIN_ITEMS_PER_THREAD};
 use anomex_mining::MinerKind;
 use anomex_netflow::shard::default_shards;
 use anomex_netflow::FlowRecord;
+use crossbeam::WorkerPool;
 
 use crate::config::{ConfigError, ExtractionConfig};
 use crate::pipeline::{mine_at_indices, Extraction, IntervalOutcome, TransactionMode};
@@ -125,26 +141,90 @@ pub fn extract_sharded(
         tx_mode,
         miner,
         min_support,
-        shards,
+        Exec::Threads(shards),
     )
+}
+
+/// Observe one interval held behind an `Arc` in the given execution
+/// context: workers build [`BankHasher`] partials over flow shards, the
+/// partials merge in shard order, and the bank scores the result once —
+/// bit-identical KL values to a sequential `observe`, for every context.
+fn observe_exec(
+    bank: &mut DetectorBank,
+    hasher: &Arc<BankHasher>,
+    flows: &Arc<Vec<FlowRecord>>,
+    exec: Exec<'_>,
+) -> BankObservation {
+    let hasher = Arc::clone(hasher);
+    let partials = map_chunks_arc(exec, flows, move |_, chunk| hasher.partial(chunk));
+    match partials.into_iter().reduce(|mut acc, p| {
+        acc.merge(p);
+        acc
+    }) {
+        Some(merged) => bank.observe_partial(merged),
+        // Empty interval: nothing to shard, observe it directly.
+        None => bank.observe(flows),
+    }
+}
+
+/// Pre-filter `Arc`-shared flows into suspicious indices in the given
+/// execution context, concatenating per-shard indices in shard order —
+/// identical to [`prefilter_indices`](crate::prefilter_indices) for
+/// every context.
+fn prefilter_indices_exec(
+    flows: &Arc<Vec<FlowRecord>>,
+    metadata: &Arc<MetaData>,
+    mode: PrefilterMode,
+    exec: Exec<'_>,
+) -> Vec<usize> {
+    let metadata = Arc::clone(metadata);
+    map_chunks_arc(exec, flows, move |start, chunk: &[FlowRecord]| {
+        chunk
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| mode.matches(&metadata, f))
+            .map(|(i, _)| start + i)
+            .collect::<Vec<usize>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The online anomaly-extraction pipeline, sharded: the drop-in parallel
 /// counterpart of [`AnomalyExtractor`](crate::AnomalyExtractor). Each
 /// interval is split into `shards` contiguous flow shards; detection,
-/// pre-filtering, and mining all fan out over scoped worker threads and
+/// pre-filtering, and mining all fan out over a **persistent worker
+/// pool** (spawned once at construction, fed jobs every interval) and
 /// merge deterministically, so for any fixed input the outcome stream is
 /// bit-identical to the sequential pipeline's regardless of shard count.
+///
+/// At one shard the pipeline runs inline — no pool, no threads, no
+/// copies — and *is* the sequential pipeline; there is exactly one
+/// implementation to keep correct.
 #[derive(Debug)]
 pub struct ShardedExtractor {
     config: ExtractionConfig,
     shards: NonZeroUsize,
     bank: DetectorBank,
+    /// Immutable histogramming spec shared with pool workers each
+    /// interval; the mutable scoring state stays in `bank`.
+    hasher: Arc<BankHasher>,
+    /// The long-lived worker pool; `None` at one shard (inline).
+    pool: Option<WorkerPool>,
+    /// Recycled buffer backing the per-interval `Arc` when the caller
+    /// hands in borrowed flows: after the interval's jobs finish the
+    /// `Arc` is unique again and the allocation is reclaimed, so the
+    /// borrowed-input path costs one memcpy per interval, not one
+    /// allocation.
+    scratch: Vec<FlowRecord>,
 }
 
 impl ShardedExtractor {
     /// Build the sharded pipeline, rejecting an invalid configuration
-    /// with an error.
+    /// with an error. With more than one shard this spawns the
+    /// persistent worker pool — `shards` long-lived threads that serve
+    /// every subsequent interval.
     ///
     /// # Errors
     ///
@@ -152,10 +232,15 @@ impl ShardedExtractor {
     pub fn try_new(config: ExtractionConfig, shards: NonZeroUsize) -> Result<Self, ConfigError> {
         config.validate()?;
         let bank = DetectorBank::new(&config.detector);
+        let hasher = Arc::new(bank.hasher());
+        let pool = (shards.get() > 1).then(|| WorkerPool::new(shards));
         Ok(ShardedExtractor {
             config,
             shards,
             bank,
+            hasher,
+            pool,
+            scratch: Vec::new(),
         })
     }
 
@@ -207,21 +292,89 @@ impl ShardedExtractor {
     /// Feed one interval's flows through sharded detection and, on
     /// alarm, sharded extraction.
     ///
+    /// With the pool active (more than one shard), the borrowed flows
+    /// are copied once into a recycled `Arc` buffer so the pool's
+    /// `'static` jobs can share them; at one shard everything runs
+    /// inline with no copy at all. Callers that already own the interval
+    /// (the streaming engine) use
+    /// [`process_shared`](Self::process_shared) and skip the copy.
+    ///
     /// # Panics
     ///
     /// Panics if a worker thread panics.
     pub fn process_interval(&mut self, flows: &[FlowRecord]) -> IntervalOutcome {
-        let observation = observe_sharded(&mut self.bank, flows, self.shards);
+        // Below the parallel cutoff every pass runs inline anyway, so
+        // the Arc copy would buy nothing — skip it and take the
+        // (bit-identical) borrowed inline path.
+        if self.pool.is_none() || flows.len() < 2 * MIN_ITEMS_PER_THREAD {
+            return self.process_inline(flows);
+        }
+        let mut buffer = std::mem::take(&mut self.scratch);
+        buffer.clear();
+        buffer.extend_from_slice(flows);
+        let shared = Arc::new(buffer);
+        let outcome = self.process_shared(&shared);
+        if let Ok(buffer) = Arc::try_unwrap(shared) {
+            self.scratch = buffer;
+        }
+        outcome
+    }
+
+    /// Feed one `Arc`-owned interval through the pipeline — the zero-copy
+    /// entry point of the streaming engine, which owns each assembled
+    /// interval outright. Bit-identical to
+    /// [`process_interval`](Self::process_interval) on the same flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn process_shared(&mut self, flows: &Arc<Vec<FlowRecord>>) -> IntervalOutcome {
+        let exec = match &self.pool {
+            Some(pool) => Exec::Pool(pool),
+            None => Exec::Threads(NonZeroUsize::MIN),
+        };
+        let observation = observe_exec(&mut self.bank, &self.hasher, flows, exec);
         let extraction = if observation.alarm && !observation.metadata.is_empty() {
-            Some(extract_sharded(
+            let metadata = Arc::new(observation.metadata.clone());
+            let indices = prefilter_indices_exec(flows, &metadata, self.config.prefilter, exec);
+            Some(mine_at_indices(
                 observation.interval,
                 flows,
-                &observation.metadata,
-                self.config.prefilter,
+                &indices,
+                &metadata,
                 self.config.transactions,
                 self.config.miner,
                 self.config.min_support,
-                self.shards,
+                exec,
+            ))
+        } else {
+            None
+        };
+        IntervalOutcome {
+            observation,
+            extraction,
+        }
+    }
+
+    /// The sequential (one-shard) path: borrowed flows, no pool, no
+    /// copies — detection, pre-filtering, and mining all inline.
+    fn process_inline(&mut self, flows: &[FlowRecord]) -> IntervalOutcome {
+        let observation = self.bank.observe(flows);
+        let extraction = if observation.alarm && !observation.metadata.is_empty() {
+            let indices = crate::prefilter::prefilter_indices(
+                flows,
+                &observation.metadata,
+                self.config.prefilter,
+            );
+            Some(mine_at_indices(
+                observation.interval,
+                flows,
+                &indices,
+                &observation.metadata,
+                self.config.transactions,
+                self.config.miner,
+                self.config.min_support,
+                Exec::inline(),
             ))
         } else {
             None

@@ -1,0 +1,496 @@
+//! The streaming extraction engine: continuous, pipelined online
+//! operation.
+//!
+//! The paper's deployment is online — NetFlow collectors export flows
+//! continuously and the extractor must keep up with each Δ-minute
+//! interval in real time. [`StreamingExtractor`] implements that by
+//! wrapping the two halves the crate already has into one double-buffered
+//! pipeline:
+//!
+//! ```text
+//!  caller thread                     │  pipeline thread (spawned once)
+//!  ─────────────                     │  ──────────────────────────────
+//!  push(flow) ──► IntervalAssembler  │   ShardedExtractor (persistent
+//!                   assembles t+1    │   worker pool): detect → prefilter
+//!                        │           │   → mine interval t
+//!                        ▼           │            │
+//!                 bounded(1) channel ─────────────┘
+//!                 (the double buffer: one interval in flight,
+//!                  one queued; assembly of t+1 overlaps
+//!                  extraction of t)
+//!                        ▲           │
+//!  push()/finish() ◄─────┴─ StreamEvent per closed interval
+//!                            (outcome + timing + drop counters)
+//! ```
+//!
+//! The detector bank lives inside the pipeline thread's
+//! [`ShardedExtractor`] for the whole life of the stream, so baseline
+//! state — reference histograms, KL series, fitted σ̂ thresholds —
+//! carries forward from interval to interval instead of being re-derived
+//! per call; an extractor that has finished training stays trained for
+//! every subsequent interval of the stream.
+//!
+//! **Determinism:** the assembler emits exactly the intervals batch
+//! slicing would produce (empty windows included, so the KL time series
+//! stays aligned), and the pipeline thread feeds them, in order, through
+//! the same pool-backed engine the batch path uses — so the streaming
+//! event stream is **bit-identical** to batch extraction over the same
+//! flows, for every shard count and miner. The streaming determinism
+//! property suite asserts this.
+
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use anomex_netflow::{ClosedInterval, FlowRecord, IntervalAssembler};
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::config::{ConfigError, ExtractionConfig};
+use crate::pipeline::IntervalOutcome;
+use crate::sharded::ShardedExtractor;
+
+/// One closed interval's worth of streaming output: what the pipeline
+/// saw, what it extracted, and how long extraction took.
+#[derive(Debug, Clone)]
+pub struct StreamEvent {
+    /// Zero-based interval index since the stream origin.
+    pub index: u64,
+    /// Inclusive window start, ms.
+    pub begin_ms: u64,
+    /// Exclusive window end, ms.
+    pub end_ms: u64,
+    /// Flows assembled into this interval.
+    pub flows: usize,
+    /// Cumulative assembler drops (late + pre-origin flows) at the
+    /// moment this interval closed.
+    pub dropped_flows: u64,
+    /// Wall-clock the pipeline spent on this interval (detection,
+    /// pre-filtering, mining), in microseconds.
+    pub process_micros: u64,
+    /// What the detector bank saw and, on alarm, what was extracted.
+    pub outcome: IntervalOutcome,
+}
+
+impl StreamEvent {
+    /// Whether the detector bank alarmed on this interval.
+    #[must_use]
+    pub fn alarmed(&self) -> bool {
+        self.outcome.observation.alarm
+    }
+}
+
+/// End-of-stream accounting returned by [`StreamingExtractor::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Intervals closed (and processed) over the stream's lifetime.
+    pub intervals: u64,
+    /// Intervals on which the detector bank alarmed.
+    pub alarms: u64,
+    /// Intervals that produced an extraction (alarm + non-empty
+    /// meta-data).
+    pub extractions: u64,
+    /// Flows fed to the stream.
+    pub total_flows: u64,
+    /// Flows dropped because they arrived after their window closed.
+    pub late_flows: u64,
+    /// Flows dropped because they were dated before the stream origin.
+    pub pre_origin_flows: u64,
+    /// Whether every detector had finished training by end of stream.
+    pub trained: bool,
+}
+
+/// The `p`-th percentile (nearest rank) of a latency sample, sorting the
+/// slice in place; zero for an empty sample. The one definition shared
+/// by the CLI's end-of-stream summary and the benchmark emitters, so
+/// operator-observed and trajectory-tracked numbers stay comparable.
+#[must_use]
+pub fn latency_percentile(latencies: &mut [u64], p: f64) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+    latencies[rank.clamp(1, latencies.len()) - 1]
+}
+
+/// A closed interval plus the assembler's cumulative drop count at the
+/// moment it closed — what the caller thread hands the pipeline thread.
+type Work = (ClosedInterval, u64);
+
+/// The continuous streaming pipeline: feed flows, receive a
+/// [`StreamEvent`] per closed Δ-interval.
+///
+/// See the [module docs](self) for the execution model. Constructed once
+/// per stream; [`push`](Self::push) flows in rough arrival order and
+/// [`finish`](Self::finish) at end of stream (or drop the extractor to
+/// abandon it — the pipeline thread is joined either way).
+#[derive(Debug)]
+pub struct StreamingExtractor {
+    assembler: IntervalAssembler,
+    /// `Some` until `finish`/drop closes the stream.
+    work_tx: Option<Sender<Work>>,
+    events_rx: Receiver<StreamEvent>,
+    /// The pipeline thread; returns its engine so `finish` can read
+    /// final detector state.
+    worker: Option<JoinHandle<ShardedExtractor>>,
+    total_flows: u64,
+    intervals: u64,
+    alarms: u64,
+    extractions: u64,
+}
+
+fn pipeline_loop(
+    mut engine: ShardedExtractor,
+    work_rx: &Receiver<Work>,
+    events_tx: &Sender<StreamEvent>,
+) -> ShardedExtractor {
+    while let Ok((interval, dropped_flows)) = work_rx.recv() {
+        let ClosedInterval {
+            index,
+            begin_ms,
+            end_ms,
+            flows,
+        } = interval;
+        let flows = Arc::new(flows);
+        let started = Instant::now();
+        let outcome = engine.process_shared(&flows);
+        let process_micros = started.elapsed().as_micros() as u64;
+        let event = StreamEvent {
+            index,
+            begin_ms,
+            end_ms,
+            flows: flows.len(),
+            dropped_flows,
+            process_micros,
+            outcome,
+        };
+        if events_tx.send(event).is_err() {
+            break; // receiver gone: the stream was abandoned
+        }
+    }
+    engine
+}
+
+impl StreamingExtractor {
+    /// Capacity of the interval (work) channel. One slot is the double
+    /// buffer: while the pipeline thread extracts interval `t`, interval
+    /// `t+1` can sit queued and interval `t+2` assembles on the caller's
+    /// thread; only a third pending interval applies back-pressure.
+    const WORK_BUFFER: usize = 1;
+    /// Capacity of the event channel. Events are drained on every
+    /// `push`, so this only needs slack for bursts of empty intervals.
+    const EVENT_BUFFER: usize = 64;
+
+    /// Build a streaming pipeline with windows
+    /// `[origin_ms + i*Δ, origin_ms + (i+1)*Δ)` and `shards` persistent
+    /// pool workers (1 = inline), spawning the pipeline thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn try_new(
+        config: ExtractionConfig,
+        shards: NonZeroUsize,
+        origin_ms: u64,
+    ) -> Result<Self, ConfigError> {
+        let interval_ms = config.interval_ms;
+        let engine = ShardedExtractor::try_new(config, shards)?;
+        // `validate` already rejected a zero interval; map defensively
+        // rather than panic so the error path stays a `Result`.
+        let assembler =
+            IntervalAssembler::try_new(origin_ms, interval_ms).map_err(ConfigError::new)?;
+        let (work_tx, work_rx) = bounded::<Work>(Self::WORK_BUFFER);
+        let (events_tx, events_rx) = bounded::<StreamEvent>(Self::EVENT_BUFFER);
+        let worker = std::thread::Builder::new()
+            .name("anomex-stream-pipeline".into())
+            .spawn(move || pipeline_loop(engine, &work_rx, &events_tx))
+            .map_err(|e| ConfigError::new(format!("cannot spawn pipeline thread: {e}")))?;
+        Ok(StreamingExtractor {
+            assembler,
+            work_tx: Some(work_tx),
+            events_rx,
+            worker: Some(worker),
+            total_flows: 0,
+            intervals: 0,
+            alarms: 0,
+            extractions: 0,
+        })
+    }
+
+    /// The streaming interval assembler (drop counters, window
+    /// geometry).
+    #[must_use]
+    pub fn assembler(&self) -> &IntervalAssembler {
+        &self.assembler
+    }
+
+    /// Feed one flow. Returns every [`StreamEvent`] that became ready —
+    /// usually empty, one event when the flow closed an interval, and
+    /// several after a gap in the stream (empty windows are processed
+    /// too, keeping the KL series aligned).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread (a worker-pool job or
+    /// detector panicking on a poisoned interval).
+    pub fn push(&mut self, flow: FlowRecord) -> Vec<StreamEvent> {
+        self.total_flows += 1;
+        let closed = self.assembler.push(flow);
+        let mut events = Vec::new();
+        for interval in closed {
+            let dropped = self.assembler.dropped_flows();
+            // Drain before the (possibly blocking) send: the pipeline
+            // thread can then never stall on a full event channel while
+            // we wait for the double buffer to free up.
+            self.drain_ready(&mut events);
+            let sent = self
+                .work_tx
+                .as_ref()
+                .expect("stream already finished")
+                .send((interval, dropped));
+            if sent.is_err() {
+                // The pipeline thread is gone mid-stream: it panicked.
+                self.join_and_propagate();
+            }
+        }
+        self.drain_ready(&mut events);
+        events
+    }
+
+    /// Close the stream: flush the in-progress interval, wait for the
+    /// pipeline thread to drain, and return the remaining events plus
+    /// the end-of-stream summary.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<StreamEvent>, StreamSummary) {
+        let final_interval = self.assembler.flush();
+        let mut events = Vec::new();
+        if let Some(interval) = final_interval {
+            let dropped = self.assembler.dropped_flows();
+            self.drain_ready(&mut events);
+            if let Some(tx) = self.work_tx.as_ref() {
+                if tx.send((interval, dropped)).is_err() {
+                    self.join_and_propagate();
+                }
+            }
+        }
+        // Hang up the work channel; the pipeline thread finishes the
+        // queue and exits its loop.
+        drop(self.work_tx.take());
+        while let Ok(event) = self.events_rx.recv() {
+            self.record(&event);
+            events.push(event);
+        }
+        let engine = match self.worker.take().expect("finish called once").join() {
+            Ok(engine) => engine,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let summary = StreamSummary {
+            intervals: self.intervals,
+            alarms: self.alarms,
+            extractions: self.extractions,
+            total_flows: self.total_flows,
+            late_flows: self.assembler.late_flows(),
+            pre_origin_flows: self.assembler.pre_origin_flows(),
+            trained: engine.is_trained(),
+        };
+        (events, summary)
+    }
+
+    /// Non-blockingly collect every event the pipeline thread has
+    /// finished, updating the stream counters.
+    fn drain_ready(&mut self, into: &mut Vec<StreamEvent>) {
+        while let Ok(event) = self.events_rx.try_recv() {
+            self.record(&event);
+            into.push(event);
+        }
+    }
+
+    fn record(&mut self, event: &StreamEvent) {
+        self.intervals += 1;
+        if event.alarmed() {
+            self.alarms += 1;
+        }
+        if event.outcome.extraction.is_some() {
+            self.extractions += 1;
+        }
+    }
+
+    /// Join a pipeline thread that died mid-stream and re-raise its
+    /// panic on the caller.
+    fn join_and_propagate(&mut self) -> ! {
+        drop(self.work_tx.take());
+        let panic = self
+            .worker
+            .take()
+            .expect("pipeline thread handle present")
+            .join()
+            .expect_err("a live pipeline thread cannot refuse work");
+        std::panic::resume_unwind(panic)
+    }
+}
+
+impl Drop for StreamingExtractor {
+    /// Abandon the stream: hang up the work channel, drain whatever the
+    /// pipeline thread still emits, and join it — no detached threads,
+    /// no deadlock (the drain keeps the event channel from filling while
+    /// the thread winds down).
+    fn drop(&mut self) {
+        drop(self.work_tx.take());
+        while self.events_rx.recv().is_ok() {}
+        if let Some(worker) = self.worker.take() {
+            // A panic here already surfaced through push/finish if the
+            // caller was listening; swallow it during unwinding.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AnomalyExtractor;
+    use anomex_detector::DetectorConfig;
+    use anomex_netflow::Protocol;
+    use anomex_traffic::Scenario;
+    use std::net::Ipv4Addr;
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    fn test_config(interval_ms: u64) -> ExtractionConfig {
+        ExtractionConfig {
+            interval_ms,
+            detector: DetectorConfig {
+                training_intervals: 10,
+                ..DetectorConfig::default()
+            },
+            min_support: 800,
+            ..ExtractionConfig::default()
+        }
+    }
+
+    fn flow_at(ms: u64) -> FlowRecord {
+        FlowRecord::new(
+            ms,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            Protocol::Udp,
+        )
+    }
+
+    #[test]
+    fn streaming_matches_batch_bit_for_bit() {
+        let scenario = Scenario::small(11);
+        let intervals = scenario.interval_count().min(23);
+        let mut batch = AnomalyExtractor::new(test_config(scenario.interval_ms()));
+        let mut stream =
+            StreamingExtractor::try_new(test_config(scenario.interval_ms()), nz(2), 0).unwrap();
+        let mut events = Vec::new();
+        let mut batch_outcomes = Vec::new();
+        for i in 0..intervals {
+            let interval = scenario.generate(i);
+            batch_outcomes.push(batch.process_interval(&interval.flows));
+            for flow in interval.flows {
+                events.extend(stream.push(flow));
+            }
+        }
+        let (tail, summary) = stream.finish();
+        events.extend(tail);
+        assert_eq!(events.len() as u64, intervals);
+        assert_eq!(summary.intervals, intervals);
+        assert_eq!(summary.late_flows + summary.pre_origin_flows, 0);
+        for (i, (event, b)) in events.iter().zip(&batch_outcomes).enumerate() {
+            assert_eq!(event.index, i as u64);
+            let a = &event.outcome;
+            assert_eq!(a.observation.alarm, b.observation.alarm, "interval {i}");
+            assert_eq!(a.observation.metadata, b.observation.metadata);
+            for (x, y) in a.observation.features.iter().zip(&b.observation.features) {
+                for (cx, cy) in x.clones.iter().zip(&y.clones) {
+                    assert_eq!(cx.kl.map(f64::to_bits), cy.kl.map(f64::to_bits));
+                }
+            }
+            match (&a.extraction, &b.extraction) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.itemsets, y.itemsets, "interval {i}");
+                    assert_eq!(x.levels, y.levels);
+                    assert_eq!(x.suspicious_flows, y.suspicious_flows);
+                    assert_eq!(x.cost_reduction.to_bits(), y.cost_reduction.to_bits());
+                }
+                _ => panic!("extraction presence diverged at interval {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut lat = vec![50u64, 10, 40, 20, 30];
+        assert_eq!(latency_percentile(&mut lat, 50.0), 30);
+        assert_eq!(latency_percentile(&mut lat, 95.0), 50);
+        assert_eq!(latency_percentile(&mut [], 50.0), 0);
+        assert_eq!(latency_percentile(&mut [7], 95.0), 7);
+    }
+
+    #[test]
+    fn empty_stream_finishes_cleanly() {
+        let stream = StreamingExtractor::try_new(test_config(60_000), nz(1), 0).unwrap();
+        let (events, summary) = stream.finish();
+        assert!(events.is_empty());
+        assert_eq!(summary.intervals, 0);
+        assert_eq!(summary.total_flows, 0);
+        assert!(!summary.trained);
+    }
+
+    #[test]
+    fn gaps_emit_empty_intervals_in_order() {
+        let mut stream = StreamingExtractor::try_new(test_config(1_000), nz(1), 0).unwrap();
+        let mut events = stream.push(flow_at(100));
+        events.extend(stream.push(flow_at(4_500))); // skips windows 1–3
+        let (tail, summary) = stream.finish();
+        events.extend(tail);
+        let indices: Vec<u64> = events.iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(events[0].flows, 1);
+        assert!(events[1..4].iter().all(|e| e.flows == 0));
+        assert_eq!(summary.intervals, 5);
+    }
+
+    #[test]
+    fn dropped_flows_surface_in_events_and_summary() {
+        let mut stream = StreamingExtractor::try_new(test_config(1_000), nz(1), 10_000).unwrap();
+        assert!(stream.push(flow_at(5)).is_empty(), "pre-origin, dropped");
+        stream.push(flow_at(10_100));
+        stream.push(flow_at(11_500)); // closes window 0
+        stream.push(flow_at(10_200)); // late: window 0 already closed
+        let (events, summary) = stream.finish();
+        assert_eq!(summary.pre_origin_flows, 1);
+        assert_eq!(summary.late_flows, 1);
+        assert_eq!(summary.total_flows, 4);
+        let last = events.last().expect("final interval flushed");
+        assert_eq!(last.dropped_flows, 2, "cumulative drops at close");
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let mut config = test_config(60_000);
+        config.min_support = 0;
+        assert!(StreamingExtractor::try_new(config, nz(2), 0).is_err());
+    }
+
+    #[test]
+    fn abandoning_a_stream_joins_the_pipeline_thread() {
+        let mut stream = StreamingExtractor::try_new(test_config(1_000), nz(2), 0).unwrap();
+        for i in 0..50 {
+            let _ = stream.push(flow_at(i * 100));
+        }
+        drop(stream); // must not hang or leak the pipeline thread
+    }
+}

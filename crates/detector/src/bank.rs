@@ -132,6 +132,33 @@ impl BankPartial {
     }
 }
 
+/// The immutable histogramming half of a whole [`DetectorBank`]: one
+/// [`FeatureHasher`](crate::FeatureHasher) per configured feature.
+///
+/// Snapshot it once ([`DetectorBank::hasher`]), share it behind an
+/// `Arc`, and persistent worker-pool threads can build [`BankPartial`]s
+/// over flow shards for every interval of a stream — while the bank's
+/// mutable state (reference histograms, σ̂ thresholds, the interval
+/// counter) stays exclusively with the owner, which scores the merged
+/// partial via [`DetectorBank::observe_partial`]. The partials are
+/// bit-identical to [`DetectorBank::partial`]'s by construction.
+#[derive(Debug, Clone)]
+pub struct BankHasher {
+    features: Vec<crate::detector::FeatureHasher>,
+}
+
+impl BankHasher {
+    /// Build every detector's partial histograms over one flow shard —
+    /// exactly what [`DetectorBank::partial`] builds, without borrowing
+    /// the bank.
+    #[must_use]
+    pub fn partial(&self, flows: &[FlowRecord]) -> BankPartial {
+        BankPartial {
+            features: self.features.iter().map(|h| h.partial(flows)).collect(),
+        }
+    }
+}
+
 /// `m` feature detectors operated in lockstep.
 #[derive(Debug)]
 pub struct DetectorBank {
@@ -181,6 +208,20 @@ impl DetectorBank {
     pub fn partial(&self, flows: &[FlowRecord]) -> BankPartial {
         BankPartial {
             features: self.detectors.iter().map(|d| d.partial(flows)).collect(),
+        }
+    }
+
+    /// Snapshot the immutable histogramming half of the bank — what
+    /// worker threads need to build partials for every interval of a
+    /// stream without borrowing (or locking) the bank itself.
+    #[must_use]
+    pub fn hasher(&self) -> BankHasher {
+        BankHasher {
+            features: self
+                .detectors
+                .iter()
+                .map(FeatureDetector::hasher_spec)
+                .collect(),
         }
     }
 
@@ -403,6 +444,40 @@ mod tests {
                         "interval {i} feature {:?}",
                         x.feature
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hasher_snapshot_builds_bit_identical_partials() {
+        let mut via_bank = DetectorBank::new(&config());
+        let mut via_hasher = DetectorBank::new(&config());
+        let hasher = via_hasher.hasher();
+        for i in 0..16 {
+            let flows = if i == 14 { ddos(i) } else { background(i) };
+            // Same uneven three-way sharding on both sides; one side
+            // builds partials through the bank, the other through the
+            // detached hasher snapshot.
+            let third = flows.len() / 3;
+            let a = {
+                let mut p = via_bank.partial(&flows[..third]);
+                p.merge(via_bank.partial(&flows[third..2 * third]));
+                p.merge(via_bank.partial(&flows[2 * third..]));
+                via_bank.observe_partial(p)
+            };
+            let b = {
+                let mut p = hasher.partial(&flows[..third]);
+                p.merge(hasher.partial(&flows[third..2 * third]));
+                p.merge(hasher.partial(&flows[2 * third..]));
+                via_hasher.observe_partial(p)
+            };
+            assert_eq!(a.alarm, b.alarm, "interval {i}");
+            assert_eq!(a.metadata, b.metadata, "interval {i}");
+            for (x, y) in a.features.iter().zip(&b.features) {
+                assert_eq!(&x.voted_values, &y.voted_values);
+                for (cx, cy) in x.clones.iter().zip(&y.clones) {
+                    assert_eq!(cx.kl.map(f64::to_bits), cy.kl.map(f64::to_bits));
                 }
             }
         }

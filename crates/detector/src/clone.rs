@@ -104,6 +104,12 @@ impl HistogramClone {
         self.hasher
     }
 
+    /// The clone's bin count `k`.
+    #[must_use]
+    pub fn bins(&self) -> u32 {
+        self.bins
+    }
+
     /// Current phase.
     #[must_use]
     pub fn phase(&self) -> ClonePhase {

@@ -55,6 +55,46 @@ impl FeaturePartial {
     }
 }
 
+/// The immutable histogramming half of a [`FeatureDetector`]: the
+/// feature, each clone's hash function, and the bin count — everything
+/// needed to build per-shard partial histograms, and nothing else.
+///
+/// Snapshotting this once and sharing it behind an `Arc` lets persistent
+/// worker-pool threads build [`FeaturePartial`]s concurrently while the
+/// mutable detector state (reference histograms, thresholds, training)
+/// stays exclusively with the owner for the scoring step. By
+/// construction, [`partial`](FeatureHasher::partial) is bit-identical to
+/// [`FeatureDetector::partial`].
+#[derive(Debug, Clone)]
+pub struct FeatureHasher {
+    feature: FlowFeature,
+    hashers: Vec<BinHasher>,
+    bins: u32,
+}
+
+impl FeatureHasher {
+    /// The monitored feature.
+    #[must_use]
+    pub fn feature(&self) -> FlowFeature {
+        self.feature
+    }
+
+    /// Build all clones' histograms over one flow shard — exactly what
+    /// [`FeatureDetector::partial`] builds, without needing the detector.
+    #[must_use]
+    pub fn partial(&self, flows: &[FlowRecord]) -> FeaturePartial {
+        FeaturePartial {
+            histograms: self
+                .hashers
+                .iter()
+                .map(|&h| {
+                    crate::histogram::FeatureHistogram::build(self.feature, h, self.bins, flows)
+                })
+                .collect(),
+        }
+    }
+}
+
 /// A histogram-based detector for one traffic feature.
 #[derive(Debug)]
 pub struct FeatureDetector {
@@ -133,6 +173,18 @@ impl FeatureDetector {
     #[must_use]
     pub fn clones(&self) -> &[HistogramClone] {
         &self.clones
+    }
+
+    /// Snapshot the immutable histogramming half of this detector — the
+    /// hash functions and bin count worker threads need to build
+    /// partials without borrowing the detector itself.
+    #[must_use]
+    pub fn hasher_spec(&self) -> FeatureHasher {
+        FeatureHasher {
+            feature: self.feature,
+            hashers: self.clones.iter().map(HistogramClone::hasher).collect(),
+            bins: self.clones.first().map_or(0, HistogramClone::bins),
+        }
     }
 
     /// Build all clones' histograms over one flow shard without touching

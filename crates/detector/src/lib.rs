@@ -39,10 +39,10 @@ pub mod roc;
 pub mod threshold;
 pub mod vote;
 
-pub use bank::{BankObservation, BankPartial, DetectorBank, DetectorConfig};
+pub use bank::{BankHasher, BankObservation, BankPartial, DetectorBank, DetectorConfig};
 pub use binid::{identify_anomalous_bins, BinIdentification};
 pub use clone::{CloneObservation, ClonePhase, HistogramClone};
-pub use detector::{FeatureDetector, FeatureObservation, FeaturePartial};
+pub use detector::{FeatureDetector, FeatureHasher, FeatureObservation, FeaturePartial};
 pub use entropy::{shannon_entropy, EntropyDetector, EntropyObservation};
 pub use hash::{derive_hashers, BinHasher};
 pub use histogram::FeatureHistogram;

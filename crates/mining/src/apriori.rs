@@ -13,6 +13,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +21,7 @@ use crate::combinations::for_each_combination;
 use crate::item::Item;
 use crate::itemset::ItemSet;
 use crate::maximal::filter_maximal;
-use crate::par::{map_chunks, sum_count_vecs};
+use crate::par::{map_chunks_arc, sum_count_vecs, Exec};
 use crate::transaction::{Transaction, TransactionSet, MAX_WIDTH};
 
 /// Padding value for fixed-size candidate keys. Never a valid item
@@ -104,15 +105,12 @@ pub fn apriori(set: &TransactionSet, config: &AprioriConfig) -> AprioriOutput {
 }
 
 /// Pass 1 of every miner: global single-item occurrence counts, computed
-/// over transaction chunks on up to `threads` worker threads and merged
-/// by summation (exact, order-independent — bit-identical to a
-/// sequential count for every thread count).
+/// over transaction chunks in the given execution context and merged by
+/// summation (exact, order-independent — bit-identical to a sequential
+/// count for every context and thread count).
 #[must_use]
-pub(crate) fn count_single_items(
-    set: &TransactionSet,
-    threads: NonZeroUsize,
-) -> HashMap<Item, u64> {
-    let parts = map_chunks(set.transactions(), threads, |_, chunk: &[Transaction]| {
+pub(crate) fn count_single_items(set: &TransactionSet, exec: Exec<'_>) -> HashMap<Item, u64> {
+    let parts = map_chunks_arc(exec, set.shared(), |_, chunk: &[Transaction]| {
         let mut counts: HashMap<Item, u64> = HashMap::new();
         for t in chunk {
             for &item in t.items() {
@@ -131,12 +129,7 @@ pub(crate) fn count_single_items(
 }
 
 /// Run Apriori with support counting parallelized over transaction
-/// chunks on up to `threads` worker threads.
-///
-/// Per level, each worker counts candidate hits in its own index-aligned
-/// vector and the vectors are summed — integer adds, so the output is
-/// **bit-identical** to [`apriori`] for every `threads` value; only the
-/// wall-clock changes.
+/// chunks on up to `threads` scoped worker threads.
 ///
 /// # Panics
 ///
@@ -147,6 +140,24 @@ pub fn apriori_par(
     config: &AprioriConfig,
     threads: NonZeroUsize,
 ) -> AprioriOutput {
+    apriori_exec(set, config, Exec::Threads(threads))
+}
+
+/// Run Apriori with support counting parallelized over transaction
+/// chunks in the given execution context — scoped threads for one-shot
+/// batch mining, or a persistent [`crossbeam::WorkerPool`] when the
+/// streaming engine calls every interval.
+///
+/// Per level, each worker counts candidate hits in its own index-aligned
+/// vector and the vectors are summed — integer adds, so the output is
+/// **bit-identical** to [`apriori`] for every execution context; only
+/// the wall-clock changes.
+///
+/// # Panics
+///
+/// Panics if `config.min_support` is zero.
+#[must_use]
+pub fn apriori_exec(set: &TransactionSet, config: &AprioriConfig, exec: Exec<'_>) -> AprioriOutput {
     assert!(
         config.min_support >= 1,
         "minimum support must be at least 1"
@@ -157,7 +168,7 @@ pub fn apriori_par(
     let mut levels: Vec<LevelStats> = Vec::new();
 
     // --- Pass 1: count single items. ---
-    let counts = count_single_items(set, threads);
+    let counts = count_single_items(set, exec);
     let mut current: Vec<(Vec<Item>, u64)> = counts
         .into_iter()
         .filter(|&(_, c)| c >= min_support)
@@ -192,14 +203,17 @@ pub fn apriori_par(
 
         // Support counting: enumerate each transaction's k-subsets.
         // Workers count into index-aligned vectors against a shared
-        // read-only candidate index; the vectors sum exactly.
-        let index: HashMap<CandKey, usize> = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, items)| (key_of(items), i))
-            .collect();
+        // read-only candidate index (Arc'd so pool jobs can own a
+        // handle); the vectors sum exactly.
+        let index: Arc<HashMap<CandKey, usize>> = Arc::new(
+            candidates
+                .iter()
+                .enumerate()
+                .map(|(i, items)| (key_of(items), i))
+                .collect(),
+        );
         let n = candidates.len();
-        let parts = map_chunks(set.transactions(), threads, |_, chunk: &[Transaction]| {
+        let parts = map_chunks_arc(exec, set.shared(), move |_, chunk: &[Transaction]| {
             let mut counts = vec![0u64; n];
             for t in chunk {
                 if t.width() < k {

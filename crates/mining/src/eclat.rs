@@ -11,7 +11,7 @@ use std::num::NonZeroUsize;
 
 use crate::item::Item;
 use crate::itemset::ItemSet;
-use crate::par::map_chunks;
+use crate::par::{map_chunks_arc, Exec};
 use crate::transaction::{Transaction, TransactionSet};
 
 /// Mine all frequent item-sets with Eclat.
@@ -29,24 +29,21 @@ pub fn eclat(set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
 
 /// Build the vertical representation: item → sorted list of the ids of
 /// the transactions containing it. Chunks of the transaction slice are
-/// scanned on up to `threads` worker threads, each recording *global*
-/// transaction ids (chunk start + offset); concatenating the per-chunk
-/// lists in chunk order reproduces the sequential construction exactly.
-fn tidlists(set: &TransactionSet, threads: NonZeroUsize) -> HashMap<Item, Vec<u32>> {
-    let parts = map_chunks(
-        set.transactions(),
-        threads,
-        |start, chunk: &[Transaction]| {
-            let mut lists: HashMap<Item, Vec<u32>> = HashMap::new();
-            for (offset, t) in chunk.iter().enumerate() {
-                let tid = (start + offset) as u32;
-                for &item in t.items() {
-                    lists.entry(item).or_default().push(tid);
-                }
+/// scanned in the given execution context, each worker recording
+/// *global* transaction ids (chunk start + offset); concatenating the
+/// per-chunk lists in chunk order reproduces the sequential construction
+/// exactly.
+fn tidlists(set: &TransactionSet, exec: Exec<'_>) -> HashMap<Item, Vec<u32>> {
+    let parts = map_chunks_arc(exec, set.shared(), |start, chunk: &[Transaction]| {
+        let mut lists: HashMap<Item, Vec<u32>> = HashMap::new();
+        for (offset, t) in chunk.iter().enumerate() {
+            let tid = (start + offset) as u32;
+            for &item in t.items() {
+                lists.entry(item).or_default().push(tid);
             }
-            lists
-        },
-    );
+        }
+        lists
+    });
     let mut merged: HashMap<Item, Vec<u32>> = HashMap::new();
     // Chunk order + ascending tids within each chunk ⇒ merged lists are
     // sorted without any post-hoc sort.
@@ -59,18 +56,29 @@ fn tidlists(set: &TransactionSet, threads: NonZeroUsize) -> HashMap<Item, Vec<u3
 }
 
 /// Eclat with tid-list construction parallelized over transaction chunks
-/// on up to `threads` worker threads. The per-chunk lists concatenate in
-/// chunk order into exactly the sequential tid-lists, so the output is
-/// **bit-identical** to [`eclat`] for every thread count.
+/// on up to `threads` scoped worker threads.
 ///
 /// # Panics
 ///
 /// Panics if `min_support` is zero.
 #[must_use]
 pub fn eclat_par(set: &TransactionSet, min_support: u64, threads: NonZeroUsize) -> Vec<ItemSet> {
+    eclat_exec(set, min_support, Exec::Threads(threads))
+}
+
+/// Eclat with tid-list construction parallelized over transaction chunks
+/// in the given execution context. The per-chunk lists concatenate in
+/// chunk order into exactly the sequential tid-lists, so the output is
+/// **bit-identical** to [`eclat`] for every context and thread count.
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+#[must_use]
+pub fn eclat_exec(set: &TransactionSet, min_support: u64, exec: Exec<'_>) -> Vec<ItemSet> {
     assert!(min_support >= 1, "minimum support must be at least 1");
 
-    let tidlists = tidlists(set, threads);
+    let tidlists = tidlists(set, exec);
     let mut roots: Vec<(Item, Vec<u32>)> = tidlists
         .into_iter()
         .filter(|(_, tids)| tids.len() as u64 >= min_support)

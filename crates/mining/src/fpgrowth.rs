@@ -15,6 +15,7 @@ use std::num::NonZeroUsize;
 use crate::apriori::count_single_items;
 use crate::item::Item;
 use crate::itemset::ItemSet;
+use crate::par::Exec;
 use crate::transaction::TransactionSet;
 
 /// One FP-tree node.
@@ -118,20 +119,31 @@ pub fn fpgrowth(set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
 }
 
 /// FP-growth with the first (support-counting) scan parallelized over
-/// transaction chunks on up to `threads` worker threads. The merged
-/// counts are exact integer sums, so the ranking — and therefore the
-/// tree and the mined output — is **bit-identical** to [`fpgrowth`] for
-/// every thread count.
+/// transaction chunks on up to `threads` scoped worker threads.
 ///
 /// # Panics
 ///
 /// Panics if `min_support` is zero.
 #[must_use]
 pub fn fpgrowth_par(set: &TransactionSet, min_support: u64, threads: NonZeroUsize) -> Vec<ItemSet> {
+    fpgrowth_exec(set, min_support, Exec::Threads(threads))
+}
+
+/// FP-growth with the first (support-counting) scan parallelized over
+/// transaction chunks in the given execution context. The merged counts
+/// are exact integer sums, so the ranking — and therefore the tree and
+/// the mined output — is **bit-identical** to [`fpgrowth`] for every
+/// context and thread count.
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+#[must_use]
+pub fn fpgrowth_exec(set: &TransactionSet, min_support: u64, exec: Exec<'_>) -> Vec<ItemSet> {
     assert!(min_support >= 1, "minimum support must be at least 1");
 
     // Pass 1: global item counts (parallel over chunks, merged by sum).
-    let counts = count_single_items(set, threads);
+    let counts = count_single_items(set, exec);
     let mut frequent: Vec<(Item, u64)> = counts
         .into_iter()
         .filter(|&(_, c)| c >= min_support)

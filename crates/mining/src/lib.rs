@@ -45,14 +45,14 @@ pub mod par;
 pub mod topk;
 pub mod transaction;
 
-pub use apriori::{apriori_par, AprioriConfig, AprioriOutput, LevelStats};
+pub use apriori::{apriori_exec, apriori_par, AprioriConfig, AprioriOutput, LevelStats};
 pub use closed::{filter_closed, mine_closed};
-pub use eclat::eclat_par;
-pub use fpgrowth::fpgrowth_par;
+pub use eclat::{eclat_exec, eclat_par};
+pub use fpgrowth::{fpgrowth_exec, fpgrowth_par};
 pub use item::Item;
 pub use itemset::{canonicalize, ItemSet};
 pub use maximal::{filter_maximal, filter_maximal_general};
 pub use miner::MinerKind;
-pub use par::map_chunks;
+pub use par::{map_chunks, map_chunks_arc, Exec};
 pub use topk::{mine_top_k, TopK};
 pub use transaction::{Transaction, TransactionError, TransactionSet, CANONICAL_WIDTH, MAX_WIDTH};

@@ -5,11 +5,12 @@ use std::num::NonZeroUsize;
 
 use serde::{Deserialize, Serialize};
 
-use crate::apriori::{apriori_par, AprioriConfig};
-use crate::eclat::eclat_par;
-use crate::fpgrowth::fpgrowth_par;
+use crate::apriori::{apriori_exec, AprioriConfig};
+use crate::eclat::eclat_exec;
+use crate::fpgrowth::fpgrowth_exec;
 use crate::itemset::ItemSet;
 use crate::maximal::filter_maximal;
+use crate::par::Exec;
 use crate::transaction::TransactionSet;
 
 /// Which frequent item-set algorithm to run.
@@ -55,9 +56,9 @@ impl MinerKind {
     }
 
     /// [`mine_all`](Self::mine_all) with support counting parallelized
-    /// over transaction chunks on up to `threads` worker threads. Output
-    /// is bit-identical to the single-threaded call for every miner and
-    /// thread count.
+    /// over transaction chunks on up to `threads` scoped worker threads.
+    /// Output is bit-identical to the single-threaded call for every
+    /// miner and thread count.
     ///
     /// # Panics
     ///
@@ -69,19 +70,13 @@ impl MinerKind {
         min_support: u64,
         threads: NonZeroUsize,
     ) -> Vec<ItemSet> {
-        match self {
-            MinerKind::Apriori => {
-                apriori_par(set, &AprioriConfig::all_frequent(min_support), threads).itemsets
-            }
-            MinerKind::FpGrowth => fpgrowth_par(set, min_support, threads),
-            MinerKind::Eclat => eclat_par(set, min_support, threads),
-        }
+        self.mine_all_exec(set, min_support, Exec::Threads(threads))
     }
 
     /// [`mine_maximal`](Self::mine_maximal) with support counting
-    /// parallelized over transaction chunks on up to `threads` worker
-    /// threads. Output is bit-identical to the single-threaded call for
-    /// every miner and thread count.
+    /// parallelized over transaction chunks on up to `threads` scoped
+    /// worker threads. Output is bit-identical to the single-threaded
+    /// call for every miner and thread count.
     ///
     /// # Panics
     ///
@@ -93,12 +88,55 @@ impl MinerKind {
         min_support: u64,
         threads: NonZeroUsize,
     ) -> Vec<ItemSet> {
+        self.mine_maximal_exec(set, min_support, Exec::Threads(threads))
+    }
+
+    /// [`mine_all`](Self::mine_all) with support counting parallelized
+    /// in the given execution context ([`Exec::Pool`] keeps the
+    /// streaming hot loop free of thread spawns). Output is
+    /// bit-identical to the single-threaded call for every miner and
+    /// context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero.
+    #[must_use]
+    pub fn mine_all_exec(
+        self,
+        set: &TransactionSet,
+        min_support: u64,
+        exec: Exec<'_>,
+    ) -> Vec<ItemSet> {
         match self {
             MinerKind::Apriori => {
-                apriori_par(set, &AprioriConfig::maximal(min_support), threads).itemsets
+                apriori_exec(set, &AprioriConfig::all_frequent(min_support), exec).itemsets
             }
-            MinerKind::FpGrowth => filter_maximal(fpgrowth_par(set, min_support, threads)),
-            MinerKind::Eclat => filter_maximal(eclat_par(set, min_support, threads)),
+            MinerKind::FpGrowth => fpgrowth_exec(set, min_support, exec),
+            MinerKind::Eclat => eclat_exec(set, min_support, exec),
+        }
+    }
+
+    /// [`mine_maximal`](Self::mine_maximal) with support counting
+    /// parallelized in the given execution context. Output is
+    /// bit-identical to the single-threaded call for every miner and
+    /// context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero.
+    #[must_use]
+    pub fn mine_maximal_exec(
+        self,
+        set: &TransactionSet,
+        min_support: u64,
+        exec: Exec<'_>,
+    ) -> Vec<ItemSet> {
+        match self {
+            MinerKind::Apriori => {
+                apriori_exec(set, &AprioriConfig::maximal(min_support), exec).itemsets
+            }
+            MinerKind::FpGrowth => filter_maximal(fpgrowth_exec(set, min_support, exec)),
+            MinerKind::Eclat => filter_maximal(eclat_exec(set, min_support, exec)),
         }
     }
 }
@@ -153,6 +191,36 @@ mod tests {
             assert!(all.contains(m));
         }
         assert!(maximal.len() <= all.len());
+    }
+
+    #[test]
+    fn pool_execution_is_bit_identical_to_scoped_threads() {
+        use crossbeam::WorkerPool;
+        // Large enough that the parallel passes actually split chunks.
+        let mut set = TransactionSet::new();
+        for i in 0..6000u64 {
+            let t = Transaction::from_items(&[
+                Item::new(FlowFeature::DstPort, 80 + i % 3),
+                Item::new(FlowFeature::Proto, 6 + (i % 2) * 11),
+                Item::new(FlowFeature::Packets, i % 5),
+            ])
+            .unwrap();
+            set.push(t);
+        }
+        let pool = WorkerPool::new(NonZeroUsize::new(4).unwrap());
+        for kind in MinerKind::ALL {
+            let reference = kind.mine_maximal(&set, 400);
+            let pooled = kind.mine_maximal_exec(&set, 400, Exec::Pool(&pool));
+            assert_eq!(pooled, reference, "{kind}");
+            for (a, b) in pooled.iter().zip(&reference) {
+                assert_eq!(a.support, b.support, "{kind} {a}");
+            }
+            assert_eq!(
+                kind.mine_all_exec(&set, 400, Exec::Pool(&pool)),
+                kind.mine_all(&set, 400),
+                "{kind} all-frequent"
+            );
+        }
     }
 
     #[test]

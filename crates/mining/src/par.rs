@@ -13,8 +13,10 @@
 //! determinism guarantee.
 
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 
-use anomex_netflow::shard::chunks_of;
+use anomex_netflow::shard::{chunk_ranges, chunks_of};
+use crossbeam::WorkerPool;
 
 /// Minimum number of items per worker before a parallel pass is worth its
 /// thread spawns: below this, counting a chunk is faster than starting a
@@ -62,6 +64,88 @@ where
             .collect()
     })
     .expect("scoped worker threads failed to join")
+}
+
+/// Where a deterministic parallel pass runs its chunks.
+///
+/// The two variants produce **bit-identical results** — every merge in
+/// the engine is an exact integer sum, a set union, or an in-order
+/// concatenation — and differ only in execution cost:
+///
+/// - [`Exec::Threads`] spawns scoped threads per pass (and runs inline at
+///   one thread) — right for one-shot batch calls;
+/// - [`Exec::Pool`] submits the chunks as jobs to a persistent
+///   [`WorkerPool`] — right for the streaming hot loop, where paying a
+///   thread spawn per pass per interval would dominate small intervals.
+#[derive(Debug, Clone, Copy)]
+pub enum Exec<'p> {
+    /// Scoped worker threads spawned for the duration of the pass
+    /// (inline when 1).
+    Threads(NonZeroUsize),
+    /// Jobs on a long-lived worker pool.
+    Pool(&'p WorkerPool),
+}
+
+impl Exec<'_> {
+    /// Run everything inline on the calling thread.
+    #[must_use]
+    pub fn inline() -> Exec<'static> {
+        Exec::Threads(NonZeroUsize::MIN)
+    }
+
+    /// The parallelism this context offers.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        match self {
+            Exec::Threads(n) => n.get(),
+            Exec::Pool(pool) => pool.threads(),
+        }
+    }
+}
+
+/// [`map_chunks`] over shared (`Arc`-owned) items: the execution-context
+/// flavor used by every pass of the extraction engine.
+///
+/// The mapper must be `'static` because under [`Exec::Pool`] each chunk
+/// becomes an owned job on threads that outlive the call — capture
+/// `Arc` handles, not references. Per-chunk results are returned **in
+/// chunk order** for every context, and small inputs run inline exactly
+/// as in [`map_chunks`], so the output is bit-identical across all
+/// execution contexts and thread counts.
+///
+/// # Panics
+///
+/// Propagates a panic from the mapper on the calling thread.
+pub fn map_chunks_arc<T, R, F>(exec: Exec<'_>, items: &Arc<Vec<T>>, map: F) -> Vec<R>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &[T]) -> R + Send + Sync + 'static,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let width = exec.width();
+    if width == 1 || items.len() < 2 * MIN_ITEMS_PER_THREAD {
+        return vec![map(0, items)];
+    }
+    let workers = width.min(items.len() / MIN_ITEMS_PER_THREAD).max(2);
+    let workers = NonZeroUsize::new(workers).expect("workers >= 2");
+    match exec {
+        Exec::Threads(_) => map_chunks(items, workers, map),
+        Exec::Pool(pool) => {
+            let map = Arc::new(map);
+            let jobs: Vec<Box<dyn FnOnce() -> R + Send>> = chunk_ranges(items.len(), workers)
+                .into_iter()
+                .map(|range| {
+                    let items = Arc::clone(items);
+                    let map = Arc::clone(&map);
+                    Box::new(move || map(range.start, &items[range])) as Box<_>
+                })
+                .collect();
+            pool.run_ordered(jobs)
+        }
+    }
 }
 
 /// Sum per-chunk `u64` count vectors element-wise into the first one —
@@ -127,6 +211,51 @@ mod tests {
     fn empty_input_yields_no_parts() {
         let parts = map_chunks(&[] as &[u64], nz(4), |_, _| 0u64);
         assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn arc_chunks_match_scoped_chunks_for_every_context() {
+        let data: Arc<Vec<u64>> = Arc::new((0..30_000).map(|i| i % 89).collect());
+        let reference: Vec<u64> = map_chunks(&data, nz(4), |_, chunk| chunk.iter().sum::<u64>());
+        let reference_total: u64 = reference.into_iter().sum();
+        let pool = WorkerPool::new(nz(4));
+        for exec in [
+            Exec::inline(),
+            Exec::Threads(nz(4)),
+            Exec::Threads(nz(7)),
+            Exec::Pool(&pool),
+        ] {
+            let total: u64 = map_chunks_arc(exec, &data, |_, chunk| chunk.iter().sum::<u64>())
+                .into_iter()
+                .sum();
+            assert_eq!(total, reference_total, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn arc_chunks_arrive_in_order_on_the_pool() {
+        let data: Arc<Vec<u64>> = Arc::new((0..10_000).collect());
+        let pool = WorkerPool::new(nz(3));
+        let parts = map_chunks_arc(Exec::Pool(&pool), &data, |start, chunk| {
+            (start, chunk.len())
+        });
+        let mut next = 0;
+        for (start, len) in parts {
+            assert_eq!(start, next);
+            next = start + len;
+        }
+        assert_eq!(next, data.len());
+    }
+
+    #[test]
+    fn arc_small_inputs_run_inline_without_touching_the_pool() {
+        let data: Arc<Vec<u64>> = Arc::new((0..100).collect());
+        let pool = WorkerPool::new(nz(4));
+        let parts = map_chunks_arc(Exec::Pool(&pool), &data, |start, chunk| {
+            (start, chunk.len())
+        });
+        assert_eq!(parts, vec![(0, 100)]);
+        assert_eq!(Arc::strong_count(&data), 1, "no job kept a handle");
     }
 
     #[test]

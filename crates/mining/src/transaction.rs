@@ -6,6 +6,7 @@
 //! enforces this for hand-built transactions too.
 
 use std::fmt;
+use std::sync::Arc;
 
 use anomex_netflow::{FlowFeature, FlowRecord};
 
@@ -151,9 +152,15 @@ impl Transaction {
 }
 
 /// The mining input: a bag of transactions.
+///
+/// The transactions are stored behind an [`Arc`] so parallel counting
+/// passes can hand `'static` jobs to a persistent worker pool without
+/// copying the set: each job clones the `Arc` and reads its chunk.
+/// Mutation (`push`) uses copy-on-write semantics — it is free while the
+/// set is unshared, which is the entire construction phase.
 #[derive(Debug, Clone, Default)]
 pub struct TransactionSet {
-    transactions: Vec<Transaction>,
+    transactions: Arc<Vec<Transaction>>,
 }
 
 impl TransactionSet {
@@ -167,7 +174,7 @@ impl TransactionSet {
     #[must_use]
     pub fn from_flows(flows: &[FlowRecord]) -> Self {
         TransactionSet {
-            transactions: flows.iter().map(Transaction::from_flow).collect(),
+            transactions: Arc::new(flows.iter().map(Transaction::from_flow).collect()),
         }
     }
 
@@ -176,7 +183,7 @@ impl TransactionSet {
     #[must_use]
     pub fn from_flows_extended(flows: &[FlowRecord]) -> Self {
         TransactionSet {
-            transactions: flows.iter().map(Transaction::from_flow_extended).collect(),
+            transactions: Arc::new(flows.iter().map(Transaction::from_flow_extended).collect()),
         }
     }
 
@@ -191,10 +198,12 @@ impl TransactionSet {
     #[must_use]
     pub fn from_flows_at(flows: &[FlowRecord], indices: &[usize]) -> Self {
         TransactionSet {
-            transactions: indices
-                .iter()
-                .map(|&i| Transaction::from_flow(&flows[i]))
-                .collect(),
+            transactions: Arc::new(
+                indices
+                    .iter()
+                    .map(|&i| Transaction::from_flow(&flows[i]))
+                    .collect(),
+            ),
         }
     }
 
@@ -207,27 +216,38 @@ impl TransactionSet {
     #[must_use]
     pub fn from_flows_extended_at(flows: &[FlowRecord], indices: &[usize]) -> Self {
         TransactionSet {
-            transactions: indices
-                .iter()
-                .map(|&i| Transaction::from_flow_extended(&flows[i]))
-                .collect(),
+            transactions: Arc::new(
+                indices
+                    .iter()
+                    .map(|&i| Transaction::from_flow_extended(&flows[i]))
+                    .collect(),
+            ),
         }
     }
 
     /// Build from explicit transactions.
     #[must_use]
     pub fn from_transactions(transactions: Vec<Transaction>) -> Self {
-        TransactionSet { transactions }
+        TransactionSet {
+            transactions: Arc::new(transactions),
+        }
     }
 
-    /// Add one transaction.
+    /// Add one transaction (copy-on-write when the set is shared).
     pub fn push(&mut self, t: Transaction) {
-        self.transactions.push(t);
+        Arc::make_mut(&mut self.transactions).push(t);
     }
 
     /// The transactions.
     #[must_use]
     pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// The shared handle to the transactions — what parallel counting
+    /// passes clone into `'static` worker-pool jobs.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<Vec<Transaction>> {
         &self.transactions
     }
 

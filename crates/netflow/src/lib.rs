@@ -38,5 +38,5 @@ pub use error::{DecodeError, EncodeError};
 pub use feature::{FeatureValue, FlowFeature, ParseFeatureValueError};
 pub use flow::{FlowRecord, Protocol, TcpFlags};
 pub use shard::{chunk_ranges, chunks_of, default_shards};
-pub use stream::{ClosedInterval, IntervalAssembler};
+pub use stream::{ClosedInterval, IntervalAssembler, StreamConfigError};
 pub use trace::{FlowTrace, Interval, MINUTE_MS};

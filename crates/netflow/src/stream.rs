@@ -8,9 +8,45 @@
 //!
 //! The assembler tolerates the mild reordering NetFlow collectors see
 //! (export batching): flows belonging to an *already-closed* window are
-//! counted as `late_flows` and dropped, mirroring collector practice.
+//! counted as [`late_flows`](IntervalAssembler::late_flows) and dropped,
+//! mirroring collector practice. Flows dated *before the stream origin*
+//! are likewise dropped but tracked separately
+//! ([`pre_origin_flows`](IntervalAssembler::pre_origin_flows)), so an
+//! operator can tell a mis-set origin (everything pre-origin) from
+//! ordinary export reordering (a trickle of late flows).
+
+use std::fmt;
 
 use crate::flow::FlowRecord;
+
+/// An invalid streaming configuration — the assembler's analogue of the
+/// pipeline's `ConfigError`: a human-readable description of the violated
+/// constraint, returned by [`IntervalAssembler::try_new`] so callers get
+/// a `Result` instead of a panic path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfigError(String);
+
+impl StreamConfigError {
+    /// Wrap a constraint-violation description.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        StreamConfigError(message.into())
+    }
+}
+
+impl fmt::Display for StreamConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for StreamConfigError {}
+
+impl From<StreamConfigError> for String {
+    fn from(e: StreamConfigError) -> Self {
+        e.0
+    }
+}
 
 /// An interval that has been closed by the assembler, with owned flows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,26 +69,44 @@ pub struct IntervalAssembler {
     current_index: u64,
     current: Vec<FlowRecord>,
     late_flows: u64,
+    pre_origin_flows: u64,
     started: bool,
 }
 
 impl IntervalAssembler {
+    /// New assembler with windows `[origin + i*Δ, origin + (i+1)*Δ)`,
+    /// rejecting an invalid configuration with an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StreamConfigError`] if `interval_ms` is zero.
+    pub fn try_new(origin_ms: u64, interval_ms: u64) -> Result<Self, StreamConfigError> {
+        if interval_ms == 0 {
+            return Err(StreamConfigError::new("interval length must be positive"));
+        }
+        Ok(IntervalAssembler {
+            origin_ms,
+            interval_ms,
+            current_index: 0,
+            current: Vec::new(),
+            late_flows: 0,
+            pre_origin_flows: 0,
+            started: false,
+        })
+    }
+
     /// New assembler with windows `[origin + i*Δ, origin + (i+1)*Δ)`.
+    ///
+    /// A thin wrapper over [`try_new`](Self::try_new) for callers who
+    /// treat a bad interval length as a programming error.
     ///
     /// # Panics
     ///
     /// Panics if `interval_ms` is zero.
     #[must_use]
     pub fn new(origin_ms: u64, interval_ms: u64) -> Self {
-        assert!(interval_ms > 0, "interval length must be positive");
-        IntervalAssembler {
-            origin_ms,
-            interval_ms,
-            current_index: 0,
-            current: Vec::new(),
-            late_flows: 0,
-            started: false,
-        }
+        Self::try_new(origin_ms, interval_ms)
+            .unwrap_or_else(|e| panic!("invalid assembler configuration: {e}"))
     }
 
     /// Index of the window a start time falls into.
@@ -67,8 +121,10 @@ impl IntervalAssembler {
     /// emitted too, so the downstream KL time series stays aligned).
     pub fn push(&mut self, flow: FlowRecord) -> Vec<ClosedInterval> {
         let Some(window) = self.window_of(flow.start_ms) else {
-            // Before the stream origin: late by definition.
-            self.late_flows += 1;
+            // Dated before the stream origin: dropped, but counted
+            // apart from ordinary late flows so the two failure modes
+            // stay distinguishable.
+            self.pre_origin_flows += 1;
             return Vec::new();
         };
         if !self.started {
@@ -112,6 +168,20 @@ impl IntervalAssembler {
     #[must_use]
     pub fn late_flows(&self) -> u64 {
         self.late_flows
+    }
+
+    /// Flows dropped because they were dated before the stream origin.
+    #[must_use]
+    pub fn pre_origin_flows(&self) -> u64 {
+        self.pre_origin_flows
+    }
+
+    /// Every flow the assembler has dropped, for any reason — late plus
+    /// pre-origin. A healthy collector keeps this near zero; a growing
+    /// count means the origin is wrong or the exporter reorders heavily.
+    #[must_use]
+    pub fn dropped_flows(&self) -> u64 {
+        self.late_flows + self.pre_origin_flows
     }
 
     fn make_closed(&self, index: u64, flows: Vec<FlowRecord>) -> ClosedInterval {
@@ -183,15 +253,32 @@ mod tests {
         let closed = asm.push(flow_at(500)); // window 0 already closed
         assert!(closed.is_empty());
         assert_eq!(asm.late_flows(), 1);
+        assert_eq!(asm.pre_origin_flows(), 0);
+        assert_eq!(asm.dropped_flows(), 1);
         assert_eq!(asm.flush().unwrap().flows.len(), 1);
     }
 
     #[test]
-    fn flows_before_origin_are_late() {
+    fn flows_before_origin_are_counted_separately() {
         let mut asm = IntervalAssembler::new(10_000, 1000);
         assert!(asm.push(flow_at(500)).is_empty());
-        assert_eq!(asm.late_flows(), 1);
+        assert_eq!(asm.pre_origin_flows(), 1);
+        assert_eq!(asm.late_flows(), 0, "pre-origin is not export lateness");
+        assert_eq!(asm.dropped_flows(), 1);
         assert!(asm.flush().is_none(), "never started");
+    }
+
+    #[test]
+    fn zero_interval_is_an_error_not_a_panic() {
+        let err = IntervalAssembler::try_new(0, 0).unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+        assert!(IntervalAssembler::try_new(0, 1000).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid assembler configuration")]
+    fn zero_interval_panics_through_new() {
+        let _ = IntervalAssembler::new(0, 0);
     }
 
     #[test]

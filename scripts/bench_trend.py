@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the sharded extraction engine.
+
+Reads the BENCH_sharded.json that `overhead_report` just emitted and
+compares its sharded-overhead column — the ratio of the k-shard wall
+time to the 1-shard (inline) wall time — against the committed baseline
+in ci/bench-baseline.json. A ratio is a regression when it exceeds the
+baseline ratio by more than 10% (relative), plus a small absolute slack
+for timer noise on fast rows.
+
+Exit status: 0 when every shard count is within budget, 1 otherwise.
+Usage: scripts/bench_trend.py [BENCH_sharded.json [ci/bench-baseline.json]]
+"""
+
+import json
+import sys
+
+RELATIVE_TOLERANCE = 0.10  # the ">10% vs baseline" gate
+ABSOLUTE_SLACK = 0.02      # timer noise on sub-millisecond rows
+
+
+def overhead_ratios(report):
+    """Map shard count -> wall-time ratio vs the 1-shard row."""
+    rows = {r["shards"]: r["millis"] for r in report["results"]}
+    if 1 not in rows or rows[1] <= 0:
+        raise SystemExit("bench report has no usable 1-shard baseline row")
+    return {shards: millis / rows[1] for shards, millis in rows.items()}
+
+
+def main():
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sharded.json"
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "ci/bench-baseline.json"
+    with open(bench_path) as f:
+        current = overhead_ratios(json.load(f))
+    with open(base_path) as f:
+        baseline = json.load(f)["sharded_overhead_ratio"]
+
+    failures = []
+    for shards, base_ratio in sorted(baseline.items(), key=lambda kv: int(kv[0])):
+        shards = int(shards)
+        if shards not in current:
+            failures.append(f"shards={shards}: missing from {bench_path}")
+            continue
+        ratio = current[shards]
+        budget = base_ratio * (1 + RELATIVE_TOLERANCE) + ABSOLUTE_SLACK
+        verdict = "OK" if ratio <= budget else "REGRESSION"
+        print(
+            f"shards={shards}: overhead ratio {ratio:.3f} "
+            f"(baseline {base_ratio:.3f}, budget {budget:.3f}) {verdict}"
+        )
+        if ratio > budget:
+            failures.append(
+                f"shards={shards}: {ratio:.3f} exceeds budget {budget:.3f}"
+            )
+
+    if failures:
+        print("sharded-overhead regression vs committed baseline:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("sharded overhead within budget for every shard count")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,7 @@ pub mod prelude {
     pub use anomex_core::{
         classify_itemset, extract_sharded, extract_with_metadata, render_report, run_scenario,
         AnomalyExtractor, Extraction, ExtractionConfig, PrefilterMode, ShardedExtractor,
+        StreamEvent, StreamSummary, StreamingExtractor,
     };
     pub use anomex_detector::{DetectorBank, DetectorConfig, MetaData, RocCurve};
     pub use anomex_mining::{ItemSet, MinerKind, Transaction, TransactionSet};

@@ -12,10 +12,17 @@
 //! the enclosing stack frame, every thread is joined before `scope`
 //! returns, and the result surfaces panics as `std::thread::Result` the
 //! way crossbeam does.
+//!
+//! Finally, [`pool::WorkerPool`] is a long-lived worker pool in the
+//! spirit of crossbeam's deque-based executors: threads are spawned
+//! once and jobs are pushed onto a shared deque, so per-batch work
+//! costs a queue operation instead of a thread spawn — the execution
+//! substrate of the streaming extraction engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pool::WorkerPool;
 pub use thread::scope;
 
 /// Scoped threads with crossbeam's API shape over `std::thread::scope`.
@@ -120,6 +127,281 @@ pub mod thread {
     }
 }
 
+/// A persistent worker pool: threads spawned once, jobs submitted as
+/// closures onto a shared deque.
+pub mod pool {
+    use std::collections::VecDeque;
+    use std::num::NonZeroUsize;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{mpsc, Arc, Condvar, Mutex};
+    use std::thread::JoinHandle;
+
+    /// A unit of work: an owned closure, so jobs can outlive the caller's
+    /// stack frame and run on threads spawned long before it existed.
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    /// The shared job deque plus shutdown flag, guarded by one mutex.
+    struct Queue {
+        state: Mutex<QueueState>,
+        ready: Condvar,
+    }
+
+    struct QueueState {
+        jobs: VecDeque<Job>,
+        closed: bool,
+    }
+
+    /// A long-lived pool of worker threads consuming jobs from a shared
+    /// deque.
+    ///
+    /// Workers are spawned once at construction and live until the pool
+    /// is dropped, so submitting a batch of jobs costs queue pushes
+    /// instead of thread spawns — the difference that matters when the
+    /// same pool serves every measurement interval of a stream.
+    ///
+    /// A job that panics is contained: the panic is caught, the worker
+    /// survives, and (for [`run_ordered`](WorkerPool::run_ordered)) the
+    /// payload is re-thrown on the calling thread. Dropping the pool
+    /// closes the queue, lets queued jobs drain, and joins every worker.
+    ///
+    /// Jobs must not submit to — and then wait on — the pool they run
+    /// on; with every worker blocked waiting, no one is left to run the
+    /// nested job.
+    #[derive(Debug)]
+    pub struct WorkerPool {
+        queue: Arc<Queue>,
+        workers: Vec<JoinHandle<()>>,
+    }
+
+    impl std::fmt::Debug for Queue {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Queue { .. }")
+        }
+    }
+
+    fn worker_loop(queue: &Queue) {
+        loop {
+            let job = {
+                let mut state = queue.state.lock().expect("pool mutex poisoned");
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break job;
+                    }
+                    if state.closed {
+                        return;
+                    }
+                    state = queue.ready.wait(state).expect("pool mutex poisoned");
+                }
+            };
+            // Contain panics so one bad job cannot take the worker down;
+            // run_ordered re-throws on the caller's side instead.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+    }
+
+    impl WorkerPool {
+        /// Spawn a pool of `threads` persistent workers.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the operating system refuses to spawn a thread.
+        #[must_use]
+        pub fn new(threads: NonZeroUsize) -> Self {
+            let queue = Arc::new(Queue {
+                state: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    closed: false,
+                }),
+                ready: Condvar::new(),
+            });
+            let workers = (0..threads.get())
+                .map(|i| {
+                    let queue = Arc::clone(&queue);
+                    std::thread::Builder::new()
+                        .name(format!("anomex-pool-{i}"))
+                        .spawn(move || worker_loop(&queue))
+                        .expect("failed to spawn pool worker")
+                })
+                .collect();
+            WorkerPool { queue, workers }
+        }
+
+        /// Number of worker threads.
+        #[must_use]
+        pub fn threads(&self) -> usize {
+            self.workers.len()
+        }
+
+        /// Submit one fire-and-forget job.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the pool's internal mutex was poisoned (a worker
+        /// panicked while holding it — impossible through this API).
+        pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+            let mut state = self.queue.state.lock().expect("pool mutex poisoned");
+            state.jobs.push_back(Box::new(job));
+            drop(state);
+            self.queue.ready.notify_one();
+        }
+
+        /// Run a batch of jobs on the pool and return their results **in
+        /// submission order** — the scatter/gather primitive behind every
+        /// deterministic parallel pass. Blocks until the whole batch
+        /// finishes.
+        ///
+        /// # Panics
+        ///
+        /// Re-throws the panic of the earliest-submitted job that
+        /// panicked (after the batch has drained, so the pool stays
+        /// consistent).
+        #[must_use]
+        pub fn run_ordered<R: Send + 'static>(
+            &self,
+            jobs: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+        ) -> Vec<R> {
+            let n = jobs.len();
+            if n == 0 {
+                return Vec::new();
+            }
+            let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+            {
+                let mut state = self.queue.state.lock().expect("pool mutex poisoned");
+                for (i, job) in jobs.into_iter().enumerate() {
+                    let tx = tx.clone();
+                    state.jobs.push_back(Box::new(move || {
+                        let result = catch_unwind(AssertUnwindSafe(job));
+                        // The receiver outlives the batch; ignore a send
+                        // failure anyway so a worker never panics here.
+                        let _ = tx.send((i, result));
+                    }));
+                }
+                drop(state);
+                self.queue.ready.notify_all();
+            }
+            drop(tx);
+            let mut slots: Vec<Option<std::thread::Result<R>>> = Vec::new();
+            slots.resize_with(n, || None);
+            for _ in 0..n {
+                let (i, result) = rx.recv().expect("pool worker vanished mid-batch");
+                slots[i] = Some(result);
+            }
+            // Propagate the earliest panic deterministically.
+            let mut out = Vec::with_capacity(n);
+            for slot in slots {
+                match slot.expect("every batch slot was filled") {
+                    Ok(r) => out.push(r),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            out
+        }
+    }
+
+    impl Drop for WorkerPool {
+        /// Close the queue (queued jobs still drain) and join every
+        /// worker.
+        fn drop(&mut self) {
+            if let Ok(mut state) = self.queue.state.lock() {
+                state.closed = true;
+            }
+            self.queue.ready.notify_all();
+            for handle in self.workers.drain(..) {
+                // A worker can only have panicked through catch_unwind
+                // gaps; surface nothing and keep dropping the rest.
+                let _ = handle.join();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        fn nz(n: usize) -> NonZeroUsize {
+            NonZeroUsize::new(n).unwrap()
+        }
+
+        #[test]
+        fn batch_results_arrive_in_submission_order() {
+            let pool = WorkerPool::new(nz(4));
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+                .map(|i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let out = pool.run_ordered(jobs);
+            assert_eq!(out, (0..64usize).map(|i| i * 2).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn pool_is_reusable_across_batches() {
+            let pool = WorkerPool::new(nz(2));
+            for round in 0..10u64 {
+                let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8)
+                    .map(|i| Box::new(move || round * 100 + i) as Box<dyn FnOnce() -> u64 + Send>)
+                    .collect();
+                let out = pool.run_ordered(jobs);
+                assert_eq!(out, (0..8).map(|i| round * 100 + i).collect::<Vec<_>>());
+            }
+        }
+
+        #[test]
+        fn empty_batch_returns_immediately() {
+            let pool = WorkerPool::new(nz(1));
+            let out: Vec<u32> = pool.run_ordered(Vec::new());
+            assert!(out.is_empty());
+        }
+
+        #[test]
+        fn drop_drains_submitted_jobs_and_joins_workers() {
+            let counter = Arc::new(AtomicUsize::new(0));
+            {
+                let pool = WorkerPool::new(nz(3));
+                for _ in 0..32 {
+                    let counter = Arc::clone(&counter);
+                    pool.submit(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                // Dropping here must let all 32 queued jobs finish.
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 32);
+        }
+
+        #[test]
+        fn panicking_job_propagates_but_pool_survives() {
+            let pool = WorkerPool::new(nz(2));
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("job exploded")),
+                Box::new(|| 3),
+            ];
+            let err = catch_unwind(AssertUnwindSafe(|| pool.run_ordered(jobs)))
+                .expect_err("panic must propagate to the caller");
+            let message = err
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("non-str payload");
+            assert!(message.contains("job exploded"), "{message}");
+            // The workers survived the panic: the pool still runs batches.
+            let out = pool.run_ordered(vec![Box::new(|| 7u32) as Box<dyn FnOnce() -> u32 + Send>]);
+            assert_eq!(out, vec![7]);
+        }
+
+        #[test]
+        fn single_thread_pool_preserves_fifo_submission() {
+            let pool = WorkerPool::new(nz(1));
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..16 {
+                let log = Arc::clone(&log);
+                pool.submit(move || log.lock().unwrap().push(i));
+            }
+            drop(pool); // joins after draining
+            assert_eq!(*log.lock().unwrap(), (0..16).collect::<Vec<_>>());
+        }
+    }
+}
+
 /// Multi-producer channels with back-pressure.
 pub mod channel {
     use std::sync::mpsc;
@@ -147,6 +429,15 @@ pub mod channel {
     /// and every sender has disconnected.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`] when no message is ready.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain connected.
+        Empty,
+        /// Every sender has hung up and the channel is drained.
+        Disconnected,
+    }
 
     /// Create a channel holding at most `cap` in-flight messages
     /// (`cap == 0` gives a rendezvous channel, like crossbeam).
@@ -179,6 +470,20 @@ pub mod channel {
         /// channel is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.inner.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Receive the next message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when no message is ready yet and
+        /// [`TryRecvError::Disconnected`] once every sender has hung up
+        /// and the channel is drained.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
 
         /// Iterate over messages, blocking between them, until every
@@ -228,6 +533,16 @@ pub mod channel {
             let (tx, rx) = bounded::<u32>(1);
             drop(rx);
             assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn try_recv_reports_empty_then_disconnected() {
+            let (tx, rx) = bounded::<u32>(2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(5).unwrap();
+            assert_eq!(rx.try_recv(), Ok(5));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
 
         #[test]
