@@ -1,0 +1,109 @@
+//! Criterion benches for the multi-source merge engine: the Table-2
+//! workload tiled across consecutive Δ-intervals and split between N
+//! exporters, run (a) as a single-source flow-by-flow replay through
+//! [`StreamingExtractor`] and (b) as an N-way fan-in through
+//! [`MultiSourceExtractor`] with the same flows round-robined over the
+//! sources.
+//!
+//! The fan-in's output is bit-identical to the single-source replay of
+//! the concatenation (asserted by the multi-source determinism suite);
+//! these benches measure the only thing that changes: the cost of the
+//! watermark merge layer — per-source assembly, pending-window
+//! buffering, and the source-ordered concatenation per grid interval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+
+use anomex_core::{ExtractionConfig, MultiSourceExtractor, StreamingExtractor};
+use anomex_detector::DetectorConfig;
+use anomex_netflow::{FlowRecord, SourceId, SourceSpec};
+use anomex_traffic::table2_workload;
+
+const INTERVAL_MS: u64 = 60_000;
+const INTERVALS: u64 = 6;
+
+/// Tile the Table-2 workload over `INTERVALS` consecutive windows: the
+/// same flows, timestamps shifted into each window, so every interval
+/// carries the paper's flood + popular-port mix.
+fn tiled_stream() -> (Vec<Vec<FlowRecord>>, u64) {
+    let w = table2_workload(2009, 0.05);
+    let mut intervals = Vec::new();
+    for i in 0..INTERVALS {
+        let shifted: Vec<FlowRecord> = w
+            .flows
+            .iter()
+            .map(|f| {
+                let mut f = *f;
+                f.start_ms = i * INTERVAL_MS + f.start_ms % INTERVAL_MS;
+                f
+            })
+            .collect();
+        intervals.push(shifted);
+    }
+    (intervals, w.min_support)
+}
+
+fn config(min_support: u64) -> ExtractionConfig {
+    ExtractionConfig {
+        interval_ms: INTERVAL_MS,
+        detector: DetectorConfig {
+            training_intervals: 2,
+            ..DetectorConfig::default()
+        },
+        min_support,
+        ..ExtractionConfig::default()
+    }
+}
+
+fn bench_fan_in_vs_single(c: &mut Criterion) {
+    let (intervals, min_support) = tiled_stream();
+    let mut group = c.benchmark_group("multi_source_fan_in_table2");
+    group.sample_size(10);
+    let shards = NonZeroUsize::new(2).unwrap();
+
+    group.bench_function("single_source", |b| {
+        b.iter(|| {
+            let mut engine = StreamingExtractor::try_new(config(min_support), shards, 0).unwrap();
+            let mut events = 0usize;
+            for interval in &intervals {
+                for &flow in interval {
+                    events += engine.push(black_box(flow)).len();
+                }
+            }
+            let (tail, summary) = engine.finish();
+            black_box((events + tail.len(), summary.alarms))
+        })
+    });
+
+    for sources in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("fan_in", sources),
+            &sources,
+            |b, &sources| {
+                let specs: Vec<SourceSpec> =
+                    (0..sources).map(|i| SourceSpec::new(i as u32, 0)).collect();
+                b.iter(|| {
+                    let mut engine =
+                        MultiSourceExtractor::try_new(config(min_support), shards, &specs, None)
+                            .unwrap();
+                    let mut events = 0usize;
+                    for interval in &intervals {
+                        // Round-robin the interval's flows over the
+                        // sources — every exporter sees an equal share.
+                        for (i, &flow) in interval.iter().enumerate() {
+                            let source = SourceId((i % sources) as u32);
+                            events += engine.push(black_box(source), flow).len();
+                        }
+                    }
+                    let (tail, summary) = engine.finish();
+                    black_box((events + tail.len(), summary.alarms))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fan_in_vs_single);
+criterion_main!(benches);

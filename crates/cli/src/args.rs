@@ -2,12 +2,15 @@
 
 use std::collections::HashMap;
 
-/// Parsed command line: subcommand + `--key value` options.
+/// Parsed command line: subcommand + `--key value` options. An option
+/// may repeat (`--in a.bin --in b.bin`); [`get`](Args::get) reads the
+/// last occurrence and [`get_all`](Args::get_all) reads them all, in
+/// order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
-    options: HashMap<String, String>,
+    options: HashMap<String, Vec<String>>,
     flags: Vec<String>,
 }
 
@@ -76,7 +79,10 @@ impl Args {
             let value = iter
                 .next()
                 .ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
-            options.insert(key.to_string(), value);
+            options
+                .entry(key.to_string())
+                .or_insert_with(Vec::new)
+                .push(value);
         }
         Ok(Args {
             command,
@@ -85,10 +91,20 @@ impl Args {
         })
     }
 
-    /// A string option.
+    /// A string option (the last occurrence, when repeated).
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str)
+        self.options
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable option, in command-line order
+    /// (empty when the option was not given).
+    #[must_use]
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.options.get(key).map_or(&[], Vec::as_slice)
     }
 
     /// A required string option with error text.
@@ -99,11 +115,11 @@ impl Args {
 
     /// A typed option with a default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
-        match self.options.get(key) {
+        match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
                 key: key.to_string(),
-                value: v.clone(),
+                value: v.to_string(),
                 expected: std::any::type_name::<T>(),
             }),
         }
@@ -161,5 +177,13 @@ mod tests {
     fn require_reports_the_key() {
         let a = parse(&["x"]).unwrap();
         assert!(a.require("in").unwrap_err().contains("--in"));
+    }
+
+    #[test]
+    fn repeated_options_accumulate_in_order() {
+        let a = parse(&["stream", "--in", "a.bin", "--in", "b.bin", "--in", "c.bin"]).unwrap();
+        assert_eq!(a.get_all("in"), ["a.bin", "b.bin", "c.bin"]);
+        assert_eq!(a.get("in"), Some("c.bin"), "get reads the last");
+        assert!(a.get_all("out").is_empty(), "absent option is empty");
     }
 }

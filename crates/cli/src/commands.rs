@@ -6,14 +6,16 @@ use std::num::NonZeroUsize;
 
 use anomex_core::{
     extract_sharded, extract_with_mode, latency_percentile, prefilter_indices_sharded,
-    render_report, ExtractionConfig, PrefilterMode, ShardedExtractor, StreamEvent,
-    StreamingExtractor, TransactionMode,
+    render_report, ExtractionConfig, MultiSourceExtractor, MultiStreamEvent, MultiStreamSummary,
+    PrefilterMode, ShardedExtractor, StreamEvent, StreamingExtractor, TransactionMode,
 };
 use anomex_detector::{DetectorConfig, MetaData};
 use anomex_mining::{mine_top_k, MinerKind};
 use anomex_netflow::v5::{decode_stream, V5Exporter};
-use anomex_netflow::{default_shards, FeatureValue, FlowRecord, FlowTrace, MINUTE_MS};
-use anomex_traffic::{table2_workload, Scenario};
+use anomex_netflow::{
+    default_shards, FeatureValue, FlowRecord, FlowTrace, SourceId, SourceSpec, MINUTE_MS,
+};
+use anomex_traffic::{table2_workload, MultiSourceScenario, Scenario};
 
 use crate::args::Args;
 
@@ -23,27 +25,37 @@ anomex — anomaly extraction in backbone networks (Brauckhoff et al., IMC'09/To
 
 USAGE:
   anomex generate --out FILE [--seed N] [--scale X] [--scenario small|two-weeks]
-                  [--intervals N]
+                  [--intervals N] [--sources N]
       Synthesize a workload and write it as concatenated NetFlow v5 datagrams.
+      With --sources N > 1, synthesize an N-link multi-exporter workload
+      (anomalies on link 0, tapering rates and clock skews on the rest)
+      and write one trace file per link: pass --out once per source.
 
-  anomex extract --in FILE [--interval-min N] [--training N] [--support N]
-                 [--miner apriori|fpgrowth|eclat] [--threads N]
+  anomex extract --in FILE [--in FILE ...] [--interval-min N] [--training N]
+                 [--support N] [--miner apriori|fpgrowth|eclat] [--threads N]
                  [--prefixes] [--intersection]
       Run the full detection + extraction pipeline over a trace file and
       print a Table II-style report per alarmed interval. --threads N
       shards each interval over N worker threads (0 = one per hardware
-      thread); the output is bit-identical for every thread count.
+      thread); the output is bit-identical for every thread count. With
+      several --in files, each trace is sliced on its own interval grid
+      and the per-interval flows are concatenated in file order — the
+      batch reference for multi-source streaming.
 
-  anomex stream --in FILE|- [--interval-min N] [--training N] [--support N]
-                [--miner apriori|fpgrowth|eclat] [--threads N]
-                [--prefixes] [--intersection] [--verbose]
+  anomex stream --in FILE|- [--in FILE ...] [--interval-min N] [--training N]
+                [--support N] [--miner apriori|fpgrowth|eclat] [--threads N]
+                [--max-lag N] [--prefixes] [--intersection] [--verbose]
       Replay a trace (or NetFlow v5 datagrams on stdin with --in -)
       through the continuous streaming engine: flows are assembled into
       Δ-minute intervals while the previous interval runs detection and
       extraction on a persistent worker pool. Prints a report per
       alarmed interval as it closes, then per-interval latency
       percentiles and drop counters. Output is bit-identical to
-      `anomex extract` over the same trace.
+      `anomex extract` over the same trace. With several --in files, the
+      traces are fanned in as one exporter each onto a shared interval
+      grid (watermark merge; --max-lag N bounds how many intervals the
+      fastest source may run ahead, 0 = unbounded) — bit-identical to
+      `anomex extract` with the same --in list.
 
   anomex analyze --in FILE --metadata \"dstPort=7000,#packets=12\" [--support N]
                  [--top] [--k N] [--threads N] [--prefixes] [--intersection]
@@ -58,6 +70,10 @@ USAGE:
 
 /// `anomex generate`.
 pub fn generate(args: &Args) -> Result<(), String> {
+    let sources = args.get_or("sources", 1usize).map_err(|e| e.to_string())?;
+    if sources > 1 {
+        return generate_multi(args, sources);
+    }
     let out = args.require("out")?;
     let seed = args.get_or("seed", 42u64).map_err(|e| e.to_string())?;
     let scale = args.get_or("scale", 0.25f64).map_err(|e| e.to_string())?;
@@ -93,6 +109,73 @@ pub fn generate(args: &Args) -> Result<(), String> {
         "ground truth: {} events in intervals {:?}",
         scenario.events().len(),
         scenario
+            .anomalous_intervals()
+            .iter()
+            .take(16)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+/// `anomex generate --sources N`: synthesize an N-link multi-exporter
+/// workload and write one NetFlow v5 trace file per link.
+fn generate_multi(args: &Args, sources: usize) -> Result<(), String> {
+    let outs = args.get_all("out");
+    if outs.len() != sources {
+        return Err(format!(
+            "--sources {sources} needs exactly {sources} --out files (got {})",
+            outs.len()
+        ));
+    }
+    if args.get("scenario").unwrap_or("small") != "small" {
+        return Err("multi-source generation supports --scenario small only".into());
+    }
+    if args.get("scale").is_some() {
+        return Err(
+            "multi-source generation does not take --scale (links carry per-link rates)".into(),
+        );
+    }
+    let seed = args.get_or("seed", 42u64).map_err(|e| e.to_string())?;
+    let scenario = MultiSourceScenario::uniform(seed, sources);
+    let intervals = args
+        .get_or("intervals", scenario.interval_count())
+        .map_err(|e| e.to_string())?
+        .min(scenario.interval_count());
+
+    for (s, out) in outs.iter().enumerate() {
+        let link = scenario.links()[s];
+        let mut exporter = V5Exporter::new();
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut flow_count = 0u64;
+        for i in 0..intervals {
+            let interval = scenario.generate(s, i);
+            flow_count += interval.flows.len() as u64;
+            for dgram in exporter.export(&interval.flows) {
+                bytes.extend_from_slice(&dgram);
+            }
+        }
+        fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote source {s}: {} intervals, {} flows, {} bytes of NetFlow v5 to {} \
+             (rate {:.2}, skew {} ms{})",
+            intervals,
+            flow_count,
+            bytes.len(),
+            out,
+            link.rate,
+            link.skew_ms,
+            if link.carries_anomalies {
+                ", carries anomalies"
+            } else {
+                ""
+            }
+        );
+    }
+    let carrier = &scenario.link_scenario(0);
+    println!(
+        "ground truth: {} events on anomaly-carrying links, intervals {:?}",
+        carrier.events().len(),
+        carrier
             .anomalous_intervals()
             .iter()
             .take(16)
@@ -147,9 +230,11 @@ fn parse_modes(args: &Args) -> (PrefilterMode, TransactionMode) {
     (prefilter, tx)
 }
 
-/// `anomex extract`.
-pub fn extract(args: &Args) -> Result<(), String> {
-    let input = args.require("in")?;
+/// Parse the shared pipeline options (`--interval-min`, `--training`,
+/// `--support`, `--miner`, `--prefixes`, `--intersection`) into a
+/// configuration — one definition for `extract` and `stream`, so the
+/// batch and streaming paths can never drift apart.
+fn parse_config(args: &Args) -> Result<ExtractionConfig, String> {
     let interval_min = args
         .get_or("interval-min", 15u64)
         .map_err(|e| e.to_string())?;
@@ -158,9 +243,7 @@ pub fn extract(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let support = args.get_or("support", 50u64).map_err(|e| e.to_string())?;
     let miner = parse_miner(args)?;
-    let threads = parse_threads(args)?;
     let (prefilter, transactions) = parse_modes(args);
-
     let config = ExtractionConfig {
         interval_ms: interval_min * MINUTE_MS,
         detector: DetectorConfig {
@@ -172,14 +255,102 @@ pub fn extract(args: &Args) -> Result<(), String> {
         prefilter,
         transactions,
     };
+    // Validate here, before any path touches a trace (the multi-input
+    // modes infer per-file origins with `% interval_ms` up front).
+    config.validate().map_err(String::from)?;
+    Ok(config)
+}
+
+/// Align a trace's interval grid to the window containing its first
+/// flow — the per-file origin rule shared by the multi-input batch and
+/// streaming paths (and the single-input ones), so every mode agrees on
+/// the grid.
+fn inferred_origin(trace: &mut FlowTrace, interval_ms: u64, path: &str) -> Result<u64, String> {
+    let first = trace
+        .start_ms()
+        .ok_or_else(|| format!("{path}: trace is empty"))?;
+    Ok(first - first % interval_ms)
+}
+
+/// Load every `--in` trace in file order.
+fn load_traces(inputs: &[String]) -> Result<Vec<FlowTrace>, String> {
+    inputs
+        .iter()
+        .map(|p| Ok(FlowTrace::from_flows(load_flows(p)?)))
+        .collect()
+}
+
+/// Batch multi-source extraction: slice each trace on its own inferred
+/// grid and run the per-interval concatenation (file order) through one
+/// pipeline. Returns the rendered report per alarmed interval plus the
+/// merged interval count — the batch reference the streaming fan-in is
+/// bit-identical to.
+fn run_extract_multi(
+    traces: &mut [FlowTrace],
+    paths: &[String],
+    config: &ExtractionConfig,
+    threads: NonZeroUsize,
+) -> Result<(Vec<String>, usize), String> {
+    let mut pipeline = ShardedExtractor::try_new(config.clone(), threads).map_err(String::from)?;
+    let interval_ms = config.interval_ms;
+    let mut origins = Vec::with_capacity(traces.len());
+    for (trace, path) in traces.iter_mut().zip(paths) {
+        origins.push(inferred_origin(trace, interval_ms, path)?);
+    }
+    let lanes: Vec<_> = traces
+        .iter_mut()
+        .zip(&origins)
+        .map(|(trace, &origin)| trace.intervals(origin, interval_ms))
+        .collect();
+    let total = lanes.iter().map(Vec::len).max().unwrap_or(0);
+    let mut reports = Vec::new();
+    let mut merged: Vec<FlowRecord> = Vec::new();
+    for i in 0..total {
+        merged.clear();
+        for lane in &lanes {
+            if let Some(iv) = lane.get(i) {
+                merged.extend_from_slice(iv.flows);
+            }
+        }
+        if let Some(extraction) = pipeline.process_interval(&merged).extraction {
+            reports.push(render_report(&extraction));
+        }
+    }
+    Ok((reports, total))
+}
+
+/// `anomex extract`.
+pub fn extract(args: &Args) -> Result<(), String> {
+    let inputs = args.get_all("in").to_vec();
+    let config = parse_config(args)?;
+    let threads = parse_threads(args)?;
+    let support = config.min_support;
+    let interval_min = config.interval_ms / MINUTE_MS;
+    let miner = config.miner;
+
+    if inputs.len() > 1 {
+        let mut traces = load_traces(&inputs)?;
+        let (reports, total) = run_extract_multi(&mut traces, &inputs, &config, threads)?;
+        let alarms = reports.len();
+        for report in reports {
+            println!("{report}");
+        }
+        println!(
+            "processed {total} merged intervals from {} sources, {alarms} alarmed \
+             (s = {support}, Δ = {interval_min} min, miner = {miner}, threads = {threads})",
+            inputs.len()
+        );
+        return Ok(());
+    }
+
+    let input = args.require("in")?;
     // Validate before touching the trace: a bad configuration should
     // fail instantly, not after decoding a multi-hundred-MB file.
     let mut pipeline = ShardedExtractor::try_new(config.clone(), threads).map_err(String::from)?;
 
     let mut trace = FlowTrace::from_flows(load_flows(input)?);
-    let origin = trace.start_ms().ok_or("trace is empty")?;
     // Align windows to the interval grid containing the first flow.
-    let origin = origin - origin % config.interval_ms;
+    let origin = inferred_origin(&mut trace, config.interval_ms, input)?;
     let mut alarms = 0u32;
     let intervals = trace.intervals(origin, config.interval_ms);
     let total = intervals.len();
@@ -213,39 +384,104 @@ fn print_stream_event(event: &StreamEvent, verbose: bool) {
     }
 }
 
+/// Streaming multi-source fan-in: each trace becomes one exporter on a
+/// shared interval grid, replayed in collector arrival order (k-way
+/// merge on grid-relative time, ties to the lowest source id). Returns
+/// every merged event plus the end-of-stream summary — bit-identical to
+/// [`run_extract_multi`] over the same traces, asserted by the CLI test
+/// suite and the `e2e-stream` CI job.
+fn run_stream_multi(
+    traces: Vec<FlowTrace>,
+    origins: &[u64],
+    config: ExtractionConfig,
+    threads: NonZeroUsize,
+    max_lag: Option<u64>,
+) -> Result<(Vec<MultiStreamEvent>, MultiStreamSummary), String> {
+    let specs: Vec<SourceSpec> = origins
+        .iter()
+        .enumerate()
+        .map(|(i, &origin)| SourceSpec::new(i as u32, origin))
+        .collect();
+    let mut engine =
+        MultiSourceExtractor::try_new(config, threads, &specs, max_lag).map_err(String::from)?;
+    let lanes: Vec<Vec<FlowRecord>> = traces.into_iter().map(FlowTrace::into_flows).collect();
+    let mut cursors = vec![0usize; lanes.len()];
+    let mut events = Vec::new();
+    loop {
+        let mut next: Option<(u64, usize)> = None;
+        for (s, lane) in lanes.iter().enumerate() {
+            if let Some(flow) = lane.get(cursors[s]) {
+                let key = flow.start_ms.saturating_sub(origins[s]);
+                if next.map_or(true, |(k, _)| key < k) {
+                    next = Some((key, s));
+                }
+            }
+        }
+        let Some((_, s)) = next else { break };
+        let flow = lanes[s][cursors[s]];
+        cursors[s] += 1;
+        events.extend(engine.push(SourceId(s as u32), flow));
+    }
+    let (tail, summary) = engine.finish();
+    events.extend(tail);
+    Ok((events, summary))
+}
+
 /// `anomex stream`.
 pub fn stream(args: &Args) -> Result<(), String> {
-    let input = args.require("in")?;
-    let interval_min = args
-        .get_or("interval-min", 15u64)
-        .map_err(|e| e.to_string())?;
-    let training = args
-        .get_or("training", 48usize)
-        .map_err(|e| e.to_string())?;
-    let support = args.get_or("support", 50u64).map_err(|e| e.to_string())?;
-    let miner = parse_miner(args)?;
+    let inputs = args.get_all("in").to_vec();
+    let config = parse_config(args)?;
     let threads = parse_threads(args)?;
     let verbose = args.flag("verbose");
-    let (prefilter, transactions) = parse_modes(args);
+    let support = config.min_support;
+    let interval_min = config.interval_ms / MINUTE_MS;
+    let miner = config.miner;
 
-    let config = ExtractionConfig {
-        interval_ms: interval_min * MINUTE_MS,
-        detector: DetectorConfig {
-            training_intervals: training,
-            ..DetectorConfig::default()
-        },
-        min_support: support,
-        miner,
-        prefilter,
-        transactions,
-    };
-    config.validate().map_err(String::from)?;
+    if inputs.len() > 1 {
+        let max_lag_raw = args.get_or("max-lag", 0u64).map_err(|e| e.to_string())?;
+        let max_lag = (max_lag_raw > 0).then_some(max_lag_raw);
+        let mut traces = load_traces(&inputs)?;
+        let mut origins = Vec::with_capacity(traces.len());
+        for (trace, path) in traces.iter_mut().zip(&inputs) {
+            origins.push(inferred_origin(trace, config.interval_ms, path)?);
+        }
+        let (events, summary) = run_stream_multi(traces, &origins, config, threads, max_lag)?;
+        let mut latencies: Vec<u64> = Vec::new();
+        for event in &events {
+            latencies.push(event.event.process_micros);
+            print_stream_event(&event.event, verbose);
+        }
+        let p50 = latency_percentile(&mut latencies, 50.0);
+        let p95 = latency_percentile(&mut latencies, 95.0);
+        println!(
+            "fan-in: streamed {} flows from {} sources into {} merged intervals: \
+             {} alarmed, {} extracted (s = {support}, Δ = {interval_min} min, \
+             miner = {miner}, threads = {threads})",
+            summary.total_flows,
+            inputs.len(),
+            summary.intervals,
+            summary.alarms,
+            summary.extractions
+        );
+        for (stats, path) in summary.sources.iter().zip(&inputs) {
+            println!(
+                "source {} ({path}): {} flows, {} late, {} pre-origin, {} stale",
+                stats.id, stats.flows, stats.late_flows, stats.pre_origin_flows, stats.stale_flows
+            );
+        }
+        println!(
+            "per-interval latency: p50 = {p50} µs, p95 = {p95} µs; dropped flows: {} total",
+            summary.dropped_flows
+        );
+        return Ok(());
+    }
+
+    let input = args.require("in")?;
 
     // Replay in trace order (sorted by start time) so the event stream
     // is bit-identical to what `anomex extract` prints for this trace.
     let mut trace = FlowTrace::from_flows(load_flows(input)?);
-    let origin = trace.start_ms().ok_or("trace is empty")?;
-    let origin = origin - origin % config.interval_ms;
+    let origin = inferred_origin(&mut trace, config.interval_ms, input)?;
 
     let mut engine = StreamingExtractor::try_new(config, threads, origin).map_err(String::from)?;
     let mut latencies: Vec<u64> = Vec::new();
@@ -463,6 +699,71 @@ mod tests {
         assert_eq!(stream_reports, batch_reports, "replay diverged");
         assert_eq!(summary.extractions as usize, batch_reports.len());
         assert_eq!(summary.late_flows + summary.pre_origin_flows, 0);
+    }
+
+    /// The multi-source streaming fan-in must reproduce exactly the
+    /// batch multi-input extraction over the same trace files — the
+    /// in-process twin of CI's `e2e-stream` job, through real NetFlow v5
+    /// files with skewed per-source clocks.
+    #[test]
+    fn stream_fan_in_matches_multi_input_extract() {
+        use anomex_traffic::MultiSourceScenario;
+        let dir = std::env::temp_dir().join("anomex-cli-multisource-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let scenario = MultiSourceScenario::uniform(13, 2);
+        let intervals = scenario.interval_count().min(22);
+        let mut paths = Vec::new();
+        for s in 0..2 {
+            let mut exporter = V5Exporter::new();
+            let mut bytes = Vec::new();
+            for i in 0..intervals {
+                for dgram in exporter.export(&scenario.generate(s, i).flows) {
+                    bytes.extend_from_slice(&dgram);
+                }
+            }
+            let path = dir.join(format!("link{s}.nfv5"));
+            std::fs::write(&path, &bytes).unwrap();
+            paths.push(path.to_str().unwrap().to_string());
+        }
+
+        let config = ExtractionConfig {
+            interval_ms: scenario.interval_ms(),
+            detector: DetectorConfig {
+                training_intervals: 10,
+                ..DetectorConfig::default()
+            },
+            min_support: 800,
+            ..ExtractionConfig::default()
+        };
+        let threads = NonZeroUsize::new(2).unwrap();
+
+        let mut traces = load_traces(&paths).unwrap();
+        let (batch_reports, total) =
+            run_extract_multi(&mut traces, &paths, &config, NonZeroUsize::MIN).unwrap();
+        assert!(!batch_reports.is_empty(), "the flood must alarm");
+        // The skewed link spills past its inferred (floored) origin into
+        // one extra trailing window, so the merged grid may exceed the
+        // generator's interval count by one.
+        assert!(total as u64 >= intervals, "{total} < {intervals}");
+
+        let mut traces = load_traces(&paths).unwrap();
+        let mut origins = Vec::new();
+        for (trace, path) in traces.iter_mut().zip(&paths) {
+            origins.push(inferred_origin(trace, config.interval_ms, path).unwrap());
+        }
+        let (events, summary) = run_stream_multi(traces, &origins, config, threads, None).unwrap();
+        let stream_reports: Vec<String> = events
+            .iter()
+            .filter_map(|e| e.event.outcome.extraction.as_ref().map(render_report))
+            .collect();
+        assert_eq!(stream_reports, batch_reports, "fan-in diverged from batch");
+        assert_eq!(summary.intervals as usize, total, "grids agree");
+        assert_eq!(summary.dropped_flows, 0);
+        assert_eq!(summary.sources.len(), 2);
+        for path in &paths {
+            std::fs::remove_file(path).ok();
+        }
     }
 
     /// End-to-end through temp files: generate a small trace, reload it,

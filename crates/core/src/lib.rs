@@ -26,6 +26,11 @@
 //! - [`StreamingExtractor`] — the continuous engine: feed flows, get a
 //!   [`StreamEvent`] per closed Δ-interval, with interval `t+1`
 //!   assembling while interval `t` extracts (double buffering);
+//! - [`MultiSourceExtractor`] — the same continuous engine fed by N
+//!   exporters at once: per-source assemblers with independent clock
+//!   origins merge onto one watermark-closed interval grid (the paper's
+//!   multi-router SWITCH setting), bit-identical to extracting the
+//!   per-interval concatenation of all sources' flows;
 //! - [`extract_with_metadata`] — offline extraction from externally
 //!   provided meta-data ([`extract_sharded`] is its parallel
 //!   counterpart);
@@ -66,4 +71,7 @@ pub use pipeline::{
 pub use prefilter::{prefilter, prefilter_indices, PrefilterMode};
 pub use report::{render_csv, render_report};
 pub use sharded::{extract_sharded, observe_sharded, prefilter_indices_sharded, ShardedExtractor};
-pub use streaming::{latency_percentile, StreamEvent, StreamSummary, StreamingExtractor};
+pub use streaming::{
+    latency_percentile, MultiSourceExtractor, MultiStreamEvent, MultiStreamSummary, StreamEvent,
+    StreamSummary, StreamingExtractor,
+};

@@ -1,5 +1,5 @@
 //! The streaming extraction engine: continuous, pipelined online
-//! operation.
+//! operation — from one exporter or from many.
 //!
 //! The paper's deployment is online — NetFlow collectors export flows
 //! continuously and the extractor must keep up with each Δ-minute
@@ -23,6 +23,15 @@
 //!                            (outcome + timing + drop counters)
 //! ```
 //!
+//! [`MultiSourceExtractor`] generalizes the ingestion side to the
+//! paper's multi-link SWITCH setting — **N border routers feeding one
+//! analysis pipeline**. One [`anomex_netflow::IntervalAssembler`] per
+//! exporter (each with its own clock origin) feeds a shared
+//! [`MergeAssembler`] grid that closes an interval only when every live
+//! source has advanced past it (watermark semantics, with a configurable
+//! lateness bound and per-source drop accounting); each merged interval
+//! then runs through exactly the same pipeline thread.
+//!
 //! The detector bank lives inside the pipeline thread's
 //! [`ShardedExtractor`] for the whole life of the stream, so baseline
 //! state — reference histograms, KL series, fitted σ̂ thresholds —
@@ -35,15 +44,22 @@
 //! stays aligned), and the pipeline thread feeds them, in order, through
 //! the same pool-backed engine the batch path uses — so the streaming
 //! event stream is **bit-identical** to batch extraction over the same
-//! flows, for every shard count and miner. The streaming determinism
-//! property suite asserts this.
+//! flows, for every shard count and miner. In multi-source operation the
+//! same holds against batch extraction of the *concatenation* of all
+//! sources' flows per interval (in source registration order), no matter
+//! how the sources' pushes interleave. The streaming and multi-source
+//! determinism property suites assert both.
 
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use anomex_netflow::{ClosedInterval, FlowRecord, IntervalAssembler};
+use anomex_netflow::{
+    ClosedInterval, FlowRecord, IntervalAssembler, MergeAssembler, MergeConfig, MergedInterval,
+    SourceId, SourceSpec, SourceStats, SourcedFlow,
+};
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::config::{ConfigError, ExtractionConfig};
@@ -118,28 +134,6 @@ pub fn latency_percentile(latencies: &mut [u64], p: f64) -> u64 {
 /// moment it closed — what the caller thread hands the pipeline thread.
 type Work = (ClosedInterval, u64);
 
-/// The continuous streaming pipeline: feed flows, receive a
-/// [`StreamEvent`] per closed Δ-interval.
-///
-/// See the [module docs](self) for the execution model. Constructed once
-/// per stream; [`push`](Self::push) flows in rough arrival order and
-/// [`finish`](Self::finish) at end of stream (or drop the extractor to
-/// abandon it — the pipeline thread is joined either way).
-#[derive(Debug)]
-pub struct StreamingExtractor {
-    assembler: IntervalAssembler,
-    /// `Some` until `finish`/drop closes the stream.
-    work_tx: Option<Sender<Work>>,
-    events_rx: Receiver<StreamEvent>,
-    /// The pipeline thread; returns its engine so `finish` can read
-    /// final detector state.
-    worker: Option<JoinHandle<ShardedExtractor>>,
-    total_flows: u64,
-    intervals: u64,
-    alarms: u64,
-    extractions: u64,
-}
-
 fn pipeline_loop(
     mut engine: ShardedExtractor,
     work_rx: &Receiver<Work>,
@@ -172,7 +166,24 @@ fn pipeline_loop(
     engine
 }
 
-impl StreamingExtractor {
+/// The shared back half of every streaming engine: the pipeline thread,
+/// its work/event channels, and the running interval counters. Both
+/// [`StreamingExtractor`] (one exporter) and [`MultiSourceExtractor`]
+/// (N exporters) assemble intervals their own way and hand them here.
+#[derive(Debug)]
+struct PipelineHandle {
+    /// `Some` until `finish`/drop closes the stream.
+    work_tx: Option<Sender<Work>>,
+    events_rx: Receiver<StreamEvent>,
+    /// The pipeline thread; returns its engine so `finish` can read
+    /// final detector state.
+    worker: Option<JoinHandle<ShardedExtractor>>,
+    intervals: u64,
+    alarms: u64,
+    extractions: u64,
+}
+
+impl PipelineHandle {
     /// Capacity of the interval (work) channel. One slot is the double
     /// buffer: while the pipeline thread extracts interval `t`, interval
     /// `t+1` can sit queued and interval `t+2` assembles on the caller's
@@ -182,123 +193,42 @@ impl StreamingExtractor {
     /// `push`, so this only needs slack for bursts of empty intervals.
     const EVENT_BUFFER: usize = 64;
 
-    /// Build a streaming pipeline with windows
-    /// `[origin_ms + i*Δ, origin_ms + (i+1)*Δ)` and `shards` persistent
-    /// pool workers (1 = inline), spawning the pipeline thread.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first violated configuration constraint.
-    pub fn try_new(
-        config: ExtractionConfig,
-        shards: NonZeroUsize,
-        origin_ms: u64,
-    ) -> Result<Self, ConfigError> {
-        let interval_ms = config.interval_ms;
-        let engine = ShardedExtractor::try_new(config, shards)?;
-        // `validate` already rejected a zero interval; map defensively
-        // rather than panic so the error path stays a `Result`.
-        let assembler =
-            IntervalAssembler::try_new(origin_ms, interval_ms).map_err(ConfigError::new)?;
+    /// Spawn the pipeline thread around an already-validated engine.
+    fn spawn(engine: ShardedExtractor) -> Result<Self, ConfigError> {
         let (work_tx, work_rx) = bounded::<Work>(Self::WORK_BUFFER);
         let (events_tx, events_rx) = bounded::<StreamEvent>(Self::EVENT_BUFFER);
         let worker = std::thread::Builder::new()
             .name("anomex-stream-pipeline".into())
             .spawn(move || pipeline_loop(engine, &work_rx, &events_tx))
             .map_err(|e| ConfigError::new(format!("cannot spawn pipeline thread: {e}")))?;
-        Ok(StreamingExtractor {
-            assembler,
+        Ok(PipelineHandle {
             work_tx: Some(work_tx),
             events_rx,
             worker: Some(worker),
-            total_flows: 0,
             intervals: 0,
             alarms: 0,
             extractions: 0,
         })
     }
 
-    /// The streaming interval assembler (drop counters, window
-    /// geometry).
-    #[must_use]
-    pub fn assembler(&self) -> &IntervalAssembler {
-        &self.assembler
-    }
-
-    /// Feed one flow. Returns every [`StreamEvent`] that became ready —
-    /// usually empty, one event when the flow closed an interval, and
-    /// several after a gap in the stream (empty windows are processed
-    /// too, keeping the KL series aligned).
-    ///
-    /// # Panics
-    ///
-    /// Re-raises a panic from the pipeline thread (a worker-pool job or
-    /// detector panicking on a poisoned interval).
-    pub fn push(&mut self, flow: FlowRecord) -> Vec<StreamEvent> {
-        self.total_flows += 1;
-        let closed = self.assembler.push(flow);
-        let mut events = Vec::new();
-        for interval in closed {
-            let dropped = self.assembler.dropped_flows();
-            // Drain before the (possibly blocking) send: the pipeline
-            // thread can then never stall on a full event channel while
-            // we wait for the double buffer to free up.
-            self.drain_ready(&mut events);
-            let sent = self
-                .work_tx
-                .as_ref()
-                .expect("stream already finished")
-                .send((interval, dropped));
-            if sent.is_err() {
-                // The pipeline thread is gone mid-stream: it panicked.
-                self.join_and_propagate();
-            }
-        }
-        self.drain_ready(&mut events);
-        events
-    }
-
-    /// Close the stream: flush the in-progress interval, wait for the
-    /// pipeline thread to drain, and return the remaining events plus
-    /// the end-of-stream summary.
+    /// Queue one assembled interval for extraction, first draining every
+    /// event the pipeline thread has finished (so it can never stall on
+    /// a full event channel while we wait for the double buffer).
     ///
     /// # Panics
     ///
     /// Re-raises a panic from the pipeline thread.
-    #[must_use]
-    pub fn finish(mut self) -> (Vec<StreamEvent>, StreamSummary) {
-        let final_interval = self.assembler.flush();
-        let mut events = Vec::new();
-        if let Some(interval) = final_interval {
-            let dropped = self.assembler.dropped_flows();
-            self.drain_ready(&mut events);
-            if let Some(tx) = self.work_tx.as_ref() {
-                if tx.send((interval, dropped)).is_err() {
-                    self.join_and_propagate();
-                }
-            }
+    fn submit(&mut self, interval: ClosedInterval, dropped: u64, into: &mut Vec<StreamEvent>) {
+        self.drain_ready(into);
+        let sent = self
+            .work_tx
+            .as_ref()
+            .expect("stream already finished")
+            .send((interval, dropped));
+        if sent.is_err() {
+            // The pipeline thread is gone mid-stream: it panicked.
+            self.join_and_propagate();
         }
-        // Hang up the work channel; the pipeline thread finishes the
-        // queue and exits its loop.
-        drop(self.work_tx.take());
-        while let Ok(event) = self.events_rx.recv() {
-            self.record(&event);
-            events.push(event);
-        }
-        let engine = match self.worker.take().expect("finish called once").join() {
-            Ok(engine) => engine,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        let summary = StreamSummary {
-            intervals: self.intervals,
-            alarms: self.alarms,
-            extractions: self.extractions,
-            total_flows: self.total_flows,
-            late_flows: self.assembler.late_flows(),
-            pre_origin_flows: self.assembler.pre_origin_flows(),
-            trained: engine.is_trained(),
-        };
-        (events, summary)
     }
 
     /// Non-blockingly collect every event the pipeline thread has
@@ -308,6 +238,27 @@ impl StreamingExtractor {
             self.record(&event);
             into.push(event);
         }
+    }
+
+    /// Hang up the work channel, drain the pipeline thread to
+    /// completion, and join it, returning the trailing events and the
+    /// engine (for final detector state).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    fn finish(&mut self) -> (Vec<StreamEvent>, ShardedExtractor) {
+        drop(self.work_tx.take());
+        let mut events = Vec::new();
+        while let Ok(event) = self.events_rx.recv() {
+            self.record(&event);
+            events.push(event);
+        }
+        let engine = match self.worker.take().expect("finish called once").join() {
+            Ok(engine) => engine,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (events, engine)
     }
 
     fn record(&mut self, event: &StreamEvent) {
@@ -334,7 +285,7 @@ impl StreamingExtractor {
     }
 }
 
-impl Drop for StreamingExtractor {
+impl Drop for PipelineHandle {
     /// Abandon the stream: hang up the work channel, drain whatever the
     /// pipeline thread still emits, and join it — no detached threads,
     /// no deadlock (the drain keeps the event channel from filling while
@@ -347,6 +298,307 @@ impl Drop for StreamingExtractor {
             // caller was listening; swallow it during unwinding.
             let _ = worker.join();
         }
+    }
+}
+
+/// The continuous streaming pipeline: feed flows, receive a
+/// [`StreamEvent`] per closed Δ-interval.
+///
+/// See the [module docs](self) for the execution model. Constructed once
+/// per stream; [`push`](Self::push) flows in rough arrival order and
+/// [`finish`](Self::finish) at end of stream (or drop the extractor to
+/// abandon it — the pipeline thread is joined either way).
+#[derive(Debug)]
+pub struct StreamingExtractor {
+    assembler: IntervalAssembler,
+    pipe: PipelineHandle,
+    total_flows: u64,
+}
+
+impl StreamingExtractor {
+    /// Build a streaming pipeline with windows
+    /// `[origin_ms + i*Δ, origin_ms + (i+1)*Δ)` and `shards` persistent
+    /// pool workers (1 = inline), spawning the pipeline thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn try_new(
+        config: ExtractionConfig,
+        shards: NonZeroUsize,
+        origin_ms: u64,
+    ) -> Result<Self, ConfigError> {
+        let interval_ms = config.interval_ms;
+        let engine = ShardedExtractor::try_new(config, shards)?;
+        // `validate` already rejected a zero interval; map defensively
+        // rather than panic so the error path stays a `Result`.
+        let assembler =
+            IntervalAssembler::try_new(origin_ms, interval_ms).map_err(ConfigError::new)?;
+        Ok(StreamingExtractor {
+            assembler,
+            pipe: PipelineHandle::spawn(engine)?,
+            total_flows: 0,
+        })
+    }
+
+    /// The streaming interval assembler (drop counters, window
+    /// geometry).
+    #[must_use]
+    pub fn assembler(&self) -> &IntervalAssembler {
+        &self.assembler
+    }
+
+    /// Feed one flow. Returns every [`StreamEvent`] that became ready —
+    /// usually empty, one event when the flow closed an interval, and
+    /// several after a gap in the stream (empty windows are processed
+    /// too, keeping the KL series aligned).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread (a worker-pool job or
+    /// detector panicking on a poisoned interval).
+    pub fn push(&mut self, flow: FlowRecord) -> Vec<StreamEvent> {
+        self.total_flows += 1;
+        let closed = self.assembler.push(flow);
+        let mut events = Vec::new();
+        for interval in closed {
+            let dropped = self.assembler.dropped_flows();
+            self.pipe.submit(interval, dropped, &mut events);
+        }
+        self.pipe.drain_ready(&mut events);
+        events
+    }
+
+    /// Close the stream: flush the in-progress interval, wait for the
+    /// pipeline thread to drain, and return the remaining events plus
+    /// the end-of-stream summary.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<StreamEvent>, StreamSummary) {
+        let mut events = Vec::new();
+        if let Some(interval) = self.assembler.flush() {
+            let dropped = self.assembler.dropped_flows();
+            self.pipe.submit(interval, dropped, &mut events);
+        }
+        let (tail, engine) = self.pipe.finish();
+        events.extend(tail);
+        let summary = StreamSummary {
+            intervals: self.pipe.intervals,
+            alarms: self.pipe.alarms,
+            extractions: self.pipe.extractions,
+            total_flows: self.total_flows,
+            late_flows: self.assembler.late_flows(),
+            pre_origin_flows: self.assembler.pre_origin_flows(),
+            trained: engine.is_trained(),
+        };
+        (events, summary)
+    }
+}
+
+/// One merged interval's worth of multi-source streaming output: the
+/// ordinary [`StreamEvent`] plus the per-source flow weights of the
+/// union that produced it.
+#[derive(Debug, Clone)]
+pub struct MultiStreamEvent {
+    /// The pipeline outcome for the merged interval (grid-time window).
+    pub event: StreamEvent,
+    /// How many flows each registered source contributed, in source
+    /// registration order.
+    pub source_flows: Vec<usize>,
+}
+
+impl MultiStreamEvent {
+    /// Whether the detector bank alarmed on this merged interval.
+    #[must_use]
+    pub fn alarmed(&self) -> bool {
+        self.event.alarmed()
+    }
+}
+
+/// End-of-stream accounting returned by [`MultiSourceExtractor::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiStreamSummary {
+    /// Merged grid intervals closed (and processed).
+    pub intervals: u64,
+    /// Intervals on which the detector bank alarmed.
+    pub alarms: u64,
+    /// Intervals that produced an extraction.
+    pub extractions: u64,
+    /// Flows fed to the stream across all sources.
+    pub total_flows: u64,
+    /// Flows dropped across all sources and layers (late, pre-origin,
+    /// and stale-after-force-close).
+    pub dropped_flows: u64,
+    /// Whether every detector had finished training by end of stream.
+    pub trained: bool,
+    /// Per-source ingestion and drop accounting, in registration order.
+    pub sources: Vec<SourceStats>,
+}
+
+/// The multi-source streaming pipeline: N exporters fanned in onto one
+/// interval grid, extracted by one engine.
+///
+/// Feed flows tagged with their [`SourceId`] in per-source arrival
+/// order (cross-source interleaving is arbitrary); receive a
+/// [`MultiStreamEvent`] per closed grid interval. The grid closes an
+/// interval when every live source has advanced past it — see
+/// [`MergeAssembler`] for the watermark and lateness-bound semantics —
+/// and each merged interval runs through the same double-buffered
+/// pipeline thread as [`StreamingExtractor`], so the outcome stream is
+/// bit-identical to batch extraction of the per-interval concatenation
+/// of all sources' flows.
+#[derive(Debug)]
+pub struct MultiSourceExtractor {
+    assembler: MergeAssembler,
+    pipe: PipelineHandle,
+    /// Per-source weights of intervals submitted to the pipeline thread
+    /// but not yet returned, keyed by grid index.
+    pending_weights: BTreeMap<u64, Vec<usize>>,
+    total_flows: u64,
+}
+
+impl MultiSourceExtractor {
+    /// Build a multi-source pipeline over the given exporters with
+    /// `shards` persistent pool workers (1 = inline), spawning the
+    /// pipeline thread. `max_lag_intervals` bounds how far the fastest
+    /// source may run ahead before the grid force-closes laggards
+    /// (`None` = pure watermark, wait forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint (invalid
+    /// pipeline config, no sources, or duplicate source ids).
+    pub fn try_new(
+        config: ExtractionConfig,
+        shards: NonZeroUsize,
+        sources: &[SourceSpec],
+        max_lag_intervals: Option<u64>,
+    ) -> Result<Self, ConfigError> {
+        let merge_config = MergeConfig {
+            interval_ms: config.interval_ms,
+            max_lag_intervals,
+        };
+        let engine = ShardedExtractor::try_new(config, shards)?;
+        let assembler = MergeAssembler::try_new(merge_config, sources).map_err(ConfigError::new)?;
+        Ok(MultiSourceExtractor {
+            assembler,
+            pipe: PipelineHandle::spawn(engine)?,
+            pending_weights: BTreeMap::new(),
+            total_flows: 0,
+        })
+    }
+
+    /// The merge assembler (per-source drop counters, grid state).
+    #[must_use]
+    pub fn assembler(&self) -> &MergeAssembler {
+        &self.assembler
+    }
+
+    /// Feed one flow from `source`. Returns every merged interval the
+    /// watermark released, extracted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` is unknown or already finished; re-raises a
+    /// panic from the pipeline thread.
+    pub fn push(&mut self, source: SourceId, flow: FlowRecord) -> Vec<MultiStreamEvent> {
+        self.total_flows += 1;
+        let merged = self.assembler.push(source, flow);
+        self.submit_merged(merged)
+    }
+
+    /// Tag-based variant of [`push`](Self::push).
+    ///
+    /// # Panics
+    ///
+    /// As [`push`](Self::push).
+    pub fn push_sourced(&mut self, flow: SourcedFlow) -> Vec<MultiStreamEvent> {
+        self.push(flow.source, flow.flow)
+    }
+
+    /// Declare `source` cleanly ended (it stops holding the watermark);
+    /// returns whatever merged intervals that released. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` is unknown; re-raises a panic from the
+    /// pipeline thread.
+    pub fn finish_source(&mut self, source: SourceId) -> Vec<MultiStreamEvent> {
+        let merged = self.assembler.finish_source(source);
+        self.submit_merged(merged)
+    }
+
+    /// Close the stream: finish every source, flush the grid, wait for
+    /// the pipeline thread to drain, and return the remaining events
+    /// plus the end-of-stream summary.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<MultiStreamEvent>, MultiStreamSummary) {
+        let merged = self.assembler.flush();
+        let mut events = self.submit_merged(merged);
+        let (tail, engine) = self.pipe.finish();
+        events.extend(self.tag(tail));
+        let summary = MultiStreamSummary {
+            intervals: self.pipe.intervals,
+            alarms: self.pipe.alarms,
+            extractions: self.pipe.extractions,
+            total_flows: self.total_flows,
+            dropped_flows: self.assembler.dropped_flows(),
+            trained: engine.is_trained(),
+            sources: self.assembler.source_stats(),
+        };
+        (events, summary)
+    }
+
+    /// Submit freshly merged intervals to the pipeline thread and return
+    /// every event that came back, tagged with its source weights.
+    fn submit_merged(&mut self, merged: Vec<MergedInterval>) -> Vec<MultiStreamEvent> {
+        let mut events = Vec::new();
+        for interval in merged {
+            let MergedInterval {
+                index,
+                begin_ms,
+                end_ms,
+                flows,
+                source_flows,
+            } = interval;
+            self.pending_weights.insert(index, source_flows);
+            let closed = ClosedInterval {
+                index,
+                begin_ms,
+                end_ms,
+                flows,
+            };
+            let dropped = self.assembler.dropped_flows();
+            self.pipe.submit(closed, dropped, &mut events);
+        }
+        self.pipe.drain_ready(&mut events);
+        self.tag(events)
+    }
+
+    /// Attach the stashed per-source weights to events returning from
+    /// the pipeline thread (intervals return in submission order, so
+    /// each index is present exactly once).
+    fn tag(&mut self, events: Vec<StreamEvent>) -> Vec<MultiStreamEvent> {
+        events
+            .into_iter()
+            .map(|event| {
+                let source_flows = self
+                    .pending_weights
+                    .remove(&event.index)
+                    .unwrap_or_default();
+                MultiStreamEvent {
+                    event,
+                    source_flows,
+                }
+            })
+            .collect()
     }
 }
 
@@ -492,5 +744,110 @@ mod tests {
             let _ = stream.push(flow_at(i * 100));
         }
         drop(stream); // must not hang or leak the pipeline thread
+    }
+
+    fn two_specs() -> Vec<SourceSpec> {
+        vec![SourceSpec::new(0u32, 0), SourceSpec::new(1u32, 0)]
+    }
+
+    #[test]
+    fn multi_source_single_lane_matches_single_source_engine() {
+        let scenario = Scenario::small(5);
+        let intervals = scenario.interval_count().min(22);
+        let specs = [SourceSpec::new(0u32, 0)];
+        let mut single =
+            StreamingExtractor::try_new(test_config(scenario.interval_ms()), nz(2), 0).unwrap();
+        let mut multi =
+            MultiSourceExtractor::try_new(test_config(scenario.interval_ms()), nz(2), &specs, None)
+                .unwrap();
+        let mut single_events = Vec::new();
+        let mut multi_events = Vec::new();
+        for i in 0..intervals {
+            for flow in scenario.generate(i).flows {
+                single_events.extend(single.push(flow));
+                multi_events.extend(multi.push(SourceId(0), flow));
+            }
+        }
+        let (tail, s_sum) = single.finish();
+        single_events.extend(tail);
+        let (tail, m_sum) = multi.finish();
+        multi_events.extend(tail);
+        assert_eq!(single_events.len(), multi_events.len());
+        assert_eq!(s_sum.intervals, m_sum.intervals);
+        assert_eq!(s_sum.alarms, m_sum.alarms);
+        assert_eq!(s_sum.extractions, m_sum.extractions);
+        for (a, b) in single_events.iter().zip(&multi_events) {
+            assert_eq!(a.index, b.event.index);
+            assert_eq!(a.flows, b.event.flows);
+            assert_eq!(b.source_flows, vec![a.flows]);
+            assert_eq!(
+                a.outcome.observation.alarm,
+                b.event.outcome.observation.alarm
+            );
+            assert_eq!(
+                a.outcome.observation.metadata,
+                b.event.outcome.observation.metadata
+            );
+        }
+    }
+
+    #[test]
+    fn multi_source_event_carries_per_source_weights() {
+        let mut multi =
+            MultiSourceExtractor::try_new(test_config(1_000), nz(1), &two_specs(), None).unwrap();
+        multi.push(SourceId(0), flow_at(100));
+        multi.push(SourceId(0), flow_at(200));
+        multi.push(SourceId(1), flow_at(300));
+        let (events, summary) = multi.finish();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].source_flows, vec![2, 1]);
+        assert_eq!(events[0].event.flows, 3);
+        assert_eq!(summary.total_flows, 3);
+        assert_eq!(summary.sources.len(), 2);
+        assert_eq!(summary.sources[0].flows, 2);
+        assert_eq!(summary.sources[1].flows, 1);
+        assert_eq!(summary.dropped_flows, 0);
+    }
+
+    #[test]
+    fn multi_source_watermark_waits_then_finish_source_releases() {
+        let mut multi =
+            MultiSourceExtractor::try_new(test_config(1_000), nz(1), &two_specs(), None).unwrap();
+        // Source 0 races ahead; nothing closes while source 1 is live
+        // and silent.
+        assert!(multi.push(SourceId(0), flow_at(100)).is_empty());
+        assert!(multi.push(SourceId(0), flow_at(2_500)).is_empty());
+        let mut events = multi.finish_source(SourceId(1));
+        let (tail, summary) = multi.finish();
+        events.extend(tail);
+        assert_eq!(events.len(), 3, "windows 0–2 close once src1 is done");
+        assert_eq!(events[0].source_flows, vec![1, 0]);
+        assert_eq!(summary.intervals, 3);
+    }
+
+    #[test]
+    fn multi_source_invalid_configs_are_errors() {
+        assert!(
+            MultiSourceExtractor::try_new(test_config(1_000), nz(1), &[], None).is_err(),
+            "no sources"
+        );
+        let dup = [SourceSpec::new(0u32, 0), SourceSpec::new(0u32, 5)];
+        assert!(
+            MultiSourceExtractor::try_new(test_config(1_000), nz(1), &dup, None).is_err(),
+            "duplicate ids"
+        );
+        let mut config = test_config(1_000);
+        config.min_support = 0;
+        assert!(MultiSourceExtractor::try_new(config, nz(1), &two_specs(), None).is_err());
+    }
+
+    #[test]
+    fn abandoning_a_multi_source_stream_joins_the_pipeline_thread() {
+        let mut multi =
+            MultiSourceExtractor::try_new(test_config(1_000), nz(2), &two_specs(), None).unwrap();
+        for i in 0u32..40 {
+            let _ = multi.push(SourceId(i % 2), flow_at(u64::from(i) * 100));
+        }
+        drop(multi); // must not hang or leak the pipeline thread
     }
 }

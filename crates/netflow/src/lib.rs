@@ -17,6 +17,10 @@
 //!   intervals;
 //! - [`IntervalAssembler`] — streaming interval assembly for online
 //!   operation;
+//! - [`SourceId`] / [`SourceSpec`] / [`SourcedFlow`] — exporter identity
+//!   and per-exporter clock origins for multi-router ingestion;
+//! - [`MergeAssembler`] — N exporters fanned in onto one shared interval
+//!   grid with watermark close semantics and per-source drop accounting;
 //! - [`shard`] — deterministic balanced chunking of flow batches, the
 //!   partitioning contract of the sharded parallel extraction engine.
 //!
@@ -29,7 +33,9 @@
 pub mod error;
 pub mod feature;
 pub mod flow;
+pub mod merge;
 pub mod shard;
+pub mod source;
 pub mod stream;
 pub mod trace;
 pub mod v5;
@@ -37,6 +43,8 @@ pub mod v5;
 pub use error::{DecodeError, EncodeError};
 pub use feature::{FeatureValue, FlowFeature, ParseFeatureValueError};
 pub use flow::{FlowRecord, Protocol, TcpFlags};
+pub use merge::{MergeAssembler, MergeConfig, MergedInterval, SourceStats};
 pub use shard::{chunk_ranges, chunks_of, default_shards};
+pub use source::{SourceId, SourceSpec, SourcedFlow};
 pub use stream::{ClosedInterval, IntervalAssembler, StreamConfigError};
 pub use trace::{FlowTrace, Interval, MINUTE_MS};

@@ -1,0 +1,575 @@
+//! Multi-source interval merging: N exporters → one interval grid.
+//!
+//! The paper's deployment collects NetFlow from **several border
+//! routers** and analyzes the union of their traffic per Δ-minute
+//! interval. [`MergeAssembler`] implements that fan-in: one
+//! [`IntervalAssembler`] per exporter (each with its own clock origin,
+//! so exporters need not agree on wall time) feeding a shared interval
+//! grid with **watermark semantics** — grid interval `i` closes only
+//! once every live source has advanced past it, so no source's flows
+//! can be left behind by a faster peer.
+//!
+//! ```text
+//!   src0 ──► IntervalAssembler(origin₀) ──┐
+//!   src1 ──► IntervalAssembler(origin₁) ──┼──► pending[i] per source
+//!   srcN ──► IntervalAssembler(originₙ) ──┘         │
+//!                                                   ▼
+//!                  watermark = min over live sources of closed-below
+//!                  grid closes i < watermark → MergedInterval i
+//!                  (flows concatenated in source registration order)
+//! ```
+//!
+//! **Determinism.** A merged interval's flows are the concatenation, in
+//! source registration order, of each source's window-`i` flows in that
+//! source's arrival order. Both orders are independent of how pushes
+//! from different sources interleave, so for a fixed per-source flow
+//! sequence the merged stream is **bit-identical** no matter how the
+//! sources race each other — the contract the multi-source determinism
+//! property suite asserts end to end.
+//!
+//! **Lateness bound.** A pure watermark stalls forever on a source that
+//! goes quiet without saying so. [`MergeConfig::max_lag_intervals`]
+//! bounds that: when the fastest source runs more than `max_lag`
+//! intervals ahead of the grid, the grid force-closes without the
+//! laggards, and any interval a laggard eventually delivers for an
+//! already-closed grid slot is dropped and counted in its
+//! [`SourceStats::stale_flows`]. Sources that end cleanly should call
+//! [`MergeAssembler::finish_source`] instead, which releases the
+//! watermark without dropping anything.
+
+use std::collections::BTreeMap;
+
+use crate::flow::FlowRecord;
+use crate::source::{SourceId, SourceSpec};
+use crate::stream::{IntervalAssembler, StreamConfigError};
+
+/// Configuration of the multi-source merge grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeConfig {
+    /// Shared interval length Δ, ms.
+    pub interval_ms: u64,
+    /// Watermark lateness bound, in intervals: when the fastest source
+    /// has closed more than this many intervals past the grid, the grid
+    /// force-closes without the laggards (their eventual deliveries for
+    /// those slots are dropped as stale). `None` = pure watermark: wait
+    /// for every live source forever.
+    pub max_lag_intervals: Option<u64>,
+}
+
+impl MergeConfig {
+    /// Pure-watermark config (no lateness bound) at the given Δ.
+    #[must_use]
+    pub fn new(interval_ms: u64) -> Self {
+        MergeConfig {
+            interval_ms,
+            max_lag_intervals: None,
+        }
+    }
+
+    /// Set the lateness bound.
+    #[must_use]
+    pub fn with_max_lag(mut self, intervals: u64) -> Self {
+        self.max_lag_intervals = Some(intervals);
+        self
+    }
+}
+
+/// One closed interval of the shared grid: the union of every source's
+/// window-`i` flows, concatenated in source registration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedInterval {
+    /// Zero-based grid interval index.
+    pub index: u64,
+    /// Inclusive window start in grid time (`index * Δ`), ms.
+    pub begin_ms: u64,
+    /// Exclusive window end in grid time, ms.
+    pub end_ms: u64,
+    /// Every source's flows for this window, concatenated in source
+    /// registration order (each source's segment in its arrival order).
+    pub flows: Vec<FlowRecord>,
+    /// How many flows each registered source contributed, in
+    /// registration order — the per-source weights of the union.
+    pub source_flows: Vec<usize>,
+}
+
+/// Per-source ingestion and drop accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceStats {
+    /// The exporter.
+    pub id: SourceId,
+    /// Flows pushed for this source.
+    pub flows: u64,
+    /// Flows dropped inside the source's own assembler because they
+    /// arrived after their *per-source* window closed.
+    pub late_flows: u64,
+    /// Flows dropped because they were dated before the source's origin.
+    pub pre_origin_flows: u64,
+    /// Flows dropped at the merge layer: their whole window arrived
+    /// after the grid force-closed that slot (lateness bound exceeded).
+    pub stale_flows: u64,
+}
+
+impl SourceStats {
+    /// Every flow this source lost, for any reason.
+    #[must_use]
+    pub fn dropped_flows(&self) -> u64 {
+        self.late_flows + self.pre_origin_flows + self.stale_flows
+    }
+}
+
+/// One exporter's lane through the merge: its private assembler, the
+/// closed-but-unmerged windows it has delivered, and its drop counters.
+#[derive(Debug)]
+struct SourceLane {
+    spec: SourceSpec,
+    assembler: IntervalAssembler,
+    /// Windows this source has closed but the grid has not: grid index →
+    /// the source's flows for that window.
+    pending: BTreeMap<u64, Vec<FlowRecord>>,
+    /// Every grid index `< closed_below` has been closed by this source
+    /// (the inner assembler emits windows contiguously from 0, empties
+    /// included, so this is a single frontier).
+    closed_below: u64,
+    /// Whether the source declared end-of-stream; finished sources no
+    /// longer hold the watermark.
+    finished: bool,
+    flows: u64,
+    stale_flows: u64,
+}
+
+impl SourceLane {
+    /// Accept one window the inner assembler closed: stash it for the
+    /// grid, or drop it as stale when the grid already force-closed that
+    /// slot.
+    fn accept(&mut self, index: u64, flows: Vec<FlowRecord>, grid_next: u64) {
+        self.closed_below = self.closed_below.max(index + 1);
+        if index < grid_next {
+            self.stale_flows += flows.len() as u64;
+        } else if !flows.is_empty() {
+            // Empty windows need no entry: a missing slot merges as zero
+            // flows, so only data-bearing windows occupy memory.
+            self.pending.insert(index, flows);
+        }
+    }
+}
+
+/// Streaming fan-in of N exporters onto one shared interval grid, with
+/// watermark close semantics and per-source drop accounting. See the
+/// [module docs](self) for the execution model.
+#[derive(Debug)]
+pub struct MergeAssembler {
+    config: MergeConfig,
+    lanes: Vec<SourceLane>,
+    /// Next grid index to close; every index below it has been emitted.
+    grid_next: u64,
+}
+
+impl MergeAssembler {
+    /// Build a merge grid over the given exporters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StreamConfigError`] when Δ is zero, no sources are
+    /// given, or two sources share an id.
+    pub fn try_new(config: MergeConfig, sources: &[SourceSpec]) -> Result<Self, StreamConfigError> {
+        if sources.is_empty() {
+            return Err(StreamConfigError::new(
+                "multi-source merge needs at least one source",
+            ));
+        }
+        let mut lanes = Vec::with_capacity(sources.len());
+        for spec in sources {
+            if lanes.iter().any(|l: &SourceLane| l.spec.id == spec.id) {
+                return Err(StreamConfigError::new(format!(
+                    "duplicate source id {}",
+                    spec.id
+                )));
+            }
+            lanes.push(SourceLane {
+                spec: *spec,
+                assembler: IntervalAssembler::try_new(spec.origin_ms, config.interval_ms)?,
+                pending: BTreeMap::new(),
+                closed_below: 0,
+                finished: false,
+                flows: 0,
+                stale_flows: 0,
+            });
+        }
+        Ok(MergeAssembler {
+            config,
+            lanes,
+            grid_next: 0,
+        })
+    }
+
+    /// The merge configuration.
+    #[must_use]
+    pub fn config(&self) -> &MergeConfig {
+        &self.config
+    }
+
+    /// The registered sources, in registration order.
+    #[must_use]
+    pub fn sources(&self) -> Vec<SourceSpec> {
+        self.lanes.iter().map(|l| l.spec).collect()
+    }
+
+    fn lane_mut(&mut self, source: SourceId) -> &mut SourceLane {
+        self.lanes
+            .iter_mut()
+            .find(|l| l.spec.id == source)
+            .unwrap_or_else(|| panic!("unknown source {source}: not registered with this merge"))
+    }
+
+    /// Feed one flow from `source`; returns every grid interval that
+    /// became closeable (watermark advanced, or the lateness bound
+    /// force-closed laggards).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` was not registered at construction, or when
+    /// `source` already declared end-of-stream via
+    /// [`finish_source`](Self::finish_source).
+    pub fn push(&mut self, source: SourceId, flow: FlowRecord) -> Vec<MergedInterval> {
+        let grid_next = self.grid_next;
+        let lane = self.lane_mut(source);
+        assert!(!lane.finished, "source {source} already finished");
+        lane.flows += 1;
+        for closed in lane.assembler.push(flow) {
+            lane.accept(closed.index, closed.flows, grid_next);
+        }
+        self.advance()
+    }
+
+    /// Tag-based variant of [`push`](Self::push) for callers holding
+    /// [`crate::SourcedFlow`]s.
+    ///
+    /// # Panics
+    ///
+    /// As [`push`](Self::push).
+    pub fn push_sourced(&mut self, flow: crate::source::SourcedFlow) -> Vec<MergedInterval> {
+        self.push(flow.source, flow.flow)
+    }
+
+    /// Declare `source` cleanly ended: its in-progress window is flushed
+    /// into the grid and it stops holding the watermark, so the
+    /// remaining sources alone pace the grid from here on. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` was not registered at construction.
+    pub fn finish_source(&mut self, source: SourceId) -> Vec<MergedInterval> {
+        let grid_next = self.grid_next;
+        let lane = self.lane_mut(source);
+        if lane.finished {
+            return Vec::new();
+        }
+        lane.finished = true;
+        if let Some(closed) = lane.assembler.flush() {
+            lane.accept(closed.index, closed.flows, grid_next);
+        }
+        self.advance()
+    }
+
+    /// End of all streams: finish every remaining source and close the
+    /// grid out to the furthest window any source delivered.
+    pub fn flush(&mut self) -> Vec<MergedInterval> {
+        let grid_next = self.grid_next;
+        for lane in &mut self.lanes {
+            if !lane.finished {
+                lane.finished = true;
+                if let Some(closed) = lane.assembler.flush() {
+                    lane.accept(closed.index, closed.flows, grid_next);
+                }
+            }
+        }
+        let horizon = self.frontier();
+        self.close_until(horizon)
+    }
+
+    /// Per-source ingestion and drop accounting, in registration order.
+    #[must_use]
+    pub fn source_stats(&self) -> Vec<SourceStats> {
+        self.lanes
+            .iter()
+            .map(|l| SourceStats {
+                id: l.spec.id,
+                flows: l.flows,
+                late_flows: l.assembler.late_flows(),
+                pre_origin_flows: l.assembler.pre_origin_flows(),
+                stale_flows: l.stale_flows,
+            })
+            .collect()
+    }
+
+    /// Every flow the merge has dropped across all sources and layers.
+    #[must_use]
+    pub fn dropped_flows(&self) -> u64 {
+        self.source_stats()
+            .iter()
+            .map(SourceStats::dropped_flows)
+            .sum()
+    }
+
+    /// The furthest close frontier any source has reached.
+    fn frontier(&self) -> u64 {
+        self.lanes.iter().map(|l| l.closed_below).max().unwrap_or(0)
+    }
+
+    /// Close every grid interval the watermark (and lateness bound)
+    /// allows.
+    fn advance(&mut self) -> Vec<MergedInterval> {
+        // Watermark: the slowest live source. With every source
+        // finished the watermark lifts entirely (flush semantics).
+        let watermark = self
+            .lanes
+            .iter()
+            .filter(|l| !l.finished)
+            .map(|l| l.closed_below)
+            .min()
+            .unwrap_or_else(|| self.frontier());
+        // Lateness bound: never let the grid trail the leader by more
+        // than max_lag intervals.
+        let forced = self
+            .config
+            .max_lag_intervals
+            .map_or(0, |lag| self.frontier().saturating_sub(lag));
+        self.close_until(watermark.max(forced))
+    }
+
+    /// Emit merged intervals for every grid index in `[grid_next, upto)`.
+    fn close_until(&mut self, upto: u64) -> Vec<MergedInterval> {
+        let mut merged = Vec::new();
+        while self.grid_next < upto {
+            let index = self.grid_next;
+            let mut flows = Vec::new();
+            let mut source_flows = Vec::with_capacity(self.lanes.len());
+            for lane in &mut self.lanes {
+                match lane.pending.remove(&index) {
+                    Some(mut segment) => {
+                        source_flows.push(segment.len());
+                        flows.append(&mut segment);
+                    }
+                    None => source_flows.push(0),
+                }
+            }
+            let begin_ms = index * self.config.interval_ms;
+            merged.push(MergedInterval {
+                index,
+                begin_ms,
+                end_ms: begin_ms + self.config.interval_ms,
+                flows,
+                source_flows,
+            });
+            self.grid_next += 1;
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn flow_at(ms: u64) -> FlowRecord {
+        FlowRecord::new(
+            ms,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            Protocol::Udp,
+        )
+    }
+
+    fn two_sources(max_lag: Option<u64>) -> MergeAssembler {
+        let mut config = MergeConfig::new(1000);
+        config.max_lag_intervals = max_lag;
+        MergeAssembler::try_new(
+            config,
+            &[SourceSpec::new(0u32, 0), SourceSpec::new(1u32, 0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_waits_for_the_slowest_source() {
+        let mut m = two_sources(None);
+        // Source 0 races three windows ahead; nothing closes until
+        // source 1 advances past window 0.
+        assert!(m.push(SourceId(0), flow_at(100)).is_empty());
+        assert!(m.push(SourceId(0), flow_at(3200)).is_empty());
+        assert!(m.push(SourceId(1), flow_at(50)).is_empty());
+        let closed = m.push(SourceId(1), flow_at(1100));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].index, 0);
+        assert_eq!(closed[0].flows.len(), 2);
+        assert_eq!(closed[0].source_flows, vec![1, 1]);
+    }
+
+    #[test]
+    fn merged_flows_concatenate_in_registration_order() {
+        let mut m = two_sources(None);
+        // Source 1's window-0 flow arrives first; the merge must still
+        // put source 0's segment first.
+        m.push(SourceId(1), flow_at(700));
+        m.push(SourceId(0), flow_at(300));
+        m.push(SourceId(0), flow_at(400));
+        let mut closed = m.flush();
+        assert_eq!(closed.len(), 1);
+        let iv = closed.remove(0);
+        assert_eq!(iv.source_flows, vec![2, 1]);
+        let starts: Vec<u64> = iv.flows.iter().map(|f| f.start_ms).collect();
+        assert_eq!(starts, vec![300, 400, 700], "src0 segment, then src1");
+    }
+
+    #[test]
+    fn per_source_origins_skew_onto_one_grid() {
+        let config = MergeConfig::new(1000);
+        let mut m = MergeAssembler::try_new(
+            config,
+            &[SourceSpec::new(0u32, 0), SourceSpec::new(1u32, 250)],
+        )
+        .unwrap();
+        // Local time 1100 at source 1 is grid time 850: still window 0.
+        m.push(SourceId(1), flow_at(1100));
+        m.push(SourceId(0), flow_at(100));
+        let closed = m.flush();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].source_flows, vec![1, 1]);
+    }
+
+    #[test]
+    fn finished_source_releases_the_watermark() {
+        let mut m = two_sources(None);
+        m.push(SourceId(0), flow_at(100));
+        m.push(SourceId(0), flow_at(2500));
+        // Source 1 never sent a flow; finishing it hands the grid to
+        // source 0 alone.
+        let closed = m.finish_source(SourceId(1));
+        assert_eq!(closed.len(), 2, "windows 0 and 1 close");
+        assert_eq!(closed[0].source_flows, vec![1, 0]);
+        assert!(closed[1].flows.is_empty(), "gap window merged empty");
+        assert!(m.finish_source(SourceId(1)).is_empty(), "idempotent");
+        let tail = m.flush();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].index, 2);
+    }
+
+    #[test]
+    fn lateness_bound_force_closes_and_counts_stale_flows() {
+        let mut m = two_sources(Some(2));
+        m.push(SourceId(1), flow_at(50));
+        // Source 0 storms ahead: closing windows 0..=4 puts its frontier
+        // at 5, so the grid force-closes up to 5 - 2 = 3 without
+        // source 1.
+        let closed = m.push(SourceId(0), flow_at(5500));
+        assert_eq!(closed.len(), 3, "windows 0,1,2 force-closed");
+        assert_eq!(
+            closed[0].source_flows,
+            vec![0, 0],
+            "src0's own window 0 \
+             was empty too — its first flow landed in window 5"
+        );
+        // Source 1 now delivers window 0 (closing it by advancing):
+        // stale, dropped, counted.
+        m.push(SourceId(1), flow_at(1100));
+        let stats = m.source_stats();
+        assert_eq!(stats[1].stale_flows, 1);
+        assert_eq!(stats[1].late_flows, 0, "stale ≠ per-source late");
+        assert_eq!(m.dropped_flows(), 1);
+    }
+
+    #[test]
+    fn per_source_late_and_pre_origin_drops_are_attributed() {
+        let config = MergeConfig::new(1000);
+        let mut m = MergeAssembler::try_new(
+            config,
+            &[SourceSpec::new(0u32, 1000), SourceSpec::new(1u32, 0)],
+        )
+        .unwrap();
+        m.push(SourceId(0), flow_at(500)); // before src0's origin
+        m.push(SourceId(1), flow_at(1500));
+        m.push(SourceId(1), flow_at(300)); // late within src1
+        let stats = m.source_stats();
+        assert_eq!(stats[0].pre_origin_flows, 1);
+        assert_eq!(stats[1].late_flows, 1);
+        assert_eq!(m.dropped_flows(), 2);
+    }
+
+    #[test]
+    fn flush_emits_trailing_gap_windows() {
+        let mut m = two_sources(None);
+        m.push(SourceId(0), flow_at(100));
+        m.push(SourceId(1), flow_at(4200));
+        let closed = m.flush();
+        // Grid runs to source 1's frontier (window 4 inclusive).
+        let indices: Vec<u64> = closed.iter().map(|c| c.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(closed[0].source_flows, vec![1, 0]);
+        assert_eq!(closed[4].source_flows, vec![0, 1]);
+    }
+
+    #[test]
+    fn config_errors_are_reported() {
+        let config = MergeConfig::new(1000);
+        assert!(MergeAssembler::try_new(config, &[]).is_err(), "no sources");
+        assert!(
+            MergeAssembler::try_new(
+                config,
+                &[SourceSpec::new(1u32, 0), SourceSpec::new(1u32, 50)]
+            )
+            .is_err(),
+            "duplicate ids"
+        );
+        assert!(
+            MergeAssembler::try_new(MergeConfig::new(0), &[SourceSpec::new(0u32, 0)]).is_err(),
+            "zero interval"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn unknown_source_panics() {
+        let mut m = two_sources(None);
+        let _ = m.push(SourceId(9), flow_at(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn push_after_finish_panics() {
+        let mut m = two_sources(None);
+        let _ = m.finish_source(SourceId(0));
+        let _ = m.push(SourceId(0), flow_at(0));
+    }
+
+    #[test]
+    fn single_source_merge_matches_plain_assembly() {
+        let starts = [10u64, 999, 1000, 1001, 2500, 2600, 7000];
+        let mut plain = IntervalAssembler::new(0, 1000);
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        for &s in &starts {
+            for c in plain.push(flow_at(s)) {
+                reference.push((c.index, c.flows.len()));
+            }
+        }
+        if let Some(c) = plain.flush() {
+            reference.push((c.index, c.flows.len()));
+        }
+
+        let mut m =
+            MergeAssembler::try_new(MergeConfig::new(1000), &[SourceSpec::new(0u32, 0)]).unwrap();
+        let mut merged: Vec<(u64, usize)> = Vec::new();
+        for &s in &starts {
+            for c in m.push(SourceId(0), flow_at(s)) {
+                merged.push((c.index, c.flows.len()));
+            }
+        }
+        for c in m.flush() {
+            merged.push((c.index, c.flows.len()));
+        }
+        assert_eq!(merged, reference);
+    }
+}

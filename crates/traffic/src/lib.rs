@@ -18,6 +18,9 @@
 //!   and fully deterministic;
 //! - [`table2`] — the §II-B worked example (port-7000 flood + injected
 //!   popular ports) at any scale;
+//! - [`multi`] — multi-exporter scenarios: the same grid observed over
+//!   several links with per-link rate, clock skew, and anomaly exposure
+//!   (the paper's multi-router collection setting);
 //! - [`labeled`] — per-flow ground-truth labels, exact by construction.
 
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod background;
 pub mod dist;
 pub mod inject;
 pub mod labeled;
+pub mod multi;
 pub mod scenario;
 pub mod table2;
 
@@ -35,6 +39,7 @@ pub use anomaly::{AnomalyClass, EventId, EventParams, EventSpec};
 pub use background::{BackgroundConfig, BackgroundModel, HeavyHitter};
 pub use dist::{BoundedPareto, Zipf};
 pub use labeled::LabeledInterval;
+pub use multi::{LinkConfig, MultiSourceScenario};
 pub use scenario::{
     Scenario, ScenarioConfig, FIFTEEN_MIN_MS, INTERVALS_PER_DAY, TWO_WEEKS_INTERVALS,
 };

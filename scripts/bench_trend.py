@@ -1,22 +1,45 @@
 #!/usr/bin/env python3
-"""Perf-trajectory gate for the sharded extraction engine.
+"""Perf-trajectory gate for the extraction engines.
 
-Reads the BENCH_sharded.json that `overhead_report` just emitted and
-compares its sharded-overhead column — the ratio of the k-shard wall
-time to the 1-shard (inline) wall time — against the committed baseline
-in ci/bench-baseline.json. A ratio is a regression when it exceeds the
-baseline ratio by more than 10% (relative), plus a small absolute slack
-for timer noise on fast rows.
+Reads the BENCH_sharded.json and BENCH_streaming.json that
+`overhead_report` just emitted and compares them against the committed
+baseline in ci/bench-baseline.json:
 
-Exit status: 0 when every shard count is within budget, 1 otherwise.
-Usage: scripts/bench_trend.py [BENCH_sharded.json [ci/bench-baseline.json]]
+- **sharded overhead** — the ratio of the k-shard wall time to the
+  1-shard (inline) wall time regresses when it exceeds the baseline
+  ratio by more than 10% (relative), plus a small absolute slack for
+  timer noise on fast rows;
+- **streaming latency** — the per-interval p95 extraction latency of the
+  streaming replay regresses when it exceeds the baseline by more than
+  15% (relative), plus an absolute slack for scheduler noise.
+
+Key skew between the report and the baseline is tolerated in both
+directions: a shard count (or latency percentile) present on one side
+only is reported as a warning, never a failure, so adding a new
+benchmark does not break old baselines and trimming a baseline does not
+break new reports.
+
+A trend table is printed to stdout and, when the GITHUB_STEP_SUMMARY
+environment variable points at a writable file (as it does in GitHub
+Actions), appended there as a Markdown job summary.
+
+Exit status: 0 when every gated metric is within budget, 1 otherwise.
+Usage: scripts/bench_trend.py [BENCH_sharded.json [ci/bench-baseline.json
+                               [BENCH_streaming.json]]]
 """
 
 import json
+import os
 import sys
 
-RELATIVE_TOLERANCE = 0.10  # the ">10% vs baseline" gate
-ABSOLUTE_SLACK = 0.02      # timer noise on sub-millisecond rows
+SHARDED_RELATIVE_TOLERANCE = 0.10   # the ">10% vs baseline" gate
+SHARDED_ABSOLUTE_SLACK = 0.02       # timer noise on sub-millisecond rows
+STREAMING_RELATIVE_TOLERANCE = 0.15  # the ">15% vs baseline" gate
+STREAMING_ABSOLUTE_SLACK_US = 2000   # scheduler noise on short intervals
+
+
+def warn(message):
+    print(f"warning: {message}")
 
 
 def overhead_ratios(report):
@@ -27,38 +50,122 @@ def overhead_ratios(report):
     return {shards: millis / rows[1] for shards, millis in rows.items()}
 
 
-def main():
-    bench_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sharded.json"
-    base_path = sys.argv[2] if len(sys.argv) > 2 else "ci/bench-baseline.json"
-    with open(bench_path) as f:
-        current = overhead_ratios(json.load(f))
-    with open(base_path) as f:
-        baseline = json.load(f)["sharded_overhead_ratio"]
+def gate_sharded(bench_path, baseline, rows):
+    """Gate sharded overhead ratios (appending to `rows`); returns failures."""
+    try:
+        with open(bench_path) as f:
+            current = overhead_ratios(json.load(f))
+    except FileNotFoundError:
+        return [f"sharded report {bench_path} is missing"]
+
+    base = {int(k): v for k, v in baseline.get("sharded_overhead_ratio", {}).items()}
+    if not base:
+        warn("baseline has no sharded_overhead_ratio section; skipping gate")
+        return []
 
     failures = []
-    for shards, base_ratio in sorted(baseline.items(), key=lambda kv: int(kv[0])):
-        shards = int(shards)
+    for shards in sorted(base):
         if shards not in current:
-            failures.append(f"shards={shards}: missing from {bench_path}")
+            warn(f"shards={shards} in baseline but not in {bench_path}; skipping")
             continue
         ratio = current[shards]
-        budget = base_ratio * (1 + RELATIVE_TOLERANCE) + ABSOLUTE_SLACK
+        budget = base[shards] * (1 + SHARDED_RELATIVE_TOLERANCE) + SHARDED_ABSOLUTE_SLACK
         verdict = "OK" if ratio <= budget else "REGRESSION"
         print(
             f"shards={shards}: overhead ratio {ratio:.3f} "
-            f"(baseline {base_ratio:.3f}, budget {budget:.3f}) {verdict}"
+            f"(baseline {base[shards]:.3f}, budget {budget:.3f}) {verdict}"
+        )
+        rows.append(
+            (f"sharded overhead x{shards}", f"{base[shards]:.3f}",
+             f"{ratio:.3f}", f"{budget:.3f}", verdict)
         )
         if ratio > budget:
+            failures.append(f"shards={shards}: {ratio:.3f} exceeds budget {budget:.3f}")
+    for shards in sorted(set(current) - set(base)):
+        warn(f"shards={shards} in {bench_path} but not in baseline; not gated")
+    return failures
+
+
+def gate_streaming(bench_path, baseline, rows):
+    """Gate streaming p95 latency (appending to `rows`); returns failures."""
+    base = baseline.get("streaming_latency_micros")
+    if not base:
+        warn("baseline has no streaming_latency_micros section; skipping gate")
+        return []
+    try:
+        with open(bench_path) as f:
+            current = json.load(f).get("latency_micros", {})
+    except FileNotFoundError:
+        return [f"streaming report {bench_path} is missing"]
+
+    failures = []
+    for percentile in sorted(base):
+        if percentile not in current:
+            warn(f"latency {percentile} in baseline but not in {bench_path}; skipping")
+            continue
+        gated = percentile == "p95"
+        value = current[percentile]
+        budget = base[percentile] * (1 + STREAMING_RELATIVE_TOLERANCE) \
+            + STREAMING_ABSOLUTE_SLACK_US
+        verdict = "OK" if value <= budget else "REGRESSION"
+        if not gated:
+            verdict = "info"
+        print(
+            f"streaming {percentile}: {value} µs "
+            f"(baseline {base[percentile]} µs, budget {budget:.0f} µs) {verdict}"
+        )
+        rows.append(
+            (f"streaming latency {percentile}", f"{base[percentile]} µs",
+             f"{value} µs", f"{budget:.0f} µs", verdict)
+        )
+        if gated and value > budget:
             failures.append(
-                f"shards={shards}: {ratio:.3f} exceeds budget {budget:.3f}"
+                f"streaming {percentile}: {value} µs exceeds budget {budget:.0f} µs"
             )
+    for percentile in sorted(set(current) - set(base)):
+        warn(f"latency {percentile} in {bench_path} but not in baseline; not gated")
+    return failures
+
+
+def write_step_summary(rows):
+    """Append the trend table as Markdown to the GitHub job summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not rows:
+        return
+    lines = [
+        "### Perf trend vs committed baseline",
+        "",
+        "| metric | baseline | current | budget | verdict |",
+        "|---|---|---|---|---|",
+    ]
+    for metric, base, current, budget, verdict in rows:
+        icon = {"OK": "✅", "REGRESSION": "❌"}.get(verdict, "ℹ️")
+        lines.append(f"| {metric} | {base} | {current} | {budget} | {icon} {verdict} |")
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        warn(f"cannot write job summary {path}: {e}")
+
+
+def main():
+    sharded_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sharded.json"
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "ci/bench-baseline.json"
+    streaming_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_streaming.json"
+    with open(base_path) as f:
+        baseline = json.load(f)
+
+    rows = []
+    failures = gate_sharded(sharded_path, baseline, rows)
+    failures += gate_streaming(streaming_path, baseline, rows)
+    write_step_summary(rows)
 
     if failures:
-        print("sharded-overhead regression vs committed baseline:", file=sys.stderr)
+        print("perf regression vs committed baseline:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("sharded overhead within budget for every shard count")
+    print("every gated metric within budget")
     return 0
 
 

@@ -58,13 +58,15 @@ pub use anomex_traffic as traffic;
 pub mod prelude {
     pub use anomex_core::{
         classify_itemset, extract_sharded, extract_with_metadata, render_report, run_scenario,
-        AnomalyExtractor, Extraction, ExtractionConfig, PrefilterMode, ShardedExtractor,
-        StreamEvent, StreamSummary, StreamingExtractor,
+        AnomalyExtractor, Extraction, ExtractionConfig, MultiSourceExtractor, MultiStreamEvent,
+        MultiStreamSummary, PrefilterMode, ShardedExtractor, StreamEvent, StreamSummary,
+        StreamingExtractor,
     };
     pub use anomex_detector::{DetectorBank, DetectorConfig, MetaData, RocCurve};
     pub use anomex_mining::{ItemSet, MinerKind, Transaction, TransactionSet};
     pub use anomex_netflow::{
-        FlowFeature, FlowRecord, FlowTrace, IntervalAssembler, Protocol, TcpFlags,
+        FlowFeature, FlowRecord, FlowTrace, IntervalAssembler, MergeAssembler, MergeConfig,
+        Protocol, SourceId, SourceSpec, SourcedFlow, TcpFlags,
     };
     pub use anomex_traffic::{table2_workload, AnomalyClass, EventSpec, Scenario};
 }
