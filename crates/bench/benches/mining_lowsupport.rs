@@ -1,0 +1,52 @@
+//! Low-support mining: sequential vs task-parallel pool execution at
+//! descending supports — the regime where Apriori's level-k join+prune
+//! and FP-growth's conditional recursion dominate (§III-E; rare-rule
+//! mining hits exactly this candidate-explosion band). The pool rows
+//! exercise the fork/join tree tasks; on a 1-CPU container the speedup
+//! is ~1.0x and the point is the overhead ceiling, on multicore the
+//! pool rows drop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+
+use anomex_mining::par::Exec;
+use anomex_mining::{MinerKind, TransactionSet};
+use anomex_traffic::table2_workload;
+use crossbeam::WorkerPool;
+
+fn pool_width() -> NonZeroUsize {
+    std::thread::available_parallelism()
+        .map(|n| n.min(NonZeroUsize::new(4).unwrap()))
+        .unwrap_or(NonZeroUsize::MIN)
+}
+
+fn bench_lowsupport(c: &mut Criterion) {
+    let w = table2_workload(2009, 0.1);
+    let tx = TransactionSet::from_flows(&w.flows);
+    let pool = WorkerPool::new(pool_width());
+    let mut group = c.benchmark_group("mining_lowsupport");
+    group.sample_size(10);
+    for div in [4u64, 16, 64] {
+        let s = (w.min_support / div).max(2);
+        for miner in MinerKind::ALL {
+            group.bench_with_input(BenchmarkId::new(format!("{miner}_seq"), s), &s, |b, &s| {
+                b.iter(|| black_box(miner.mine_all_exec(black_box(&tx), s, Exec::inline())))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("{miner}_pool"), s), &s, |b, &s| {
+                b.iter(|| black_box(miner.mine_all_exec(black_box(&tx), s, Exec::Pool(&pool))))
+            });
+        }
+    }
+    group.finish();
+    // Prove the search phases actually dispatched as pool tasks.
+    assert!(
+        pool.threads() == 1 || pool.tree_tasks() > 1,
+        "multi-width pools must have dispatched tree tasks (width {}, tasks {})",
+        pool.threads(),
+        pool.tree_tasks()
+    );
+}
+
+criterion_group!(benches, bench_lowsupport);
+criterion_main!(benches);

@@ -1,32 +1,45 @@
 //! **§III-E** — computational overhead report: detector memory, per-step
 //! runtimes, the miner comparison the paper cites (ref. 15: FP-tree
 //! methods outperform hash-based Apriori, growing with dataset size and
-//! falling support), the sharded-engine scaling column, and the
-//! streaming engine's per-interval latency distribution. The sharding
-//! and streaming numbers are also emitted as `BENCH_sharded.json` /
-//! `BENCH_streaming.json` in the working directory so the perf
-//! trajectory is machine-readable across PRs.
+//! falling support), the task-parallel low-support mining column
+//! (sequential vs pool, with the tree-task count proving the recursive
+//! search ran as pool tasks), the sharded-engine scaling column, and
+//! the streaming engine's per-interval latency distribution. The
+//! sharding, streaming, and mining numbers are also emitted as
+//! `BENCH_sharded.json` / `BENCH_streaming.json` / `BENCH_mining.json`
+//! in the working directory so the perf trajectory is machine-readable
+//! across PRs.
 //!
 //! ```sh
-//! cargo run --release -p anomex-bench --bin overhead_report [scale]
+//! cargo run --release -p anomex-bench --bin overhead_report -- [scale] \
+//!     [--write-baseline PATH]
 //! ```
+//!
+//! `--write-baseline PATH` re-records the gated metrics (sharded
+//! overhead ratios, streaming latency percentiles) as a fresh
+//! `ci/bench-baseline.json`-shaped file measured by **this** run, so
+//! the perf gates track the environment that produces the numbers —
+//! see `ci/README.md` for the procedure.
 
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
-use anomex_bench::arg_scale;
+use anomex_bench::report_args;
 use anomex_core::{
     extract_sharded, extract_with_metadata, latency_percentile, ExtractionConfig, PrefilterMode,
     StreamingExtractor, TransactionMode,
 };
 use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
+use anomex_mining::par::Exec;
 use anomex_mining::{MinerKind, TransactionSet};
 use anomex_netflow::FlowFeature;
 use anomex_traffic::{table2_workload, Scenario};
+use crossbeam::WorkerPool;
 
 fn main() {
-    let scale = arg_scale(1.0);
+    let args = report_args(1.0);
+    let scale = args.scale;
 
     // --- Detector memory (paper: 472 kB for 5 detectors × 3 clones × 1024 bins). ---
     let mut bank = DetectorBank::new(&DetectorConfig::default());
@@ -92,9 +105,75 @@ fn main() {
          2006-era Opteron; tree-based miners scale better at low support [15])"
     );
 
+    let hardware = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+
+    // --- Task-parallel mining at low support: sequential vs the shared
+    // worker pool (candidate generation / conditional mining as tree
+    // tasks; output bit-identical by construction). ---
+    let pool_workers = hardware.clamp(2, 4);
+    let mining_pool = WorkerPool::new(NonZeroUsize::new(pool_workers).expect("workers >= 2"));
+    println!(
+        "\ntask-parallel mining at descending supports ({pool_workers}-worker pool; \
+         tasks = fork/join tree tasks dispatched):"
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "support", "miner", "sequential", "pool", "speedup", "tasks"
+    );
+    let mut mining_rows: Vec<(u64, MinerKind, f64, f64, u64)> = Vec::new();
+    for div in [4u64, 16, 64] {
+        let s = (w.min_support / div).max(2);
+        for miner in MinerKind::ALL {
+            let t0 = Instant::now();
+            let seq = miner.mine_all_exec(&tx, s, Exec::inline());
+            let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let tasks_before = mining_pool.tree_tasks();
+            let t0 = Instant::now();
+            let pooled = miner.mine_all_exec(&tx, s, Exec::Pool(&mining_pool));
+            let pool_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let tasks = mining_pool.tree_tasks() - tasks_before;
+            assert_eq!(seq, pooled, "pool output diverged for {miner} at s={s}");
+            let speedup = if pool_ms > 0.0 { seq_ms / pool_ms } else { 1.0 };
+            println!(
+                "{s:>10} {:>10} {seq_ms:>10.1}ms {pool_ms:>10.1}ms {speedup:>7.2}x {tasks:>8}",
+                miner.to_string()
+            );
+            mining_rows.push((s, miner, seq_ms, pool_ms, tasks));
+        }
+    }
+    let dispatched: u64 = mining_rows.iter().map(|&(_, _, _, _, t)| t).sum();
+    assert!(
+        dispatched > 1,
+        "multi-width pool must dispatch tree tasks (got {dispatched})"
+    );
+
+    // --- Machine-readable emitter: BENCH_mining.json. ---
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"mining_lowsupport_table2\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"flows\": {},", w.flows.len());
+    let _ = writeln!(json, "  \"pool_workers\": {pool_workers},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, &(s, miner, seq_ms, pool_ms, tasks)) in mining_rows.iter().enumerate() {
+        let comma = if i + 1 < mining_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"support\": {s}, \"miner\": \"{miner}\", \
+             \"sequential_millis\": {seq_ms:.3}, \"pool_millis\": {pool_ms:.3}, \
+             \"pool_tasks\": {tasks}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write("BENCH_mining.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_mining.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_mining.json: {e}"),
+    }
+
     // --- Sharded engine scaling: the same extraction fanned out over
     // worker threads (output bit-identical for every shard count). ---
-    let hardware = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     println!(
         "\nsharded extraction on the Table II workload ({} hardware threads available):",
         hardware
@@ -222,5 +301,50 @@ fn main() {
     match std::fs::write("BENCH_streaming.json", &json) {
         Ok(()) => println!("wrote BENCH_streaming.json"),
         Err(e) => eprintln!("could not write BENCH_streaming.json: {e}"),
+    }
+
+    // --- Baseline re-record: persist the gated metrics as measured by
+    // THIS run, in the ci/bench-baseline.json shape, so the perf gates
+    // track the environment that produces the numbers. ---
+    if let Some(path) = args.write_baseline {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(
+            json,
+            "  \"comment\": \"Committed perf baseline for scripts/bench_trend.py. \
+             sharded_overhead_ratio maps shard count -> (k-shard wall time / 1-shard wall \
+             time) from overhead_report's BENCH_sharded.json; a >10% relative regression \
+             fails. streaming_latency_micros holds the streaming replay's per-interval \
+             extraction-latency percentiles from BENCH_streaming.json; p95 is gated at >15% \
+             relative (p50/p99 are informational). Re-record with `overhead_report <scale> \
+             --write-baseline <path>` on the hardware CI actually uses (see ci/README.md); \
+             keys missing on either side warn instead of failing.\","
+        );
+        let _ = writeln!(
+            json,
+            "  \"source\": \"overhead_report {scale} --write-baseline, {hardware} hardware \
+             thread(s)\","
+        );
+        let _ = writeln!(json, "  \"sharded_overhead_ratio\": {{");
+        for (i, &(shards, ms)) in rows.iter().enumerate() {
+            let ratio = if baseline_ms > 0.0 {
+                ms / baseline_ms
+            } else {
+                1.0
+            };
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    \"{shards}\": {ratio:.3}{comma}");
+        }
+        let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "  \"streaming_latency_micros\": {{");
+        let _ = writeln!(json, "    \"p50\": {p50},");
+        let _ = writeln!(json, "    \"p95\": {p95},");
+        let _ = writeln!(json, "    \"p99\": {p99}");
+        let _ = writeln!(json, "  }}");
+        let _ = writeln!(json, "}}");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("re-recorded perf baseline to {path}"),
+            Err(e) => eprintln!("could not write baseline {path}: {e}"),
+        }
     }
 }

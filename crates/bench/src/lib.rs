@@ -24,6 +24,53 @@ pub fn arg_scale(default: f64) -> f64 {
     })
 }
 
+/// Parsed `overhead_report` command line: an optional positional scale
+/// plus the `--write-baseline PATH` re-record flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// Workload volume scale (first positional argument).
+    pub scale: f64,
+    /// When set, write a freshly measured `ci/bench-baseline.json`-shaped
+    /// file to this path so the perf gates track the environment that
+    /// actually measured them.
+    pub write_baseline: Option<String>,
+}
+
+/// Parse `[scale] [--write-baseline PATH]` in any order from the
+/// process arguments.
+///
+/// # Panics
+///
+/// Panics (with a helpful message) on a non-numeric scale, a missing
+/// `--write-baseline` value, or an unknown flag.
+#[must_use]
+pub fn report_args(default_scale: f64) -> ReportArgs {
+    parse_report_args(default_scale, std::env::args().skip(1))
+}
+
+fn parse_report_args(default_scale: f64, args: impl Iterator<Item = String>) -> ReportArgs {
+    let mut parsed = ReportArgs {
+        scale: default_scale,
+        write_baseline: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--write-baseline" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| panic!("--write-baseline needs a PATH"));
+            parsed.write_baseline = Some(path);
+        } else if let Some(rest) = arg.strip_prefix("--") {
+            panic!("unknown flag --{rest} (expected [scale] [--write-baseline PATH])");
+        } else {
+            parsed.scale = arg
+                .parse()
+                .unwrap_or_else(|_| panic!("expected a numeric scale, got {arg:?}"));
+        }
+    }
+    parsed
+}
+
 /// The evaluation pipeline configuration used by all scenario-driven
 /// experiments: the paper's detector settings with a scenario-appropriate
 /// training period and minimum support.
@@ -91,5 +138,25 @@ mod tests {
     #[test]
     fn eval_config_is_valid() {
         assert!(eval_config(60_000, 10, 500).validate().is_ok());
+    }
+
+    #[test]
+    fn report_args_parse_scale_and_baseline_in_any_order() {
+        let parse =
+            |args: &[&str]| super::parse_report_args(1.0, args.iter().map(ToString::to_string));
+        assert_eq!(parse(&[]).scale, 1.0);
+        assert_eq!(parse(&["0.5"]).scale, 0.5);
+        let a = parse(&["0.5", "--write-baseline", "ci/bench-baseline.json"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.write_baseline.as_deref(), Some("ci/bench-baseline.json"));
+        let a = parse(&["--write-baseline", "out.json", "0.25"]);
+        assert_eq!(a.scale, 0.25);
+        assert_eq!(a.write_baseline.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--write-baseline needs a PATH")]
+    fn report_args_reject_missing_baseline_path() {
+        let _ = super::parse_report_args(1.0, ["--write-baseline".to_string()].into_iter());
     }
 }

@@ -36,11 +36,14 @@ USAGE:
                  [--prefixes] [--intersection]
       Run the full detection + extraction pipeline over a trace file and
       print a Table II-style report per alarmed interval. --threads N
-      shards each interval over N worker threads (0 = one per hardware
-      thread); the output is bit-identical for every thread count. With
-      several --in files, each trace is sliced on its own interval grid
-      and the per-interval flows are concatenated in file order — the
-      batch reference for multi-source streaming.
+      runs one worker pool of N threads (0 = one per hardware thread)
+      that drives every phase: interval shards, support counting, and
+      the miners' recursive search (candidate generation, conditional
+      trees) as fork/join tasks on the same pool; the output is
+      bit-identical for every thread count. With several --in files,
+      each trace is sliced on its own interval grid and the per-interval
+      flows are concatenated in file order — the batch reference for
+      multi-source streaming.
 
   anomex stream --in FILE|- [--in FILE ...] [--interval-min N] [--training N]
                 [--support N] [--miner apriori|fpgrowth|eclat] [--threads N]

@@ -30,16 +30,24 @@
 //! **Execution model.** A [`ShardedExtractor`] with more than one shard
 //! owns a persistent [`crossbeam::WorkerPool`]: its worker threads are
 //! spawned once at construction and every interval's shard work —
-//! histogram partials, pre-filter verdicts, miner support counts — is
-//! submitted to them as jobs, so the per-interval cost is queue pushes,
-//! not thread spawns. (The one-shot `*_sharded` free functions below
-//! keep using scoped threads: they are batch entry points called once,
-//! where a persistent pool would have nothing to amortize.) Pool jobs
-//! are `'static`, so per-interval state is shared by `Arc`: the flows
+//! histogram partials, pre-filter verdicts, miner support counts, *and*
+//! the miners' recursive search phases (Apriori's join+prune blocks,
+//! FP-growth's conditional trees, Eclat's prefix branches, all
+//! submitted as fork/join tree tasks via `run_tree`) — is fed to the
+//! **same pool**, so shard scatter-gather and in-miner tasks share one
+//! set of workers and nothing oversubscribes the machine; splitting is
+//! width-aware on both layers (chunk counts and fork decisions both
+//! read the pool width). [`extract_sharded`] — the one-shot batch entry
+//! point — spawns one pool for the duration of the call and drives
+//! pre-filtering and mining through it the same way (one thread-spawn
+//! set per call, instead of one per pass as the scoped-thread engine
+//! did). The flat `observe_sharded`/`prefilter_indices_sharded` helpers
+//! keep scoped threads: they are single-pass calls with nothing to
+//! amortize. Pool jobs are `'static`, so per-interval state is shared
+//! by `Arc`: the flows
 //! ([`process_shared`](ShardedExtractor::process_shared)), the
-//! detector's immutable hash specification
-//! ([`BankHasher`]), and the alarm
-//! meta-data.
+//! detector's immutable hash specification ([`BankHasher`]), and the
+//! alarm meta-data.
 
 use std::num::NonZeroUsize;
 use std::sync::Arc;
@@ -111,15 +119,18 @@ pub fn prefilter_indices_sharded(
 }
 
 /// Offline sharded extraction: the parallel counterpart of
-/// [`extract_with_mode`](crate::extract_with_mode). Pre-filtering runs
-/// over flow shards, transactions are built zero-copy from the index
-/// slices, and the miner's support counting runs over transaction
-/// chunks — all on up to `shards` worker threads, with output
-/// bit-identical to the sequential call.
+/// [`extract_with_mode`](crate::extract_with_mode). One
+/// [`WorkerPool`] of `shards` workers is spawned for the duration of
+/// the call and drives everything: pre-filtering fans out over flow
+/// shards, transactions are built zero-copy from the index slices, and
+/// the miner runs its counting passes *and* its recursive search (tree
+/// tasks) on the same pool — with output bit-identical to the
+/// sequential call for every shard count. At one shard the whole
+/// extraction runs inline, pool-free.
 ///
 /// # Panics
 ///
-/// Panics if `min_support` is zero or a worker thread panics.
+/// Panics if `min_support` is zero or a pool worker panics.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn extract_sharded(
@@ -132,7 +143,26 @@ pub fn extract_sharded(
     min_support: u64,
     shards: NonZeroUsize,
 ) -> Extraction {
-    let indices = prefilter_indices_sharded(flows, metadata, mode, shards);
+    if shards.get() == 1 {
+        let indices = crate::prefilter::prefilter_indices(flows, metadata, mode);
+        return mine_at_indices(
+            interval,
+            flows,
+            &indices,
+            metadata,
+            tx_mode,
+            miner,
+            min_support,
+            Exec::inline(),
+        );
+    }
+    let pool = WorkerPool::new(shards);
+    let exec = Exec::Pool(&pool);
+    // Pool jobs are `'static`: copy the borrowed flows once into an
+    // `Arc` (the same cost the online engine pays per interval).
+    let shared: Arc<Vec<FlowRecord>> = Arc::new(flows.to_vec());
+    let metadata_arc = Arc::new(metadata.clone());
+    let indices = prefilter_indices_exec(&shared, &metadata_arc, mode, exec);
     mine_at_indices(
         interval,
         flows,
@@ -141,7 +171,7 @@ pub fn extract_sharded(
         tx_mode,
         miner,
         min_support,
-        Exec::Threads(shards),
+        exec,
     )
 }
 

@@ -519,6 +519,21 @@ impl MultiSourceExtractor {
         self.push(flow.source, flow.flow)
     }
 
+    /// Event-time heartbeat from `source`: advance its watermark to
+    /// `now_ms` (source-local clock) without flows, so a live-but-idle
+    /// exporter's collector punctuation (options templates, keepalives)
+    /// releases the grid instead of holding it until `max_lag` fires.
+    /// Returns every merged interval that released, extracted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` is unknown or already finished; re-raises a
+    /// panic from the pipeline thread.
+    pub fn heartbeat(&mut self, source: SourceId, now_ms: u64) -> Vec<MultiStreamEvent> {
+        let merged = self.assembler.heartbeat(source, now_ms);
+        self.submit_merged(merged)
+    }
+
     /// Declare `source` cleanly ended (it stops holding the watermark);
     /// returns whatever merged intervals that released. Idempotent.
     ///
@@ -823,6 +838,28 @@ mod tests {
         assert_eq!(events.len(), 3, "windows 0–2 close once src1 is done");
         assert_eq!(events[0].source_flows, vec![1, 0]);
         assert_eq!(summary.intervals, 3);
+    }
+
+    #[test]
+    fn idle_source_heartbeat_releases_intervals_without_max_lag() {
+        // Pure watermark (no lateness bound): only punctuation from the
+        // idle source can release the grid.
+        let mut multi =
+            MultiSourceExtractor::try_new(test_config(1_000), nz(1), &two_specs(), None).unwrap();
+        assert!(multi.push(SourceId(0), flow_at(100)).is_empty());
+        assert!(multi.push(SourceId(0), flow_at(2_500)).is_empty());
+        // Source 1 is live but idle; its heartbeat at 2.1s closes
+        // windows 0 and 1 without waiting for finish/flush. (Events
+        // surface asynchronously as the pipeline thread finishes them.)
+        let mut events = multi.heartbeat(SourceId(1), 2_100);
+        let (tail, summary) = multi.finish();
+        events.extend(tail);
+        assert_eq!(events.len(), 3, "windows 0-1 via heartbeat, 2 at flush");
+        assert_eq!(events[0].source_flows, vec![1, 0]);
+        assert_eq!(events[1].source_flows, vec![0, 0]);
+        assert_eq!(events[2].source_flows, vec![1, 0]);
+        assert_eq!(summary.intervals, 3);
+        assert_eq!(summary.dropped_flows, 0, "heartbeats drop nothing");
     }
 
     #[test]

@@ -13,15 +13,17 @@
 
 use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
+use std::ops::Range;
 use std::sync::Arc;
 
+use anomex_netflow::shard::chunk_ranges;
 use serde::{Deserialize, Serialize};
 
 use crate::combinations::for_each_combination;
 use crate::item::Item;
 use crate::itemset::ItemSet;
 use crate::maximal::filter_maximal;
-use crate::par::{map_chunks_arc, sum_count_vecs, Exec};
+use crate::par::{map_chunks_arc, run_tree_exec, sum_count_vecs, Exec, TreeJob, TreeScope};
 use crate::transaction::{Transaction, TransactionSet, MAX_WIDTH};
 
 /// Padding value for fixed-size candidate keys. Never a valid item
@@ -93,7 +95,7 @@ pub struct AprioriOutput {
     pub passes: usize,
 }
 
-/// Run Apriori over a transaction set (single-threaded support counting).
+/// Run Apriori over a transaction set, fully on the calling thread.
 ///
 /// # Panics
 ///
@@ -101,7 +103,7 @@ pub struct AprioriOutput {
 /// every subset of every transaction "frequent", which is never meaningful.
 #[must_use]
 pub fn apriori(set: &TransactionSet, config: &AprioriConfig) -> AprioriOutput {
-    apriori_par(set, config, NonZeroUsize::MIN)
+    apriori_exec(set, config, Exec::inline())
 }
 
 /// Pass 1 of every miner: global single-item occurrence counts, computed
@@ -128,30 +130,20 @@ pub(crate) fn count_single_items(set: &TransactionSet, exec: Exec<'_>) -> HashMa
     total
 }
 
-/// Run Apriori with support counting parallelized over transaction
-/// chunks on up to `threads` scoped worker threads.
+/// Run Apriori with every phase parallelized in the given execution
+/// context — scoped threads for one-shot batch counting, or a
+/// persistent [`crossbeam::WorkerPool`] when the streaming engine calls
+/// every interval.
 ///
-/// # Panics
-///
-/// Panics if `config.min_support` is zero.
-#[must_use]
-pub fn apriori_par(
-    set: &TransactionSet,
-    config: &AprioriConfig,
-    threads: NonZeroUsize,
-) -> AprioriOutput {
-    apriori_exec(set, config, Exec::Threads(threads))
-}
-
-/// Run Apriori with support counting parallelized over transaction
-/// chunks in the given execution context — scoped threads for one-shot
-/// batch mining, or a persistent [`crossbeam::WorkerPool`] when the
-/// streaming engine calls every interval.
-///
-/// Per level, each worker counts candidate hits in its own index-aligned
-/// vector and the vectors are summed — integer adds, so the output is
-/// **bit-identical** to [`apriori`] for every execution context; only
-/// the wall-clock changes.
+/// Two phases fan out per level: support counting runs over transaction
+/// chunks (each worker counts candidate hits in its own index-aligned
+/// vector; the vectors are summed — exact integer adds), and under
+/// [`Exec::Pool`] the level-k **join+prune** itself is partitioned over
+/// blocks of candidate prefix groups and submitted as tree tasks on the
+/// same pool ([`run_tree_exec`]), with the per-block candidate lists
+/// concatenated in block order. Both merges are independent of thread
+/// scheduling, so the output is **bit-identical** to [`apriori`] for
+/// every execution context; only the wall-clock changes.
 ///
 /// # Panics
 ///
@@ -186,7 +178,7 @@ pub fn apriori_exec(set: &TransactionSet, config: &AprioriConfig, exec: Exec<'_>
     // --- Passes k = 2..=7 ---
     while !current.is_empty() && passes < MAX_WIDTH {
         let k = passes + 1;
-        let candidates = generate_candidates(&current);
+        let candidates = generate_candidates_exec(&mut current, exec);
         let n_candidates = candidates.len() as u64;
         if candidates.is_empty() {
             // Record the empty round (the paper's audit trail includes the
@@ -276,17 +268,17 @@ pub fn apriori_exec(set: &TransactionSet, config: &AprioriConfig, exec: Exec<'_>
     }
 }
 
-/// Candidate generation: join L(k-1) with itself on the (k-2)-prefix, then
-/// prune candidates with an infrequent (k-1)-subset (downward closure).
-///
-/// Two extra domain rules cut the space:
-/// - the two joined tail items must belong to *different* features, since a
-///   transaction never carries two values of one feature;
-/// - the prefix-join only pairs lexicographically adjacent groups, keeping
-///   the join linear in practice.
-fn generate_candidates(frequent: &[(Vec<Item>, u64)]) -> Vec<Vec<Item>> {
-    let prev: HashSet<&[Item]> = frequent.iter().map(|(items, _)| items.as_slice()).collect();
-    let mut out = Vec::new();
+/// Minimum number of frequent (k-1)-sets before the level-k join+prune
+/// is split into prefix-block tree tasks (pool execution only): below
+/// this the whole join is cheaper than a queue operation per block.
+pub const MIN_SETS_PER_JOIN_TASK: usize = 64;
+
+/// Boundaries of the (k-2)-prefix groups of a sorted frequent level:
+/// each returned range is one maximal run sharing a join prefix. The
+/// join only ever pairs item-sets within one group, so groups are the
+/// natural partition unit of the parallel join.
+fn prefix_groups(frequent: &[(Vec<Item>, u64)]) -> Vec<Range<usize>> {
+    let mut groups = Vec::new();
     let mut group_start = 0;
     while group_start < frequent.len() {
         let prefix_len = frequent[group_start].0.len() - 1;
@@ -295,35 +287,110 @@ fn generate_candidates(frequent: &[(Vec<Item>, u64)]) -> Vec<Vec<Item>> {
         while group_end < frequent.len() && &frequent[group_end].0[..prefix_len] == prefix {
             group_end += 1;
         }
-        for i in group_start..group_end {
-            for j in i + 1..group_end {
-                let a = &frequent[i].0;
-                let b = &frequent[j].0;
-                let (ta, tb) = (a[prefix_len], b[prefix_len]);
-                if ta.feature() == tb.feature() {
-                    continue; // can never co-occur in one transaction
-                }
-                let mut cand = Vec::with_capacity(a.len() + 1);
-                cand.extend_from_slice(a);
-                cand.push(tb); // ta < tb by sort order, so cand stays sorted
-                if subsets_all_frequent(&cand, &prev) {
-                    out.push(cand);
-                }
-            }
-        }
+        groups.push(group_start..group_end);
         group_start = group_end;
     }
-    out
+    groups
+}
+
+/// Join + prune one prefix group, appending surviving candidates in
+/// join order (i < j over the group).
+///
+/// Two extra domain rules cut the space:
+/// - the two joined tail items must belong to *different* features, since a
+///   transaction never carries two values of one feature;
+/// - the prefix-join only pairs lexicographically adjacent groups, keeping
+///   the join linear in practice.
+fn join_group(
+    frequent: &[(Vec<Item>, u64)],
+    group: Range<usize>,
+    prev: &HashSet<CandKey>,
+    out: &mut Vec<Vec<Item>>,
+) {
+    let prefix_len = frequent[group.start].0.len() - 1;
+    for i in group.clone() {
+        for j in i + 1..group.end {
+            let a = &frequent[i].0;
+            let b = &frequent[j].0;
+            let (ta, tb) = (a[prefix_len], b[prefix_len]);
+            if ta.feature() == tb.feature() {
+                continue; // can never co-occur in one transaction
+            }
+            let mut cand = Vec::with_capacity(a.len() + 1);
+            cand.extend_from_slice(a);
+            cand.push(tb); // ta < tb by sort order, so cand stays sorted
+            if subsets_all_frequent(&cand, prev) {
+                out.push(cand);
+            }
+        }
+    }
+}
+
+/// Candidate generation: join L(k-1) with itself on the (k-2)-prefix,
+/// then prune candidates with an infrequent (k-1)-subset (downward
+/// closure).
+///
+/// Under [`Exec::Pool`] with a large enough level, the prefix groups are
+/// partitioned into balanced contiguous blocks and each block joins as
+/// one tree task on the pool; per-block candidate lists concatenate in
+/// block order, reproducing the sequential join order exactly. (The
+/// frequent level is lent to the tasks through an `Arc` and handed back
+/// afterwards, which is why the parameter is `&mut`.) In every other
+/// context the join runs inline — same output, by construction.
+fn generate_candidates_exec(current: &mut Vec<(Vec<Item>, u64)>, exec: Exec<'_>) -> Vec<Vec<Item>> {
+    let prev: HashSet<CandKey> = current.iter().map(|(items, _)| key_of(items)).collect();
+    let groups = prefix_groups(current);
+    let width = exec.width();
+    let fan_out = matches!(exec, Exec::Pool(_))
+        && width > 1
+        && current.len() >= MIN_SETS_PER_JOIN_TASK
+        && groups.len() >= 2;
+    if !fan_out {
+        let mut out = Vec::new();
+        for group in groups {
+            join_group(current, group, &prev, &mut out);
+        }
+        return out;
+    }
+    let frequent = Arc::new(std::mem::take(current));
+    let prev = Arc::new(prev);
+    let groups = Arc::new(groups);
+    let blocks = chunk_ranges(
+        groups.len(),
+        NonZeroUsize::new(width.min(groups.len())).expect("width > 1, groups >= 2"),
+    );
+    let roots: Vec<TreeJob<Vec<Vec<Item>>>> = blocks
+        .into_iter()
+        .map(|block| {
+            let frequent = Arc::clone(&frequent);
+            let prev = Arc::clone(&prev);
+            let groups = Arc::clone(&groups);
+            Box::new(move |_: &TreeScope<'_, Vec<Vec<Item>>>| {
+                let mut out = Vec::new();
+                for group in &groups[block] {
+                    join_group(&frequent, group.clone(), &prev, &mut out);
+                }
+                out
+            }) as TreeJob<Vec<Vec<Item>>>
+        })
+        .collect();
+    let parts = run_tree_exec(exec, roots);
+    // All tasks have dropped their handles; reclaim the level without a
+    // copy (the clone fallback is unreachable in practice).
+    *current = Arc::try_unwrap(frequent).unwrap_or_else(|arc| (*arc).clone());
+    parts.into_iter().flatten().collect()
 }
 
 /// Downward-closure prune: every (k-1)-subset of `cand` must be frequent.
-fn subsets_all_frequent(cand: &[Item], prev: &HashSet<&[Item]>) -> bool {
+/// Subsets are looked up by their fixed-size [`CandKey`], so the set is
+/// `Copy`-keyed and shares across tree tasks without self-references.
+fn subsets_all_frequent(cand: &[Item], prev: &HashSet<CandKey>) -> bool {
     let mut sub = Vec::with_capacity(cand.len() - 1);
     for skip in 0..cand.len() {
         sub.clear();
         sub.extend_from_slice(&cand[..skip]);
         sub.extend_from_slice(&cand[skip + 1..]);
-        if !prev.contains(sub.as_slice()) {
+        if !prev.contains(&key_of(&sub)) {
             return false;
         }
     }
@@ -458,6 +525,32 @@ mod tests {
     }
 
     #[test]
+    fn pool_join_splits_into_tree_tasks_and_stays_identical() {
+        use crossbeam::WorkerPool;
+        // Many distinct frequent 1-sets across three features ⇒ the
+        // level-2 join has well over MIN_SETS_PER_JOIN_TASK inputs.
+        let mut set = TransactionSet::new();
+        for i in 0..4000u64 {
+            set.push(tx(&[
+                (FlowFeature::DstPort, i % 40),
+                (FlowFeature::SrcPort, i % 30),
+                (FlowFeature::Packets, i % 20),
+            ]));
+        }
+        let config = AprioriConfig::all_frequent(2);
+        let reference = apriori(&set, &config);
+        let pool = WorkerPool::new(NonZeroUsize::new(4).unwrap());
+        let pooled = apriori_exec(&set, &config, Exec::Pool(&pool));
+        assert_eq!(pooled.itemsets, reference.itemsets);
+        assert_eq!(pooled.levels, reference.levels);
+        assert!(
+            pool.tree_tasks() > 1,
+            "join+prune must have fanned out as pool tasks (got {})",
+            pool.tree_tasks()
+        );
+    }
+
+    #[test]
     fn parallel_counting_is_identical_for_every_thread_count() {
         // Big enough to actually split into chunks (see par::MIN_ITEMS_PER_THREAD).
         let mut set = TransactionSet::new();
@@ -474,7 +567,8 @@ mod tests {
         ] {
             let reference = apriori(&set, &config);
             for threads in 2..=8 {
-                let par = apriori_par(&set, &config, NonZeroUsize::new(threads).unwrap());
+                let exec = Exec::Threads(NonZeroUsize::new(threads).unwrap());
+                let par = apriori_exec(&set, &config, exec);
                 assert_eq!(par.itemsets, reference.itemsets, "threads={threads}");
                 for (a, b) in par.itemsets.iter().zip(&reference.itemsets) {
                     assert_eq!(a.support, b.support, "threads={threads} {a}");

@@ -7,11 +7,11 @@
 //! mining; we include it as the third interchangeable miner.
 
 use std::collections::HashMap;
-use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 use crate::item::Item;
 use crate::itemset::ItemSet;
-use crate::par::{map_chunks_arc, Exec};
+use crate::par::{map_chunks_arc, run_tree_exec, Exec, TreeJob, TreeScope};
 use crate::transaction::{Transaction, TransactionSet};
 
 /// Mine all frequent item-sets with Eclat.
@@ -24,7 +24,7 @@ use crate::transaction::{Transaction, TransactionSet};
 /// Panics if `min_support` is zero.
 #[must_use]
 pub fn eclat(set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
-    eclat_par(set, min_support, NonZeroUsize::MIN)
+    eclat_exec(set, min_support, Exec::inline())
 }
 
 /// Build the vertical representation: item → sorted list of the ids of
@@ -55,21 +55,23 @@ fn tidlists(set: &TransactionSet, exec: Exec<'_>) -> HashMap<Item, Vec<u32>> {
     merged
 }
 
-/// Eclat with tid-list construction parallelized over transaction chunks
-/// on up to `threads` scoped worker threads.
-///
-/// # Panics
-///
-/// Panics if `min_support` is zero.
-#[must_use]
-pub fn eclat_par(set: &TransactionSet, min_support: u64, threads: NonZeroUsize) -> Vec<ItemSet> {
-    eclat_exec(set, min_support, Exec::Threads(threads))
-}
+/// Minimum tid-list length of a branch before its depth-first extension
+/// is worth forking as a tree task (pool execution only): intersecting
+/// shorter lists is faster than a queue operation.
+pub const MIN_TIDS_PER_TASK: usize = 1024;
 
-/// Eclat with tid-list construction parallelized over transaction chunks
-/// in the given execution context. The per-chunk lists concatenate in
-/// chunk order into exactly the sequential tid-lists, so the output is
-/// **bit-identical** to [`eclat`] for every context and thread count.
+/// Eclat parallelized in the given execution context.
+///
+/// Tid-list construction runs over transaction chunks, the per-chunk
+/// lists concatenating in chunk order into exactly the sequential
+/// tid-lists. The lattice search is task-parallel under [`Exec::Pool`]:
+/// **every prefix branch whose tid-list is long enough
+/// (≥ [`MIN_TIDS_PER_TASK`]) forks as an independent tree task** — at
+/// level 1 and at every depth below ([`run_tree_exec`]); shorter
+/// branches mine inline in the task that reached them. Supports are
+/// tid-list lengths either way, so the
+/// canonically sorted output is **bit-identical** to [`eclat`] for every
+/// context and thread count.
 ///
 /// # Panics
 ///
@@ -85,39 +87,85 @@ pub fn eclat_exec(set: &TransactionSet, min_support: u64, exec: Exec<'_>) -> Vec
         .collect();
     roots.sort_unstable_by_key(|&(item, _)| item);
 
-    let mut out = Vec::new();
     // Depth-first extension: prefix ∪ {roots[i]} can only be extended by
     // roots[j] with j > i, keeping item-sets sorted and visited once.
-    dfs(&roots, min_support, &mut Vec::new(), &mut out);
+    // One root job walks the level-1 branches, forking exactly those
+    // whose tid-list clears the task threshold — the same size gate
+    // every deeper level uses, so short branches never pay a queue
+    // operation.
+    let roots = Arc::new(roots);
+    let root: TreeJob<Vec<ItemSet>> = {
+        let roots = Arc::clone(&roots);
+        Box::new(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
+            let mut out = Vec::new();
+            for i in 0..roots.len() {
+                if scope.width() > 1 && roots[i].1.len() >= MIN_TIDS_PER_TASK {
+                    let roots = Arc::clone(&roots);
+                    scope.fork(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
+                        let mut sub = Vec::new();
+                        mine_branch(&roots, i, Vec::new(), min_support, scope, &mut sub);
+                        sub
+                    });
+                } else {
+                    mine_branch(&roots, i, Vec::new(), min_support, scope, &mut out);
+                }
+            }
+            out
+        })
+    };
+    let mut out: Vec<ItemSet> = run_tree_exec(exec, vec![root])
+        .into_iter()
+        .flatten()
+        .collect();
     out.sort_unstable();
     out
 }
 
-fn dfs(
-    siblings: &[(Item, Vec<u32>)],
+/// Mine the branch `prefix ∪ {siblings[i]}`: emit it, intersect its
+/// tid-list with every later sibling, and descend into the surviving
+/// extensions — forking an extension as a tree task when its tid-list is
+/// long and the executor has width, recursing inline otherwise. Forking
+/// only moves work; the emitted sets are identical either way.
+fn mine_branch(
+    siblings: &Arc<Vec<(Item, Vec<u32>)>>,
+    i: usize,
+    prefix: Vec<Item>,
     min_support: u64,
-    prefix: &mut Vec<Item>,
+    scope: &TreeScope<'_, Vec<ItemSet>>,
     out: &mut Vec<ItemSet>,
 ) {
-    for (i, (item, tids)) in siblings.iter().enumerate() {
-        prefix.push(*item);
-        out.push(ItemSet::new(prefix.clone(), tids.len() as u64));
+    let (item, tids) = &siblings[i];
+    let mut prefix = prefix;
+    prefix.push(*item);
+    out.push(ItemSet::new(prefix.clone(), tids.len() as u64));
 
-        // Conditional siblings: intersect with every later sibling.
-        let mut next: Vec<(Item, Vec<u32>)> = Vec::new();
-        for (other, other_tids) in &siblings[i + 1..] {
-            if other.feature() == item.feature() {
-                continue; // same-feature items never co-occur
-            }
-            let inter = intersect(tids, other_tids);
-            if inter.len() as u64 >= min_support {
-                next.push((*other, inter));
-            }
+    // Conditional siblings: intersect with every later sibling.
+    let mut next: Vec<(Item, Vec<u32>)> = Vec::new();
+    for (other, other_tids) in &siblings[i + 1..] {
+        if other.feature() == item.feature() {
+            continue; // same-feature items never co-occur
         }
-        if !next.is_empty() {
-            dfs(&next, min_support, prefix, out);
+        let inter = intersect(tids, other_tids);
+        if inter.len() as u64 >= min_support {
+            next.push((*other, inter));
         }
-        prefix.pop();
+    }
+    if next.is_empty() {
+        return;
+    }
+    let next = Arc::new(next);
+    for j in 0..next.len() {
+        if scope.width() > 1 && next[j].1.len() >= MIN_TIDS_PER_TASK {
+            let next = Arc::clone(&next);
+            let prefix = prefix.clone();
+            scope.fork(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
+                let mut sub = Vec::new();
+                mine_branch(&next, j, prefix, min_support, scope, &mut sub);
+                sub
+            });
+        } else {
+            mine_branch(&next, j, prefix.clone(), min_support, scope, out);
+        }
     }
 }
 
@@ -207,6 +255,7 @@ mod tests {
 
     #[test]
     fn parallel_tidlists_are_identical_for_every_thread_count() {
+        use std::num::NonZeroUsize;
         let mut set = TransactionSet::new();
         for i in 0..5000u64 {
             set.push(tx(&[
@@ -217,11 +266,40 @@ mod tests {
         }
         let reference = eclat(&set, 300);
         for threads in 2..=8 {
-            let par = eclat_par(&set, 300, NonZeroUsize::new(threads).unwrap());
+            let par = eclat_exec(
+                &set,
+                300,
+                Exec::Threads(NonZeroUsize::new(threads).unwrap()),
+            );
             assert_eq!(par, reference, "threads={threads}");
             for (a, b) in par.iter().zip(&reference) {
                 assert_eq!(a.support, b.support, "threads={threads} {a}");
             }
         }
+    }
+
+    #[test]
+    fn pool_branches_fork_as_tree_tasks() {
+        use crossbeam::WorkerPool;
+        use std::num::NonZeroUsize;
+        // Long tid-lists at support 2 ⇒ branch extensions cross the
+        // fork threshold.
+        let mut set = TransactionSet::new();
+        for i in 0..4000u64 {
+            set.push(tx(&[
+                (FlowFeature::DstPort, 80 + i % 2),
+                (FlowFeature::Proto, 6),
+                (FlowFeature::Packets, i % 3),
+            ]));
+        }
+        let reference = eclat(&set, 2);
+        let pool = WorkerPool::new(NonZeroUsize::new(4).unwrap());
+        let pooled = eclat_exec(&set, 2, Exec::Pool(&pool));
+        assert_eq!(pooled, reference);
+        assert!(
+            pool.tree_tasks() > 1,
+            "branch mining must have dispatched pool tasks (got {})",
+            pool.tree_tasks()
+        );
     }
 }

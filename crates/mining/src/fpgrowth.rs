@@ -10,12 +10,12 @@
 //! no unsafe.
 
 use std::collections::HashMap;
-use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 use crate::apriori::count_single_items;
 use crate::item::Item;
 use crate::itemset::ItemSet;
-use crate::par::Exec;
+use crate::par::{run_tree_exec, Exec, TreeJob, TreeScope};
 use crate::transaction::TransactionSet;
 
 /// One FP-tree node.
@@ -115,25 +115,28 @@ fn ranked_items(items: &[Item], rank: &HashMap<Item, usize>) -> Vec<Item> {
 /// Panics if `min_support` is zero.
 #[must_use]
 pub fn fpgrowth(set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
-    fpgrowth_par(set, min_support, NonZeroUsize::MIN)
+    fpgrowth_exec(set, min_support, Exec::inline())
 }
 
-/// FP-growth with the first (support-counting) scan parallelized over
-/// transaction chunks on up to `threads` scoped worker threads.
-///
-/// # Panics
-///
-/// Panics if `min_support` is zero.
-#[must_use]
-pub fn fpgrowth_par(set: &TransactionSet, min_support: u64, threads: NonZeroUsize) -> Vec<ItemSet> {
-    fpgrowth_exec(set, min_support, Exec::Threads(threads))
-}
+/// Minimum arena size of a conditional tree before mining its items is
+/// worth forking as tree tasks (pool execution only): a smaller tree
+/// mines faster than a queue operation.
+pub const MIN_NODES_PER_TASK: usize = 64;
 
-/// FP-growth with the first (support-counting) scan parallelized over
-/// transaction chunks in the given execution context. The merged counts
-/// are exact integer sums, so the ranking — and therefore the tree and
-/// the mined output — is **bit-identical** to [`fpgrowth`] for every
-/// context and thread count.
+/// FP-growth parallelized in the given execution context.
+///
+/// The first (support-counting) scan runs over transaction chunks and
+/// merges by exact integer sums, so the ranking — and therefore the
+/// global tree — is identical for every context. The search itself is
+/// task-parallel under [`Exec::Pool`]: whenever the enclosing tree is
+/// large (≥ [`MIN_NODES_PER_TASK`] arena nodes — the global tree for
+/// level 1, the conditional pattern base below), **each of its
+/// conditional trees mines as an independent forked task**
+/// ([`run_tree_exec`]); smaller trees mine inline in the task that
+/// found them. Every task returns its item-sets; the merged
+/// output is canonically sorted, and each item-set's support is an exact
+/// sum over node links, so the result is **bit-identical** to
+/// [`fpgrowth`] for every context and thread count.
 ///
 /// # Panics
 ///
@@ -165,42 +168,128 @@ pub fn fpgrowth_exec(set: &TransactionSet, min_support: u64, exec: Exec<'_>) -> 
         }
     }
 
-    let mut out = Vec::new();
-    mine_tree(&tree, min_support, &[], &mut out);
+    // Search: one root job walks the frequent level-1 items; when the
+    // global tree is worth splitting, each item's conditional tree
+    // mines as an independent forked task (which forks its own large
+    // sub-trees in turn) — the same size gate every deeper level uses,
+    // so a tiny tree never pays queue operations.
+    let tree = Arc::new(tree);
+    let root: TreeJob<Vec<ItemSet>> = Box::new(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
+        let mut out = Vec::new();
+        let fork = scope.width() > 1 && tree.arena.len() >= MIN_NODES_PER_TASK;
+        for (item, support) in item_supports(&tree) {
+            if support < min_support {
+                continue;
+            }
+            if fork {
+                let tree = Arc::clone(&tree);
+                scope.fork(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
+                    let mut sub = Vec::new();
+                    mine_item(
+                        &tree,
+                        item,
+                        support,
+                        Vec::new(),
+                        min_support,
+                        scope,
+                        &mut sub,
+                    );
+                    sub
+                });
+            } else {
+                mine_item(
+                    &tree,
+                    item,
+                    support,
+                    Vec::new(),
+                    min_support,
+                    scope,
+                    &mut out,
+                );
+            }
+        }
+        out
+    });
+    let mut out: Vec<ItemSet> = run_tree_exec(exec, vec![root])
+        .into_iter()
+        .flatten()
+        .collect();
     out.sort_unstable();
     out
 }
 
-/// Recursive FP-growth over a (conditional) tree.
-fn mine_tree(tree: &FpTree, min_support: u64, suffix: &[Item], out: &mut Vec<ItemSet>) {
-    // Item supports within this conditional tree.
+/// Item supports within one (conditional) tree, in deterministic
+/// (item-sorted) processing order. Each support is an exact sum over
+/// the item's node links.
+fn item_supports(tree: &FpTree) -> Vec<(Item, u64)> {
     let mut supports: Vec<(Item, u64)> = tree
         .header
         .iter()
         .map(|(&item, nodes)| (item, nodes.iter().map(|&n| tree.arena[n].count).sum()))
         .collect();
-    // Deterministic processing order.
     supports.sort_unstable_by_key(|&(item, _)| item);
+    supports
+}
 
-    for (item, support) in supports {
-        if support < min_support {
+/// The conditional tree of `item`: its prefix paths, reweighted by the
+/// item's node counts.
+fn conditional_tree(tree: &FpTree, item: Item) -> FpTree {
+    let mut cond = FpTree::new();
+    for &node in &tree.header[&item] {
+        let path = tree.prefix_path(node);
+        if !path.is_empty() {
+            cond.insert(&path, tree.arena[node].count);
+        }
+    }
+    cond
+}
+
+/// Mine `suffix ∪ {item}` and everything below it: emit the item-set,
+/// build the conditional tree, and descend into its frequent items —
+/// forking each descent as a tree task when the conditional pattern base
+/// is large and the executor has width, recursing inline otherwise. The
+/// emitted set is identical either way; forking only moves work.
+fn mine_item(
+    tree: &FpTree,
+    item: Item,
+    support: u64,
+    suffix: Vec<Item>,
+    min_support: u64,
+    scope: &TreeScope<'_, Vec<ItemSet>>,
+    out: &mut Vec<ItemSet>,
+) {
+    let mut items = suffix;
+    items.push(item);
+    out.push(ItemSet::new(items.clone(), support));
+
+    let cond = conditional_tree(tree, item);
+    if cond.header.is_empty() {
+        return;
+    }
+    let fork = scope.width() > 1 && cond.arena.len() >= MIN_NODES_PER_TASK;
+    let cond = Arc::new(cond);
+    for (citem, csupport) in item_supports(&cond) {
+        if csupport < min_support {
             continue;
         }
-        // Emit suffix ∪ {item}.
-        let mut items = suffix.to_vec();
-        items.push(item);
-        out.push(ItemSet::new(items.clone(), support));
-
-        // Build the conditional tree for this item.
-        let mut cond = FpTree::new();
-        for &node in &tree.header[&item] {
-            let path = tree.prefix_path(node);
-            if !path.is_empty() {
-                cond.insert(&path, tree.arena[node].count);
-            }
-        }
-        if !cond.header.is_empty() {
-            mine_tree(&cond, min_support, &items, out);
+        if fork {
+            let cond = Arc::clone(&cond);
+            let items = items.clone();
+            scope.fork(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
+                let mut sub = Vec::new();
+                mine_item(&cond, citem, csupport, items, min_support, scope, &mut sub);
+                sub
+            });
+        } else {
+            mine_item(
+                &cond,
+                citem,
+                csupport,
+                items.clone(),
+                min_support,
+                scope,
+                out,
+            );
         }
     }
 }
@@ -269,6 +358,7 @@ mod tests {
 
     #[test]
     fn parallel_first_scan_is_identical_for_every_thread_count() {
+        use std::num::NonZeroUsize;
         let mut set = TransactionSet::new();
         for i in 0..4000u64 {
             set.push(tx(&[
@@ -279,12 +369,46 @@ mod tests {
         }
         let reference = fpgrowth(&set, 250);
         for threads in 2..=8 {
-            let par = fpgrowth_par(&set, 250, NonZeroUsize::new(threads).unwrap());
+            let par = fpgrowth_exec(
+                &set,
+                250,
+                Exec::Threads(NonZeroUsize::new(threads).unwrap()),
+            );
             assert_eq!(par, reference, "threads={threads}");
             for (a, b) in par.iter().zip(&reference) {
                 assert_eq!(a.support, b.support, "threads={threads} {a}");
             }
         }
+    }
+
+    #[test]
+    fn pool_conditional_mining_runs_as_tree_tasks() {
+        use crossbeam::WorkerPool;
+        use std::num::NonZeroUsize;
+        // Wide co-occurrence structure at support 2 ⇒ deep conditional
+        // trees with large pattern bases.
+        let mut set = TransactionSet::new();
+        for i in 0..3000u64 {
+            set.push(tx(&[
+                (FlowFeature::SrcIp, i % 11),
+                (FlowFeature::DstIp, i % 7),
+                (FlowFeature::DstPort, i % 5),
+                (FlowFeature::Proto, i % 2),
+                (FlowFeature::Packets, i % 3),
+            ]));
+        }
+        let reference = fpgrowth(&set, 2);
+        let pool = WorkerPool::new(NonZeroUsize::new(4).unwrap());
+        let pooled = fpgrowth_exec(&set, 2, Exec::Pool(&pool));
+        assert_eq!(pooled, reference);
+        for (a, b) in pooled.iter().zip(&reference) {
+            assert_eq!(a.support, b.support, "{a}");
+        }
+        assert!(
+            pool.tree_tasks() > 1,
+            "conditional mining must have dispatched pool tasks (got {})",
+            pool.tree_tasks()
+        );
     }
 
     #[test]

@@ -21,9 +21,13 @@
 //! - [`MinerKind`] — runtime-selectable miner;
 //! - [`mine_top_k`] and [`mine_closed`] — the paper's §V extensions
 //!   (report-size-driven mining; lossless closed-set compression);
-//! - [`par`] — deterministic chunked parallelism for the support-counting
-//!   passes: every miner has a `*_par` variant whose output is
-//!   bit-identical to the sequential one for every thread count.
+//! - [`MineTask`] — one mining invocation (algorithm, mode, support,
+//!   input) as a value, executable in any [`par::Exec`] context;
+//! - [`par`] — deterministic parallelism: chunked counting passes
+//!   ([`map_chunks_arc`]) plus fork/join task trees
+//!   ([`par::run_tree_exec`]) for the recursive search phases. Every
+//!   miner's `*_exec` output is bit-identical to the sequential one for
+//!   every execution context and thread count.
 //!
 //! Only the *first* step of association-rule mining (frequent item-sets) is
 //! implemented, deliberately: the paper argues deriving directional rules
@@ -42,17 +46,19 @@ pub mod itemset;
 pub mod maximal;
 pub mod miner;
 pub mod par;
+pub mod task;
 pub mod topk;
 pub mod transaction;
 
-pub use apriori::{apriori_exec, apriori_par, AprioriConfig, AprioriOutput, LevelStats};
+pub use apriori::{apriori_exec, AprioriConfig, AprioriOutput, LevelStats};
 pub use closed::{filter_closed, mine_closed};
-pub use eclat::{eclat_exec, eclat_par};
-pub use fpgrowth::{fpgrowth_exec, fpgrowth_par};
+pub use eclat::eclat_exec;
+pub use fpgrowth::fpgrowth_exec;
 pub use item::Item;
 pub use itemset::{canonicalize, ItemSet};
 pub use maximal::{filter_maximal, filter_maximal_general};
 pub use miner::MinerKind;
 pub use par::{map_chunks, map_chunks_arc, Exec};
+pub use task::{apriori_par, eclat_par, fpgrowth_par, MineTask};
 pub use topk::{mine_top_k, TopK};
 pub use transaction::{Transaction, TransactionError, TransactionSet, CANONICAL_WIDTH, MAX_WIDTH};

@@ -5,12 +5,9 @@ use std::num::NonZeroUsize;
 
 use serde::{Deserialize, Serialize};
 
-use crate::apriori::{apriori_exec, AprioriConfig};
-use crate::eclat::eclat_exec;
-use crate::fpgrowth::fpgrowth_exec;
 use crate::itemset::ItemSet;
-use crate::maximal::filter_maximal;
 use crate::par::Exec;
+use crate::task::MineTask;
 use crate::transaction::TransactionSet;
 
 /// Which frequent item-set algorithm to run.
@@ -55,10 +52,9 @@ impl MinerKind {
         self.mine_maximal_par(set, min_support, NonZeroUsize::MIN)
     }
 
-    /// [`mine_all`](Self::mine_all) with support counting parallelized
-    /// over transaction chunks on up to `threads` scoped worker threads.
-    /// Output is bit-identical to the single-threaded call for every
-    /// miner and thread count.
+    /// [`mine_all`](Self::mine_all) on up to `threads` scoped worker
+    /// threads — a compatibility shim for
+    /// [`mine_all_exec`](Self::mine_all_exec) with [`Exec::Threads`].
     ///
     /// # Panics
     ///
@@ -73,10 +69,10 @@ impl MinerKind {
         self.mine_all_exec(set, min_support, Exec::Threads(threads))
     }
 
-    /// [`mine_maximal`](Self::mine_maximal) with support counting
-    /// parallelized over transaction chunks on up to `threads` scoped
-    /// worker threads. Output is bit-identical to the single-threaded
-    /// call for every miner and thread count.
+    /// [`mine_maximal`](Self::mine_maximal) on up to `threads` scoped
+    /// worker threads — a compatibility shim for
+    /// [`mine_maximal_exec`](Self::mine_maximal_exec) with
+    /// [`Exec::Threads`].
     ///
     /// # Panics
     ///
@@ -91,11 +87,11 @@ impl MinerKind {
         self.mine_maximal_exec(set, min_support, Exec::Threads(threads))
     }
 
-    /// [`mine_all`](Self::mine_all) with support counting parallelized
-    /// in the given execution context ([`Exec::Pool`] keeps the
-    /// streaming hot loop free of thread spawns). Output is
+    /// [`mine_all`](Self::mine_all) parallelized in the given execution
+    /// context ([`Exec::Pool`] runs counting passes *and* the recursive
+    /// search as tasks on the engine's persistent pool). Output is
     /// bit-identical to the single-threaded call for every miner and
-    /// context.
+    /// context. Dispatches through [`MineTask`].
     ///
     /// # Panics
     ///
@@ -107,19 +103,13 @@ impl MinerKind {
         min_support: u64,
         exec: Exec<'_>,
     ) -> Vec<ItemSet> {
-        match self {
-            MinerKind::Apriori => {
-                apriori_exec(set, &AprioriConfig::all_frequent(min_support), exec).itemsets
-            }
-            MinerKind::FpGrowth => fpgrowth_exec(set, min_support, exec),
-            MinerKind::Eclat => eclat_exec(set, min_support, exec),
-        }
+        MineTask::all(self, set, min_support).run(exec)
     }
 
-    /// [`mine_maximal`](Self::mine_maximal) with support counting
-    /// parallelized in the given execution context. Output is
-    /// bit-identical to the single-threaded call for every miner and
-    /// context.
+    /// [`mine_maximal`](Self::mine_maximal) parallelized in the given
+    /// execution context. Output is bit-identical to the
+    /// single-threaded call for every miner and context. Dispatches
+    /// through [`MineTask`].
     ///
     /// # Panics
     ///
@@ -131,13 +121,7 @@ impl MinerKind {
         min_support: u64,
         exec: Exec<'_>,
     ) -> Vec<ItemSet> {
-        match self {
-            MinerKind::Apriori => {
-                apriori_exec(set, &AprioriConfig::maximal(min_support), exec).itemsets
-            }
-            MinerKind::FpGrowth => filter_maximal(fpgrowth_exec(set, min_support, exec)),
-            MinerKind::Eclat => filter_maximal(eclat_exec(set, min_support, exec)),
-        }
+        MineTask::maximal(self, set, min_support).run(exec)
     }
 }
 

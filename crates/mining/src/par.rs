@@ -18,6 +18,8 @@ use std::sync::Arc;
 use anomex_netflow::shard::{chunk_ranges, chunks_of};
 use crossbeam::WorkerPool;
 
+pub use crossbeam::{TreeJob, TreeScope};
+
 /// Minimum number of items per worker before a parallel pass is worth its
 /// thread spawns: below this, counting a chunk is faster than starting a
 /// thread for it, so the pass runs inline.
@@ -145,6 +147,35 @@ where
                 .collect();
             pool.run_ordered(jobs)
         }
+    }
+}
+
+/// Run a fork/join tree of mining tasks in the given execution context,
+/// returning every task's result **in spawn order** (pre-order over the
+/// task tree).
+///
+/// Under [`Exec::Pool`] with more than one worker the tree runs as pool
+/// tasks ([`WorkerPool::run_tree`]): jobs fork children onto the shared
+/// deque, forks never block, and results merge by spawn path — so the
+/// recursive search phases (Apriori's level-k join+prune blocks,
+/// FP-growth's conditional trees, Eclat's prefix branches) share the
+/// engine's one pool with the flat counting passes, without
+/// oversubscription. In every other context the tree executes
+/// sequentially on the calling thread ([`crossbeam::run_tree_inline`])
+/// with the same result contract, so the output is **bit-identical**
+/// across all contexts; only the wall-clock differs. Jobs read
+/// [`TreeScope::width`] to decide whether forking is worth a queue
+/// operation (1 under sequential execution — don't fork).
+///
+/// # Panics
+///
+/// Propagates a panic from a tree job on the calling thread; pool
+/// workers survive it.
+#[must_use]
+pub fn run_tree_exec<R: Send + 'static>(exec: Exec<'_>, roots: Vec<TreeJob<R>>) -> Vec<R> {
+    match exec {
+        Exec::Pool(pool) if pool.threads() > 1 => pool.run_tree(roots),
+        _ => crossbeam::run_tree_inline(roots),
     }
 }
 

@@ -1,0 +1,244 @@
+//! [`MineTask`] — one mining invocation, independent of where it runs.
+//!
+//! Every extraction path in the engine ends in the same shape of call:
+//! *mine this transaction set at this support with this algorithm, all
+//! or maximal-only, in this execution context*. Before this module each
+//! algorithm carried its own `*_par` / `*_exec` wrapper pair and
+//! [`MinerKind`] duplicated the whole matrix again; `MineTask` folds the
+//! what (algorithm, mode, support, input) into one value whose
+//! [`run`](MineTask::run) takes the where ([`Exec`]) — so there is
+//! exactly one dispatch point from task description to algorithm, and
+//! the engine's callers (pipeline, sharded extractor, streaming engine,
+//! CLI) all describe work the same way.
+//!
+//! The historical `*_par` free functions survive as documented
+//! compatibility shims at the bottom of this module — one place, thin
+//! delegations to the `*_exec` entry points — so existing callers keep
+//! compiling while the `*_exec` functions remain the single parallel
+//! entry point per algorithm.
+
+use std::num::NonZeroUsize;
+
+use crate::apriori::{apriori_exec, AprioriConfig, AprioriOutput};
+use crate::eclat::eclat_exec;
+use crate::fpgrowth::fpgrowth_exec;
+use crate::itemset::ItemSet;
+use crate::maximal::filter_maximal;
+use crate::miner::MinerKind;
+use crate::par::Exec;
+use crate::transaction::TransactionSet;
+
+/// A fully described mining invocation: which algorithm, over which
+/// transactions, at which support, producing all or only maximal
+/// frequent item-sets. Execute with [`run`](MineTask::run) in any
+/// [`Exec`] context — the output is **bit-identical** across contexts
+/// for every task, which is what makes the engine free to move mining
+/// between inline, scoped-thread, and pool execution per call site.
+#[derive(Debug, Clone, Copy)]
+pub struct MineTask<'a> {
+    set: &'a TransactionSet,
+    kind: MinerKind,
+    min_support: u64,
+    maximal: bool,
+}
+
+impl<'a> MineTask<'a> {
+    /// Describe mining **all** frequent item-sets.
+    #[must_use]
+    pub fn all(kind: MinerKind, set: &'a TransactionSet, min_support: u64) -> Self {
+        MineTask {
+            set,
+            kind,
+            min_support,
+            maximal: false,
+        }
+    }
+
+    /// Describe mining only **maximal** frequent item-sets — the paper's
+    /// modified output (§II-B).
+    #[must_use]
+    pub fn maximal(kind: MinerKind, set: &'a TransactionSet, min_support: u64) -> Self {
+        MineTask {
+            set,
+            kind,
+            min_support,
+            maximal: true,
+        }
+    }
+
+    /// The algorithm this task dispatches to.
+    #[must_use]
+    pub fn kind(&self) -> MinerKind {
+        self.kind
+    }
+
+    /// The minimum-support threshold.
+    #[must_use]
+    pub fn min_support(&self) -> u64 {
+        self.min_support
+    }
+
+    /// Whether the output is restricted to maximal item-sets.
+    #[must_use]
+    pub fn is_maximal(&self) -> bool {
+        self.maximal
+    }
+
+    /// Run the task in the given execution context, returning the
+    /// canonically ordered item-sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task's `min_support` is zero.
+    #[must_use]
+    pub fn run(&self, exec: Exec<'_>) -> Vec<ItemSet> {
+        match self.kind {
+            MinerKind::Apriori => self.run_apriori(exec).itemsets,
+            MinerKind::FpGrowth => {
+                let all = fpgrowth_exec(self.set, self.min_support, exec);
+                if self.maximal {
+                    filter_maximal(all)
+                } else {
+                    all
+                }
+            }
+            MinerKind::Eclat => {
+                let all = eclat_exec(self.set, self.min_support, exec);
+                if self.maximal {
+                    filter_maximal(all)
+                } else {
+                    all
+                }
+            }
+        }
+    }
+
+    /// Run the task as Apriori regardless of [`kind`](Self::kind),
+    /// returning the full [`AprioriOutput`] — the entry point for
+    /// callers that need the per-level audit trail (§II-B Table II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task's `min_support` is zero.
+    #[must_use]
+    pub fn run_apriori(&self, exec: Exec<'_>) -> AprioriOutput {
+        let config = AprioriConfig {
+            min_support: self.min_support,
+            maximal_only: self.maximal,
+        };
+        apriori_exec(self.set, &config, exec)
+    }
+}
+
+// --- Compatibility shims -------------------------------------------------
+//
+// The pre-`MineTask` parallel entry points, kept in this one place as
+// thin delegations so the `*_exec` functions are the single parallel
+// entry point per algorithm. Prefer `*_exec` (or `MineTask::run`) in new
+// code; these exist for source compatibility with earlier callers.
+
+/// Run Apriori with support counting parallelized over transaction
+/// chunks on up to `threads` scoped worker threads — a compatibility
+/// shim for [`apriori_exec`] with [`Exec::Threads`].
+///
+/// # Panics
+///
+/// Panics if `config.min_support` is zero.
+#[must_use]
+pub fn apriori_par(
+    set: &TransactionSet,
+    config: &AprioriConfig,
+    threads: NonZeroUsize,
+) -> AprioriOutput {
+    apriori_exec(set, config, Exec::Threads(threads))
+}
+
+/// FP-growth with the support-counting scan parallelized over
+/// transaction chunks on up to `threads` scoped worker threads — a
+/// compatibility shim for [`fpgrowth_exec`] with [`Exec::Threads`].
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+#[must_use]
+pub fn fpgrowth_par(set: &TransactionSet, min_support: u64, threads: NonZeroUsize) -> Vec<ItemSet> {
+    fpgrowth_exec(set, min_support, Exec::Threads(threads))
+}
+
+/// Eclat with tid-list construction parallelized over transaction
+/// chunks on up to `threads` scoped worker threads — a compatibility
+/// shim for [`eclat_exec`] with [`Exec::Threads`].
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+#[must_use]
+pub fn eclat_par(set: &TransactionSet, min_support: u64, threads: NonZeroUsize) -> Vec<ItemSet> {
+    eclat_exec(set, min_support, Exec::Threads(threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+    use crate::transaction::Transaction;
+    use anomex_netflow::FlowFeature;
+
+    fn sample() -> TransactionSet {
+        let mut set = TransactionSet::new();
+        for i in 0..12u64 {
+            let t = Transaction::from_items(&[
+                Item::new(FlowFeature::DstPort, 80 + i % 2),
+                Item::new(FlowFeature::Proto, 6),
+                Item::new(FlowFeature::Packets, i % 3),
+            ])
+            .unwrap();
+            set.push(t);
+        }
+        set
+    }
+
+    #[test]
+    fn task_matches_direct_calls_for_every_kind_and_mode() {
+        let set = sample();
+        for kind in MinerKind::ALL {
+            let all = MineTask::all(kind, &set, 3).run(Exec::inline());
+            assert_eq!(all, kind.mine_all(&set, 3), "{kind} all");
+            let max = MineTask::maximal(kind, &set, 3).run(Exec::inline());
+            assert_eq!(max, kind.mine_maximal(&set, 3), "{kind} maximal");
+        }
+    }
+
+    #[test]
+    fn apriori_audit_trail_is_reachable_through_the_task() {
+        let set = sample();
+        let out = MineTask::maximal(MinerKind::Apriori, &set, 3).run_apriori(Exec::inline());
+        assert!(!out.levels.is_empty());
+        assert!(out.passes >= 1);
+    }
+
+    #[test]
+    fn shims_delegate_to_exec() {
+        let set = sample();
+        let threads = NonZeroUsize::new(3).unwrap();
+        assert_eq!(
+            apriori_par(&set, &AprioriConfig::all_frequent(3), threads).itemsets,
+            MineTask::all(MinerKind::Apriori, &set, 3).run(Exec::inline()),
+        );
+        assert_eq!(
+            fpgrowth_par(&set, 3, threads),
+            crate::fpgrowth::fpgrowth(&set, 3)
+        );
+        assert_eq!(eclat_par(&set, 3, threads), crate::eclat::eclat(&set, 3));
+    }
+
+    #[test]
+    fn accessors_reflect_the_description() {
+        let set = sample();
+        let task = MineTask::maximal(MinerKind::Eclat, &set, 7);
+        assert_eq!(task.kind(), MinerKind::Eclat);
+        assert_eq!(task.min_support(), 7);
+        assert!(task.is_maximal());
+        assert!(!MineTask::all(MinerKind::Eclat, &set, 7).is_maximal());
+    }
+}

@@ -251,6 +251,33 @@ impl MergeAssembler {
         self.push(flow.source, flow.flow)
     }
 
+    /// Event-time heartbeat from `source`: advance its watermark to
+    /// `now_ms` (source-local clock, like its flows' start times)
+    /// **without any flows** — the punctuation a live-but-idle exporter
+    /// sends (options templates, keepalives) so its silence does not
+    /// hold the grid until the lateness bound fires. Every window of
+    /// `source` that ends at or before `now_ms`'s window closes (empty
+    /// unless flows arrived earlier) and the grid advances as far as the
+    /// watermark allows; returns every merged interval that released.
+    ///
+    /// A stale or pre-origin heartbeat is a no-op: heartbeats carry no
+    /// data, so nothing is dropped or counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` was not registered at construction, or when
+    /// `source` already declared end-of-stream via
+    /// [`finish_source`](Self::finish_source).
+    pub fn heartbeat(&mut self, source: SourceId, now_ms: u64) -> Vec<MergedInterval> {
+        let grid_next = self.grid_next;
+        let lane = self.lane_mut(source);
+        assert!(!lane.finished, "source {source} already finished");
+        for closed in lane.assembler.advance_to(now_ms) {
+            lane.accept(closed.index, closed.flows, grid_next);
+        }
+        self.advance()
+    }
+
     /// Declare `source` cleanly ended: its in-progress window is flushed
     /// into the grid and it stops holding the watermark, so the
     /// remaining sources alone pace the grid from here on. Idempotent.
@@ -456,6 +483,53 @@ mod tests {
         let tail = m.flush();
         assert_eq!(tail.len(), 1);
         assert_eq!(tail[0].index, 2);
+    }
+
+    #[test]
+    fn heartbeat_releases_the_grid_without_flows() {
+        // No lateness bound: only the heartbeat can release the grid.
+        let mut m = two_sources(None);
+        m.push(SourceId(0), flow_at(100));
+        m.push(SourceId(0), flow_at(2500)); // source 0 frontier: 2
+                                            // Source 1 is live but idle: nothing closes...
+        assert_eq!(m.dropped_flows(), 0);
+        // ...until its collector punctuation advances it past window 1.
+        let closed = m.heartbeat(SourceId(1), 2100);
+        assert_eq!(closed.len(), 2, "windows 0 and 1 released");
+        assert_eq!(closed[0].source_flows, vec![1, 0]);
+        assert!(closed[1].flows.is_empty());
+        assert_eq!(m.dropped_flows(), 0, "heartbeats drop nothing");
+        // A later flow from source 1 in its current window still lands.
+        let closed = m.push(SourceId(1), flow_at(2200));
+        assert!(closed.is_empty());
+        let tail = m.flush();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].source_flows, vec![1, 1]);
+    }
+
+    #[test]
+    fn heartbeat_respects_per_source_origin_and_staleness() {
+        let config = MergeConfig::new(1000);
+        let mut m = MergeAssembler::try_new(
+            config,
+            &[SourceSpec::new(0u32, 0), SourceSpec::new(1u32, 250)],
+        )
+        .unwrap();
+        m.push(SourceId(0), flow_at(100));
+        m.push(SourceId(0), flow_at(1100));
+        // Local 1250 at source 1 is grid 1000: only window 0 closes.
+        let closed = m.heartbeat(SourceId(1), 1250 + 250);
+        assert_eq!(closed.len(), 1);
+        assert!(m.heartbeat(SourceId(1), 100).is_empty(), "stale is a no-op");
+        assert_eq!(m.dropped_flows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn heartbeat_after_finish_panics() {
+        let mut m = two_sources(None);
+        let _ = m.finish_source(SourceId(0));
+        let _ = m.heartbeat(SourceId(0), 5000);
     }
 
     #[test]

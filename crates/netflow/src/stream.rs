@@ -153,6 +153,33 @@ impl IntervalAssembler {
         closed
     }
 
+    /// Advance the assembler's clock to `now_ms` without a flow: every
+    /// window that ends at or before `now_ms`'s window closes (and is
+    /// emitted, empties included, exactly as a flow dated `now_ms` would
+    /// close them). The punctuation primitive behind event-time
+    /// heartbeats — a collector that has seen the exporter's clock reach
+    /// `now_ms` knows no flow for an earlier window can still arrive.
+    ///
+    /// A heartbeat dated before the origin (or inside an already-closed
+    /// window) is a no-op: heartbeats carry no data, so nothing is
+    /// counted as late or dropped.
+    pub fn advance_to(&mut self, now_ms: u64) -> Vec<ClosedInterval> {
+        let Some(window) = self.window_of(now_ms) else {
+            return Vec::new();
+        };
+        if !self.started {
+            self.started = true;
+            self.current_index = 0;
+        }
+        let mut closed = Vec::new();
+        while self.current_index < window {
+            let flows = std::mem::take(&mut self.current);
+            closed.push(self.make_closed(self.current_index, flows));
+            self.current_index += 1;
+        }
+        closed
+    }
+
     /// Close and emit the in-progress interval (end of stream).
     pub fn flush(&mut self) -> Option<ClosedInterval> {
         if !self.started {
@@ -285,6 +312,39 @@ mod tests {
     fn flush_on_empty_assembler_is_none() {
         let mut asm = IntervalAssembler::new(0, 1000);
         assert!(asm.flush().is_none());
+    }
+
+    #[test]
+    fn advance_to_closes_like_a_flow_would_without_adding_one() {
+        let mut asm = IntervalAssembler::new(0, 1000);
+        asm.push(flow_at(100));
+        let closed = asm.advance_to(3500);
+        let shapes: Vec<(u64, usize)> = closed.iter().map(|c| (c.index, c.flows.len())).collect();
+        assert_eq!(shapes, vec![(0, 1), (1, 0), (2, 0)]);
+        assert_eq!(asm.dropped_flows(), 0, "heartbeats drop nothing");
+        // The in-progress window (3) is untouched and still accepts flows.
+        asm.push(flow_at(3600));
+        assert_eq!(asm.flush().unwrap().flows.len(), 1);
+    }
+
+    #[test]
+    fn advance_to_starts_an_idle_stream_from_the_origin() {
+        let mut asm = IntervalAssembler::new(0, 1000);
+        let closed = asm.advance_to(2500);
+        let indices: Vec<u64> = closed.iter().map(|c| c.index).collect();
+        assert_eq!(indices, vec![0, 1]);
+        assert!(closed.iter().all(|c| c.flows.is_empty()));
+    }
+
+    #[test]
+    fn stale_and_pre_origin_heartbeats_are_no_ops() {
+        let mut asm = IntervalAssembler::new(10_000, 1000);
+        assert!(asm.advance_to(500).is_empty(), "pre-origin heartbeat");
+        assert_eq!(asm.pre_origin_flows(), 0, "not counted as a drop");
+        asm.push(flow_at(12_500));
+        assert!(asm.advance_to(11_000).is_empty(), "stale heartbeat");
+        assert!(asm.advance_to(12_700).is_empty(), "same-window heartbeat");
+        assert_eq!(asm.flush().unwrap().flows.len(), 1);
     }
 
     #[test]

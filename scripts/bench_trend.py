@@ -11,7 +11,11 @@ baseline in ci/bench-baseline.json:
   timer noise on fast rows;
 - **streaming latency** — the per-interval p95 extraction latency of the
   streaming replay regresses when it exceeds the baseline by more than
-  15% (relative), plus an absolute slack for scheduler noise.
+  15% (relative), plus an absolute slack for scheduler noise;
+- **low-support mining** — BENCH_mining.json's sequential-vs-pool rows
+  (task-parallel candidate generation / conditional mining) are reported
+  informationally, never gated: no CI-recorded baseline exists for them
+  yet, and on a 1-CPU runner the pool can only add overhead.
 
 Key skew between the report and the baseline is tolerated in both
 directions: a shard count (or latency percentile) present on one side
@@ -25,7 +29,7 @@ Actions), appended there as a Markdown job summary.
 
 Exit status: 0 when every gated metric is within budget, 1 otherwise.
 Usage: scripts/bench_trend.py [BENCH_sharded.json [ci/bench-baseline.json
-                               [BENCH_streaming.json]]]
+                               [BENCH_streaming.json [BENCH_mining.json]]]]
 """
 
 import json
@@ -127,6 +131,35 @@ def gate_streaming(bench_path, baseline, rows):
     return failures
 
 
+def report_mining(bench_path, rows):
+    """Report low-support mining sequential-vs-pool rows (informational,
+    never gated: no CI-recorded baseline exists for this bench yet)."""
+    try:
+        with open(bench_path) as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        warn(f"mining report {bench_path} is missing; skipping (informational)")
+        return
+    tasks_total = 0
+    for r in report.get("results", []):
+        seq, pool = r["sequential_millis"], r["pool_millis"]
+        ratio = pool / seq if seq > 0 else 1.0
+        tasks_total += r.get("pool_tasks", 0)
+        print(
+            f"mining s={r['support']} {r['miner']}: seq {seq:.1f} ms, "
+            f"pool {pool:.1f} ms ({ratio:.2f}x), {r.get('pool_tasks', 0)} tasks info"
+        )
+        rows.append(
+            (f"mining s={r['support']} {r['miner']} pool/seq", "-",
+             f"{ratio:.2f}x", "-", "info")
+        )
+    workers = report.get("pool_workers", 0)
+    if workers > 1 and tasks_total <= 1:
+        # Informational red flag, not a gate: the task-parallel search
+        # phases should visibly dispatch on any multi-width pool.
+        warn(f"pool of {workers} workers dispatched only {tasks_total} tree task(s)")
+
+
 def write_step_summary(rows):
     """Append the trend table as Markdown to the GitHub job summary."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -152,12 +185,14 @@ def main():
     sharded_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sharded.json"
     base_path = sys.argv[2] if len(sys.argv) > 2 else "ci/bench-baseline.json"
     streaming_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_streaming.json"
+    mining_path = sys.argv[4] if len(sys.argv) > 4 else "BENCH_mining.json"
     with open(base_path) as f:
         baseline = json.load(f)
 
     rows = []
     failures = gate_sharded(sharded_path, baseline, rows)
     failures += gate_streaming(streaming_path, baseline, rows)
+    report_mining(mining_path, rows)
     write_step_summary(rows)
 
     if failures:

@@ -17,12 +17,18 @@
 //! spirit of crossbeam's deque-based executors: threads are spawned
 //! once and jobs are pushed onto a shared deque, so per-batch work
 //! costs a queue operation instead of a thread spawn — the execution
-//! substrate of the streaming extraction engine.
+//! substrate of the streaming extraction engine. Beyond flat batches
+//! ([`pool::WorkerPool::run_ordered`]) the pool runs fork/join task
+//! trees ([`pool::WorkerPool::run_tree`]): jobs receive a
+//! [`pool::TreeScope`] through which they may spawn ordered child
+//! tasks, and the results of the whole tree merge deterministically in
+//! spawn order — the primitive behind task-parallel recursive search
+//! (conditional-tree mining, candidate-generation blocks).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use pool::WorkerPool;
+pub use pool::{run_tree_inline, TreeJob, TreeScope, WorkerPool};
 pub use thread::scope;
 
 /// Scoped threads with crossbeam's API shape over `std::thread::scope`.
@@ -130,9 +136,11 @@ pub mod thread {
 /// A persistent worker pool: threads spawned once, jobs submitted as
 /// closures onto a shared deque.
 pub mod pool {
+    use std::cell::{Cell, RefCell};
     use std::collections::VecDeque;
     use std::num::NonZeroUsize;
     use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{mpsc, Arc, Condvar, Mutex};
     use std::thread::JoinHandle;
 
@@ -144,6 +152,10 @@ pub mod pool {
     struct Queue {
         state: Mutex<QueueState>,
         ready: Condvar,
+        /// Tree tasks (roots + forks) ever dispatched through
+        /// [`WorkerPool::run_tree`] — observability for benches and tests
+        /// that must prove recursive work really ran as pool tasks.
+        tree_tasks: AtomicU64,
     }
 
     struct QueueState {
@@ -213,6 +225,7 @@ pub mod pool {
                     closed: false,
                 }),
                 ready: Condvar::new(),
+                tree_tasks: AtomicU64::new(0),
             });
             let workers = (0..threads.get())
                 .map(|i| {
@@ -296,6 +309,243 @@ pub mod pool {
             }
             out
         }
+
+        /// Tree tasks (roots plus forked children) ever dispatched
+        /// through [`run_tree`](Self::run_tree) on this pool.
+        #[must_use]
+        pub fn tree_tasks(&self) -> u64 {
+            self.queue.tree_tasks.load(Ordering::Relaxed)
+        }
+
+        /// Run a fork/join tree of jobs on the pool and return every
+        /// task's result **in spawn order** (pre-order over the task
+        /// tree: roots in submission order, each task's children in fork
+        /// order, children before later siblings). Blocks until the
+        /// whole tree has drained.
+        ///
+        /// Each job receives a [`TreeScope`] through which it may
+        /// [`fork`](TreeScope::fork) child jobs; forks never block, so —
+        /// unlike nesting [`run_ordered`](Self::run_ordered) inside a
+        /// job — recursive decomposition cannot deadlock the pool.
+        /// Result order depends only on the fork structure, never on
+        /// thread scheduling: the deterministic-merge contract the
+        /// task-parallel miners are built on.
+        ///
+        /// # Panics
+        ///
+        /// If any task panics, the panic with the lexicographically
+        /// smallest spawn path is re-thrown on the caller after the tree
+        /// has drained (children already forked by a panicking task
+        /// still run); the workers survive.
+        #[must_use]
+        pub fn run_tree<R: Send + 'static>(&self, roots: Vec<TreeJob<R>>) -> Vec<R> {
+            if roots.is_empty() {
+                return Vec::new();
+            }
+            let state = Arc::new(TreeState {
+                queue: Arc::clone(&self.queue),
+                width: self.threads(),
+                progress: Mutex::new(TreeProgress {
+                    pending: roots.len(),
+                    results: Vec::new(),
+                    panic: None,
+                }),
+                done: Condvar::new(),
+            });
+            {
+                let mut qs = self.queue.state.lock().expect("pool mutex poisoned");
+                for (i, job) in roots.into_iter().enumerate() {
+                    qs.jobs.push_back(tree_task(&state, vec![i as u32], job));
+                }
+                drop(qs);
+                self.queue.ready.notify_all();
+            }
+            let mut progress = state.progress.lock().expect("tree mutex poisoned");
+            while progress.pending > 0 {
+                progress = state.done.wait(progress).expect("tree mutex poisoned");
+            }
+            let TreeProgress { results, panic, .. } = std::mem::take(&mut *progress);
+            drop(progress);
+            if let Some((_, payload)) = panic {
+                std::panic::resume_unwind(payload);
+            }
+            let mut results = results;
+            results.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            results.into_iter().map(|(_, r)| r).collect()
+        }
+    }
+
+    /// A fork/join tree job: runs with a [`TreeScope`] through which it
+    /// may fork ordered child jobs, and returns one result.
+    pub type TreeJob<R> = Box<dyn for<'s> FnOnce(&TreeScope<'s, R>) -> R + Send + 'static>;
+
+    /// Shared bookkeeping of one [`WorkerPool::run_tree`] invocation.
+    struct TreeState<R> {
+        queue: Arc<Queue>,
+        width: usize,
+        progress: Mutex<TreeProgress<R>>,
+        done: Condvar,
+    }
+
+    /// Mutable tree progress: results keyed by spawn path, the pending
+    /// task count, and the first (smallest-path) panic payload.
+    struct TreeProgress<R> {
+        pending: usize,
+        results: Vec<(Vec<u32>, R)>,
+        panic: Option<(Vec<u32>, Box<dyn std::any::Any + Send>)>,
+    }
+
+    impl<R> Default for TreeProgress<R> {
+        fn default() -> Self {
+            TreeProgress {
+                pending: 0,
+                results: Vec::new(),
+                panic: None,
+            }
+        }
+    }
+
+    /// Wrap one tree job (root or fork) into a pool job that runs it
+    /// with a scope, records its result under its spawn path, and
+    /// signals the tree when the last task finishes.
+    fn tree_task<R: Send + 'static>(
+        state: &Arc<TreeState<R>>,
+        path: Vec<u32>,
+        job: TreeJob<R>,
+    ) -> Job {
+        let state = Arc::clone(state);
+        state.queue.tree_tasks.fetch_add(1, Ordering::Relaxed);
+        Box::new(move || {
+            let scope = TreeScope {
+                width: state.width,
+                path: path.clone(),
+                kids: Cell::new(0),
+                runner: ScopeRunner::Pool(&state),
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| job(&scope)));
+            drop(scope);
+            let mut progress = state.progress.lock().expect("tree mutex poisoned");
+            match result {
+                Ok(r) => progress.results.push((path, r)),
+                Err(payload) => {
+                    let smaller = match progress.panic.as_ref() {
+                        None => true,
+                        Some((earliest, _)) => path < *earliest,
+                    };
+                    if smaller {
+                        progress.panic = Some((path, payload));
+                    }
+                }
+            }
+            progress.pending -= 1;
+            if progress.pending == 0 {
+                state.done.notify_all();
+            }
+        })
+    }
+
+    /// The per-task handle of a fork/join tree: fork child jobs, ask the
+    /// execution width. Handed by [`WorkerPool::run_tree`] (children run
+    /// as pool tasks) and by [`run_tree_inline`] (children run
+    /// sequentially on the caller) — same job signature, bit-identical
+    /// merged results.
+    pub struct TreeScope<'s, R> {
+        width: usize,
+        path: Vec<u32>,
+        kids: Cell<u32>,
+        runner: ScopeRunner<'s, R>,
+    }
+
+    enum ScopeRunner<'s, R> {
+        /// Sequential execution: forked children queue onto the caller's
+        /// local worklist.
+        Inline(&'s RefCell<VecDeque<(Vec<u32>, TreeJob<R>)>>),
+        /// Pool execution: forked children go straight onto the shared
+        /// deque.
+        Pool(&'s Arc<TreeState<R>>),
+    }
+
+    impl<R> std::fmt::Debug for TreeScope<'_, R> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("TreeScope")
+                .field("width", &self.width)
+                .field("path", &self.path)
+                .finish_non_exhaustive()
+        }
+    }
+
+    impl<R: Send + 'static> TreeScope<'_, R> {
+        /// The parallelism of the executor running this tree: the pool's
+        /// worker count, or 1 under sequential execution. Jobs use this
+        /// to decide whether forking is worth a queue operation.
+        #[must_use]
+        pub fn width(&self) -> usize {
+            self.width
+        }
+
+        /// Fork one ordered child job. Never blocks: the child runs
+        /// later (on a pool worker, or on the caller's worklist under
+        /// sequential execution), and its result slots in after this
+        /// task's — and after earlier-forked siblings' — in the merged
+        /// output.
+        pub fn fork(&self, job: impl for<'a> FnOnce(&TreeScope<'a, R>) -> R + Send + 'static) {
+            let child = self.kids.get();
+            self.kids.set(child + 1);
+            let mut path = Vec::with_capacity(self.path.len() + 1);
+            path.extend_from_slice(&self.path);
+            path.push(child);
+            match &self.runner {
+                ScopeRunner::Inline(worklist) => {
+                    worklist.borrow_mut().push_back((path, Box::new(job)));
+                }
+                ScopeRunner::Pool(state) => {
+                    {
+                        let mut progress = state.progress.lock().expect("tree mutex poisoned");
+                        progress.pending += 1;
+                    }
+                    let task = tree_task(*state, path, Box::new(job));
+                    let mut qs = state.queue.state.lock().expect("pool mutex poisoned");
+                    qs.jobs.push_back(task);
+                    drop(qs);
+                    state.queue.ready.notify_one();
+                }
+            }
+        }
+    }
+
+    /// Run a fork/join tree sequentially on the calling thread — the
+    /// width-1 twin of [`WorkerPool::run_tree`], with the same job
+    /// signature and the same spawn-order result contract, so callers
+    /// can pick the executor per call site without touching the jobs.
+    ///
+    /// # Panics
+    ///
+    /// A panicking job propagates immediately (tasks not yet executed
+    /// are abandoned), matching ordinary sequential execution.
+    #[must_use]
+    pub fn run_tree_inline<R: Send + 'static>(roots: Vec<TreeJob<R>>) -> Vec<R> {
+        let worklist: RefCell<VecDeque<(Vec<u32>, TreeJob<R>)>> = RefCell::new(
+            roots
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| (vec![i as u32], job))
+                .collect(),
+        );
+        let mut results: Vec<(Vec<u32>, R)> = Vec::new();
+        loop {
+            let next = worklist.borrow_mut().pop_front();
+            let Some((path, job)) = next else { break };
+            let scope = TreeScope {
+                width: 1,
+                path: path.clone(),
+                kids: Cell::new(0),
+                runner: ScopeRunner::Inline(&worklist),
+            };
+            let r = job(&scope);
+            results.push((path, r));
+        }
+        results.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        results.into_iter().map(|(_, r)| r).collect()
     }
 
     impl Drop for WorkerPool {
@@ -386,6 +636,113 @@ pub mod pool {
             // The workers survived the panic: the pool still runs batches.
             let out = pool.run_ordered(vec![Box::new(|| 7u32) as Box<dyn FnOnce() -> u32 + Send>]);
             assert_eq!(out, vec![7]);
+        }
+
+        /// The reference tree: root i spawns `i` children, each child j
+        /// spawns one grandchild. Pre-order result must be
+        /// root, child 0, its grandchild, child 1, its grandchild, …
+        fn spawn_reference_tree(pool: Option<&WorkerPool>) -> Vec<String> {
+            let roots: Vec<TreeJob<String>> = (0..4u32)
+                .map(|i| {
+                    Box::new(move |scope: &TreeScope<'_, String>| {
+                        for j in 0..i {
+                            scope.fork(move |scope: &TreeScope<'_, String>| {
+                                scope.fork(move |_: &TreeScope<'_, String>| {
+                                    format!("grandchild {i}.{j}.0")
+                                });
+                                format!("child {i}.{j}")
+                            });
+                        }
+                        format!("root {i}")
+                    }) as TreeJob<String>
+                })
+                .collect();
+            match pool {
+                Some(pool) => pool.run_tree(roots),
+                None => run_tree_inline(roots),
+            }
+        }
+
+        #[test]
+        fn tree_results_merge_in_spawn_order_on_the_pool() {
+            let pool = WorkerPool::new(nz(4));
+            let got = spawn_reference_tree(Some(&pool));
+            let expected = spawn_reference_tree(None);
+            assert_eq!(got, expected);
+            assert_eq!(expected[0], "root 0");
+            assert_eq!(expected[1], "root 1");
+            assert_eq!(expected[2], "child 1.0");
+            assert_eq!(expected[3], "grandchild 1.0.0");
+            // 4 roots + (0+1+2+3) children + as many grandchildren.
+            assert_eq!(got.len(), 4 + 6 + 6);
+            assert_eq!(pool.tree_tasks(), 16, "every task ran on the pool");
+        }
+
+        #[test]
+        fn tree_runs_on_a_single_worker_without_deadlock() {
+            let pool = WorkerPool::new(nz(1));
+            assert_eq!(
+                spawn_reference_tree(Some(&pool)),
+                spawn_reference_tree(None)
+            );
+        }
+
+        #[test]
+        fn tree_is_deterministic_across_widths_and_rounds() {
+            let reference = spawn_reference_tree(None);
+            for threads in [2usize, 3, 8] {
+                let pool = WorkerPool::new(nz(threads));
+                for _ in 0..5 {
+                    assert_eq!(
+                        spawn_reference_tree(Some(&pool)),
+                        reference,
+                        "threads={threads}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn empty_tree_returns_immediately() {
+            let pool = WorkerPool::new(nz(2));
+            let out: Vec<u32> = pool.run_tree(Vec::new());
+            assert!(out.is_empty());
+            assert_eq!(pool.tree_tasks(), 0);
+        }
+
+        #[test]
+        fn tree_scope_reports_pool_width() {
+            let pool = WorkerPool::new(nz(3));
+            let roots: Vec<TreeJob<usize>> =
+                vec![Box::new(|scope: &TreeScope<'_, usize>| scope.width())];
+            assert_eq!(pool.run_tree(roots), vec![3]);
+            let roots: Vec<TreeJob<usize>> =
+                vec![Box::new(|scope: &TreeScope<'_, usize>| scope.width())];
+            assert_eq!(run_tree_inline(roots), vec![1]);
+        }
+
+        #[test]
+        fn panicking_tree_task_propagates_but_pool_survives() {
+            let pool = WorkerPool::new(nz(2));
+            let roots: Vec<TreeJob<u32>> = vec![
+                Box::new(|_: &TreeScope<'_, u32>| 1),
+                Box::new(|scope: &TreeScope<'_, u32>| {
+                    scope.fork(|_: &TreeScope<'_, u32>| panic!("tree task exploded"));
+                    2
+                }),
+            ];
+            let err = catch_unwind(AssertUnwindSafe(|| pool.run_tree(roots)))
+                .expect_err("panic must propagate to the caller");
+            let message = err
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("non-str payload");
+            assert!(message.contains("tree task exploded"), "{message}");
+            // The workers survived: the pool still runs trees and batches.
+            let roots: Vec<TreeJob<u32>> = vec![Box::new(|_: &TreeScope<'_, u32>| 7)];
+            assert_eq!(pool.run_tree(roots), vec![7]);
+            let out = pool.run_ordered(vec![Box::new(|| 9u32) as Box<dyn FnOnce() -> u32 + Send>]);
+            assert_eq!(out, vec![9]);
         }
 
         #[test]
