@@ -1,0 +1,65 @@
+//! Rule-generation overhead: [`MineTask::run_with_rules`] (one
+//! all-frequent mining pass + rule fan-out + z-score ranking) vs the
+//! itemset-only maximal run, at the descending supports where the rule
+//! lattice fans out widest — the cost the `--rules` flag adds on top of
+//! plain extraction. Sequential and pool rows bracket both ends of the
+//! execution spectrum; on a 1-CPU container the pool rows measure the
+//! overhead ceiling, on multicore they drop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+
+use anomex_mining::par::Exec;
+use anomex_mining::{MineTask, MinerKind, RuleConfig, TransactionSet};
+use anomex_traffic::table2_workload;
+use crossbeam::WorkerPool;
+
+fn pool_width() -> NonZeroUsize {
+    std::thread::available_parallelism()
+        .map(|n| n.min(NonZeroUsize::new(4).unwrap()))
+        .unwrap_or(NonZeroUsize::MIN)
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let w = table2_workload(2009, 0.1);
+    let tx = TransactionSet::from_flows(&w.flows);
+    let pool = WorkerPool::new(pool_width());
+    let rc = RuleConfig::default();
+    let mut group = c.benchmark_group("rules");
+    group.sample_size(10);
+    for div in [4u64, 16, 64] {
+        let s = (w.min_support / div).max(2);
+        for miner in MinerKind::ALL {
+            let task = MineTask::maximal(miner, &tx, s);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{miner}_itemsets_seq"), s),
+                &task,
+                |b, task| b.iter(|| black_box(black_box(task).run(Exec::inline()))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{miner}_rules_seq"), s),
+                &task,
+                |b, task| b.iter(|| black_box(black_box(task).run_with_rules(&rc, Exec::inline()))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{miner}_rules_pool"), s),
+                &task,
+                |b, task| {
+                    b.iter(|| black_box(black_box(task).run_with_rules(&rc, Exec::Pool(&pool))))
+                },
+            );
+        }
+    }
+    group.finish();
+    // Prove the rule fan-out actually dispatched as pool tasks.
+    assert!(
+        pool.threads() == 1 || pool.tree_tasks() > 1,
+        "multi-width pools must have dispatched tree tasks (width {}, tasks {})",
+        pool.threads(),
+        pool.tree_tasks()
+    );
+}
+
+criterion_group!(benches, bench_rules);
+criterion_main!(benches);

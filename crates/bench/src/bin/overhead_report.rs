@@ -5,10 +5,10 @@
 //! (sequential vs pool, with the tree-task count proving the recursive
 //! search ran as pool tasks), the sharded-engine scaling column, and
 //! the streaming engine's per-interval latency distribution. The
-//! sharding, streaming, and mining numbers are also emitted as
-//! `BENCH_sharded.json` / `BENCH_streaming.json` / `BENCH_mining.json`
-//! in the working directory so the perf trajectory is machine-readable
-//! across PRs.
+//! sharding, streaming, mining, and rule-layer numbers are also emitted
+//! as `BENCH_sharded.json` / `BENCH_streaming.json` / `BENCH_mining.json`
+//! / `BENCH_rules.json` in the working directory so the perf trajectory
+//! is machine-readable across PRs.
 //!
 //! ```sh
 //! cargo run --release -p anomex-bench --bin overhead_report -- [scale] \
@@ -16,7 +16,8 @@
 //! ```
 //!
 //! `--write-baseline PATH` re-records the gated metrics (sharded
-//! overhead ratios, streaming latency percentiles) as a fresh
+//! overhead ratios, streaming latency percentiles, mining pool/seq
+//! ratios, rule-layer overhead ratios) as a fresh
 //! `ci/bench-baseline.json`-shaped file measured by **this** run, so
 //! the perf gates track the environment that produces the numbers —
 //! see `ci/README.md` for the procedure.
@@ -32,7 +33,7 @@ use anomex_core::{
 };
 use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
 use anomex_mining::par::Exec;
-use anomex_mining::{MinerKind, TransactionSet};
+use anomex_mining::{MineTask, MinerKind, RuleConfig, TransactionSet};
 use anomex_netflow::FlowFeature;
 use anomex_traffic::{table2_workload, Scenario};
 use crossbeam::WorkerPool;
@@ -170,6 +171,74 @@ fn main() {
     match std::fs::write("BENCH_mining.json", &json) {
         Ok(()) => println!("\nwrote BENCH_mining.json"),
         Err(e) => eprintln!("\ncould not write BENCH_mining.json: {e}"),
+    }
+
+    // --- Rule-layer overhead: `run_with_rules` (the all-frequent
+    // mining pass + rule fan-out + z-score ranking) vs the itemset-only
+    // maximal run — the cost the `--rules` flag adds on top of plain
+    // extraction, at the supports where the rule lattice fans widest. ---
+    let rc = RuleConfig::default();
+    println!(
+        "\nrule generation vs itemset-only mining at descending supports \
+         ({pool_workers}-worker pool):"
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>9} {:>7}",
+        "support", "miner", "itemsets", "rules", "overhead", "#rules"
+    );
+    let mut rule_rows: Vec<(u64, MinerKind, f64, f64, usize)> = Vec::new();
+    for div in [4u64, 16, 64] {
+        let s = (w.min_support / div).max(2);
+        for miner in MinerKind::ALL {
+            let task = MineTask::maximal(miner, &tx, s);
+            let t0 = Instant::now();
+            let base = task.run(Exec::Pool(&mining_pool));
+            let base_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t0 = Instant::now();
+            let out = task.run_with_rules(&rc, Exec::Pool(&mining_pool));
+            let rules_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                out.itemsets.len(),
+                base.len(),
+                "the rule pass lost maximal item-sets for {miner} at s={s}"
+            );
+            let overhead = if base_ms > 0.0 {
+                rules_ms / base_ms
+            } else {
+                1.0
+            };
+            println!(
+                "{s:>10} {:>10} {base_ms:>10.1}ms {rules_ms:>10.1}ms {overhead:>8.2}x {:>7}",
+                miner.to_string(),
+                out.rules.len()
+            );
+            rule_rows.push((s, miner, base_ms, rules_ms, out.rules.len()));
+        }
+    }
+
+    // --- Machine-readable emitter: BENCH_rules.json. ---
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"rules_overhead_table2\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"flows\": {},", w.flows.len());
+    let _ = writeln!(json, "  \"pool_workers\": {pool_workers},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, &(s, miner, base_ms, rules_ms, count)) in rule_rows.iter().enumerate() {
+        let comma = if i + 1 < rule_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"support\": {s}, \"miner\": \"{miner}\", \
+             \"itemsets_millis\": {base_ms:.3}, \"rules_millis\": {rules_ms:.3}, \
+             \"rules\": {count}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write("BENCH_rules.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_rules.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_rules.json: {e}"),
     }
 
     // --- Sharded engine scaling: the same extraction fanned out over
@@ -316,7 +385,12 @@ fn main() {
              time) from overhead_report's BENCH_sharded.json; a >10% relative regression \
              fails. streaming_latency_micros holds the streaming replay's per-interval \
              extraction-latency percentiles from BENCH_streaming.json; p95 is gated at >15% \
-             relative (p50/p99 are informational). Re-record with `overhead_report <scale> \
+             relative (p50/p99 are informational). mining_pool_seq_ratio maps \
+             'support:miner' -> (pool wall time / sequential wall time) from \
+             BENCH_mining.json, and rules_overhead_ratio maps 'support:miner' -> (rule-pass \
+             wall time / itemset-only wall time) from BENCH_rules.json; both are gated at \
+             >25% relative plus absolute slack, and the gates stay dormant until the \
+             baseline carries the sections. Re-record with `overhead_report <scale> \
              --write-baseline <path>` on the hardware CI actually uses (see ci/README.md); \
              keys missing on either side warn instead of failing.\","
         );
@@ -340,6 +414,24 @@ fn main() {
         let _ = writeln!(json, "    \"p50\": {p50},");
         let _ = writeln!(json, "    \"p95\": {p95},");
         let _ = writeln!(json, "    \"p99\": {p99}");
+        let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "  \"mining_pool_seq_ratio\": {{");
+        for (i, &(s, miner, seq_ms, pool_ms, _)) in mining_rows.iter().enumerate() {
+            let ratio = if seq_ms > 0.0 { pool_ms / seq_ms } else { 1.0 };
+            let comma = if i + 1 < mining_rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    \"{s}:{miner}\": {ratio:.3}{comma}");
+        }
+        let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "  \"rules_overhead_ratio\": {{");
+        for (i, &(s, miner, base_ms, rules_ms, _)) in rule_rows.iter().enumerate() {
+            let ratio = if base_ms > 0.0 {
+                rules_ms / base_ms
+            } else {
+                1.0
+            };
+            let comma = if i + 1 < rule_rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    \"{s}:{miner}\": {ratio:.3}{comma}");
+        }
         let _ = writeln!(json, "  }}");
         let _ = writeln!(json, "}}");
         match std::fs::write(&path, &json) {

@@ -56,7 +56,14 @@ impl std::fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Boolean flags that take no value.
-const BOOL_FLAGS: [&str; 4] = ["prefixes", "intersection", "verbose", "top"];
+const BOOL_FLAGS: [&str; 6] = [
+    "prefixes",
+    "intersection",
+    "verbose",
+    "top",
+    "rules",
+    "rare",
+];
 
 impl Args {
     /// Parse an iterator of arguments (excluding the program name).

@@ -5,12 +5,13 @@ use std::io::Read as _;
 use std::num::NonZeroUsize;
 
 use anomex_core::{
-    extract_sharded, extract_with_mode, latency_percentile, prefilter_indices_sharded,
-    render_report, ExtractionConfig, MultiSourceExtractor, MultiStreamEvent, MultiStreamSummary,
-    PrefilterMode, ShardedExtractor, StreamEvent, StreamingExtractor, TransactionMode,
+    extract_sharded, extract_with_mode, latency_percentile, merge_source_rules,
+    prefilter_indices_sharded, render_report, render_rule_merge, Extraction, ExtractionConfig,
+    MultiSourceExtractor, MultiStreamEvent, MultiStreamSummary, PrefilterMode, ShardedExtractor,
+    StreamEvent, StreamingExtractor, TransactionMode,
 };
 use anomex_detector::{DetectorConfig, MetaData};
-use anomex_mining::{mine_top_k, MinerKind};
+use anomex_mining::{mine_top_k, MinerKind, RuleConfig};
 use anomex_netflow::v5::{decode_stream, V5Exporter};
 use anomex_netflow::{
     default_shards, FeatureValue, FlowRecord, FlowTrace, SourceId, SourceSpec, MINUTE_MS,
@@ -34,6 +35,7 @@ USAGE:
   anomex extract --in FILE [--in FILE ...] [--interval-min N] [--training N]
                  [--support N] [--miner apriori|fpgrowth|eclat] [--threads N]
                  [--prefixes] [--intersection]
+                 [--rules] [--min-confidence C] [--min-lift L] [--rare]
       Run the full detection + extraction pipeline over a trace file and
       print a Table II-style report per alarmed interval. --threads N
       runs one worker pool of N threads (0 = one per hardware thread)
@@ -43,22 +45,31 @@ USAGE:
       bit-identical for every thread count. With several --in files,
       each trace is sliced on its own interval grid and the per-interval
       flows are concatenated in file order — the batch reference for
-      multi-source streaming.
+      multi-source streaming. --rules (or any rule option) layers
+      association rules X => Y on the mined item-sets, filtered by
+      confidence >= C (default 0.6) and lift >= L (default 1.0) and
+      ranked by a z-score meta-detection pass over the interval's rule
+      population; --rare lowers the support floor per itemset level to
+      keep low-support attacks minable. With several --in files the
+      rules are additionally re-mined per source at weighted support
+      floors and merged.
 
   anomex stream --in FILE|- [--in FILE ...] [--interval-min N] [--training N]
                 [--support N] [--miner apriori|fpgrowth|eclat] [--threads N]
                 [--max-lag N] [--prefixes] [--intersection] [--verbose]
+                [--rules] [--min-confidence C] [--min-lift L] [--rare]
       Replay a trace (or NetFlow v5 datagrams on stdin with --in -)
       through the continuous streaming engine: flows are assembled into
       Δ-minute intervals while the previous interval runs detection and
       extraction on a persistent worker pool. Prints a report per
       alarmed interval as it closes, then per-interval latency
       percentiles and drop counters. Output is bit-identical to
-      `anomex extract` over the same trace. With several --in files, the
-      traces are fanned in as one exporter each onto a shared interval
-      grid (watermark merge; --max-lag N bounds how many intervals the
-      fastest source may run ahead, 0 = unbounded) — bit-identical to
-      `anomex extract` with the same --in list.
+      `anomex extract` over the same trace (rule options included).
+      With several --in files, the traces are fanned in as one exporter
+      each onto a shared interval grid (watermark merge; --max-lag N
+      bounds how many intervals the fastest source may run ahead, 0 =
+      unbounded) — bit-identical to `anomex extract` with the same
+      --in list, per-source rule merge sections included.
 
   anomex analyze --in FILE --metadata \"dstPort=7000,#packets=12\" [--support N]
                  [--top] [--k N] [--threads N] [--prefixes] [--intersection]
@@ -233,6 +244,29 @@ fn parse_modes(args: &Args) -> (PrefilterMode, TransactionMode) {
     (prefilter, tx)
 }
 
+/// Parse the association-rule options: `--rules` switches the layer on
+/// with defaults, and giving any of `--min-confidence`, `--min-lift` or
+/// `--rare` implies it.
+fn parse_rules(args: &Args) -> Result<Option<RuleConfig>, String> {
+    let enabled = args.flag("rules")
+        || args.flag("rare")
+        || args.get("min-confidence").is_some()
+        || args.get("min-lift").is_some();
+    if !enabled {
+        return Ok(None);
+    }
+    let defaults = RuleConfig::default();
+    Ok(Some(RuleConfig {
+        min_confidence: args
+            .get_or("min-confidence", defaults.min_confidence)
+            .map_err(|e| e.to_string())?,
+        min_lift: args
+            .get_or("min-lift", defaults.min_lift)
+            .map_err(|e| e.to_string())?,
+        rare: args.flag("rare"),
+    }))
+}
+
 /// Parse the shared pipeline options (`--interval-min`, `--training`,
 /// `--support`, `--miner`, `--prefixes`, `--intersection`) into a
 /// configuration — one definition for `extract` and `stream`, so the
@@ -247,6 +281,7 @@ fn parse_config(args: &Args) -> Result<ExtractionConfig, String> {
     let support = args.get_or("support", 50u64).map_err(|e| e.to_string())?;
     let miner = parse_miner(args)?;
     let (prefilter, transactions) = parse_modes(args);
+    let rules = parse_rules(args)?;
     let config = ExtractionConfig {
         interval_ms: interval_min * MINUTE_MS,
         detector: DetectorConfig {
@@ -257,6 +292,7 @@ fn parse_config(args: &Args) -> Result<ExtractionConfig, String> {
         miner,
         prefilter,
         transactions,
+        rules,
     };
     // Validate here, before any path touches a trace (the multi-input
     // modes infer per-file origins with `% interval_ms` up front).
@@ -281,6 +317,28 @@ fn load_traces(inputs: &[String]) -> Result<Vec<FlowTrace>, String> {
         .iter()
         .map(|p| Ok(FlowTrace::from_flows(load_flows(p)?)))
         .collect()
+}
+
+/// Render one alarmed merged interval: the Table II-style report plus —
+/// when the rule layer is on and at least two sources fed the interval —
+/// the per-source rule merge section (each source's segment re-mined at
+/// its weighted support floor, merged and re-scored). The one definition
+/// both the batch multi-extract and the streaming fan-in print, so the
+/// e2e byte-diff can hold.
+fn render_multi_report(
+    extraction: &Extraction,
+    flows: &[FlowRecord],
+    source_flows: &[usize],
+    config: &ExtractionConfig,
+) -> String {
+    let mut out = render_report(extraction);
+    if source_flows.len() >= 2 {
+        if let Some(merged) = merge_source_rules(flows, source_flows, &extraction.metadata, config)
+        {
+            out.push_str(&render_rule_merge(&merged, source_flows.len()));
+        }
+    }
+    out
 }
 
 /// Batch multi-source extraction: slice each trace on its own inferred
@@ -316,7 +374,16 @@ fn run_extract_multi(
             }
         }
         if let Some(extraction) = pipeline.process_interval(&merged).extraction {
-            reports.push(render_report(&extraction));
+            let source_flows: Vec<usize> = lanes
+                .iter()
+                .map(|lane| lane.get(i).map_or(0, |iv| iv.flows.len()))
+                .collect();
+            reports.push(render_multi_report(
+                &extraction,
+                &merged,
+                &source_flows,
+                config,
+            ));
         }
     }
     Ok((reports, total))
@@ -371,6 +438,15 @@ pub fn extract(args: &Args) -> Result<(), String> {
 /// Render one streaming event: a verbose per-interval line and, on
 /// alarm, the full Table II-style report.
 fn print_stream_event(event: &StreamEvent, verbose: bool) {
+    print_stream_line(event, verbose);
+    if let Some(extraction) = &event.outcome.extraction {
+        println!("{}", render_report(extraction));
+    }
+}
+
+/// The `--verbose` per-interval status line, shared by the single- and
+/// multi-source streaming printers.
+fn print_stream_line(event: &StreamEvent, verbose: bool) {
     if verbose {
         println!(
             "interval {:>4}  [{} ms, {} ms)  {:>8} flows  {:>8} µs  {}",
@@ -381,9 +457,6 @@ fn print_stream_event(event: &StreamEvent, verbose: bool) {
             event.process_micros,
             if event.alarmed() { "ALARM" } else { "ok" }
         );
-    }
-    if let Some(extraction) = &event.outcome.extraction {
-        println!("{}", render_report(extraction));
     }
 }
 
@@ -448,11 +521,18 @@ pub fn stream(args: &Args) -> Result<(), String> {
         for (trace, path) in traces.iter_mut().zip(&inputs) {
             origins.push(inferred_origin(trace, config.interval_ms, path)?);
         }
-        let (events, summary) = run_stream_multi(traces, &origins, config, threads, max_lag)?;
+        let (events, summary) =
+            run_stream_multi(traces, &origins, config.clone(), threads, max_lag)?;
         let mut latencies: Vec<u64> = Vec::new();
         for event in &events {
             latencies.push(event.event.process_micros);
-            print_stream_event(&event.event, verbose);
+            print_stream_line(&event.event, verbose);
+            if let Some(extraction) = &event.event.outcome.extraction {
+                println!(
+                    "{}",
+                    render_multi_report(extraction, &event.flow_data, &event.source_flows, &config)
+                );
+            }
         }
         let p50 = latency_percentile(&mut latencies, 50.0);
         let p95 = latency_percentile(&mut latencies, 95.0);
@@ -631,6 +711,30 @@ mod tests {
     }
 
     #[test]
+    fn rule_options_parse_and_imply_the_layer() {
+        let a = Args::parse(["x"].iter().map(ToString::to_string)).unwrap();
+        assert_eq!(parse_rules(&a).unwrap(), None, "off by default");
+        let a = Args::parse(["x", "--rules"].iter().map(ToString::to_string)).unwrap();
+        assert_eq!(parse_rules(&a).unwrap(), Some(RuleConfig::default()));
+        let a = Args::parse(
+            ["x", "--min-confidence", "0.9", "--rare"]
+                .iter()
+                .map(ToString::to_string),
+        )
+        .unwrap();
+        let rc = parse_rules(&a).unwrap().expect("options imply --rules");
+        assert_eq!(rc.min_confidence, 0.9);
+        assert!(rc.rare);
+        let a = Args::parse(
+            ["x", "--rules", "--min-lift", "zzz"]
+                .iter()
+                .map(ToString::to_string),
+        )
+        .unwrap();
+        assert!(parse_rules(&a).is_err(), "bad value reported");
+    }
+
+    #[test]
     fn mode_flags() {
         let a = Args::parse(
             ["x", "--prefixes", "--intersection"]
@@ -656,6 +760,9 @@ mod tests {
                 ..DetectorConfig::default()
             },
             min_support: 800,
+            // Rules on: the rendered reports then carry the ranked-rule
+            // section, so this also pins rule determinism batch vs stream.
+            rules: Some(RuleConfig::default()),
             ..ExtractionConfig::default()
         };
         // Round-trip the flows through the wire format, as `stream` does.
@@ -737,6 +844,10 @@ mod tests {
                 ..DetectorConfig::default()
             },
             min_support: 800,
+            // Rules on: the reports then include both the ranked-rule
+            // section and the per-source rule merge section, so the
+            // fan-in equality below covers the whole rule layer.
+            rules: Some(RuleConfig::default()),
             ..ExtractionConfig::default()
         };
         let threads = NonZeroUsize::new(2).unwrap();
@@ -745,6 +856,12 @@ mod tests {
         let (batch_reports, total) =
             run_extract_multi(&mut traces, &paths, &config, NonZeroUsize::MIN).unwrap();
         assert!(!batch_reports.is_empty(), "the flood must alarm");
+        assert!(
+            batch_reports
+                .iter()
+                .any(|r| r.contains("Per-source rule merge — 2 source(s)")),
+            "multi-source reports carry the merge section"
+        );
         // The skewed link spills past its inferred (floored) origin into
         // one extra trailing window, so the merged grid may exceed the
         // generator's interval count by one.
@@ -755,10 +872,17 @@ mod tests {
         for (trace, path) in traces.iter_mut().zip(&paths) {
             origins.push(inferred_origin(trace, config.interval_ms, path).unwrap());
         }
-        let (events, summary) = run_stream_multi(traces, &origins, config, threads, None).unwrap();
+        let (events, summary) =
+            run_stream_multi(traces, &origins, config.clone(), threads, None).unwrap();
         let stream_reports: Vec<String> = events
             .iter()
-            .filter_map(|e| e.event.outcome.extraction.as_ref().map(render_report))
+            .filter_map(|e| {
+                e.event
+                    .outcome
+                    .extraction
+                    .as_ref()
+                    .map(|ex| render_multi_report(ex, &e.flow_data, &e.source_flows, &config))
+            })
             .collect();
         assert_eq!(stream_reports, batch_reports, "fan-in diverged from batch");
         assert_eq!(summary.intervals as usize, total, "grids agree");

@@ -14,7 +14,7 @@
 use std::fmt;
 
 use anomex_detector::DetectorConfig;
-use anomex_mining::MinerKind;
+use anomex_mining::{MinerKind, RuleConfig};
 use anomex_netflow::MINUTE_MS;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +67,12 @@ pub struct ExtractionConfig {
     /// Transaction shape: canonical width-7 or prefix-extended width-9
     /// (the §III-D multilevel mode).
     pub transactions: TransactionMode,
+    /// Association-rule layer on top of the item-set summary: `Some` to
+    /// generate, filter and rank rules per extraction (metric filters
+    /// plus the rare-itemset mode), `None` (the default) for the paper's
+    /// item-set-only output.
+    #[serde(default)]
+    pub rules: Option<RuleConfig>,
 }
 
 impl Default for ExtractionConfig {
@@ -80,6 +86,7 @@ impl Default for ExtractionConfig {
             min_support: 10_000,
             miner: MinerKind::Apriori,
             transactions: TransactionMode::Canonical,
+            rules: None,
         }
     }
 }
@@ -96,6 +103,9 @@ impl ExtractionConfig {
         }
         if self.min_support == 0 {
             return Err(ConfigError::new("minimum support must be at least 1"));
+        }
+        if let Some(rules) = &self.rules {
+            rules.validate().map_err(ConfigError::new)?;
         }
         self.detector.validate().map_err(ConfigError::new)
     }
@@ -139,6 +149,12 @@ mod tests {
         c = ExtractionConfig::default();
         c.interval_ms = 0;
         assert!(c.validate().is_err());
+        c = ExtractionConfig::default();
+        c.rules = Some(RuleConfig {
+            min_confidence: 2.0,
+            ..RuleConfig::default()
+        });
+        assert!(c.validate().is_err(), "rule filters are validated too");
     }
 
     #[test]

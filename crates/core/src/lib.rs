@@ -37,7 +37,12 @@
 //! - [`evaluate`] — the full §III evaluation harness over labeled
 //!   scenarios;
 //! - [`models`] — the analytic voting models, eqs. (1)–(3);
-//! - [`report`] — Table II-style rendering.
+//! - [`report`] — Table II-style rendering;
+//! - [`extract_with_rules`] / [`extract_sharded_with_rules`] /
+//!   [`merge_source_rules`] — the association-rule layer on top of the
+//!   item-set summary: rules generated from the mined supports, filtered
+//!   by confidence/lift, and ranked by a meta-detection z-score pass
+//!   (see [`anomex_mining::rules`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,12 +70,15 @@ pub use models::{
     expected_normal_survivors, gamma_normal_survives,
 };
 pub use pipeline::{
-    extract_with_metadata, extract_with_mode, AnomalyExtractor, Extraction, IntervalOutcome,
-    TransactionMode,
+    extract_with_metadata, extract_with_mode, extract_with_rules, merge_source_rules,
+    AnomalyExtractor, Extraction, IntervalOutcome, TransactionMode,
 };
 pub use prefilter::{prefilter, prefilter_indices, PrefilterMode};
-pub use report::{render_csv, render_report};
-pub use sharded::{extract_sharded, observe_sharded, prefilter_indices_sharded, ShardedExtractor};
+pub use report::{render_csv, render_report, render_rule_merge};
+pub use sharded::{
+    extract_sharded, extract_sharded_with_rules, observe_sharded, prefilter_indices_sharded,
+    ShardedExtractor,
+};
 pub use streaming::{
     latency_percentile, MultiSourceExtractor, MultiStreamEvent, MultiStreamSummary, StreamEvent,
     StreamSummary, StreamingExtractor,

@@ -12,7 +12,9 @@ use std::num::NonZeroUsize;
 use anomex_detector::{BankObservation, DetectorBank, MetaData};
 use anomex_mining::apriori::{apriori_exec, AprioriConfig};
 use anomex_mining::par::Exec;
-use anomex_mining::{ItemSet, LevelStats, MinerKind, TransactionSet};
+use anomex_mining::{
+    merge_rule_sets, ItemSet, LevelStats, MineTask, MinerKind, RuleConfig, RuleSet, TransactionSet,
+};
 use anomex_netflow::FlowRecord;
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +79,9 @@ pub struct Extraction {
     pub levels: Vec<LevelStats>,
     /// Classification-cost reduction `R = F / I` for this interval.
     pub cost_reduction: f64,
+    /// The ranked association rules, present iff the configuration
+    /// enables the rule layer ([`ExtractionConfig::rules`]).
+    pub rules: Option<RuleSet>,
 }
 
 /// Offline extraction: pre-filter `flows` with the given meta-data and
@@ -130,6 +135,39 @@ pub fn extract_with_mode(
         tx_mode,
         miner,
         min_support,
+        None,
+        Exec::inline(),
+    )
+}
+
+/// Offline extraction with the association-rule layer enabled: the
+/// item-set report of [`extract_with_mode`] plus the generated,
+/// filtered, z-score-ranked rules in [`Extraction::rules`].
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn extract_with_rules(
+    interval: u64,
+    flows: &[FlowRecord],
+    metadata: &MetaData,
+    mode: PrefilterMode,
+    tx_mode: TransactionMode,
+    miner: MinerKind,
+    min_support: u64,
+    rules: &RuleConfig,
+) -> Extraction {
+    mine_at_indices(
+        interval,
+        flows,
+        &prefilter_indices(flows, metadata, mode),
+        metadata,
+        tx_mode,
+        miner,
+        min_support,
+        Some(rules),
         Exec::inline(),
     )
 }
@@ -138,8 +176,9 @@ pub fn extract_with_mode(
 /// for the pre-filtered `indices` (zero-copy — straight from index slice
 /// to transactions, no intermediate `Vec<FlowRecord>`), mine maximal
 /// item-sets in the given execution context (inline, scoped threads, or
-/// the engine's persistent worker pool), and assemble the
-/// [`Extraction`].
+/// the engine's persistent worker pool), optionally layer the
+/// association rules on top ([`MineTask::run_with_rules`] — one mining
+/// pass serves both outputs), and assemble the [`Extraction`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn mine_at_indices(
     interval: u64,
@@ -149,18 +188,26 @@ pub(crate) fn mine_at_indices(
     tx_mode: TransactionMode,
     miner: MinerKind,
     min_support: u64,
+    rule_config: Option<&RuleConfig>,
     exec: Exec<'_>,
 ) -> Extraction {
     let transactions = tx_mode.transactions_at(flows, indices);
-    let (itemsets, levels) = match miner {
-        MinerKind::Apriori => {
-            let out = apriori_exec(&transactions, &AprioriConfig::maximal(min_support), exec);
-            (out.itemsets, out.levels)
+    let (itemsets, levels, rules) = match rule_config {
+        Some(rc) => {
+            let out = MineTask::maximal(miner, &transactions, min_support).run_with_rules(rc, exec);
+            (out.itemsets, out.levels, Some(out.rules))
         }
-        other => (
-            other.mine_maximal_exec(&transactions, min_support, exec),
-            Vec::new(),
-        ),
+        None => match miner {
+            MinerKind::Apriori => {
+                let out = apriori_exec(&transactions, &AprioriConfig::maximal(min_support), exec);
+                (out.itemsets, out.levels, None)
+            }
+            other => (
+                other.mine_maximal_exec(&transactions, min_support, exec),
+                Vec::new(),
+                None,
+            ),
+        },
     };
     let cost = cost_reduction(flows.len() as u64, itemsets.len());
     Extraction {
@@ -171,7 +218,61 @@ pub(crate) fn mine_at_indices(
         itemsets,
         levels,
         cost_reduction: cost,
+        rules,
     }
+}
+
+/// Per-source rule extraction and merge — the weighted-support answer to
+/// multi-link operation: mine rules **per source segment** with the
+/// support floor scaled to the segment's share of the interval
+/// (`max(1, s·|segment|/|interval|)`, exact integer arithmetic), then
+/// merge and re-score the per-source populations at the rule layer
+/// ([`merge_rule_sets`]), so a rule that is anomalous on a low-rate link
+/// ranks against the union population instead of disappearing under an
+/// absolute floor sized for the aggregate.
+///
+/// `flows` is the merged interval with the sources' flows concatenated
+/// in registration order and `source_flows` their segment lengths (as
+/// both the batch fan-in and the streaming watermark merge produce);
+/// `metadata` is the consolidated meta-data that drove the interval's
+/// extraction. Returns `None` when the configuration has no rule layer
+/// or the segment lengths do not partition `flows`.
+#[must_use]
+pub fn merge_source_rules(
+    flows: &[FlowRecord],
+    source_flows: &[usize],
+    metadata: &MetaData,
+    config: &ExtractionConfig,
+) -> Option<RuleSet> {
+    let rule_config = config.rules.as_ref()?;
+    if source_flows.iter().sum::<usize>() != flows.len() {
+        return None;
+    }
+    let total = flows.len() as u64;
+    let mut per_source = Vec::with_capacity(source_flows.len());
+    let mut start = 0;
+    for &len in source_flows {
+        let segment = &flows[start..start + len];
+        start += len;
+        if segment.is_empty() || total == 0 {
+            continue;
+        }
+        let support = (config.min_support * len as u64 / total).max(1);
+        let extraction = extract_with_rules(
+            0,
+            segment,
+            metadata,
+            config.prefilter,
+            config.transactions,
+            config.miner,
+            support,
+            rule_config,
+        );
+        if let Some(rules) = extraction.rules {
+            per_source.push(rules);
+        }
+    }
+    Some(merge_rule_sets(&per_source))
 }
 
 /// Outcome of feeding one interval to the online pipeline.

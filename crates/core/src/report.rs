@@ -2,10 +2,14 @@
 
 use std::fmt::Write as _;
 
+use anomex_mining::RuleSet;
 use anomex_traffic::AnomalyClass;
 
 use crate::classify::classify_itemset;
 use crate::pipeline::Extraction;
+
+/// Rules shown per report section; the rest is summarized in one line.
+const RULE_REPORT_LIMIT: usize = 20;
 
 /// Render an extraction as a Table II-style text report: one row per
 /// maximal item-set (largest support first), the Apriori per-level audit
@@ -59,11 +63,75 @@ pub fn render_report(extraction: &Extraction) -> String {
             );
         }
     }
+    if let Some(rules) = &extraction.rules {
+        render_rule_section(&mut out, rules);
+    }
     let _ = writeln!(
         out,
         "classification cost reduction: {:.0} (flows per item-set to classify)",
         extraction.cost_reduction
     );
+    out
+}
+
+/// Append the ranked-rule table of one rule population.
+fn render_rule_section(out: &mut String, rules: &RuleSet) {
+    if rules.is_empty() {
+        let _ = writeln!(
+            out,
+            "association rules: none passed the confidence/lift filters"
+        );
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "association rules ({} over {} transactions, ranked by anomaly score):",
+        rules.len(),
+        rules.transactions
+    );
+    let _ = writeln!(
+        out,
+        "{:>3}  {:>7}  {:>6}  {:>9}  {:>8}  {:>10}  rule",
+        "#", "score", "conf", "lift", "leverage", "conviction"
+    );
+    for (i, scored) in rules.rules.iter().take(RULE_REPORT_LIMIT).enumerate() {
+        let r = &scored.rule;
+        let conviction = match r.conviction {
+            Some(v) => format!("{v:.2}"),
+            None => "inf".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:>3}  {:>7.3}  {:>6.3}  {:>9.2}  {:>8.4}  {conviction:>10}  {r}",
+            i + 1,
+            scored.score,
+            r.confidence,
+            r.lift,
+            r.leverage,
+        );
+    }
+    if rules.len() > RULE_REPORT_LIMIT {
+        let _ = writeln!(
+            out,
+            "  … and {} lower-ranked rule(s)",
+            rules.len() - RULE_REPORT_LIMIT
+        );
+    }
+}
+
+/// Render a merged multi-source rule population — the output of
+/// [`merge_source_rules`](crate::merge_source_rules): per-source rules
+/// mined at weighted support floors, merged by rule key, metrics
+/// recomputed from the summed counts, and re-scored against the union
+/// population.
+#[must_use]
+pub fn render_rule_merge(rules: &RuleSet, sources: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Per-source rule merge — {sources} source(s), weighted support floors, re-scored"
+    );
+    render_rule_section(&mut out, rules);
     out
 }
 
@@ -117,6 +185,34 @@ mod tests {
                 maximal: 2,
             }],
             cost_reduction: 175_431.0,
+            rules: None,
+        }
+    }
+
+    fn ruleset() -> anomex_mining::RuleSet {
+        use anomex_mining::rules::score_rules;
+        use anomex_mining::Rule;
+        let rules = vec![
+            Rule::from_supports(
+                vec![Item::new(FlowFeature::DstIp, 5)],
+                vec![Item::new(FlowFeature::DstPort, 7000)],
+                17_822,
+                17_822,
+                17_900,
+                53_467,
+            ),
+            Rule::from_supports(
+                vec![Item::new(FlowFeature::DstPort, 80)],
+                vec![Item::new(FlowFeature::Proto, 6)],
+                20_000,
+                25_000,
+                30_000,
+                53_467,
+            ),
+        ];
+        anomex_mining::RuleSet {
+            rules: score_rules(rules, 53_467),
+            transactions: 53_467,
         }
     }
 
@@ -137,6 +233,37 @@ mod tests {
         let web = r.find("dstPort=80").unwrap();
         let flood = r.find("dstIP").unwrap();
         assert!(web < flood, "largest support listed first:\n{r}");
+    }
+
+    #[test]
+    fn rule_section_renders_when_enabled() {
+        let mut e = extraction();
+        let r = render_report(&e);
+        assert!(!r.contains("association rules"), "absent by default:\n{r}");
+        e.rules = Some(ruleset());
+        let r = render_report(&e);
+        assert!(
+            r.contains("association rules (2 over 53467 transactions"),
+            "header present:\n{r}"
+        );
+        assert!(r.contains("inf"), "conviction ∞ rendered as inf:\n{r}");
+        assert!(
+            r.contains("{dstIP=0.0.0.5} => {dstPort=7000} x17822"),
+            "rule display form present:\n{r}"
+        );
+        e.rules = Some(anomex_mining::RuleSet::empty());
+        let r = render_report(&e);
+        assert!(
+            r.contains("none passed the confidence/lift filters"),
+            "empty population still announced:\n{r}"
+        );
+    }
+
+    #[test]
+    fn rule_merge_render_names_the_sources() {
+        let r = render_rule_merge(&ruleset(), 2);
+        assert!(r.starts_with("Per-source rule merge — 2 source(s)"));
+        assert!(r.contains("ranked by anomaly score"));
     }
 
     #[test]

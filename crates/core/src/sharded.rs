@@ -54,7 +54,7 @@ use std::sync::Arc;
 
 use anomex_detector::{BankHasher, BankObservation, DetectorBank, MetaData};
 use anomex_mining::par::{map_chunks, map_chunks_arc, Exec, MIN_ITEMS_PER_THREAD};
-use anomex_mining::MinerKind;
+use anomex_mining::{MinerKind, RuleConfig};
 use anomex_netflow::shard::default_shards;
 use anomex_netflow::FlowRecord;
 use crossbeam::WorkerPool;
@@ -143,6 +143,67 @@ pub fn extract_sharded(
     min_support: u64,
     shards: NonZeroUsize,
 ) -> Extraction {
+    extract_sharded_impl(
+        interval,
+        flows,
+        metadata,
+        mode,
+        tx_mode,
+        miner,
+        min_support,
+        None,
+        shards,
+    )
+}
+
+/// [`extract_sharded`] with the association-rule layer enabled: the rule
+/// generation fans out on the same per-call [`WorkerPool`] as the miner
+/// (tree tasks merged in spawn order), so [`Extraction::rules`] is
+/// bit-identical to the sequential
+/// [`extract_with_rules`](crate::extract_with_rules) for every shard
+/// count.
+///
+/// # Panics
+///
+/// Panics if `min_support` is zero or a pool worker panics.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn extract_sharded_with_rules(
+    interval: u64,
+    flows: &[FlowRecord],
+    metadata: &MetaData,
+    mode: PrefilterMode,
+    tx_mode: TransactionMode,
+    miner: MinerKind,
+    min_support: u64,
+    rules: &RuleConfig,
+    shards: NonZeroUsize,
+) -> Extraction {
+    extract_sharded_impl(
+        interval,
+        flows,
+        metadata,
+        mode,
+        tx_mode,
+        miner,
+        min_support,
+        Some(rules),
+        shards,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extract_sharded_impl(
+    interval: u64,
+    flows: &[FlowRecord],
+    metadata: &MetaData,
+    mode: PrefilterMode,
+    tx_mode: TransactionMode,
+    miner: MinerKind,
+    min_support: u64,
+    rules: Option<&RuleConfig>,
+    shards: NonZeroUsize,
+) -> Extraction {
     if shards.get() == 1 {
         let indices = crate::prefilter::prefilter_indices(flows, metadata, mode);
         return mine_at_indices(
@@ -153,6 +214,7 @@ pub fn extract_sharded(
             tx_mode,
             miner,
             min_support,
+            rules,
             Exec::inline(),
         );
     }
@@ -171,6 +233,7 @@ pub fn extract_sharded(
         tx_mode,
         miner,
         min_support,
+        rules,
         exec,
     )
 }
@@ -375,6 +438,7 @@ impl ShardedExtractor {
                 self.config.transactions,
                 self.config.miner,
                 self.config.min_support,
+                self.config.rules.as_ref(),
                 exec,
             ))
         } else {
@@ -404,6 +468,7 @@ impl ShardedExtractor {
                 self.config.transactions,
                 self.config.miner,
                 self.config.min_support,
+                self.config.rules.as_ref(),
                 Exec::inline(),
             ))
         } else {

@@ -132,21 +132,50 @@ pub fn latency_percentile(latencies: &mut [u64], p: f64) -> u64 {
 
 /// A closed interval plus the assembler's cumulative drop count at the
 /// moment it closed — what the caller thread hands the pipeline thread.
-type Work = (ClosedInterval, u64);
+/// The flows travel behind an [`Arc`] so a submitter can keep a handle
+/// to the interval's data (the multi-source engine re-mines it per
+/// source for the rule-merge layer) without copying the `Vec`.
+#[derive(Debug)]
+struct Work {
+    index: u64,
+    begin_ms: u64,
+    end_ms: u64,
+    flows: Arc<Vec<FlowRecord>>,
+    dropped_flows: u64,
+}
 
-fn pipeline_loop(
-    mut engine: ShardedExtractor,
-    work_rx: &Receiver<Work>,
-    events_tx: &Sender<StreamEvent>,
-) -> ShardedExtractor {
-    while let Ok((interval, dropped_flows)) = work_rx.recv() {
+impl Work {
+    /// Wrap a freshly closed interval, Arc-ing its flows.
+    fn from_closed(interval: ClosedInterval, dropped_flows: u64) -> Self {
         let ClosedInterval {
             index,
             begin_ms,
             end_ms,
             flows,
         } = interval;
-        let flows = Arc::new(flows);
+        Work {
+            index,
+            begin_ms,
+            end_ms,
+            flows: Arc::new(flows),
+            dropped_flows,
+        }
+    }
+}
+
+fn pipeline_loop(
+    mut engine: ShardedExtractor,
+    work_rx: &Receiver<Work>,
+    events_tx: &Sender<StreamEvent>,
+) -> ShardedExtractor {
+    while let Ok(work) = work_rx.recv() {
+        let Work {
+            index,
+            begin_ms,
+            end_ms,
+            flows,
+            dropped_flows,
+        } = work;
         let started = Instant::now();
         let outcome = engine.process_shared(&flows);
         let process_micros = started.elapsed().as_micros() as u64;
@@ -218,13 +247,13 @@ impl PipelineHandle {
     /// # Panics
     ///
     /// Re-raises a panic from the pipeline thread.
-    fn submit(&mut self, interval: ClosedInterval, dropped: u64, into: &mut Vec<StreamEvent>) {
+    fn submit(&mut self, work: Work, into: &mut Vec<StreamEvent>) {
         self.drain_ready(into);
         let sent = self
             .work_tx
             .as_ref()
             .expect("stream already finished")
-            .send((interval, dropped));
+            .send(work);
         if sent.is_err() {
             // The pipeline thread is gone mid-stream: it panicked.
             self.join_and_propagate();
@@ -363,7 +392,8 @@ impl StreamingExtractor {
         let mut events = Vec::new();
         for interval in closed {
             let dropped = self.assembler.dropped_flows();
-            self.pipe.submit(interval, dropped, &mut events);
+            self.pipe
+                .submit(Work::from_closed(interval, dropped), &mut events);
         }
         self.pipe.drain_ready(&mut events);
         events
@@ -381,7 +411,8 @@ impl StreamingExtractor {
         let mut events = Vec::new();
         if let Some(interval) = self.assembler.flush() {
             let dropped = self.assembler.dropped_flows();
-            self.pipe.submit(interval, dropped, &mut events);
+            self.pipe
+                .submit(Work::from_closed(interval, dropped), &mut events);
         }
         let (tail, engine) = self.pipe.finish();
         events.extend(tail);
@@ -408,6 +439,13 @@ pub struct MultiStreamEvent {
     /// How many flows each registered source contributed, in source
     /// registration order.
     pub source_flows: Vec<usize>,
+    /// The merged interval's flows (per-source segments concatenated in
+    /// registration order, as `source_flows` partitions them) — shared
+    /// with the pipeline thread, so keeping the event keeps no copy.
+    /// Lets callers re-mine the interval per source, e.g. for the
+    /// weighted per-source rule merge
+    /// ([`merge_source_rules`](crate::merge_source_rules)).
+    pub flow_data: Arc<Vec<FlowRecord>>,
 }
 
 impl MultiStreamEvent {
@@ -454,9 +492,9 @@ pub struct MultiStreamSummary {
 pub struct MultiSourceExtractor {
     assembler: MergeAssembler,
     pipe: PipelineHandle,
-    /// Per-source weights of intervals submitted to the pipeline thread
-    /// but not yet returned, keyed by grid index.
-    pending_weights: BTreeMap<u64, Vec<usize>>,
+    /// Per-source weights and shared flow data of intervals submitted to
+    /// the pipeline thread but not yet returned, keyed by grid index.
+    pending_weights: BTreeMap<u64, (Vec<usize>, Arc<Vec<FlowRecord>>)>,
     total_flows: u64,
 }
 
@@ -583,15 +621,20 @@ impl MultiSourceExtractor {
                 flows,
                 source_flows,
             } = interval;
-            self.pending_weights.insert(index, source_flows);
-            let closed = ClosedInterval {
-                index,
-                begin_ms,
-                end_ms,
-                flows,
-            };
+            let flows = Arc::new(flows);
+            self.pending_weights
+                .insert(index, (source_flows, Arc::clone(&flows)));
             let dropped = self.assembler.dropped_flows();
-            self.pipe.submit(closed, dropped, &mut events);
+            self.pipe.submit(
+                Work {
+                    index,
+                    begin_ms,
+                    end_ms,
+                    flows,
+                    dropped_flows: dropped,
+                },
+                &mut events,
+            );
         }
         self.pipe.drain_ready(&mut events);
         self.tag(events)
@@ -604,13 +647,14 @@ impl MultiSourceExtractor {
         events
             .into_iter()
             .map(|event| {
-                let source_flows = self
+                let (source_flows, flow_data) = self
                     .pending_weights
                     .remove(&event.index)
                     .unwrap_or_default();
                 MultiStreamEvent {
                     event,
                     source_flows,
+                    flow_data,
                 }
             })
             .collect()

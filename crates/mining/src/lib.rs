@@ -27,11 +27,15 @@
 //!   ([`map_chunks_arc`]) plus fork/join task trees
 //!   ([`par::run_tree_exec`]) for the recursive search phases. Every
 //!   miner's `*_exec` output is bit-identical to the sequential one for
-//!   every execution context and thread count.
-//!
-//! Only the *first* step of association-rule mining (frequent item-sets) is
-//! implemented, deliberately: the paper argues deriving directional rules
-//! adds nothing for anomaly extraction (§II-B).
+//!   every execution context and thread count;
+//! - [`rules`] — the *second* step of association-rule mining: rules
+//!   `X ⇒ Y` with confidence/lift/leverage/conviction derived from the
+//!   counted supports (never rescanning transactions), a rare-itemset
+//!   per-level support floor for low-support attacks, and a
+//!   meta-detection pass that z-scores each rule's metric vector against
+//!   the interval's rule population to rank anomalous rules. The paper
+//!   stops at frequent item-sets (§II-B); the rule layer adds tightness
+//!   evidence and rule-level anomaly ranking on top of them.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -46,6 +50,7 @@ pub mod itemset;
 pub mod maximal;
 pub mod miner;
 pub mod par;
+pub mod rules;
 pub mod task;
 pub mod topk;
 pub mod transaction;
@@ -59,6 +64,7 @@ pub use itemset::{canonicalize, ItemSet};
 pub use maximal::{filter_maximal, filter_maximal_general};
 pub use miner::MinerKind;
 pub use par::{map_chunks, map_chunks_arc, Exec};
-pub use task::{apriori_par, eclat_par, fpgrowth_par, MineTask};
+pub use rules::{generate_rules, merge_rule_sets, Rule, RuleConfig, RuleSet, ScoredRule};
+pub use task::{apriori_par, eclat_par, fpgrowth_par, MineTask, RuleMineOutput};
 pub use topk::{mine_top_k, TopK};
 pub use transaction::{Transaction, TransactionError, TransactionSet, CANONICAL_WIDTH, MAX_WIDTH};

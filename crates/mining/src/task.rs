@@ -19,14 +19,15 @@
 
 use std::num::NonZeroUsize;
 
-use crate::apriori::{apriori_exec, AprioriConfig, AprioriOutput};
+use crate::apriori::{apriori_exec, AprioriConfig, AprioriOutput, LevelStats};
 use crate::eclat::eclat_exec;
 use crate::fpgrowth::fpgrowth_exec;
 use crate::itemset::ItemSet;
 use crate::maximal::filter_maximal;
 use crate::miner::MinerKind;
 use crate::par::Exec;
-use crate::transaction::TransactionSet;
+use crate::rules::{generate_rules, RuleConfig, RuleSet};
+use crate::transaction::{Transaction, TransactionSet};
 
 /// A fully described mining invocation: which algorithm, over which
 /// transactions, at which support, producing all or only maximal
@@ -128,6 +129,85 @@ impl<'a> MineTask<'a> {
         };
         apriori_exec(self.set, &config, exec)
     }
+
+    /// Run the task with the association-rule layer on top: mine **all**
+    /// frequent item-sets once at [`RuleConfig::mining_floor`] (the
+    /// task's `min_support` normally; the rare per-level floor at the
+    /// widest transaction in rare mode), derive the maximal item-sets at
+    /// the task's `min_support` from that single run (exact by downward
+    /// closure — no second mining pass), and generate, filter and rank
+    /// rules from the counted supports via
+    /// [`generate_rules`].
+    ///
+    /// The [`RuleMineOutput::itemsets`] equal what
+    /// [`run`](Self::run) in maximal mode returns, and for Apriori the
+    /// level audit trail is carried over (with maximal counters filled
+    /// in), so enabling rules never changes the item-set report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task's `min_support` is zero.
+    #[must_use]
+    pub fn run_with_rules(&self, rules: &RuleConfig, exec: Exec<'_>) -> RuleMineOutput {
+        let width = self
+            .set
+            .transactions()
+            .iter()
+            .map(Transaction::width)
+            .max()
+            .unwrap_or(0);
+        if width == 0 {
+            return RuleMineOutput {
+                itemsets: Vec::new(),
+                levels: Vec::new(),
+                rules: RuleSet::empty(),
+            };
+        }
+        let floor = rules.mining_floor(self.min_support, width);
+        let (all, mut levels) = match self.kind {
+            MinerKind::Apriori => {
+                let out = apriori_exec(self.set, &AprioriConfig::all_frequent(floor), exec);
+                (out.itemsets, out.levels)
+            }
+            _ => (
+                MineTask::all(self.kind, self.set, floor).run(exec),
+                Vec::new(),
+            ),
+        };
+        let at_support: Vec<ItemSet> = all
+            .iter()
+            .filter(|s| s.support >= self.min_support)
+            .cloned()
+            .collect();
+        let itemsets = filter_maximal(at_support);
+        for set in &itemsets {
+            if let Some(stats) = levels.get_mut(set.len() - 1) {
+                stats.maximal += 1;
+            }
+        }
+        let ranked = generate_rules(&all, self.set.len() as u64, self.min_support, rules, exec);
+        RuleMineOutput {
+            itemsets,
+            levels,
+            rules: ranked,
+        }
+    }
+}
+
+/// What [`MineTask::run_with_rules`] produces: the maximal item-set
+/// report at the task's support, the Apriori level audit trail (empty
+/// for other miners), and the ranked rule population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleMineOutput {
+    /// Maximal frequent item-sets at the task's `min_support`, in
+    /// canonical order — identical to the rule-free maximal run.
+    pub itemsets: Vec<ItemSet>,
+    /// Apriori per-level statistics of the mining pass actually run
+    /// (at the rule mining floor, which equals `min_support` outside
+    /// rare mode); empty for FP-growth and Eclat.
+    pub levels: Vec<LevelStats>,
+    /// The generated, filtered, z-score-ranked rules.
+    pub rules: RuleSet,
 }
 
 // --- Compatibility shims -------------------------------------------------
@@ -230,6 +310,40 @@ mod tests {
             crate::fpgrowth::fpgrowth(&set, 3)
         );
         assert_eq!(eclat_par(&set, 3, threads), crate::eclat::eclat(&set, 3));
+    }
+
+    #[test]
+    fn rule_run_reproduces_the_maximal_report_and_ranks_rules() {
+        let set = sample();
+        let loose = RuleConfig {
+            min_confidence: 0.0,
+            min_lift: 0.0,
+            rare: false,
+        };
+        for kind in MinerKind::ALL {
+            let out = MineTask::maximal(kind, &set, 3).run_with_rules(&loose, Exec::inline());
+            assert_eq!(
+                out.itemsets,
+                MineTask::maximal(kind, &set, 3).run(Exec::inline()),
+                "{kind}: enabling rules must not change the item-set report"
+            );
+            assert!(!out.rules.is_empty(), "{kind}");
+            assert_eq!(out.rules.transactions, set.len() as u64);
+        }
+        let legacy = MineTask::maximal(MinerKind::Apriori, &set, 3).run_apriori(Exec::inline());
+        let with_rules =
+            MineTask::maximal(MinerKind::Apriori, &set, 3).run_with_rules(&loose, Exec::inline());
+        assert_eq!(with_rules.levels, legacy.levels, "audit trail carried over");
+    }
+
+    #[test]
+    fn rule_run_on_an_empty_set_is_empty() {
+        let set = TransactionSet::new();
+        let out = MineTask::maximal(MinerKind::Apriori, &set, 1)
+            .run_with_rules(&RuleConfig::default(), Exec::inline());
+        assert!(out.itemsets.is_empty());
+        assert!(out.levels.is_empty());
+        assert!(out.rules.is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::num::NonZeroUsize;
 
 use anomex_mining::par::{run_tree_exec, Exec, TreeJob, TreeScope};
-use anomex_mining::{Item, MinerKind, Transaction, TransactionSet};
+use anomex_mining::{Item, MineTask, MinerKind, RuleConfig, Transaction, TransactionSet};
 use anomex_netflow::FlowFeature;
 use crossbeam::WorkerPool;
 use proptest::prelude::*;
@@ -67,6 +67,50 @@ proptest! {
                 prop_assert_eq!(&max, &max_ref, "{} maximal via {}", kind, label);
                 for (a, b) in max.iter().zip(&max_ref) {
                     prop_assert_eq!(a.support, b.support, "{} {} support", kind, label);
+                }
+            }
+        }
+    }
+
+    /// The rule layer inherits the guarantee: `run_with_rules` — the
+    /// all-frequent mining pass, the rule fan-out over base item-sets,
+    /// and the z-score ranking — is bit-identical across all three
+    /// execution contexts for every miner, rare mode included. Floats
+    /// are compared by bit pattern.
+    #[test]
+    fn rule_generation_is_bit_identical_across_contexts(
+        set in arb_set(120),
+        min_support in 1u64..4,
+        pool_width in 2usize..5,
+        rare_bit in 0u8..2,
+    ) {
+        let pool = WorkerPool::new(nz(pool_width));
+        // Permissive filters so plenty of rules survive to be compared.
+        let rc = RuleConfig { min_confidence: 0.2, min_lift: 0.0, rare: rare_bit == 1 };
+        for kind in MinerKind::ALL {
+            let task = MineTask::maximal(kind, &set, min_support);
+            let reference = task.run_with_rules(&rc, Exec::inline());
+            for (label, exec) in [
+                ("threads", Exec::Threads(nz(3))),
+                ("pool", Exec::Pool(&pool)),
+            ] {
+                let got = task.run_with_rules(&rc, exec);
+                prop_assert_eq!(&got.itemsets, &reference.itemsets, "{} {} itemsets", kind, label);
+                prop_assert_eq!(&got.levels, &reference.levels, "{} {} levels", kind, label);
+                prop_assert_eq!(got.rules.transactions, reference.rules.transactions);
+                prop_assert_eq!(got.rules.len(), reference.rules.len(), "{} {} rule count", kind, label);
+                for (a, b) in got.rules.rules.iter().zip(&reference.rules.rules) {
+                    prop_assert_eq!(a.rule.antecedent(), b.rule.antecedent(), "{} {}", kind, label);
+                    prop_assert_eq!(a.rule.consequent(), b.rule.consequent(), "{} {}", kind, label);
+                    prop_assert_eq!(a.rule.support, b.rule.support);
+                    prop_assert_eq!(a.score.to_bits(), b.score.to_bits(), "{} {} score", kind, label);
+                    prop_assert_eq!(a.rule.confidence.to_bits(), b.rule.confidence.to_bits());
+                    prop_assert_eq!(a.rule.lift.to_bits(), b.rule.lift.to_bits());
+                    prop_assert_eq!(a.rule.leverage.to_bits(), b.rule.leverage.to_bits());
+                    prop_assert_eq!(
+                        a.rule.conviction.map(f64::to_bits),
+                        b.rule.conviction.map(f64::to_bits)
+                    );
                 }
             }
         }

@@ -12,10 +12,18 @@ baseline in ci/bench-baseline.json:
 - **streaming latency** — the per-interval p95 extraction latency of the
   streaming replay regresses when it exceeds the baseline by more than
   15% (relative), plus an absolute slack for scheduler noise;
-- **low-support mining** — BENCH_mining.json's sequential-vs-pool rows
-  (task-parallel candidate generation / conditional mining) are reported
-  informationally, never gated: no CI-recorded baseline exists for them
-  yet, and on a 1-CPU runner the pool can only add overhead.
+- **low-support mining** — BENCH_mining.json's pool/sequential wall-time
+  ratio per (support, miner) row regresses when it exceeds the baseline
+  ratio by more than 25% (relative) plus an absolute slack, **once** the
+  baseline carries a `mining_pool_seq_ratio` section; until then the
+  rows are reported informationally (on a 1-CPU runner the pool can
+  only add overhead, so a dev-container baseline would gate noise);
+- **rule-layer overhead** — BENCH_rules.json's rule-pass/itemset-only
+  wall-time ratio per (support, miner) row is gated the same way against
+  the baseline's `rules_overhead_ratio` section, and reported
+  informationally while the baseline lacks it. `overhead_report
+  --write-baseline` records both sections, so the first re-record on CI
+  hardware arms both gates (see ci/README.md).
 
 Key skew between the report and the baseline is tolerated in both
 directions: a shard count (or latency percentile) present on one side
@@ -29,7 +37,8 @@ Actions), appended there as a Markdown job summary.
 
 Exit status: 0 when every gated metric is within budget, 1 otherwise.
 Usage: scripts/bench_trend.py [BENCH_sharded.json [ci/bench-baseline.json
-                               [BENCH_streaming.json [BENCH_mining.json]]]]
+                               [BENCH_streaming.json [BENCH_mining.json
+                               [BENCH_rules.json]]]]]
 """
 
 import json
@@ -40,6 +49,8 @@ SHARDED_RELATIVE_TOLERANCE = 0.10   # the ">10% vs baseline" gate
 SHARDED_ABSOLUTE_SLACK = 0.02       # timer noise on sub-millisecond rows
 STREAMING_RELATIVE_TOLERANCE = 0.15  # the ">15% vs baseline" gate
 STREAMING_ABSOLUTE_SLACK_US = 2000   # scheduler noise on short intervals
+RATIO_RELATIVE_TOLERANCE = 0.25      # mining + rule wall-time-ratio gates
+RATIO_ABSOLUTE_SLACK = 0.10          # timer noise on millisecond rows
 
 
 def warn(message):
@@ -131,33 +142,87 @@ def gate_streaming(bench_path, baseline, rows):
     return failures
 
 
-def report_mining(bench_path, rows):
-    """Report low-support mining sequential-vs-pool rows (informational,
-    never gated: no CI-recorded baseline exists for this bench yet)."""
+def gate_ratio_rows(label, bench_path, base, numer_key, denom_key, rows):
+    """Gate per-(support, miner) wall-time ratios against a baseline map
+    keyed "support:miner" (appending to `rows`); returns failures.
+
+    When `base` is empty (the baseline does not carry the section yet)
+    every row is reported informationally instead — the gate arms itself
+    the moment a re-recorded baseline carries the section.
+    """
     try:
         with open(bench_path) as f:
             report = json.load(f)
     except FileNotFoundError:
-        warn(f"mining report {bench_path} is missing; skipping (informational)")
-        return
-    tasks_total = 0
+        if base:
+            return [f"{label} report {bench_path} is missing"]
+        warn(f"{label} report {bench_path} is missing; skipping (informational)")
+        return []
+
+    failures = []
+    seen = set()
     for r in report.get("results", []):
-        seq, pool = r["sequential_millis"], r["pool_millis"]
-        ratio = pool / seq if seq > 0 else 1.0
-        tasks_total += r.get("pool_tasks", 0)
-        print(
-            f"mining s={r['support']} {r['miner']}: seq {seq:.1f} ms, "
-            f"pool {pool:.1f} ms ({ratio:.2f}x), {r.get('pool_tasks', 0)} tasks info"
-        )
-        rows.append(
-            (f"mining s={r['support']} {r['miner']} pool/seq", "-",
-             f"{ratio:.2f}x", "-", "info")
-        )
+        denom, numer = r[denom_key], r[numer_key]
+        ratio = numer / denom if denom > 0 else 1.0
+        key = f"{r['support']}:{r['miner']}"
+        seen.add(key)
+        metric = f"{label} s={r['support']} {r['miner']}"
+        if key in base:
+            budget = base[key] * (1 + RATIO_RELATIVE_TOLERANCE) + RATIO_ABSOLUTE_SLACK
+            verdict = "OK" if ratio <= budget else "REGRESSION"
+            print(
+                f"{metric}: ratio {ratio:.2f}x "
+                f"(baseline {base[key]:.2f}x, budget {budget:.2f}x) {verdict}"
+            )
+            rows.append(
+                (metric, f"{base[key]:.2f}x", f"{ratio:.2f}x", f"{budget:.2f}x", verdict)
+            )
+            if ratio > budget:
+                failures.append(f"{metric}: {ratio:.2f}x exceeds budget {budget:.2f}x")
+        else:
+            if base:
+                warn(f"{key} in {bench_path} but not in baseline; not gated")
+            print(f"{metric}: ratio {ratio:.2f}x info")
+            rows.append((metric, "-", f"{ratio:.2f}x", "-", "info"))
+    for key in sorted(set(base) - seen):
+        warn(f"{key} in baseline but not in {bench_path}; skipping")
+    return failures
+
+
+def gate_mining(bench_path, baseline, rows):
+    """Gate (or, without a baseline section, report) the low-support
+    mining pool/sequential ratios; returns failures."""
+    base = baseline.get("mining_pool_seq_ratio", {})
+    if not base:
+        warn("baseline has no mining_pool_seq_ratio section; rows are informational")
+    failures = gate_ratio_rows(
+        "mining pool/seq", bench_path, base,
+        "pool_millis", "sequential_millis", rows,
+    )
+    try:
+        with open(bench_path) as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        return failures
     workers = report.get("pool_workers", 0)
+    tasks_total = sum(r.get("pool_tasks", 0) for r in report.get("results", []))
     if workers > 1 and tasks_total <= 1:
         # Informational red flag, not a gate: the task-parallel search
         # phases should visibly dispatch on any multi-width pool.
         warn(f"pool of {workers} workers dispatched only {tasks_total} tree task(s)")
+    return failures
+
+
+def gate_rules(bench_path, baseline, rows):
+    """Gate (or, without a baseline section, report) the rule-layer
+    rule-pass/itemset-only ratios; returns failures."""
+    base = baseline.get("rules_overhead_ratio", {})
+    if not base:
+        warn("baseline has no rules_overhead_ratio section; rows are informational")
+    return gate_ratio_rows(
+        "rules/itemsets", bench_path, base,
+        "rules_millis", "itemsets_millis", rows,
+    )
 
 
 def write_step_summary(rows):
@@ -186,13 +251,15 @@ def main():
     base_path = sys.argv[2] if len(sys.argv) > 2 else "ci/bench-baseline.json"
     streaming_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_streaming.json"
     mining_path = sys.argv[4] if len(sys.argv) > 4 else "BENCH_mining.json"
+    rules_path = sys.argv[5] if len(sys.argv) > 5 else "BENCH_rules.json"
     with open(base_path) as f:
         baseline = json.load(f)
 
     rows = []
     failures = gate_sharded(sharded_path, baseline, rows)
     failures += gate_streaming(streaming_path, baseline, rows)
-    report_mining(mining_path, rows)
+    failures += gate_mining(mining_path, baseline, rows)
+    failures += gate_rules(rules_path, baseline, rows)
     write_step_summary(rows)
 
     if failures:

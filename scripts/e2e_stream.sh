@@ -53,3 +53,30 @@ fi
 
 reports=$(grep -c '^Anomaly extraction report' "$workdir/stream.reports")
 echo "e2e-stream: OK — $reports extraction report(s) bit-identical across stream fan-in and batch extract"
+
+# Second pass with the association-rule layer on: the ranked rule
+# section and the per-source rule merge must also match byte for byte
+# between the streaming fan-in and the batch path.
+"$bin" stream --in "$workdir/link0.nfv5" --in "$workdir/link1.nfv5" "${opts[@]}" --rules \
+    > "$workdir/stream-rules.out"
+"$bin" extract --in "$workdir/link0.nfv5" --in "$workdir/link1.nfv5" "${opts[@]}" --rules \
+    > "$workdir/extract-rules.out"
+filter "$workdir/stream-rules.out" > "$workdir/stream-rules.reports"
+filter "$workdir/extract-rules.out" > "$workdir/extract-rules.reports"
+
+if ! grep -q '^association rules' "$workdir/stream-rules.reports"; then
+    echo "e2e-stream: --rules produced no rule sections — the rule pass is vacuous" >&2
+    exit 1
+fi
+if ! grep -q '^Per-source rule merge' "$workdir/stream-rules.reports"; then
+    echo "e2e-stream: two-source run produced no per-source rule merge" >&2
+    exit 1
+fi
+
+if ! diff -u "$workdir/extract-rules.reports" "$workdir/stream-rules.reports"; then
+    echo "e2e-stream: streaming rule reports diverged from batch extraction" >&2
+    exit 1
+fi
+
+rule_sections=$(grep -c '^association rules' "$workdir/stream-rules.reports")
+echo "e2e-stream: OK — rule reports ($rule_sections section(s)) bit-identical across stream fan-in and batch extract"

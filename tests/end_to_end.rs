@@ -3,8 +3,10 @@
 //! extracted as item-sets that pin its root cause.
 
 use std::net::Ipv4Addr;
+use std::num::NonZeroUsize;
 
-use anomex::core::render_report;
+use anomex::core::{render_report, StreamingExtractor};
+use anomex::mining::RuleConfig;
 use anomex::prelude::*;
 use anomex::traffic::{BackgroundConfig, EventId, EventParams, ScenarioConfig};
 
@@ -92,6 +94,75 @@ fn flooding_is_extracted() {
     );
     let ex = extract_event(&scenario);
     assert_extracts(&ex, &["dstPort=7000", "dstIP=10.3.0.7"]);
+}
+
+/// Golden rule-layer test: on the seeded flood, the top-ranked
+/// association rule must implicate the attack (the flood item-set on
+/// one side, the victim port on the other) — and the streaming path
+/// must reproduce the batch rule report byte for byte.
+#[test]
+fn flood_rules_rank_the_attack_first_in_batch_and_stream() {
+    let scenario = one_event_scenario(
+        EventParams::Flooding {
+            sources: vec![Ipv4Addr::new(91, 1, 1, 1), Ipv4Addr::new(91, 1, 1, 2)],
+            victim: Ipv4Addr::new(10, 3, 0, 7),
+            port: 7000,
+        },
+        3000,
+        101,
+    );
+    let config = ExtractionConfig {
+        rules: Some(RuleConfig::default()),
+        ..pipeline_config()
+    };
+
+    // Batch path.
+    let mut pipeline = AnomalyExtractor::new(config.clone());
+    let mut batch_ex = None;
+    for i in 0..scenario.interval_count() {
+        let outcome = pipeline.process_interval(&scenario.generate(i).flows);
+        if i == 24 {
+            batch_ex = outcome.extraction;
+        }
+    }
+    let batch_ex = batch_ex.expect("the flood interval must extract");
+    let rules = batch_ex.rules.as_ref().expect("the rule layer is on");
+    assert!(!rules.is_empty(), "the flood must yield rules");
+    let top = rules.rules[0].rule.to_string();
+    assert!(
+        top.contains("dstPort=7000") && top.contains("dstIP=10.3.0.7"),
+        "the top-ranked rule must implicate the attack, got {top}\n{}",
+        render_report(&batch_ex)
+    );
+    for lower in &rules.rules[1..] {
+        assert!(
+            rules.rules[0].score.total_cmp(&lower.score).is_ge(),
+            "ranking must put the attack rule first"
+        );
+    }
+
+    // Streaming path: same config, same flows, byte-identical report.
+    let mut stream = StreamingExtractor::try_new(config, NonZeroUsize::new(2).unwrap(), 0).unwrap();
+    let mut stream_ex = None;
+    let mut events = Vec::new();
+    for i in 0..scenario.interval_count() {
+        for flow in scenario.generate(i).flows {
+            events.extend(stream.push(flow));
+        }
+    }
+    let (tail, _) = stream.finish();
+    events.extend(tail);
+    for event in events {
+        if event.index == 24 {
+            stream_ex = event.outcome.extraction;
+        }
+    }
+    let stream_ex = stream_ex.expect("the streamed flood interval must extract");
+    assert_eq!(
+        render_report(&stream_ex),
+        render_report(&batch_ex),
+        "streaming rule report diverged from batch"
+    );
 }
 
 #[test]

@@ -8,9 +8,11 @@
 //! and transaction modes.
 
 use anomex::core::{
-    extract_sharded, extract_with_mode, prefilter_indices, ShardedExtractor, TransactionMode,
+    extract_sharded, extract_sharded_with_rules, extract_with_mode, extract_with_rules,
+    prefilter_indices, ShardedExtractor, TransactionMode,
 };
 use anomex::core::{AnomalyExtractor, ExtractionConfig, PrefilterMode};
+use anomex::mining::RuleConfig;
 use anomex::prelude::*;
 use anomex_core::prefilter_indices_sharded;
 use proptest::prelude::*;
@@ -35,6 +37,32 @@ fn assert_extractions_identical(a: &Extraction, b: &Extraction, context: &str) {
         "{context}: cost reduction diverged"
     );
     assert_eq!(a.metadata, b.metadata, "{context}");
+    match (&a.rules, &b.rules) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.transactions, y.transactions, "{context}");
+            assert_eq!(x.len(), y.len(), "{context}: rule count diverged");
+            for (r, s) in x.rules.iter().zip(&y.rules) {
+                assert_eq!(r.rule.antecedent(), s.rule.antecedent(), "{context}");
+                assert_eq!(r.rule.consequent(), s.rule.consequent(), "{context}");
+                assert_eq!(r.rule.support, s.rule.support, "{context}");
+                assert_eq!(
+                    r.score.to_bits(),
+                    s.score.to_bits(),
+                    "{context}: rule score diverged on {}",
+                    r.rule
+                );
+                assert_eq!(r.rule.confidence.to_bits(), s.rule.confidence.to_bits());
+                assert_eq!(r.rule.lift.to_bits(), s.rule.lift.to_bits());
+                assert_eq!(r.rule.leverage.to_bits(), s.rule.leverage.to_bits());
+                assert_eq!(
+                    r.rule.conviction.map(f64::to_bits),
+                    s.rule.conviction.map(f64::to_bits)
+                );
+            }
+        }
+        _ => panic!("{context}: rule presence diverged"),
+    }
 }
 
 proptest! {
@@ -74,6 +102,51 @@ proptest! {
             &sequential,
             &sharded,
             &format!("seed={seed} miner={miner} shards={shards} extended={extended}"),
+        );
+    }
+
+    /// Rule-layer shard invariance: with the association-rule layer on,
+    /// the sharded engine's rules — the single mining pass, the rule
+    /// fan-out over base item-sets, and the z-score ranking — are
+    /// bit-identical to the sequential path for every shard count and
+    /// miner, rare mode included.
+    #[test]
+    fn rule_extraction_is_shard_invariant(
+        seed in 0u64..10_000,
+        support_div in 1u64..=4,
+        shards in 1usize..=8,
+        miner_idx in 0usize..3,
+        rare in proptest::sample::select(vec![false, true]),
+    ) {
+        let w = table2_workload(seed, 0.02);
+        let miner = MinerKind::ALL[miner_idx];
+        // Rare mode mines all-frequent at the deepest per-level floor
+        // (`min_support >> (width - 1)`); keep that floor ≥ 4 so the
+        // property exercises the rare path without driving Apriori into
+        // the support-1 candidate explosion (a memory bomb on CI).
+        let support = if rare {
+            w.min_support.max(256)
+        } else {
+            (w.min_support / support_div).max(1)
+        };
+        // Permissive filters so the populations being compared are rich.
+        let rc = RuleConfig { min_confidence: 0.3, min_lift: 0.0, rare };
+        let mut md = MetaData::new();
+        for port in [7000u64, 80, 9022, 25] {
+            md.insert(FlowFeature::DstPort, port);
+        }
+        let sequential = extract_with_rules(
+            0, &w.flows, &md, PrefilterMode::Union, TransactionMode::Canonical, miner, support, &rc,
+        );
+        let sharded = extract_sharded_with_rules(
+            0, &w.flows, &md, PrefilterMode::Union, TransactionMode::Canonical, miner, support,
+            &rc, nz(shards),
+        );
+        prop_assert!(sequential.rules.is_some(), "the rule layer must be on");
+        assert_extractions_identical(
+            &sequential,
+            &sharded,
+            &format!("rules seed={seed} miner={miner} shards={shards} rare={rare}"),
         );
     }
 
@@ -124,6 +197,9 @@ proptest! {
             },
             min_support: 800,
             miner: MinerKind::ALL[miner_idx],
+            // Rules on, so the online comparison covers the rule layer
+            // too (assert_extractions_identical checks it bit-for-bit).
+            rules: Some(RuleConfig::default()),
             ..ExtractionConfig::default()
         };
         let mut sequential = AnomalyExtractor::new(config.clone());
