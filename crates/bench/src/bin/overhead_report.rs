@@ -113,8 +113,10 @@ fn main() {
     // tasks; output bit-identical by construction). ---
     let pool_workers = hardware.clamp(2, 4);
     let mining_pool = WorkerPool::new(NonZeroUsize::new(pool_workers).expect("workers >= 2"));
+    let overhead_ns = mining_pool.calibrate_dispatch_overhead();
     println!(
         "\ntask-parallel mining at descending supports ({pool_workers}-worker pool; \
+         calibrated dispatch overhead {overhead_ns} ns/task; \
          tasks = fork/join tree tasks dispatched):"
     );
     println!(
@@ -166,8 +168,24 @@ fn main() {
              \"pool_tasks\": {tasks}}}{comma}"
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    // Scheduler totals across the whole mining table: work-stealing and
+    // queue-pressure counters, informational until the baseline
+    // re-records with gates over them.
+    let stats = mining_pool.stats();
+    let _ = writeln!(json, "  \"tree_tasks\": {},", stats.tree_tasks);
+    let _ = writeln!(json, "  \"steals\": {},", stats.steals);
+    let _ = writeln!(json, "  \"max_queue_depth\": {},", stats.max_queue_depth);
+    let _ = writeln!(
+        json,
+        "  \"dispatch_overhead_ns\": {}",
+        stats.dispatch_overhead_ns
+    );
     let _ = writeln!(json, "}}");
+    println!(
+        "scheduler totals: {} tree tasks, {} steals, queue-depth high-water {}",
+        stats.tree_tasks, stats.steals, stats.max_queue_depth
+    );
     match std::fs::write("BENCH_mining.json", &json) {
         Ok(()) => println!("\nwrote BENCH_mining.json"),
         Err(e) => eprintln!("\ncould not write BENCH_mining.json: {e}"),

@@ -56,13 +56,14 @@ impl std::fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Boolean flags that take no value.
-const BOOL_FLAGS: [&str; 6] = [
+const BOOL_FLAGS: [&str; 7] = [
     "prefixes",
     "intersection",
     "verbose",
     "top",
     "rules",
     "rare",
+    "force-rare",
 ];
 
 impl Args {

@@ -11,8 +11,9 @@ use anomex_core::{
     StreamEvent, StreamingExtractor, TransactionMode,
 };
 use anomex_detector::{DetectorConfig, MetaData};
-use anomex_mining::{mine_top_k, MinerKind, RuleConfig};
-use anomex_netflow::v5::{decode_stream, V5Exporter};
+use anomex_mining::{mine_top_k, MinerKind, RuleConfig, RARE_SUPPORT_GUARD};
+use anomex_netflow::v5::V5Exporter;
+use anomex_netflow::v9::{decode_mixed_stream, TraceItem};
 use anomex_netflow::{
     default_shards, FeatureValue, FlowRecord, FlowTrace, SourceId, SourceSpec, MINUTE_MS,
 };
@@ -36,6 +37,7 @@ USAGE:
                  [--support N] [--miner apriori|fpgrowth|eclat] [--threads N]
                  [--prefixes] [--intersection]
                  [--rules] [--min-confidence C] [--min-lift L] [--rare]
+                 [--force-rare]
       Run the full detection + extraction pipeline over a trace file and
       print a Table II-style report per alarmed interval. --threads N
       runs one worker pool of N threads (0 = one per hardware thread)
@@ -50,14 +52,17 @@ USAGE:
       confidence >= C (default 0.6) and lift >= L (default 1.0) and
       ranked by a z-score meta-detection pass over the interval's rule
       population; --rare lowers the support floor per itemset level to
-      keep low-support attacks minable. With several --in files the
-      rules are additionally re-mined per source at weighted support
-      floors and merged.
+      keep low-support attacks minable. --rare with --support below 128
+      is rejected (the lowered floor can explode the mining pass on
+      large intervals); pass --force-rare to run it anyway. With
+      several --in files the rules are additionally re-mined per source
+      at weighted support floors and merged.
 
   anomex stream --in FILE|- [--in FILE ...] [--interval-min N] [--training N]
                 [--support N] [--miner apriori|fpgrowth|eclat] [--threads N]
                 [--max-lag N] [--prefixes] [--intersection] [--verbose]
                 [--rules] [--min-confidence C] [--min-lift L] [--rare]
+                [--force-rare]
       Replay a trace (or NetFlow v5 datagrams on stdin with --in -)
       through the continuous streaming engine: flows are assembled into
       Δ-minute intervals while the previous interval runs detection and
@@ -198,9 +203,12 @@ fn generate_multi(args: &Args, sources: usize) -> Result<(), String> {
     Ok(())
 }
 
-/// Load all flows from a v5 trace file, or from stdin when `path` is
-/// `-` (the streaming replay's pipe mode).
-fn load_flows(path: &str) -> Result<Vec<FlowRecord>, String> {
+/// Load a capture file (or stdin when `path` is `-`): NetFlow v5 flow
+/// datagrams optionally interleaved with v9/IPFIX template-only
+/// punctuation packets. Returns the flows plus the punctuation export
+/// clocks in milliseconds — the heartbeats that let an idle-but-live
+/// exporter release the multi-source watermark grid.
+fn load_trace_data(path: &str) -> Result<(Vec<FlowRecord>, Vec<u64>), String> {
     let bytes = if path == "-" {
         let mut buf = Vec::new();
         std::io::stdin()
@@ -210,8 +218,22 @@ fn load_flows(path: &str) -> Result<Vec<FlowRecord>, String> {
     } else {
         fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?
     };
-    let dgrams = decode_stream(&bytes).map_err(|e| format!("{path}: {e}"))?;
-    Ok(dgrams.into_iter().flat_map(|d| d.flows).collect())
+    let items = decode_mixed_stream(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let mut flows = Vec::new();
+    let mut heartbeats = Vec::new();
+    for item in items {
+        match item {
+            TraceItem::Flows(dgram) => flows.extend(dgram.flows),
+            TraceItem::Heartbeat(p) => heartbeats.push(p.export_ms),
+        }
+    }
+    Ok((flows, heartbeats))
+}
+
+/// Load all flows from a trace file, ignoring any v9/IPFIX punctuation
+/// (batch modes have no watermark to release).
+fn load_flows(path: &str) -> Result<Vec<FlowRecord>, String> {
+    load_trace_data(path).map(|(flows, _)| flows)
 }
 
 fn parse_miner(args: &Args) -> Result<MinerKind, String> {
@@ -282,6 +304,16 @@ fn parse_config(args: &Args) -> Result<ExtractionConfig, String> {
     let miner = parse_miner(args)?;
     let (prefilter, transactions) = parse_modes(args);
     let rules = parse_rules(args)?;
+    if let Some(rc) = &rules {
+        if rc.rare_floor_explosive(support) && !args.flag("force-rare") {
+            return Err(format!(
+                "--rare with --support {support} drives the per-level support floor \
+                 toward 1, which can explode the mining pass on large intervals \
+                 (tens of GB of candidate item-sets); raise --support to at least \
+                 {RARE_SUPPORT_GUARD} or pass --force-rare to override"
+            ));
+        }
+    }
     let config = ExtractionConfig {
         interval_ms: interval_min * MINUTE_MS,
         detector: DetectorConfig {
@@ -462,12 +494,17 @@ fn print_stream_line(event: &StreamEvent, verbose: bool) {
 
 /// Streaming multi-source fan-in: each trace becomes one exporter on a
 /// shared interval grid, replayed in collector arrival order (k-way
-/// merge on grid-relative time, ties to the lowest source id). Returns
+/// merge on grid-relative time, ties to the lowest source id; a
+/// source's flows before its same-millisecond heartbeats). Returns
 /// every merged event plus the end-of-stream summary — bit-identical to
 /// [`run_extract_multi`] over the same traces, asserted by the CLI test
-/// suite and the `e2e-stream` CI job.
+/// suite and the `e2e-stream` CI job. `heartbeats` carries each lane's
+/// v9/IPFIX punctuation clocks (absolute source-local ms): an
+/// idle-but-live exporter's heartbeats advance its watermark, releasing
+/// merged intervals the grid would otherwise hold until `max_lag`.
 fn run_stream_multi(
     traces: Vec<FlowTrace>,
+    heartbeats: &[Vec<u64>],
     origins: &[u64],
     config: ExtractionConfig,
     threads: NonZeroUsize,
@@ -482,21 +519,43 @@ fn run_stream_multi(
         MultiSourceExtractor::try_new(config, threads, &specs, max_lag).map_err(String::from)?;
     let lanes: Vec<Vec<FlowRecord>> = traces.into_iter().map(FlowTrace::into_flows).collect();
     let mut cursors = vec![0usize; lanes.len()];
+    let mut hb_cursors = vec![0usize; lanes.len()];
     let mut events = Vec::new();
     loop {
-        let mut next: Option<(u64, usize)> = None;
+        // Pick the earliest pending item on grid-relative time. Flows
+        // are scanned first and replaced only on strictly smaller keys,
+        // so a flow beats a heartbeat at the same instant and lower
+        // source ids win ties — the collector arrival order the batch
+        // reference concatenates in.
+        let mut next: Option<(u64, usize, bool)> = None;
         for (s, lane) in lanes.iter().enumerate() {
             if let Some(flow) = lane.get(cursors[s]) {
                 let key = flow.start_ms.saturating_sub(origins[s]);
-                if next.map_or(true, |(k, _)| key < k) {
-                    next = Some((key, s));
+                if next.map_or(true, |(k, _, _)| key < k) {
+                    next = Some((key, s, false));
                 }
             }
         }
-        let Some((_, s)) = next else { break };
-        let flow = lanes[s][cursors[s]];
-        cursors[s] += 1;
-        events.extend(engine.push(SourceId(s as u32), flow));
+        for (s, lane) in heartbeats.iter().enumerate() {
+            if let Some(&hb_ms) = lane.get(hb_cursors[s]) {
+                let key = hb_ms.saturating_sub(origins[s]);
+                if next.map_or(true, |(k, _, _)| key < k) {
+                    next = Some((key, s, true));
+                }
+            }
+        }
+        let Some((_, s, is_heartbeat)) = next else {
+            break;
+        };
+        if is_heartbeat {
+            let hb_ms = heartbeats[s][hb_cursors[s]];
+            hb_cursors[s] += 1;
+            events.extend(engine.heartbeat(SourceId(s as u32), hb_ms));
+        } else {
+            let flow = lanes[s][cursors[s]];
+            cursors[s] += 1;
+            events.extend(engine.push(SourceId(s as u32), flow));
+        }
     }
     let (tail, summary) = engine.finish();
     events.extend(tail);
@@ -516,13 +575,25 @@ pub fn stream(args: &Args) -> Result<(), String> {
     if inputs.len() > 1 {
         let max_lag_raw = args.get_or("max-lag", 0u64).map_err(|e| e.to_string())?;
         let max_lag = (max_lag_raw > 0).then_some(max_lag_raw);
-        let mut traces = load_traces(&inputs)?;
+        let mut traces = Vec::with_capacity(inputs.len());
+        let mut heartbeats = Vec::with_capacity(inputs.len());
+        for path in &inputs {
+            let (flows, hbs) = load_trace_data(path)?;
+            traces.push(FlowTrace::from_flows(flows));
+            heartbeats.push(hbs);
+        }
         let mut origins = Vec::with_capacity(traces.len());
         for (trace, path) in traces.iter_mut().zip(&inputs) {
             origins.push(inferred_origin(trace, config.interval_ms, path)?);
         }
-        let (events, summary) =
-            run_stream_multi(traces, &origins, config.clone(), threads, max_lag)?;
+        let (events, summary) = run_stream_multi(
+            traces,
+            &heartbeats,
+            &origins,
+            config.clone(),
+            threads,
+            max_lag,
+        )?;
         let mut latencies: Vec<u64> = Vec::new();
         for event in &events {
             latencies.push(event.event.process_micros);
@@ -735,6 +806,25 @@ mod tests {
     }
 
     #[test]
+    fn rare_below_the_guard_needs_force_rare() {
+        let parse = |argv: &[&str]| {
+            parse_config(&Args::parse(argv.iter().map(ToString::to_string)).unwrap())
+        };
+        let err = parse(&["x", "--rare", "--support", "50"]).unwrap_err();
+        assert!(
+            err.contains("--force-rare"),
+            "error names the escape hatch: {err}"
+        );
+        assert!(err.contains("128"), "error names the floor: {err}");
+        parse(&["x", "--rare", "--support", "50", "--force-rare"])
+            .expect("--force-rare overrides the guard");
+        parse(&["x", "--rare", "--support", "128"])
+            .expect("at the guard threshold no override is needed");
+        parse(&["x", "--rules", "--support", "50"])
+            .expect("non-rare rules are unaffected by the guard");
+    }
+
+    #[test]
     fn mode_flags() {
         let a = Args::parse(
             ["x", "--prefixes", "--intersection"]
@@ -773,7 +863,7 @@ mod tests {
                 bytes.extend_from_slice(&dgram);
             }
         }
-        let decoded: Vec<FlowRecord> = decode_stream(&bytes)
+        let decoded: Vec<FlowRecord> = anomex_netflow::v5::decode_stream(&bytes)
             .unwrap()
             .into_iter()
             .flat_map(|d| d.flows)
@@ -872,8 +962,16 @@ mod tests {
         for (trace, path) in traces.iter_mut().zip(&paths) {
             origins.push(inferred_origin(trace, config.interval_ms, path).unwrap());
         }
-        let (events, summary) =
-            run_stream_multi(traces, &origins, config.clone(), threads, None).unwrap();
+        let no_heartbeats = vec![Vec::new(); origins.len()];
+        let (events, summary) = run_stream_multi(
+            traces,
+            &no_heartbeats,
+            &origins,
+            config.clone(),
+            threads,
+            None,
+        )
+        .unwrap();
         let stream_reports: Vec<String> = events
             .iter()
             .filter_map(|e| {
@@ -888,6 +986,95 @@ mod tests {
         assert_eq!(summary.intervals as usize, total, "grids agree");
         assert_eq!(summary.dropped_flows, 0);
         assert_eq!(summary.sources.len(), 2);
+        for path in &paths {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    /// A trace file interleaving v5 datagrams with v9/IPFIX
+    /// options-template punctuation loads into flows plus heartbeat
+    /// clocks, and replaying the heartbeats through the fan-in leaves
+    /// the outcome stream bit-identical (heartbeats advance watermarks;
+    /// they never carry flows).
+    #[test]
+    fn punctuated_trace_heartbeats_flow_into_the_grid() {
+        use anomex_netflow::v9::{encode_ipfix_options_template, encode_v9_options_template};
+        use anomex_traffic::MultiSourceScenario;
+        let dir = std::env::temp_dir().join("anomex-cli-punctuation-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let scenario = MultiSourceScenario::uniform(17, 2);
+        let intervals = scenario.interval_count().min(16);
+        let mut paths = Vec::new();
+        for s in 0..2 {
+            let mut exporter = V5Exporter::new();
+            let mut bytes = Vec::new();
+            for i in 0..intervals {
+                let flows = scenario.generate(s, i).flows;
+                let end_secs = flows.last().map_or(0, |f| (f.start_ms / 1000) as u32);
+                for dgram in exporter.export(&flows) {
+                    bytes.extend_from_slice(&dgram);
+                }
+                // An options-template keepalive after each interval's
+                // flows, v9 on source 0 and IPFIX on source 1.
+                let punct = if s == 0 {
+                    encode_v9_options_template(end_secs, i as u32, s as u32)
+                } else {
+                    encode_ipfix_options_template(end_secs, i as u32, s as u32)
+                };
+                bytes.extend_from_slice(&punct);
+            }
+            let path = dir.join(format!("link{s}.nf"));
+            std::fs::write(&path, &bytes).unwrap();
+            paths.push(path.to_str().unwrap().to_string());
+        }
+
+        let mut traces = Vec::new();
+        let mut heartbeats = Vec::new();
+        for path in &paths {
+            let (flows, hbs) = load_trace_data(path).unwrap();
+            assert_eq!(hbs.len() as u64, intervals, "one keepalive per interval");
+            traces.push(FlowTrace::from_flows(flows));
+            heartbeats.push(hbs);
+        }
+        let config = ExtractionConfig {
+            interval_ms: scenario.interval_ms(),
+            detector: DetectorConfig {
+                training_intervals: 8,
+                ..DetectorConfig::default()
+            },
+            min_support: 800,
+            ..ExtractionConfig::default()
+        };
+        let mut origins = Vec::new();
+        for (trace, path) in traces.iter_mut().zip(&paths) {
+            origins.push(inferred_origin(trace, config.interval_ms, path).unwrap());
+        }
+        let threads = NonZeroUsize::MIN;
+        let silent = vec![Vec::new(); origins.len()];
+        let (plain_events, plain_summary) = run_stream_multi(
+            traces.clone(),
+            &silent,
+            &origins,
+            config.clone(),
+            threads,
+            None,
+        )
+        .unwrap();
+        let (events, summary) =
+            run_stream_multi(traces, &heartbeats, &origins, config, threads, None).unwrap();
+        assert_eq!(summary.total_flows, plain_summary.total_flows);
+        assert_eq!(summary.intervals, plain_summary.intervals);
+        assert_eq!(summary.dropped_flows, 0, "heartbeats drop nothing");
+        let outcomes: Vec<String> = events
+            .iter()
+            .map(|e| format!("{:?}", e.event.outcome))
+            .collect();
+        let plain_outcomes: Vec<String> = plain_events
+            .iter()
+            .map(|e| format!("{:?}", e.event.outcome))
+            .collect();
+        assert_eq!(outcomes, plain_outcomes, "punctuation changed the output");
         for path in &paths {
             std::fs::remove_file(path).ok();
         }

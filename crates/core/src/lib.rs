@@ -77,7 +77,7 @@ pub use prefilter::{prefilter, prefilter_indices, PrefilterMode};
 pub use report::{render_csv, render_report, render_rule_merge};
 pub use sharded::{
     extract_sharded, extract_sharded_with_rules, observe_sharded, prefilter_indices_sharded,
-    ShardedExtractor,
+    PoolStats, ShardedExtractor,
 };
 pub use streaming::{
     latency_percentile, MultiSourceExtractor, MultiStreamEvent, MultiStreamSummary, StreamEvent,

@@ -57,6 +57,7 @@ use anomex_mining::par::{map_chunks, map_chunks_arc, Exec, MIN_ITEMS_PER_THREAD}
 use anomex_mining::{MinerKind, RuleConfig};
 use anomex_netflow::shard::default_shards;
 use anomex_netflow::FlowRecord;
+pub use crossbeam::PoolStats;
 use crossbeam::WorkerPool;
 
 use crate::config::{ConfigError, ExtractionConfig};
@@ -327,6 +328,12 @@ impl ShardedExtractor {
         let bank = DetectorBank::new(&config.detector);
         let hasher = Arc::new(bank.hasher());
         let pool = (shards.get() > 1).then(|| WorkerPool::new(shards));
+        if let Some(pool) = &pool {
+            // Persistent pool: measure the real per-task dispatch cost
+            // once at startup so every interval's fork decisions use the
+            // machine's own overhead instead of the recorded constant.
+            let _ = pool.calibrate_dispatch_overhead();
+        }
         Ok(ShardedExtractor {
             config,
             shards,
@@ -380,6 +387,18 @@ impl ShardedExtractor {
     #[must_use]
     pub fn is_trained(&self) -> bool {
         self.bank.is_trained()
+    }
+
+    /// Scheduler counters from the persistent worker pool — tree tasks
+    /// dispatched, successful steals, the tree-queue depth high-water
+    /// mark, and the calibrated dispatch overhead. All zeros at one
+    /// shard (the pipeline runs inline; there is no pool).
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool
+            .as_ref()
+            .map(WorkerPool::stats)
+            .unwrap_or_default()
     }
 
     /// Feed one interval's flows through sharded detection and, on

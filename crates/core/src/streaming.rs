@@ -64,7 +64,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::config::{ConfigError, ExtractionConfig};
 use crate::pipeline::IntervalOutcome;
-use crate::sharded::ShardedExtractor;
+use crate::sharded::{PoolStats, ShardedExtractor};
 
 /// One closed interval's worth of streaming output: what the pipeline
 /// saw, what it extracted, and how long extraction took.
@@ -114,6 +114,10 @@ pub struct StreamSummary {
     pub pre_origin_flows: u64,
     /// Whether every detector had finished training by end of stream.
     pub trained: bool,
+    /// Scheduler counters from the engine's worker pool (tree tasks,
+    /// steals, queue-depth high-water, calibrated dispatch overhead);
+    /// all zeros at one shard, where the pipeline runs inline.
+    pub pool: PoolStats,
 }
 
 /// The `p`-th percentile (nearest rank) of a latency sample, sorting the
@@ -424,6 +428,7 @@ impl StreamingExtractor {
             late_flows: self.assembler.late_flows(),
             pre_origin_flows: self.assembler.pre_origin_flows(),
             trained: engine.is_trained(),
+            pool: engine.pool_stats(),
         };
         (events, summary)
     }
@@ -472,6 +477,10 @@ pub struct MultiStreamSummary {
     pub dropped_flows: u64,
     /// Whether every detector had finished training by end of stream.
     pub trained: bool,
+    /// Scheduler counters from the engine's worker pool (tree tasks,
+    /// steals, queue-depth high-water, calibrated dispatch overhead);
+    /// all zeros at one shard, where the pipeline runs inline.
+    pub pool: PoolStats,
     /// Per-source ingestion and drop accounting, in registration order.
     pub sources: Vec<SourceStats>,
 }
@@ -604,6 +613,7 @@ impl MultiSourceExtractor {
             total_flows: self.total_flows,
             dropped_flows: self.assembler.dropped_flows(),
             trained: engine.is_trained(),
+            pool: engine.pool_stats(),
             sources: self.assembler.source_stats(),
         };
         (events, summary)

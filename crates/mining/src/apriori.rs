@@ -23,7 +23,9 @@ use crate::combinations::for_each_combination;
 use crate::item::Item;
 use crate::itemset::ItemSet;
 use crate::maximal::filter_maximal;
-use crate::par::{map_chunks_arc, run_tree_exec, sum_count_vecs, Exec, TreeJob, TreeScope};
+use crate::par::{
+    map_chunks_arc, run_tree_exec, sum_count_vecs, Exec, ForkPolicy, TreeJob, TreeScope, WorkKind,
+};
 use crate::transaction::{Transaction, TransactionSet, MAX_WIDTH};
 
 /// Padding value for fixed-size candidate keys. Never a valid item
@@ -268,11 +270,6 @@ pub fn apriori_exec(set: &TransactionSet, config: &AprioriConfig, exec: Exec<'_>
     }
 }
 
-/// Minimum number of frequent (k-1)-sets before the level-k join+prune
-/// is split into prefix-block tree tasks (pool execution only): below
-/// this the whole join is cheaper than a queue operation per block.
-pub const MIN_SETS_PER_JOIN_TASK: usize = 64;
-
 /// Boundaries of the (k-2)-prefix groups of a sorted frequent level:
 /// each returned range is one maximal run sharing a join prefix. The
 /// join only ever pairs item-sets within one group, so groups are the
@@ -330,21 +327,32 @@ fn join_group(
 /// then prune candidates with an infrequent (k-1)-subset (downward
 /// closure).
 ///
-/// Under [`Exec::Pool`] with a large enough level, the prefix groups are
-/// partitioned into balanced contiguous blocks and each block joins as
-/// one tree task on the pool; per-block candidate lists concatenate in
-/// block order, reproducing the sequential join order exactly. (The
-/// frequent level is lent to the tasks through an `Arc` and handed back
-/// afterwards, which is why the parameter is `&mut`.) In every other
-/// context the join runs inline — same output, by construction.
+/// Under [`Exec::Pool`], when the [`ForkPolicy`] cost model judges the
+/// level worth a queue operation per block (estimated join work vs the
+/// pool's measured dispatch overhead, coarsened by live queue depth),
+/// the prefix groups are partitioned into balanced contiguous blocks and
+/// each block joins as one tree task on the pool; per-block candidate
+/// lists concatenate in block order, reproducing the sequential join
+/// order exactly. (The frequent level is lent to the tasks through an
+/// `Arc` and handed back afterwards, which is why the parameter is
+/// `&mut`.) In every other context the join runs inline — same output,
+/// by construction.
 fn generate_candidates_exec(current: &mut Vec<(Vec<Item>, u64)>, exec: Exec<'_>) -> Vec<Vec<Item>> {
     let prev: HashSet<CandKey> = current.iter().map(|(items, _)| key_of(items)).collect();
     let groups = prefix_groups(current);
     let width = exec.width();
-    let fan_out = matches!(exec, Exec::Pool(_))
-        && width > 1
-        && current.len() >= MIN_SETS_PER_JOIN_TASK
-        && groups.len() >= 2;
+    let fan_out = match exec {
+        Exec::Pool(pool) => {
+            groups.len() >= 2
+                && ForkPolicy::for_exec(&exec).should_fork_at(
+                    width,
+                    pool.local_queue_depth(),
+                    current.len(),
+                    WorkKind::JoinSets,
+                )
+        }
+        Exec::Threads(_) => false,
+    };
     if !fan_out {
         let mut out = Vec::new();
         for group in groups {
@@ -528,7 +536,8 @@ mod tests {
     fn pool_join_splits_into_tree_tasks_and_stays_identical() {
         use crossbeam::WorkerPool;
         // Many distinct frequent 1-sets across three features ⇒ the
-        // level-2 join has well over MIN_SETS_PER_JOIN_TASK inputs.
+        // level-2 join carries far more work than the fork cost model's
+        // dispatch-overhead cut-off.
         let mut set = TransactionSet::new();
         for i in 0..4000u64 {
             set.push(tx(&[

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use crate::item::Item;
 use crate::itemset::ItemSet;
-use crate::par::{map_chunks_arc, run_tree_exec, Exec, TreeJob, TreeScope};
+use crate::par::{map_chunks_arc, run_tree_exec, Exec, ForkPolicy, TreeJob, TreeScope, WorkKind};
 use crate::transaction::{Transaction, TransactionSet};
 
 /// Mine all frequent item-sets with Eclat.
@@ -55,23 +55,18 @@ fn tidlists(set: &TransactionSet, exec: Exec<'_>) -> HashMap<Item, Vec<u32>> {
     merged
 }
 
-/// Minimum tid-list length of a branch before its depth-first extension
-/// is worth forking as a tree task (pool execution only): intersecting
-/// shorter lists is faster than a queue operation.
-pub const MIN_TIDS_PER_TASK: usize = 1024;
-
 /// Eclat parallelized in the given execution context.
 ///
 /// Tid-list construction runs over transaction chunks, the per-chunk
 /// lists concatenating in chunk order into exactly the sequential
 /// tid-lists. The lattice search is task-parallel under [`Exec::Pool`]:
-/// **every prefix branch whose tid-list is long enough
-/// (≥ [`MIN_TIDS_PER_TASK`]) forks as an independent tree task** — at
-/// level 1 and at every depth below ([`run_tree_exec`]); shorter
-/// branches mine inline in the task that reached them. Supports are
-/// tid-list lengths either way, so the
-/// canonically sorted output is **bit-identical** to [`eclat`] for every
-/// context and thread count.
+/// **every prefix branch whose tid-list carries enough intersection work
+/// to amortize a task dispatch (the [`ForkPolicy`] cost model, coarsened
+/// by live queue depth) forks as an independent tree task** — at level 1
+/// and at every depth below ([`run_tree_exec`]); shorter branches mine
+/// inline in the task that reached them. Supports are tid-list lengths
+/// either way, so the canonically sorted output is **bit-identical** to
+/// [`eclat`] for every context and thread count.
 ///
 /// # Panics
 ///
@@ -90,24 +85,25 @@ pub fn eclat_exec(set: &TransactionSet, min_support: u64, exec: Exec<'_>) -> Vec
     // Depth-first extension: prefix ∪ {roots[i]} can only be extended by
     // roots[j] with j > i, keeping item-sets sorted and visited once.
     // One root job walks the level-1 branches, forking exactly those
-    // whose tid-list clears the task threshold — the same size gate
-    // every deeper level uses, so short branches never pay a queue
+    // whose tid-list clears the cost model — the same work-vs-overhead
+    // gate every deeper level uses, so short branches never pay a queue
     // operation.
+    let policy = ForkPolicy::for_exec(&exec);
     let roots = Arc::new(roots);
     let root: TreeJob<Vec<ItemSet>> = {
         let roots = Arc::clone(&roots);
         Box::new(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
             let mut out = Vec::new();
             for i in 0..roots.len() {
-                if scope.width() > 1 && roots[i].1.len() >= MIN_TIDS_PER_TASK {
+                if policy.should_fork(scope, roots[i].1.len(), WorkKind::TidEntries) {
                     let roots = Arc::clone(&roots);
                     scope.fork(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
                         let mut sub = Vec::new();
-                        mine_branch(&roots, i, Vec::new(), min_support, scope, &mut sub);
+                        mine_branch(&roots, i, Vec::new(), min_support, policy, scope, &mut sub);
                         sub
                     });
                 } else {
-                    mine_branch(&roots, i, Vec::new(), min_support, scope, &mut out);
+                    mine_branch(&roots, i, Vec::new(), min_support, policy, scope, &mut out);
                 }
             }
             out
@@ -123,14 +119,15 @@ pub fn eclat_exec(set: &TransactionSet, min_support: u64, exec: Exec<'_>) -> Vec
 
 /// Mine the branch `prefix ∪ {siblings[i]}`: emit it, intersect its
 /// tid-list with every later sibling, and descend into the surviving
-/// extensions — forking an extension as a tree task when its tid-list is
-/// long and the executor has width, recursing inline otherwise. Forking
-/// only moves work; the emitted sets are identical either way.
+/// extensions — forking an extension as a tree task when the cost model
+/// judges its tid-list worth a dispatch, recursing inline otherwise.
+/// Forking only moves work; the emitted sets are identical either way.
 fn mine_branch(
     siblings: &Arc<Vec<(Item, Vec<u32>)>>,
     i: usize,
     prefix: Vec<Item>,
     min_support: u64,
+    policy: ForkPolicy,
     scope: &TreeScope<'_, Vec<ItemSet>>,
     out: &mut Vec<ItemSet>,
 ) {
@@ -155,16 +152,16 @@ fn mine_branch(
     }
     let next = Arc::new(next);
     for j in 0..next.len() {
-        if scope.width() > 1 && next[j].1.len() >= MIN_TIDS_PER_TASK {
+        if policy.should_fork(scope, next[j].1.len(), WorkKind::TidEntries) {
             let next = Arc::clone(&next);
             let prefix = prefix.clone();
             scope.fork(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
                 let mut sub = Vec::new();
-                mine_branch(&next, j, prefix, min_support, scope, &mut sub);
+                mine_branch(&next, j, prefix, min_support, policy, scope, &mut sub);
                 sub
             });
         } else {
-            mine_branch(&next, j, prefix.clone(), min_support, scope, out);
+            mine_branch(&next, j, prefix.clone(), min_support, policy, scope, out);
         }
     }
 }

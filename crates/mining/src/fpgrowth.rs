@@ -15,7 +15,7 @@ use std::sync::Arc;
 use crate::apriori::count_single_items;
 use crate::item::Item;
 use crate::itemset::ItemSet;
-use crate::par::{run_tree_exec, Exec, TreeJob, TreeScope};
+use crate::par::{run_tree_exec, Exec, ForkPolicy, TreeJob, TreeScope, WorkKind};
 use crate::transaction::TransactionSet;
 
 /// One FP-tree node.
@@ -118,19 +118,15 @@ pub fn fpgrowth(set: &TransactionSet, min_support: u64) -> Vec<ItemSet> {
     fpgrowth_exec(set, min_support, Exec::inline())
 }
 
-/// Minimum arena size of a conditional tree before mining its items is
-/// worth forking as tree tasks (pool execution only): a smaller tree
-/// mines faster than a queue operation.
-pub const MIN_NODES_PER_TASK: usize = 64;
-
 /// FP-growth parallelized in the given execution context.
 ///
 /// The first (support-counting) scan runs over transaction chunks and
 /// merges by exact integer sums, so the ranking — and therefore the
 /// global tree — is identical for every context. The search itself is
-/// task-parallel under [`Exec::Pool`]: whenever the enclosing tree is
-/// large (≥ [`MIN_NODES_PER_TASK`] arena nodes — the global tree for
-/// level 1, the conditional pattern base below), **each of its
+/// task-parallel under [`Exec::Pool`]: whenever the enclosing tree's
+/// arena carries enough node-walk work to amortize a task dispatch (the
+/// [`ForkPolicy`] cost model, coarsened by live queue depth — the global
+/// tree for level 1, the conditional pattern base below), **each of its
 /// conditional trees mines as an independent forked task**
 /// ([`run_tree_exec`]); smaller trees mine inline in the task that
 /// found them. Every task returns its item-sets; the merged
@@ -171,12 +167,18 @@ pub fn fpgrowth_exec(set: &TransactionSet, min_support: u64, exec: Exec<'_>) -> 
     // Search: one root job walks the frequent level-1 items; when the
     // global tree is worth splitting, each item's conditional tree
     // mines as an independent forked task (which forks its own large
-    // sub-trees in turn) — the same size gate every deeper level uses,
-    // so a tiny tree never pays queue operations.
+    // sub-trees in turn) — the same work-vs-overhead gate every deeper
+    // level uses, so a tiny tree never pays queue operations.
+    let ctx = MineCtx {
+        min_support,
+        policy: ForkPolicy::for_exec(&exec),
+    };
     let tree = Arc::new(tree);
     let root: TreeJob<Vec<ItemSet>> = Box::new(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
         let mut out = Vec::new();
-        let fork = scope.width() > 1 && tree.arena.len() >= MIN_NODES_PER_TASK;
+        let fork = ctx
+            .policy
+            .should_fork(scope, tree.arena.len(), WorkKind::TreeNodes);
         for (item, support) in item_supports(&tree) {
             if support < min_support {
                 continue;
@@ -185,27 +187,11 @@ pub fn fpgrowth_exec(set: &TransactionSet, min_support: u64, exec: Exec<'_>) -> 
                 let tree = Arc::clone(&tree);
                 scope.fork(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
                     let mut sub = Vec::new();
-                    mine_item(
-                        &tree,
-                        item,
-                        support,
-                        Vec::new(),
-                        min_support,
-                        scope,
-                        &mut sub,
-                    );
+                    mine_item(&tree, item, support, Vec::new(), ctx, scope, &mut sub);
                     sub
                 });
             } else {
-                mine_item(
-                    &tree,
-                    item,
-                    support,
-                    Vec::new(),
-                    min_support,
-                    scope,
-                    &mut out,
-                );
+                mine_item(&tree, item, support, Vec::new(), ctx, scope, &mut out);
             }
         }
         out
@@ -244,17 +230,26 @@ fn conditional_tree(tree: &FpTree, item: Item) -> FpTree {
     cond
 }
 
+/// The parameters that stay fixed across the whole conditional-tree
+/// recursion: the support floor and the fork cost model.
+#[derive(Clone, Copy)]
+struct MineCtx {
+    min_support: u64,
+    policy: ForkPolicy,
+}
+
 /// Mine `suffix ∪ {item}` and everything below it: emit the item-set,
 /// build the conditional tree, and descend into its frequent items —
-/// forking each descent as a tree task when the conditional pattern base
-/// is large and the executor has width, recursing inline otherwise. The
-/// emitted set is identical either way; forking only moves work.
+/// forking each descent as a tree task when the cost model judges the
+/// conditional pattern base worth a dispatch, recursing inline
+/// otherwise. The emitted set is identical either way; forking only
+/// moves work.
 fn mine_item(
     tree: &FpTree,
     item: Item,
     support: u64,
     suffix: Vec<Item>,
-    min_support: u64,
+    ctx: MineCtx,
     scope: &TreeScope<'_, Vec<ItemSet>>,
     out: &mut Vec<ItemSet>,
 ) {
@@ -266,10 +261,12 @@ fn mine_item(
     if cond.header.is_empty() {
         return;
     }
-    let fork = scope.width() > 1 && cond.arena.len() >= MIN_NODES_PER_TASK;
+    let fork = ctx
+        .policy
+        .should_fork(scope, cond.arena.len(), WorkKind::TreeNodes);
     let cond = Arc::new(cond);
     for (citem, csupport) in item_supports(&cond) {
-        if csupport < min_support {
+        if csupport < ctx.min_support {
             continue;
         }
         if fork {
@@ -277,19 +274,11 @@ fn mine_item(
             let items = items.clone();
             scope.fork(move |scope: &TreeScope<'_, Vec<ItemSet>>| {
                 let mut sub = Vec::new();
-                mine_item(&cond, citem, csupport, items, min_support, scope, &mut sub);
+                mine_item(&cond, citem, csupport, items, ctx, scope, &mut sub);
                 sub
             });
         } else {
-            mine_item(
-                &cond,
-                citem,
-                csupport,
-                items.clone(),
-                min_support,
-                scope,
-                out,
-            );
+            mine_item(&cond, citem, csupport, items.clone(), ctx, scope, out);
         }
     }
 }

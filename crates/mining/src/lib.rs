@@ -63,8 +63,12 @@ pub use item::Item;
 pub use itemset::{canonicalize, ItemSet};
 pub use maximal::{filter_maximal, filter_maximal_general};
 pub use miner::MinerKind;
-pub use par::{map_chunks, map_chunks_arc, Exec};
-pub use rules::{generate_rules, merge_rule_sets, Rule, RuleConfig, RuleSet, ScoredRule};
+pub use par::{
+    map_chunks, map_chunks_arc, Exec, ForkPolicy, WorkKind, DEFAULT_DISPATCH_OVERHEAD_NS,
+};
+pub use rules::{
+    generate_rules, merge_rule_sets, Rule, RuleConfig, RuleSet, ScoredRule, RARE_SUPPORT_GUARD,
+};
 pub use task::{apriori_par, eclat_par, fpgrowth_par, MineTask, RuleMineOutput};
 pub use topk::{mine_top_k, TopK};
 pub use transaction::{Transaction, TransactionError, TransactionSet, CANONICAL_WIDTH, MAX_WIDTH};

@@ -66,6 +66,13 @@ pub const CONVICTION_SCORE_CAP: f64 = 100.0;
 /// worth; below this the spawn bookkeeping outweighs the enumeration.
 const MIN_BASES_PER_RULE_TASK: usize = 32;
 
+/// Smallest `min_support` at which rare mode's halving floor is safe on
+/// large intervals; below it
+/// [`RuleConfig::rare_floor_explosive`] reports the config as a
+/// candidate-explosion risk (the per-level floor reaches 1 within the
+/// transaction width and Apriori degenerates to full enumeration).
+pub const RARE_SUPPORT_GUARD: u64 = 128;
+
 /// Configuration of the rule layer: metric filters plus the rare-itemset
 /// mode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -135,6 +142,19 @@ impl RuleConfig {
     #[must_use]
     pub fn mining_floor(&self, min_support: u64, max_width: usize) -> u64 {
         self.level_floor(min_support, max_width.max(1))
+    }
+
+    /// Whether this rule config's effective mining floor can explode the
+    /// candidate space on a large interval: in rare mode the per-level
+    /// halving drives the floor toward support 1 when `min_support` is
+    /// below [`RARE_SUPPORT_GUARD`], and Apriori at support ≈ 1 over a
+    /// backbone-sized interval enumerates nearly every distinct flow
+    /// combination (a 29 GB candidate blow-up was observed at
+    /// `min_support < 128`). Front-ends should reject such configs — or
+    /// demand an explicit override — before mining starts.
+    #[must_use]
+    pub fn rare_floor_explosive(&self, min_support: u64) -> bool {
+        self.rare && min_support < RARE_SUPPORT_GUARD
     }
 }
 
@@ -754,6 +774,20 @@ mod tests {
         assert!(generate_rules(&singles, 4, 1, &loose(), Exec::inline()).is_empty());
         assert!(generate_rules(&[], 0, 1, &loose(), Exec::inline()).is_empty());
         assert!(generate_rules(&[], 7, 1, &loose(), Exec::inline()).is_empty());
+    }
+
+    #[test]
+    fn rare_floor_guard_flags_only_low_support_rare_configs() {
+        let rare = RuleConfig {
+            rare: true,
+            ..RuleConfig::default()
+        };
+        assert!(rare.rare_floor_explosive(1));
+        assert!(rare.rare_floor_explosive(RARE_SUPPORT_GUARD - 1));
+        assert!(!rare.rare_floor_explosive(RARE_SUPPORT_GUARD));
+        assert!(!rare.rare_floor_explosive(100_000));
+        let absolute = RuleConfig::default();
+        assert!(!absolute.rare_floor_explosive(1), "absolute mode is safe");
     }
 
     #[test]

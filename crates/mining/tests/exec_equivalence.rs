@@ -175,6 +175,136 @@ fn low_support_forces_multi_level_pool_candidate_generation() {
     assert_eq!(out.passes, reference.passes);
 }
 
+/// Fork one tree task from a busy root and spin until a peer runs it:
+/// the owner never pops its deque while spinning, so the child can only
+/// execute via a steal. Returns once the child has run (10 s deadline).
+fn force_one_steal(pool: &WorkerPool) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let ran = Arc::new(AtomicBool::new(false));
+    let observed = Arc::clone(&ran);
+    let roots: Vec<TreeJob<u32>> = vec![Box::new(move |scope: &TreeScope<'_, u32>| {
+        let ran = Arc::clone(&observed);
+        scope.fork(move |_: &TreeScope<'_, u32>| {
+            ran.store(true, Ordering::SeqCst);
+            0
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !observed.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "no peer stole the forked task");
+            std::thread::yield_now();
+        }
+        1
+    })];
+    let out = run_tree_exec(Exec::Pool(pool), roots);
+    assert_eq!(out.into_iter().sum::<u32>(), 1);
+}
+
+/// Forced work-stealing leaves mining bit-identical: a structured set at
+/// low support floods the scheduler with tiny tree tasks across 1, 2, 4,
+/// and 8 workers, with at least one guaranteed steal per multi-worker
+/// pool — and every miner's output matches the inline reference exactly.
+#[test]
+fn forced_steals_leave_mining_bit_identical() {
+    let mut set = TransactionSet::new();
+    for i in 0..3000u64 {
+        let t = Transaction::from_items(&[
+            Item::new(FlowFeature::SrcIp, i % 11),
+            Item::new(FlowFeature::DstIp, i % 7),
+            Item::new(FlowFeature::DstPort, i % 5),
+            Item::new(FlowFeature::Proto, i % 2),
+            Item::new(FlowFeature::Packets, i % 3),
+        ])
+        .unwrap();
+        set.push(t);
+    }
+    for kind in MinerKind::ALL {
+        let reference = kind.mine_all_exec(&set, 2, Exec::inline());
+        for workers in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(nz(workers));
+            if workers >= 2 {
+                force_one_steal(&pool);
+                assert!(
+                    pool.steals() > 0,
+                    "{workers}-worker pool recorded no steal (got {})",
+                    pool.steals()
+                );
+            }
+            let got = kind.mine_all_exec(&set, 2, Exec::Pool(&pool));
+            assert_eq!(got, reference, "{kind} diverged at {workers} workers");
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.support, b.support, "{kind} support at {workers} workers");
+            }
+            // A solo pool never forks (width 1 fails the cost model),
+            // so task dispatch is only asserted with real parallelism.
+            if workers >= 2 {
+                assert!(
+                    pool.tree_tasks() > 1,
+                    "{kind} at {workers} workers never dispatched tree tasks"
+                );
+            }
+        }
+    }
+}
+
+/// A task that panics *after being stolen* surfaces on the caller and
+/// leaves the pool mining correctly — panic containment must hold on
+/// the steal path, not just for locally popped tasks.
+#[test]
+fn panic_in_a_stolen_task_is_contained() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let pool = WorkerPool::new(nz(2));
+    let ran = Arc::new(AtomicBool::new(false));
+    let observed = Arc::clone(&ran);
+    let roots: Vec<TreeJob<u32>> = vec![Box::new(move |scope: &TreeScope<'_, u32>| {
+        let ran = Arc::clone(&observed);
+        scope.fork(move |_: &TreeScope<'_, u32>| -> u32 {
+            ran.store(true, Ordering::SeqCst);
+            panic!("panic on the steal path");
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !observed.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "no peer stole the forked task");
+            std::thread::yield_now();
+        }
+        3
+    })];
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_tree_exec(Exec::Pool(&pool), roots)
+    }))
+    .expect_err("the stolen task's panic must reach the caller");
+    let message = err.downcast_ref::<&str>().copied().unwrap_or("non-str");
+    assert!(message.contains("panic on the steal path"), "{message}");
+    assert!(
+        pool.steals() > 0,
+        "the panicking task must have been stolen (got {} steals)",
+        pool.steals()
+    );
+
+    // Both workers survive: the same pool still mines bit-identically.
+    let mut set = TransactionSet::new();
+    for i in 0..60u64 {
+        let t = Transaction::from_items(&[
+            Item::new(FlowFeature::DstPort, 80 + i % 2),
+            Item::new(FlowFeature::Packets, i % 3),
+        ])
+        .unwrap();
+        set.push(t);
+    }
+    for kind in MinerKind::ALL {
+        assert_eq!(
+            kind.mine_all_exec(&set, 5, Exec::Pool(&pool)),
+            kind.mine_all_exec(&set, 5, Exec::inline()),
+            "{kind} after a panic under stealing"
+        );
+    }
+}
+
 /// A panicking tree task propagates to the caller, and the pool survives
 /// to mine correctly afterwards — the containment contract of the shared
 /// worker pool.

@@ -25,6 +25,22 @@ pub enum DecodeError {
     },
     /// The header declares more records than a v5 datagram can carry (30).
     TooManyRecords(u16),
+    /// A v9/IPFIX packet was cut short of what its framing declares.
+    TruncatedPacket {
+        /// Bytes available.
+        have: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// A v9/IPFIX punctuation packet carried a flowset that is not a
+    /// template or options template — decoding data flowsets would need
+    /// per-exporter template state, and flow records travel as v5 here.
+    UnsupportedFlowset {
+        /// The packet's version word (9 or 10).
+        version: u16,
+        /// The offending flowset/set id.
+        id: u16,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -41,6 +57,14 @@ impl fmt::Display for DecodeError {
             DecodeError::TooManyRecords(n) => {
                 write!(f, "NetFlow v5 header declares {n} records; the maximum per datagram is 30")
             }
+            DecodeError::TruncatedPacket { have, need } => {
+                write!(f, "truncated NetFlow v9/IPFIX packet: have {have} bytes, need {need}")
+            }
+            DecodeError::UnsupportedFlowset { version, id } => write!(
+                f,
+                "NetFlow v{version} flowset {id} is not a template; only template-only \
+                 punctuation packets are supported (flow records travel as v5)"
+            ),
         }
     }
 }

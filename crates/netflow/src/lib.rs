@@ -13,6 +13,8 @@
 //!   encoding;
 //! - [`v5`] — a complete NetFlow v5 wire codec (header + 48-byte records,
 //!   big-endian) with a sequence-tracking exporter and collector;
+//! - [`v9`] — v9/IPFIX template-only punctuation packets decoded as
+//!   exporter heartbeats for the multi-source watermark grid;
 //! - [`FlowTrace`] / [`Interval`] — batch traces sliced into measurement
 //!   intervals;
 //! - [`IntervalAssembler`] — streaming interval assembly for online
@@ -39,6 +41,7 @@ pub mod source;
 pub mod stream;
 pub mod trace;
 pub mod v5;
+pub mod v9;
 
 pub use error::{DecodeError, EncodeError};
 pub use feature::{FeatureValue, FlowFeature, ParseFeatureValueError};

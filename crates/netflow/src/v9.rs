@@ -1,0 +1,464 @@
+//! NetFlow v9 / IPFIX punctuation: template-only packets as heartbeats.
+//!
+//! The flow records themselves travel as NetFlow v5 in this system (the
+//! paper's dataset is v5), but real collectors also receive periodic
+//! **template and options-template packets** from v9/IPFIX exporters —
+//! sent even when the link is idle, as keepalives carrying sampling
+//! configuration and exporter state. For the multi-source watermark grid
+//! ([`crate::MergeAssembler`]) these packets matter: an idle-but-live
+//! exporter's punctuation proves its clock has advanced, releasing
+//! merged intervals that would otherwise wait for `max_lag` to fire.
+//!
+//! This module decodes exactly that punctuation: v9 (version 9) and
+//! IPFIX (version 10) packets whose flowsets are all templates or
+//! options templates. Each decodes to a [`Punctuation`] carrying the
+//! header's export wall-clock, which callers feed to
+//! [`crate::MergeAssembler::heartbeat`]. Data flowsets are rejected with
+//! [`DecodeError::UnsupportedFlowset`] — decoding them would need
+//! per-exporter template state, and the flow path here is v5.
+//!
+//! [`decode_mixed_stream`] ingests a capture file interleaving v5
+//! datagrams with v9/IPFIX punctuation, dispatching on each packet's
+//! leading version word.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::DecodeError;
+use crate::v5::{decode_datagram, V5Datagram, V5_HEADER_LEN, V5_RECORD_LEN};
+
+/// The NetFlow v9 version word.
+pub const V9_VERSION: u16 = 9;
+/// The IPFIX version word (RFC 7011 calls it version 10).
+pub const IPFIX_VERSION: u16 = 10;
+/// Size of the fixed v9 packet header in bytes.
+pub const V9_HEADER_LEN: usize = 20;
+/// Size of the fixed IPFIX message header in bytes.
+pub const IPFIX_HEADER_LEN: usize = 16;
+
+/// A decoded template-only v9/IPFIX packet — exporter punctuation.
+///
+/// Carries no flows; its value is the export wall-clock, which advances
+/// the exporter's watermark lane in the merge grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Punctuation {
+    /// The version word: [`V9_VERSION`] or [`IPFIX_VERSION`].
+    pub version: u16,
+    /// Export wall-clock in milliseconds (header seconds × 1000) — the
+    /// `now_ms` to hand [`crate::MergeAssembler::heartbeat`].
+    pub export_ms: u64,
+    /// The packet/message sequence number.
+    pub sequence: u32,
+    /// v9 source id / IPFIX observation domain id.
+    pub domain: u32,
+}
+
+/// Decode one v9 or IPFIX punctuation packet from the front of `data`,
+/// returning it and the number of bytes consumed.
+///
+/// Every flowset (v9) / set (IPFIX) in the packet must be a template or
+/// options template; the presence of a data set makes the packet flow
+/// traffic, not punctuation, and is an error here.
+///
+/// # Errors
+///
+/// [`DecodeError::BadVersion`] for a version word other than 9 or 10,
+/// [`DecodeError::TruncatedHeader`]/[`DecodeError::TruncatedPacket`] on
+/// short input, and [`DecodeError::UnsupportedFlowset`] on a data or
+/// unknown flowset.
+pub fn decode_punctuation(data: &[u8]) -> Result<(Punctuation, usize), DecodeError> {
+    if data.len() < 2 {
+        return Err(DecodeError::TruncatedHeader {
+            have: data.len(),
+            need: V9_HEADER_LEN.min(IPFIX_HEADER_LEN),
+        });
+    }
+    match u16::from_be_bytes([data[0], data[1]]) {
+        V9_VERSION => decode_v9(data),
+        IPFIX_VERSION => decode_ipfix(data),
+        other => Err(DecodeError::BadVersion(other)),
+    }
+}
+
+/// v9: the header counts records, not bytes, so framing walks the
+/// flowsets — each one length-prefixed — until the record count is met.
+fn decode_v9(mut data: &[u8]) -> Result<(Punctuation, usize), DecodeError> {
+    let total = data.len();
+    if total < V9_HEADER_LEN {
+        return Err(DecodeError::TruncatedHeader {
+            have: total,
+            need: V9_HEADER_LEN,
+        });
+    }
+    let _version = data.get_u16();
+    let count = data.get_u16();
+    let _sys_uptime_ms = data.get_u32();
+    let unix_secs = data.get_u32();
+    let sequence = data.get_u32();
+    let domain = data.get_u32();
+
+    let mut records_seen: usize = 0;
+    while records_seen < usize::from(count) {
+        let (id, body) = read_set_header(&mut data, V9_VERSION)?;
+        records_seen += match id {
+            0 => count_template_records(body),
+            1 => count_options_records(body),
+            other => {
+                return Err(DecodeError::UnsupportedFlowset {
+                    version: V9_VERSION,
+                    id: other,
+                })
+            }
+        };
+    }
+    let punct = Punctuation {
+        version: V9_VERSION,
+        export_ms: u64::from(unix_secs) * 1000,
+        sequence,
+        domain,
+    };
+    Ok((punct, total - data.len()))
+}
+
+/// IPFIX: the header carries the total message length, so framing is
+/// direct; the sets still have to all be templates.
+fn decode_ipfix(packet: &[u8]) -> Result<(Punctuation, usize), DecodeError> {
+    if packet.len() < IPFIX_HEADER_LEN {
+        return Err(DecodeError::TruncatedHeader {
+            have: packet.len(),
+            need: IPFIX_HEADER_LEN,
+        });
+    }
+    let mut data = packet;
+    let _version = data.get_u16();
+    let length = usize::from(data.get_u16());
+    let export_secs = data.get_u32();
+    let sequence = data.get_u32();
+    let domain = data.get_u32();
+    if length < IPFIX_HEADER_LEN || packet.len() < length {
+        return Err(DecodeError::TruncatedPacket {
+            have: packet.len(),
+            need: length.max(IPFIX_HEADER_LEN),
+        });
+    }
+    let mut sets = &packet[IPFIX_HEADER_LEN..length];
+    while !sets.is_empty() {
+        let (id, _body) = read_set_header(&mut sets, IPFIX_VERSION)?;
+        if id != 2 && id != 3 {
+            return Err(DecodeError::UnsupportedFlowset {
+                version: IPFIX_VERSION,
+                id,
+            });
+        }
+    }
+    let punct = Punctuation {
+        version: IPFIX_VERSION,
+        export_ms: u64::from(export_secs) * 1000,
+        sequence,
+        domain,
+    };
+    Ok((punct, length))
+}
+
+/// Read one flowset/set header (id + byte length) and split off its
+/// body, leaving `data` positioned at the next set.
+fn read_set_header<'a>(data: &mut &'a [u8], version: u16) -> Result<(u16, &'a [u8]), DecodeError> {
+    if data.len() < 4 {
+        return Err(DecodeError::TruncatedPacket {
+            have: data.len(),
+            need: 4,
+        });
+    }
+    let id = data.get_u16();
+    let length = usize::from(data.get_u16());
+    if length < 4 {
+        // A set shorter than its own header cannot frame anything.
+        return Err(DecodeError::UnsupportedFlowset { version, id });
+    }
+    let body_len = length - 4;
+    if data.len() < body_len {
+        return Err(DecodeError::TruncatedPacket {
+            have: data.len(),
+            need: body_len,
+        });
+    }
+    let (body, rest) = data.split_at(body_len);
+    *data = rest;
+    Ok((id, body))
+}
+
+/// Count the template records in a template flowset body: each is
+/// `template_id, field_count` plus `field_count` 4-byte field specs.
+/// Trailing padding (less than a record header, or a zero template id)
+/// ends the walk.
+fn count_template_records(mut body: &[u8]) -> usize {
+    let mut n = 0;
+    while body.len() >= 4 {
+        let template_id = u16::from_be_bytes([body[0], body[1]]);
+        if template_id == 0 {
+            break; // padding
+        }
+        let field_count = usize::from(u16::from_be_bytes([body[2], body[3]]));
+        let record = 4 + field_count * 4;
+        if body.len() < record {
+            break;
+        }
+        body = &body[record..];
+        n += 1;
+    }
+    n
+}
+
+/// Count the records in an options-template flowset body: each is
+/// `template_id, scope_length, option_length` plus that many bytes of
+/// field specs (both lengths are in bytes on the v9 wire).
+fn count_options_records(mut body: &[u8]) -> usize {
+    let mut n = 0;
+    while body.len() >= 6 {
+        let template_id = u16::from_be_bytes([body[0], body[1]]);
+        if template_id == 0 {
+            break; // padding
+        }
+        let scope_len = usize::from(u16::from_be_bytes([body[2], body[3]]));
+        let option_len = usize::from(u16::from_be_bytes([body[4], body[5]]));
+        let record = 6 + scope_len + option_len;
+        if body.len() < record {
+            break;
+        }
+        body = &body[record..];
+        n += 1;
+    }
+    n
+}
+
+/// Encode a v9 keepalive: one options-template flowset (scope `System`,
+/// option `samplingInterval`), padded to a 4-byte boundary — the packet
+/// an idle Cisco-style exporter sends to prove it is alive.
+#[must_use]
+pub fn encode_v9_options_template(export_secs: u32, sequence: u32, source_id: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(V9_HEADER_LEN + 20);
+    buf.put_u16(V9_VERSION);
+    buf.put_u16(1); // one record (the options template)
+    buf.put_u32(0); // sys_uptime_ms
+    buf.put_u32(export_secs);
+    buf.put_u32(sequence);
+    buf.put_u32(source_id);
+    // Options-template flowset: id 1, record = id 256, 4-byte scope
+    // (System) + 4-byte option (samplingInterval), 2 bytes padding.
+    buf.put_u16(1); // flowset id: options template
+    buf.put_u16(20); // flowset length incl. header + padding
+    buf.put_u16(256); // options template id
+    buf.put_u16(4); // scope length (bytes)
+    buf.put_u16(4); // option length (bytes)
+    buf.put_u16(1); // scope field: System
+    buf.put_u16(4); // scope field length
+    buf.put_u16(34); // option field: samplingInterval
+    buf.put_u16(4); // option field length
+    buf.put_u16(0); // padding to 4-byte boundary
+    buf.freeze()
+}
+
+/// Encode an IPFIX keepalive: one options-template set, the v10
+/// counterpart of [`encode_v9_options_template`].
+#[must_use]
+pub fn encode_ipfix_options_template(export_secs: u32, sequence: u32, domain: u32) -> Bytes {
+    let mut buf = BytesMut::with_capacity(IPFIX_HEADER_LEN + 14);
+    buf.put_u16(IPFIX_VERSION);
+    buf.put_u16((IPFIX_HEADER_LEN + 14) as u16); // total message length
+    buf.put_u32(export_secs);
+    buf.put_u32(sequence);
+    buf.put_u32(domain);
+    // Options-template set: id 3; record = id 256, 2 fields of which 1
+    // is scope; scope System then option samplingInterval.
+    buf.put_u16(3); // set id: options template
+    buf.put_u16(14); // set length incl. header
+    buf.put_u16(256); // template id
+    buf.put_u16(2); // total field count
+    buf.put_u16(1); // scope field count
+    buf.put_u16(1); // scope field: System
+    buf.put_u16(4); // scope field length
+    buf.freeze()
+}
+
+/// One packet of a mixed capture: v5 flow datagrams interleaved with
+/// v9/IPFIX punctuation, in file (= collector arrival) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceItem {
+    /// A NetFlow v5 datagram carrying flow records.
+    Flows(V5Datagram),
+    /// A template-only v9/IPFIX packet: an exporter heartbeat.
+    Heartbeat(Punctuation),
+}
+
+/// Decode a capture file of concatenated packets, dispatching each on
+/// its leading version word: 5 → flow datagram, 9/10 → punctuation.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`]: any other version word, a data
+/// flowset inside a v9/IPFIX packet, or a truncated packet.
+pub fn decode_mixed_stream(mut data: &[u8]) -> Result<Vec<TraceItem>, DecodeError> {
+    let mut out = Vec::new();
+    while !data.is_empty() {
+        if data.len() < 2 {
+            return Err(DecodeError::TruncatedHeader {
+                have: data.len(),
+                need: 2,
+            });
+        }
+        match u16::from_be_bytes([data[0], data[1]]) {
+            5 => {
+                let dgram = decode_datagram(data)?;
+                let consumed = V5_HEADER_LEN + usize::from(dgram.header.count) * V5_RECORD_LEN;
+                data = &data[consumed..];
+                out.push(TraceItem::Flows(dgram));
+            }
+            V9_VERSION | IPFIX_VERSION => {
+                let (punct, consumed) = decode_punctuation(data)?;
+                data = &data[consumed..];
+                out.push(TraceItem::Heartbeat(punct));
+            }
+            other => return Err(DecodeError::BadVersion(other)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowRecord, Protocol};
+    use crate::v5::encode_datagram;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn v9_options_template_round_trips_as_a_heartbeat() {
+        let bytes = encode_v9_options_template(1234, 7, 99);
+        let (p, consumed) = decode_punctuation(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(
+            p,
+            Punctuation {
+                version: V9_VERSION,
+                export_ms: 1_234_000,
+                sequence: 7,
+                domain: 99,
+            }
+        );
+    }
+
+    #[test]
+    fn ipfix_options_template_round_trips_as_a_heartbeat() {
+        let bytes = encode_ipfix_options_template(55, 3, 1);
+        let (p, consumed) = decode_punctuation(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(p.version, IPFIX_VERSION);
+        assert_eq!(p.export_ms, 55_000);
+    }
+
+    #[test]
+    fn v9_data_flowsets_are_rejected() {
+        let mut bytes = encode_v9_options_template(1, 0, 0).to_vec();
+        bytes[20] = 1; // flowset id 1 → 257: a data flowset
+        bytes[21] = 1;
+        assert_eq!(
+            decode_punctuation(&bytes).unwrap_err(),
+            DecodeError::UnsupportedFlowset {
+                version: V9_VERSION,
+                id: 257
+            }
+        );
+    }
+
+    #[test]
+    fn ipfix_data_sets_are_rejected() {
+        let mut bytes = encode_ipfix_options_template(1, 0, 0).to_vec();
+        bytes[16] = 1; // set id 3 → 259: a data set
+        bytes[17] = 3;
+        assert_eq!(
+            decode_punctuation(&bytes).unwrap_err(),
+            DecodeError::UnsupportedFlowset {
+                version: IPFIX_VERSION,
+                id: 259
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_packets_are_rejected() {
+        let v9 = encode_v9_options_template(1, 0, 0);
+        assert!(decode_punctuation(&v9[..10]).is_err());
+        assert!(decode_punctuation(&v9[..v9.len() - 4]).is_err());
+        let ipfix = encode_ipfix_options_template(1, 0, 0);
+        assert!(decode_punctuation(&ipfix[..ipfix.len() - 2]).is_err());
+        assert!(decode_punctuation(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected() {
+        assert_eq!(
+            decode_punctuation(&[0, 7, 0, 0]).unwrap_err(),
+            DecodeError::BadVersion(7)
+        );
+    }
+
+    #[test]
+    fn mixed_stream_interleaves_flows_and_heartbeats_in_file_order() {
+        let flow = FlowRecord::new(
+            10,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 1),
+            1024,
+            80,
+            Protocol::Tcp,
+        );
+        let mut file = Vec::new();
+        file.extend_from_slice(&encode_datagram(&[flow], 0, 0).unwrap());
+        file.extend_from_slice(&encode_v9_options_template(60, 1, 0));
+        file.extend_from_slice(&encode_ipfix_options_template(120, 2, 0));
+        file.extend_from_slice(&encode_datagram(&[flow], 1, 0).unwrap());
+
+        let items = decode_mixed_stream(&file).unwrap();
+        assert_eq!(items.len(), 4);
+        assert!(matches!(&items[0], TraceItem::Flows(d) if d.flows.len() == 1));
+        assert!(
+            matches!(&items[1], TraceItem::Heartbeat(p) if p.export_ms == 60_000
+                && p.version == V9_VERSION)
+        );
+        assert!(
+            matches!(&items[2], TraceItem::Heartbeat(p) if p.export_ms == 120_000
+                && p.version == IPFIX_VERSION)
+        );
+        assert!(matches!(&items[3], TraceItem::Flows(_)));
+    }
+
+    #[test]
+    fn mixed_stream_rejects_garbage() {
+        assert!(decode_mixed_stream(&[1, 2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn template_record_counting_handles_multiple_and_padding() {
+        // Two plain templates in one flowset, then 2 bytes of padding.
+        let mut buf = BytesMut::new();
+        buf.put_u16(V9_VERSION);
+        buf.put_u16(2); // two records
+        buf.put_u32(0);
+        buf.put_u32(9); // unix_secs
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u16(0); // flowset id 0: templates
+        buf.put_u16(4 + 12 + 12 + 2); // flowset length
+        for template_id in [256u16, 257] {
+            buf.put_u16(template_id);
+            buf.put_u16(2); // field count
+            buf.put_u16(8); // IN_BYTES
+            buf.put_u16(4);
+            buf.put_u16(12); // IPV4_DST_ADDR
+            buf.put_u16(4);
+        }
+        buf.put_u16(0); // padding
+        let (p, consumed) = decode_punctuation(&buf).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(p.export_ms, 9000);
+    }
+}

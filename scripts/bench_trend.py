@@ -210,6 +210,15 @@ def gate_mining(bench_path, baseline, rows):
         # Informational red flag, not a gate: the task-parallel search
         # phases should visibly dispatch on any multi-width pool.
         warn(f"pool of {workers} workers dispatched only {tasks_total} tree task(s)")
+    # Work-stealing scheduler counters (informational until the baseline
+    # re-records with expectations over them): steals proves the deques
+    # actually rebalanced, max_queue_depth shows fork pressure, and
+    # dispatch_overhead_ns is the calibrated cost-model input.
+    for key in ("tree_tasks", "steals", "max_queue_depth", "dispatch_overhead_ns"):
+        if key in report:
+            value = report[key]
+            print(f"mining scheduler {key}: {value} info")
+            rows.append((f"scheduler {key}", "-", str(value), "-", "info"))
     return failures
 
 

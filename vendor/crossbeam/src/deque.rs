@@ -1,0 +1,144 @@
+//! Work-stealing deques — the safe stand-in for `crossbeam-deque`.
+//!
+//! One [`WorkDeque`] per pool worker plus one shared injector give the
+//! scheduler the classic Chase–Lev shape: the owning worker pushes and
+//! pops at the **back** (LIFO, so freshly forked subtasks run hot in
+//! cache), while thieves steal from the **front** (FIFO, so the oldest
+//! — typically largest — task migrates). This crate is
+//! `forbid(unsafe_code)`, so the lock-free Chase–Lev ring buffer is
+//! approximated by a short critical section around a `VecDeque`: the
+//! owner and a thief only contend when the deque is nearly empty, which
+//! matches the Chase–Lev contention profile without the unsafe memory
+//! reclamation, and [`steal`](WorkDeque::steal) uses `try_lock` so a
+//! thief never convoys behind a busy owner — it just moves to the next
+//! victim.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A single work-stealing deque: owner at the back, thieves at the
+/// front.
+pub struct WorkDeque<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> std::fmt::Debug for WorkDeque<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WorkDeque { .. }")
+    }
+}
+
+impl<T> Default for WorkDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WorkDeque<T> {
+    /// An empty deque.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkDeque {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner push at the back. Returns the depth (length) after the
+    /// push, so the scheduler can keep a high-water mark without a
+    /// second lock round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deque mutex was poisoned (a holder panicked —
+    /// impossible through this API: no user code runs under the lock).
+    pub fn push(&self, item: T) -> usize {
+        let mut items = self.items.lock().expect("deque mutex poisoned");
+        items.push_back(item);
+        items.len()
+    }
+
+    /// Owner pop at the back (LIFO — the most recently pushed item).
+    ///
+    /// # Panics
+    ///
+    /// As [`push`](Self::push).
+    pub fn pop(&self) -> Option<T> {
+        self.items.lock().expect("deque mutex poisoned").pop_back()
+    }
+
+    /// Thief pop at the front (FIFO — the oldest item). Non-blocking:
+    /// returns `None` when the deque is empty **or** momentarily locked
+    /// by its owner, so a thief sweeps on to the next victim instead of
+    /// convoying.
+    pub fn steal(&self) -> Option<T> {
+        match self.items.try_lock() {
+            Ok(mut items) => items.pop_front(),
+            Err(_) => None,
+        }
+    }
+
+    /// Blocking pop at the front — used on the injector, which has no
+    /// single owner to convoy behind.
+    ///
+    /// # Panics
+    ///
+    /// As [`push`](Self::push).
+    pub fn take(&self) -> Option<T> {
+        self.items.lock().expect("deque mutex poisoned").pop_front()
+    }
+
+    /// Current depth.
+    ///
+    /// # Panics
+    ///
+    /// As [`push`](Self::push).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("deque mutex poisoned").len()
+    }
+
+    /// Whether the deque is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo() {
+        let d = WorkDeque::new();
+        for i in 0..4 {
+            assert_eq!(d.push(i), i + 1);
+        }
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn thieves_steal_fifo_from_the_front() {
+        let d = WorkDeque::new();
+        d.push(10);
+        d.push(20);
+        d.push(30);
+        assert_eq!(d.steal(), Some(10));
+        assert_eq!(d.steal(), Some(20));
+        assert_eq!(d.pop(), Some(30));
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn take_drains_fifo_like_an_injector() {
+        let d = WorkDeque::new();
+        d.push('a');
+        d.push('b');
+        assert_eq!(d.take(), Some('a'));
+        assert_eq!(d.take(), Some('b'));
+        assert_eq!(d.take(), None);
+        assert!(d.is_empty());
+    }
+}

@@ -13,22 +13,30 @@
 //! returns, and the result surfaces panics as `std::thread::Result` the
 //! way crossbeam does.
 //!
-//! Finally, [`pool::WorkerPool`] is a long-lived worker pool in the
-//! spirit of crossbeam's deque-based executors: threads are spawned
-//! once and jobs are pushed onto a shared deque, so per-batch work
-//! costs a queue operation instead of a thread spawn — the execution
-//! substrate of the streaming extraction engine. Beyond flat batches
+//! Finally, [`pool::WorkerPool`] is a long-lived work-stealing pool in
+//! the spirit of crossbeam's deque-based executors: threads are
+//! spawned once, each owning a [`deque::WorkDeque`] it pushes and pops
+//! LIFO while idle peers steal FIFO from the front; external
+//! [`pool::WorkerPool::submit`] jobs and `run_tree` roots enter through
+//! a shared injector queue. Beyond flat batches
 //! ([`pool::WorkerPool::run_ordered`]) the pool runs fork/join task
 //! trees ([`pool::WorkerPool::run_tree`]): jobs receive a
 //! [`pool::TreeScope`] through which they may spawn ordered child
 //! tasks, and the results of the whole tree merge deterministically in
 //! spawn order — the primitive behind task-parallel recursive search
-//! (conditional-tree mining, candidate-generation blocks).
+//! (conditional-tree mining, candidate-generation blocks). Scheduling
+//! is observable ([`pool::WorkerPool::steals`],
+//! [`pool::WorkerPool::max_queue_depth`],
+//! [`pool::WorkerPool::tree_tasks`]) so a single-CPU CI box can verify
+//! stealing engages via counters and bit-equality rather than wall
+//! clock.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use pool::{run_tree_inline, TreeJob, TreeScope, WorkerPool};
+pub mod deque;
+
+pub use pool::{run_tree_inline, PoolStats, TreeJob, TreeScope, WorkerPool};
 pub use thread::scope;
 
 /// Scoped threads with crossbeam's API shape over `std::thread::scope`.
@@ -133,38 +141,244 @@ pub mod thread {
     }
 }
 
-/// A persistent worker pool: threads spawned once, jobs submitted as
-/// closures onto a shared deque.
+/// A persistent work-stealing worker pool: threads spawned once, each
+/// owning a deque; jobs submitted as closures through an injector.
 pub mod pool {
+    use crate::deque::WorkDeque;
     use std::cell::{Cell, RefCell};
     use std::collections::VecDeque;
     use std::num::NonZeroUsize;
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{mpsc, Arc, Condvar, Mutex};
+    use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
     use std::thread::JoinHandle;
 
     /// A unit of work: an owned closure, so jobs can outlive the caller's
     /// stack frame and run on threads spawned long before it existed.
     type Job = Box<dyn FnOnce() + Send + 'static>;
 
-    /// The shared job deque plus shutdown flag, guarded by one mutex.
-    struct Queue {
-        state: Mutex<QueueState>,
+    thread_local! {
+        /// The stripe the current thread owns, when it is a pool worker:
+        /// the scheduler it belongs to (weak, so a worker's own TLS never
+        /// keeps its pool alive) and its stripe index. Lets
+        /// [`TreeScope::fork`] push to the forking worker's own deque —
+        /// the LIFO hot path of work stealing.
+        static WORKER: RefCell<Option<(Weak<Scheduler>, usize)>> = const { RefCell::new(None) };
+    }
+
+    /// The work-stealing scheduler core shared by every worker of one
+    /// pool.
+    ///
+    /// Topology: one [`WorkDeque`] **stripe** per worker (owner pushes
+    /// and pops LIFO at the back, thieves steal FIFO from the front)
+    /// plus one **injector** deque for work arriving from outside the
+    /// pool ([`WorkerPool::submit`], [`WorkerPool::run_ordered`]
+    /// batches, [`WorkerPool::run_tree`] roots). A worker looks for
+    /// work in that order — own stripe, injector, then one randomized
+    /// sweep over the other stripes — and only sleeps when a full scan
+    /// finds nothing.
+    ///
+    /// Sleep/wake uses a Dekker-style pairing instead of pushing every
+    /// job under one central mutex: a pusher increments `pending`
+    /// *before* publishing the job and only takes the sleep mutex when
+    /// `sleepers > 0`; a would-be sleeper increments `sleepers` (under
+    /// the sleep mutex) *before* re-checking `pending`. Whichever side
+    /// observes the other's increment prevents the lost wakeup, so the
+    /// busy-pool fast path never touches the mutex.
+    struct Scheduler {
+        /// FIFO entry queue for external submissions and tree roots.
+        injector: WorkDeque<Job>,
+        /// Per-worker deques, indexed by worker.
+        stripes: Vec<WorkDeque<Job>>,
+        /// Jobs queued (anywhere) but not yet claimed by a worker.
+        pending: AtomicU64,
+        /// Workers currently asleep on `ready`.
+        sleepers: AtomicU64,
+        /// The shutdown flag, written only under the sleep mutex.
+        sleep: Mutex<bool>,
         ready: Condvar,
         /// Tree tasks (roots + forks) ever dispatched through
         /// [`WorkerPool::run_tree`] — observability for benches and tests
         /// that must prove recursive work really ran as pool tasks.
         tree_tasks: AtomicU64,
+        /// Successful steals from a peer's stripe (injector pops are not
+        /// steals) — proves work migration without wall-clock timing.
+        steals: AtomicU64,
+        /// High-water mark of queue depth observed when **tree** tasks
+        /// were pushed (stripe depth at fork, injector depth at root
+        /// submission). Calibration and flat batches leave it untouched
+        /// so it reflects mining fan-out, not bookkeeping traffic.
+        max_queue_depth: AtomicU64,
+        /// Measured per-task dispatch overhead in nanoseconds; 0 until
+        /// [`WorkerPool::calibrate_dispatch_overhead`] runs.
+        overhead_ns: AtomicU64,
     }
 
-    struct QueueState {
-        jobs: VecDeque<Job>,
-        closed: bool,
+    impl std::fmt::Debug for Scheduler {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Scheduler { .. }")
+        }
     }
 
-    /// A long-lived pool of worker threads consuming jobs from a shared
-    /// deque.
+    /// A tiny xorshift step — victim-selection randomization without an
+    /// RNG dependency.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    impl Scheduler {
+        fn new(width: usize) -> Self {
+            Scheduler {
+                injector: WorkDeque::new(),
+                stripes: (0..width).map(|_| WorkDeque::new()).collect(),
+                pending: AtomicU64::new(0),
+                sleepers: AtomicU64::new(0),
+                sleep: Mutex::new(false),
+                ready: Condvar::new(),
+                tree_tasks: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                max_queue_depth: AtomicU64::new(0),
+                overhead_ns: AtomicU64::new(0),
+            }
+        }
+
+        /// Queue `job` through the injector (external submissions, flat
+        /// batches, tree roots).
+        fn inject(&self, job: Job, tree_depth: bool) {
+            self.pending.fetch_add(1, Ordering::SeqCst);
+            let depth = self.injector.push(job);
+            if tree_depth {
+                self.note_depth(depth);
+            }
+            self.wake();
+        }
+
+        /// Queue `job` on the current worker's own stripe when this
+        /// thread is a worker of this scheduler; fall back to the
+        /// injector otherwise (a fork from a non-worker thread).
+        fn push_local(self: &Arc<Self>, job: Job, tree_depth: bool) {
+            let stripe = WORKER.with(|w| {
+                w.borrow().as_ref().and_then(|(scheduler, index)| {
+                    (Weak::as_ptr(scheduler) == Arc::as_ptr(self)).then_some(*index)
+                })
+            });
+            match stripe {
+                Some(index) => {
+                    self.pending.fetch_add(1, Ordering::SeqCst);
+                    let depth = self.stripes[index].push(job);
+                    if tree_depth {
+                        self.note_depth(depth);
+                    }
+                    self.wake();
+                }
+                None => self.inject(job, tree_depth),
+            }
+        }
+
+        /// Live depth of the queue a task pushed from this thread would
+        /// land on: the thread's own stripe when it is one of this
+        /// scheduler's workers, the injector otherwise.
+        fn local_depth(self: &Arc<Self>) -> usize {
+            WORKER
+                .with(|w| {
+                    w.borrow().as_ref().and_then(|(scheduler, index)| {
+                        (Weak::as_ptr(scheduler) == Arc::as_ptr(self))
+                            .then(|| self.stripes[*index].len())
+                    })
+                })
+                .unwrap_or_else(|| self.injector.len())
+        }
+
+        fn note_depth(&self, depth: usize) {
+            self.max_queue_depth
+                .fetch_max(depth as u64, Ordering::Relaxed);
+        }
+
+        /// Wake sleeping workers after a push. See the type docs for why
+        /// reading `sleepers` after the `pending` increment is
+        /// lost-wakeup-free; taking the mutex before notifying closes
+        /// the window between a sleeper's re-check and its wait.
+        fn wake(&self) {
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                let _closed = self.sleep.lock().expect("pool mutex poisoned");
+                self.ready.notify_all();
+            }
+        }
+
+        /// One full scan for work: own stripe (LIFO), the injector
+        /// (FIFO), then every other stripe once in randomized order.
+        fn find_job(&self, me: usize, rng: &mut u64) -> Option<Job> {
+            if let Some(job) = self.stripes[me].pop() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+            if let Some(job) = self.injector.take() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+            let n = self.stripes.len();
+            if n > 1 {
+                let offset = (xorshift(rng) % n as u64) as usize;
+                for step in 0..n {
+                    let victim = (offset + step) % n;
+                    if victim == me {
+                        continue;
+                    }
+                    if let Some(job) = self.stripes[victim].steal() {
+                        self.pending.fetch_sub(1, Ordering::SeqCst);
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    fn worker_loop(shared: &Arc<Scheduler>, me: usize) {
+        WORKER.with(|w| *w.borrow_mut() = Some((Arc::downgrade(shared), me)));
+        // Distinct odd seeds per worker so victim sweeps decorrelate.
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((me as u64 + 1) << 17) | 1;
+        loop {
+            if let Some(job) = shared.find_job(me, &mut rng) {
+                // Contain panics so one bad job cannot take the worker
+                // down; run_ordered/run_tree re-throw on the caller.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                continue;
+            }
+            // Nothing claimable this scan: sleep — or exit once the pool
+            // is closed *and* drained (`pending == 0` means no queued
+            // job anywhere; forks still to come can only be pushed by a
+            // worker that is itself awake running a job, and it will
+            // drain its own stripe).
+            let mut closed = shared.sleep.lock().expect("pool mutex poisoned");
+            shared.sleepers.fetch_add(1, Ordering::SeqCst);
+            loop {
+                if shared.pending.load(Ordering::SeqCst) > 0 {
+                    break;
+                }
+                if *closed {
+                    shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    // Peers may be asleep waiting for this same drained
+                    // state; pass the exit signal on.
+                    shared.ready.notify_all();
+                    return;
+                }
+                closed = shared.ready.wait(closed).expect("pool mutex poisoned");
+            }
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// A long-lived pool of worker threads scheduled by work stealing:
+    /// each worker owns a deque it pushes and pops LIFO while idle peers
+    /// steal FIFO from the front; external work enters through a shared
+    /// injector queue.
     ///
     /// Workers are spawned once at construction and live until the pool
     /// is dropped, so submitting a batch of jobs costs queue pushes
@@ -174,41 +388,32 @@ pub mod pool {
     /// A job that panics is contained: the panic is caught, the worker
     /// survives, and (for [`run_ordered`](WorkerPool::run_ordered)) the
     /// payload is re-thrown on the calling thread. Dropping the pool
-    /// closes the queue, lets queued jobs drain, and joins every worker.
+    /// closes the injector, lets queued jobs drain, and joins every
+    /// worker.
     ///
     /// Jobs must not submit to — and then wait on — the pool they run
     /// on; with every worker blocked waiting, no one is left to run the
-    /// nested job.
+    /// nested job. ([`TreeScope::fork`] exists precisely so recursive
+    /// work never needs to.)
     #[derive(Debug)]
     pub struct WorkerPool {
-        queue: Arc<Queue>,
+        shared: Arc<Scheduler>,
         workers: Vec<JoinHandle<()>>,
     }
 
-    impl std::fmt::Debug for Queue {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.write_str("Queue { .. }")
-        }
-    }
-
-    fn worker_loop(queue: &Queue) {
-        loop {
-            let job = {
-                let mut state = queue.state.lock().expect("pool mutex poisoned");
-                loop {
-                    if let Some(job) = state.jobs.pop_front() {
-                        break job;
-                    }
-                    if state.closed {
-                        return;
-                    }
-                    state = queue.ready.wait(state).expect("pool mutex poisoned");
-                }
-            };
-            // Contain panics so one bad job cannot take the worker down;
-            // run_ordered re-throws on the caller's side instead.
-            let _ = catch_unwind(AssertUnwindSafe(job));
-        }
+    /// A point-in-time snapshot of one pool's scheduling counters.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct PoolStats {
+        /// Tree tasks (roots + forks) ever dispatched via `run_tree`.
+        pub tree_tasks: u64,
+        /// Successful steals of a task from a peer worker's deque.
+        pub steals: u64,
+        /// High-water mark of tree-task queue depth (see
+        /// [`WorkerPool::max_queue_depth`]).
+        pub max_queue_depth: u64,
+        /// Calibrated per-task dispatch overhead in nanoseconds (0 =
+        /// never calibrated).
+        pub dispatch_overhead_ns: u64,
     }
 
     impl WorkerPool {
@@ -219,24 +424,17 @@ pub mod pool {
         /// Panics if the operating system refuses to spawn a thread.
         #[must_use]
         pub fn new(threads: NonZeroUsize) -> Self {
-            let queue = Arc::new(Queue {
-                state: Mutex::new(QueueState {
-                    jobs: VecDeque::new(),
-                    closed: false,
-                }),
-                ready: Condvar::new(),
-                tree_tasks: AtomicU64::new(0),
-            });
+            let shared = Arc::new(Scheduler::new(threads.get()));
             let workers = (0..threads.get())
                 .map(|i| {
-                    let queue = Arc::clone(&queue);
+                    let shared = Arc::clone(&shared);
                     std::thread::Builder::new()
                         .name(format!("anomex-pool-{i}"))
-                        .spawn(move || worker_loop(&queue))
+                        .spawn(move || worker_loop(&shared, i))
                         .expect("failed to spawn pool worker")
                 })
                 .collect();
-            WorkerPool { queue, workers }
+            WorkerPool { shared, workers }
         }
 
         /// Number of worker threads.
@@ -245,17 +443,9 @@ pub mod pool {
             self.workers.len()
         }
 
-        /// Submit one fire-and-forget job.
-        ///
-        /// # Panics
-        ///
-        /// Panics if the pool's internal mutex was poisoned (a worker
-        /// panicked while holding it — impossible through this API).
+        /// Submit one fire-and-forget job (FIFO through the injector).
         pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-            let mut state = self.queue.state.lock().expect("pool mutex poisoned");
-            state.jobs.push_back(Box::new(job));
-            drop(state);
-            self.queue.ready.notify_one();
+            self.shared.inject(Box::new(job), false);
         }
 
         /// Run a batch of jobs on the pool and return their results **in
@@ -278,19 +468,17 @@ pub mod pool {
                 return Vec::new();
             }
             let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
-            {
-                let mut state = self.queue.state.lock().expect("pool mutex poisoned");
-                for (i, job) in jobs.into_iter().enumerate() {
-                    let tx = tx.clone();
-                    state.jobs.push_back(Box::new(move || {
+            for (i, job) in jobs.into_iter().enumerate() {
+                let tx = tx.clone();
+                self.shared.inject(
+                    Box::new(move || {
                         let result = catch_unwind(AssertUnwindSafe(job));
                         // The receiver outlives the batch; ignore a send
                         // failure anyway so a worker never panics here.
                         let _ = tx.send((i, result));
-                    }));
-                }
-                drop(state);
-                self.queue.ready.notify_all();
+                    }),
+                    false,
+                );
             }
             drop(tx);
             let mut slots: Vec<Option<std::thread::Result<R>>> = Vec::new();
@@ -314,7 +502,73 @@ pub mod pool {
         /// through [`run_tree`](Self::run_tree) on this pool.
         #[must_use]
         pub fn tree_tasks(&self) -> u64 {
-            self.queue.tree_tasks.load(Ordering::Relaxed)
+            self.shared.tree_tasks.load(Ordering::Relaxed)
+        }
+
+        /// Tasks ever stolen from a peer worker's deque on this pool.
+        /// Injector pops are not steals; a nonzero count proves work
+        /// actually migrated between workers — the signal the 1-CPU CI
+        /// container uses in place of wall-clock speedup.
+        #[must_use]
+        pub fn steals(&self) -> u64 {
+            self.shared.steals.load(Ordering::Relaxed)
+        }
+
+        /// High-water mark of queue depth observed at tree-task pushes
+        /// (a worker's own deque at [`TreeScope::fork`], the injector at
+        /// root submission). Gauges how deeply the miners fan out;
+        /// untouched by `submit`/`run_ordered` bookkeeping traffic.
+        #[must_use]
+        pub fn max_queue_depth(&self) -> u64 {
+            self.shared.max_queue_depth.load(Ordering::Relaxed)
+        }
+
+        /// Live depth of the queue a task pushed from the calling thread
+        /// would land on: the thread's own deque when it is one of this
+        /// pool's workers, the injector otherwise. The cost-model input
+        /// for adaptive fork coarsening at non-worker call sites.
+        #[must_use]
+        pub fn local_queue_depth(&self) -> usize {
+            self.shared.local_depth()
+        }
+
+        /// Every scheduling counter in one snapshot.
+        #[must_use]
+        pub fn stats(&self) -> PoolStats {
+            PoolStats {
+                tree_tasks: self.tree_tasks(),
+                steals: self.steals(),
+                max_queue_depth: self.max_queue_depth(),
+                dispatch_overhead_ns: self.dispatch_overhead_ns(),
+            }
+        }
+
+        /// The measured per-task dispatch overhead in nanoseconds, or 0
+        /// when [`calibrate_dispatch_overhead`](Self::calibrate_dispatch_overhead)
+        /// has not run on this pool (callers fall back to a recorded
+        /// constant).
+        #[must_use]
+        pub fn dispatch_overhead_ns(&self) -> u64 {
+            self.shared.overhead_ns.load(Ordering::Relaxed)
+        }
+
+        /// Measure this pool's per-task dispatch overhead by timing a
+        /// batch of trivial jobs through the scheduler, store it for
+        /// [`dispatch_overhead_ns`](Self::dispatch_overhead_ns), and
+        /// return it. The result is clamped to [1µs, 200µs] so a noisy
+        /// or oversubscribed box cannot push fork thresholds into the
+        /// absurd. Runs through `run_ordered`, so neither `tree_tasks`
+        /// nor `max_queue_depth` is perturbed.
+        pub fn calibrate_dispatch_overhead(&self) -> u64 {
+            const JOBS: u64 = 256;
+            let batch: Vec<Box<dyn FnOnce() + Send + 'static>> = (0..JOBS)
+                .map(|_| Box::new(|| ()) as Box<dyn FnOnce() + Send + 'static>)
+                .collect();
+            let started = std::time::Instant::now();
+            let _: Vec<()> = self.run_ordered(batch);
+            let per_job = (started.elapsed().as_nanos() as u64 / JOBS).clamp(1_000, 200_000);
+            self.shared.overhead_ns.store(per_job, Ordering::Relaxed);
+            per_job
         }
 
         /// Run a fork/join tree of jobs on the pool and return every
@@ -343,7 +597,7 @@ pub mod pool {
                 return Vec::new();
             }
             let state = Arc::new(TreeState {
-                queue: Arc::clone(&self.queue),
+                scheduler: Arc::clone(&self.shared),
                 width: self.threads(),
                 progress: Mutex::new(TreeProgress {
                     pending: roots.len(),
@@ -352,13 +606,9 @@ pub mod pool {
                 }),
                 done: Condvar::new(),
             });
-            {
-                let mut qs = self.queue.state.lock().expect("pool mutex poisoned");
-                for (i, job) in roots.into_iter().enumerate() {
-                    qs.jobs.push_back(tree_task(&state, vec![i as u32], job));
-                }
-                drop(qs);
-                self.queue.ready.notify_all();
+            for (i, job) in roots.into_iter().enumerate() {
+                self.shared
+                    .inject(tree_task(&state, vec![i as u32], job), true);
             }
             let mut progress = state.progress.lock().expect("tree mutex poisoned");
             while progress.pending > 0 {
@@ -381,7 +631,7 @@ pub mod pool {
 
     /// Shared bookkeeping of one [`WorkerPool::run_tree`] invocation.
     struct TreeState<R> {
-        queue: Arc<Queue>,
+        scheduler: Arc<Scheduler>,
         width: usize,
         progress: Mutex<TreeProgress<R>>,
         done: Condvar,
@@ -414,7 +664,7 @@ pub mod pool {
         job: TreeJob<R>,
     ) -> Job {
         let state = Arc::clone(state);
-        state.queue.tree_tasks.fetch_add(1, Ordering::Relaxed);
+        state.scheduler.tree_tasks.fetch_add(1, Ordering::Relaxed);
         Box::new(move || {
             let scope = TreeScope {
                 width: state.width,
@@ -483,11 +733,29 @@ pub mod pool {
             self.width
         }
 
+        /// Live depth of the queue a [`fork`](Self::fork) from this task
+        /// would land on: the running worker's own deque under pool
+        /// execution (the injector when the task somehow runs off-pool),
+        /// or the pending worklist under sequential execution. The
+        /// cost-model input for adaptive fork coarsening — a deep local
+        /// queue means the pool is saturated and finer forking buys
+        /// nothing.
+        #[must_use]
+        pub fn queue_depth(&self) -> usize {
+            match &self.runner {
+                ScopeRunner::Inline(worklist) => worklist.borrow().len(),
+                ScopeRunner::Pool(state) => state.scheduler.local_depth(),
+            }
+        }
+
         /// Fork one ordered child job. Never blocks: the child runs
         /// later (on a pool worker, or on the caller's worklist under
         /// sequential execution), and its result slots in after this
         /// task's — and after earlier-forked siblings' — in the merged
-        /// output.
+        /// output. Under pool execution the child is pushed onto the
+        /// forking worker's own deque (LIFO for the owner, stealable
+        /// FIFO by idle peers), so fork order never constrains which
+        /// worker runs what — only the merge order of results.
         pub fn fork(&self, job: impl for<'a> FnOnce(&TreeScope<'a, R>) -> R + Send + 'static) {
             let child = self.kids.get();
             self.kids.set(child + 1);
@@ -504,10 +772,7 @@ pub mod pool {
                         progress.pending += 1;
                     }
                     let task = tree_task(*state, path, Box::new(job));
-                    let mut qs = state.queue.state.lock().expect("pool mutex poisoned");
-                    qs.jobs.push_back(task);
-                    drop(qs);
-                    state.queue.ready.notify_one();
+                    state.scheduler.push_local(task, true);
                 }
             }
         }
@@ -549,13 +814,14 @@ pub mod pool {
     }
 
     impl Drop for WorkerPool {
-        /// Close the queue (queued jobs still drain) and join every
-        /// worker.
+        /// Close the scheduler (queued jobs still drain — workers only
+        /// exit once every deque and the injector are empty) and join
+        /// every worker.
         fn drop(&mut self) {
-            if let Ok(mut state) = self.queue.state.lock() {
-                state.closed = true;
+            if let Ok(mut closed) = self.shared.sleep.lock() {
+                *closed = true;
             }
-            self.queue.ready.notify_all();
+            self.shared.ready.notify_all();
             for handle in self.workers.drain(..) {
                 // A worker can only have panicked through catch_unwind
                 // gaps; surface nothing and keep dropping the rest.
@@ -755,6 +1021,93 @@ pub mod pool {
             }
             drop(pool); // joins after draining
             assert_eq!(*log.lock().unwrap(), (0..16).collect::<Vec<_>>());
+        }
+
+        /// Force a steal deterministically: the root task forks a child
+        /// onto its own deque and then spins until the child has run.
+        /// The root's worker is busy spinning, so the only way the child
+        /// can run — and the root can ever stop spinning — is a peer
+        /// stealing it. Works even on one CPU (the OS preempts the
+        /// spinner); the timeout keeps a regression from hanging CI.
+        #[test]
+        fn fork_from_a_busy_worker_is_stolen_by_a_peer() {
+            use std::sync::atomic::AtomicBool;
+            use std::time::{Duration, Instant};
+            let pool = WorkerPool::new(nz(2));
+            assert_eq!(pool.steals(), 0);
+            let ran = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&ran);
+            let roots: Vec<TreeJob<u32>> = vec![Box::new(move |scope: &TreeScope<'_, u32>| {
+                let flag2 = Arc::clone(&flag);
+                scope.fork(move |_: &TreeScope<'_, u32>| {
+                    flag2.store(true, Ordering::SeqCst);
+                    1
+                });
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while !flag.load(Ordering::SeqCst) {
+                    assert!(Instant::now() < deadline, "child was never stolen");
+                    std::thread::yield_now();
+                }
+                0
+            })];
+            assert_eq!(pool.run_tree(roots), vec![0, 1]);
+            assert!(pool.steals() > 0, "the child ran, so it was stolen");
+        }
+
+        #[test]
+        fn tree_forks_raise_the_queue_depth_high_water() {
+            let pool = WorkerPool::new(nz(1));
+            assert_eq!(pool.max_queue_depth(), 0);
+            let roots: Vec<TreeJob<u32>> = vec![Box::new(|scope: &TreeScope<'_, u32>| {
+                // All 8 forks land on the running worker's deque before
+                // any can be popped, so the high-water reaches 8.
+                for _ in 0..8 {
+                    scope.fork(|_: &TreeScope<'_, u32>| 1);
+                }
+                0
+            })];
+            assert_eq!(pool.run_tree(roots).len(), 9);
+            assert!(
+                pool.max_queue_depth() >= 8,
+                "depth high-water {} < 8",
+                pool.max_queue_depth()
+            );
+        }
+
+        #[test]
+        fn flat_batches_do_not_touch_the_tree_depth_high_water() {
+            let pool = WorkerPool::new(nz(2));
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..64u32)
+                .map(|i| Box::new(move || i) as Box<dyn FnOnce() -> u32 + Send>)
+                .collect();
+            let _ = pool.run_ordered(jobs);
+            assert_eq!(pool.max_queue_depth(), 0);
+        }
+
+        #[test]
+        fn calibration_stores_a_clamped_overhead() {
+            let pool = WorkerPool::new(nz(2));
+            assert_eq!(pool.dispatch_overhead_ns(), 0, "uncalibrated at birth");
+            let measured = pool.calibrate_dispatch_overhead();
+            assert!((1_000..=200_000).contains(&measured));
+            assert_eq!(pool.dispatch_overhead_ns(), measured);
+            assert_eq!(pool.tree_tasks(), 0, "calibration is not tree work");
+        }
+
+        #[test]
+        fn scope_queue_depth_sees_the_workers_own_forks() {
+            let pool = WorkerPool::new(nz(2));
+            assert_eq!(pool.local_queue_depth(), 0, "injector empty off-pool");
+            // Width 1 so no peer can steal the forks out from under the
+            // depth read while the root still runs.
+            let solo = WorkerPool::new(nz(1));
+            let depth_inside: Vec<usize> =
+                solo.run_tree(vec![Box::new(|scope: &TreeScope<'_, usize>| {
+                    scope.fork(|_: &TreeScope<'_, usize>| 0);
+                    scope.fork(|_: &TreeScope<'_, usize>| 0);
+                    scope.queue_depth()
+                }) as TreeJob<usize>]);
+            assert_eq!(depth_inside[0], 2, "both forks sit on the own deque");
         }
     }
 }
