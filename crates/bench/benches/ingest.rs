@@ -1,0 +1,121 @@
+//! Criterion benches for trace ingestion and the columnar flow store:
+//! mmap vs heap-read parsing of a NetFlow v5 trace file, and the
+//! columnar (struct-of-arrays) vs record (array-of-structs) layouts on
+//! the two flow-store hot paths — detector histogram building and
+//! pre-filtering.
+//!
+//! The columnar output is bit-identical to the record path (the store's
+//! determinism guarantee, asserted by the columnar determinism suite);
+//! these benches measure the only thing that changes: wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use anomex_core::{prefilter_indices, prefilter_indices_columns, PrefilterMode};
+use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
+use anomex_netflow::v5::{decode_stream, decode_stream_into_columns, V5Exporter};
+use anomex_netflow::{FlowColumns, FlowFeature};
+use anomex_traffic::table2_workload;
+
+const SCALE: f64 = 0.05;
+
+/// The Table II meta-data: the flagged flood port plus the three popular
+/// ports the paper injected to force false-positive item-sets.
+fn table2_metadata() -> MetaData {
+    let mut md = MetaData::new();
+    for port in [7000u64, 80, 9022, 25] {
+        md.insert(FlowFeature::DstPort, port);
+    }
+    md
+}
+
+/// Serialize the benchmark workload as concatenated v5 datagrams.
+fn trace_bytes() -> Vec<u8> {
+    let w = table2_workload(2009, SCALE);
+    let mut exporter = V5Exporter::new();
+    let mut bytes = Vec::new();
+    for dgram in exporter.export(&w.flows) {
+        bytes.extend_from_slice(&dgram);
+    }
+    bytes
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let bytes = trace_bytes();
+    let path = std::env::temp_dir().join("anomex-ingest-bench.nfv5");
+    std::fs::write(&path, &bytes).expect("write temp trace");
+
+    let mut group = c.benchmark_group("ingest_parse_table2");
+    group.sample_size(10);
+    group.bench_function("heap_read", |b| {
+        b.iter(|| {
+            let data = std::fs::read(&path).expect("read trace");
+            black_box(decode_stream(black_box(&data)).expect("valid trace"))
+        })
+    });
+    group.bench_function("mmap", |b| {
+        b.iter(|| {
+            let map = memmap2::Mmap::open(&path).expect("map trace");
+            black_box(decode_stream(black_box(&map)).expect("valid trace"))
+        })
+    });
+    // The full fast path: mapped bytes straight into the columnar store,
+    // no intermediate `FlowRecord`s at all.
+    group.bench_function("mmap_columnar", |b| {
+        b.iter(|| {
+            let map = memmap2::Mmap::open(&path).expect("map trace");
+            let mut cols = FlowColumns::new();
+            decode_stream_into_columns(black_box(&map), &mut cols).expect("valid trace");
+            black_box(cols)
+        })
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+fn bench_histogram_build(c: &mut Criterion) {
+    let w = table2_workload(2009, SCALE);
+    let cols = FlowColumns::from_flows(&w.flows);
+    let hasher = DetectorBank::new(&DetectorConfig::default()).hasher();
+
+    let mut group = c.benchmark_group("ingest_histogram_table2");
+    group.sample_size(10);
+    group.bench_function("aos_records", |b| {
+        b.iter(|| black_box(hasher.partial(black_box(&w.flows))))
+    });
+    group.bench_function("columnar", |b| {
+        b.iter(|| black_box(hasher.partial_columns(black_box(&cols), 0..cols.len())))
+    });
+    group.finish();
+}
+
+fn bench_prefilter(c: &mut Criterion) {
+    let w = table2_workload(2009, SCALE);
+    let cols = FlowColumns::from_flows(&w.flows);
+    let md = table2_metadata();
+
+    let mut group = c.benchmark_group("ingest_prefilter_table2");
+    group.sample_size(10);
+    group.bench_function("aos_records", |b| {
+        b.iter(|| {
+            black_box(prefilter_indices(
+                black_box(&w.flows),
+                &md,
+                PrefilterMode::Union,
+            ))
+        })
+    });
+    group.bench_function("columnar", |b| {
+        b.iter(|| {
+            black_box(prefilter_indices_columns(
+                black_box(&cols),
+                &md,
+                PrefilterMode::Union,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_histogram_build, bench_prefilter);
+criterion_main!(benches);

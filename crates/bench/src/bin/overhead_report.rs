@@ -4,10 +4,13 @@
 //! falling support), the task-parallel low-support mining column
 //! (sequential vs pool, with the tree-task count proving the recursive
 //! search ran as pool tasks), the sharded-engine scaling column, and
-//! the streaming engine's per-interval latency distribution. The
-//! sharding, streaming, mining, and rule-layer numbers are also emitted
-//! as `BENCH_sharded.json` / `BENCH_streaming.json` / `BENCH_mining.json`
-//! / `BENCH_rules.json` in the working directory so the perf trajectory
+//! the streaming engine's per-interval latency distribution, and the
+//! columnar-ingest comparison (mmap vs heap-read trace parsing, plus
+//! struct-of-arrays vs record layout on the histogram-build and
+//! pre-filter hot paths). The sharding, streaming, mining, rule-layer,
+//! and ingest numbers are also emitted as `BENCH_sharded.json` /
+//! `BENCH_streaming.json` / `BENCH_mining.json` / `BENCH_rules.json` /
+//! `BENCH_ingest.json` in the working directory so the perf trajectory
 //! is machine-readable across PRs.
 //!
 //! ```sh
@@ -17,7 +20,7 @@
 //!
 //! `--write-baseline PATH` re-records the gated metrics (sharded
 //! overhead ratios, streaming latency percentiles, mining pool/seq
-//! ratios, rule-layer overhead ratios) as a fresh
+//! ratios, rule-layer overhead ratios, columnar-ingest ratios) as a fresh
 //! `ci/bench-baseline.json`-shaped file measured by **this** run, so
 //! the perf gates track the environment that produces the numbers —
 //! see `ci/README.md` for the procedure.
@@ -28,13 +31,15 @@ use std::time::Instant;
 
 use anomex_bench::report_args;
 use anomex_core::{
-    extract_sharded, extract_with_metadata, latency_percentile, ExtractionConfig, PrefilterMode,
-    StreamingExtractor, TransactionMode,
+    extract_sharded, extract_with_metadata, latency_percentile, prefilter_indices,
+    prefilter_indices_columns, ExtractionConfig, PrefilterMode, StreamingExtractor,
+    TransactionMode,
 };
 use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
 use anomex_mining::par::Exec;
 use anomex_mining::{MineTask, MinerKind, RuleConfig, TransactionSet};
-use anomex_netflow::FlowFeature;
+use anomex_netflow::v5::{decode_stream, V5Exporter};
+use anomex_netflow::{FlowColumns, FlowFeature};
 use anomex_traffic::{table2_workload, Scenario};
 use crossbeam::WorkerPool;
 
@@ -390,6 +395,106 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH_streaming.json: {e}"),
     }
 
+    // --- Columnar ingest: mmap vs heap-read trace parsing, and the
+    // struct-of-arrays flow store vs the record layout on its two hot
+    // paths (detector histogram build, pre-filter). Runs at a FIXED
+    // 0.05 scale regardless of --scale so the ratios stay comparable
+    // across report invocations; both layouts are bit-identical (the
+    // pre-filter outputs are asserted equal below), so wall-clock is
+    // the only thing measured. ---
+    const INGEST_SCALE: f64 = 0.05;
+    let wi = table2_workload(2009, INGEST_SCALE);
+    let mut exporter = V5Exporter::new();
+    let mut trace = Vec::new();
+    for dgram in exporter.export(&wi.flows) {
+        trace.extend_from_slice(&dgram);
+    }
+    let trace_path = std::env::temp_dir().join("anomex-overhead-ingest.nfv5");
+    std::fs::write(&trace_path, &trace).expect("write temp trace");
+    let best_ms = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let heap_parse_ms = best_ms(&mut || {
+        let data = std::fs::read(&trace_path).expect("read trace");
+        std::hint::black_box(decode_stream(&data).expect("valid trace"));
+    });
+    let mmap_parse_ms = best_ms(&mut || {
+        let map = memmap2::Mmap::open(&trace_path).expect("map trace");
+        std::hint::black_box(decode_stream(&map).expect("valid trace"));
+    });
+    std::fs::remove_file(&trace_path).ok();
+    let cols = FlowColumns::from_flows(&wi.flows);
+    let hasher = DetectorBank::new(&DetectorConfig::default()).hasher();
+    let hist_aos_ms = best_ms(&mut || {
+        std::hint::black_box(hasher.partial(&wi.flows));
+    });
+    let hist_col_ms = best_ms(&mut || {
+        std::hint::black_box(hasher.partial_columns(&cols, 0..cols.len()));
+    });
+    assert_eq!(
+        prefilter_indices(&wi.flows, &md, PrefilterMode::Union),
+        prefilter_indices_columns(&cols, &md, PrefilterMode::Union),
+        "columnar pre-filter diverged from the record path"
+    );
+    let pf_aos_ms = best_ms(&mut || {
+        std::hint::black_box(prefilter_indices(&wi.flows, &md, PrefilterMode::Union));
+    });
+    let pf_col_ms = best_ms(&mut || {
+        std::hint::black_box(prefilter_indices_columns(&cols, &md, PrefilterMode::Union));
+    });
+    // metric name -> (baseline ms, optimized ms); ratio < 1 means the
+    // optimized path (mmap / columnar) wins.
+    let ingest_rows: [(&str, f64, f64); 3] = [
+        ("parse", heap_parse_ms, mmap_parse_ms),
+        ("histogram", hist_aos_ms, hist_col_ms),
+        ("prefilter", pf_aos_ms, pf_col_ms),
+    ];
+    println!(
+        "\ncolumnar ingest ({} flows at fixed {INGEST_SCALE} scale, {} kB trace; best of 5):",
+        wi.flows.len(),
+        trace.len() / 1024
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>7}",
+        "metric", "baseline", "optimized", "ratio"
+    );
+    for &(metric, base_ms, opt_ms) in &ingest_rows {
+        let ratio = if base_ms > 0.0 { opt_ms / base_ms } else { 1.0 };
+        println!("{metric:>10} {base_ms:>10.2}ms {opt_ms:>10.2}ms {ratio:>6.2}x");
+    }
+    println!("(parse: heap read vs mmap; histogram/prefilter: record layout vs columnar)");
+
+    // --- Machine-readable emitter: BENCH_ingest.json. ---
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"ingest_columnar_table2\",");
+    let _ = writeln!(json, "  \"scale\": {INGEST_SCALE},");
+    let _ = writeln!(json, "  \"flows\": {},", wi.flows.len());
+    let _ = writeln!(json, "  \"trace_bytes\": {},", trace.len());
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, &(metric, base_ms, opt_ms)) in ingest_rows.iter().enumerate() {
+        let ratio = if base_ms > 0.0 { opt_ms / base_ms } else { 1.0 };
+        let comma = if i + 1 < ingest_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"metric\": \"{metric}\", \"baseline_millis\": {base_ms:.3}, \
+             \"optimized_millis\": {opt_ms:.3}, \"ratio\": {ratio:.3}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write("BENCH_ingest.json", &json) {
+        Ok(()) => println!("wrote BENCH_ingest.json"),
+        Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
+    }
+
     // --- Baseline re-record: persist the gated metrics as measured by
     // THIS run, in the ci/bench-baseline.json shape, so the perf gates
     // track the environment that produces the numbers. ---
@@ -408,7 +513,10 @@ fn main() {
              BENCH_mining.json, and rules_overhead_ratio maps 'support:miner' -> (rule-pass \
              wall time / itemset-only wall time) from BENCH_rules.json; both are gated at \
              >25% relative plus absolute slack, and the gates stay dormant until the \
-             baseline carries the sections. Re-record with `overhead_report <scale> \
+             baseline carries the sections. ingest_columnar_ratio maps an ingest metric \
+             (parse/histogram/prefilter) -> (optimized wall time / baseline wall time) from \
+             BENCH_ingest.json and follows the same dormant-gate rules. Re-record with \
+             `overhead_report <scale> \
              --write-baseline <path>` on the hardware CI actually uses (see ci/README.md); \
              keys missing on either side warn instead of failing.\","
         );
@@ -449,6 +557,13 @@ fn main() {
             };
             let comma = if i + 1 < rule_rows.len() { "," } else { "" };
             let _ = writeln!(json, "    \"{s}:{miner}\": {ratio:.3}{comma}");
+        }
+        let _ = writeln!(json, "  }},");
+        let _ = writeln!(json, "  \"ingest_columnar_ratio\": {{");
+        for (i, &(metric, base_ms, opt_ms)) in ingest_rows.iter().enumerate() {
+            let ratio = if base_ms > 0.0 { opt_ms / base_ms } else { 1.0 };
+            let comma = if i + 1 < ingest_rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    \"{metric}\": {ratio:.3}{comma}");
         }
         let _ = writeln!(json, "  }}");
         let _ = writeln!(json, "}}");

@@ -24,11 +24,11 @@ pub fn arg_scale(default: f64) -> f64 {
     })
 }
 
-/// Parsed `overhead_report` command line: an optional positional scale
-/// plus the `--write-baseline PATH` re-record flag.
+/// Parsed `overhead_report` command line: an optional scale (positional
+/// or `--scale S`) plus the `--write-baseline PATH` re-record flag.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportArgs {
-    /// Workload volume scale (first positional argument).
+    /// Workload volume scale (first positional argument or `--scale S`).
     pub scale: f64,
     /// When set, write a freshly measured `ci/bench-baseline.json`-shaped
     /// file to this path so the perf gates track the environment that
@@ -36,13 +36,17 @@ pub struct ReportArgs {
     pub write_baseline: Option<String>,
 }
 
-/// Parse `[scale] [--write-baseline PATH]` in any order from the
-/// process arguments.
+/// The usage line every `overhead_report` argument error points at.
+const REPORT_USAGE: &str = "usage: overhead_report [scale] [--scale S] [--write-baseline PATH]";
+
+/// Parse `[scale] [--scale S] [--write-baseline PATH]` in any order
+/// from the process arguments. The scale can be given positionally or
+/// via `--scale`; the last occurrence wins.
 ///
 /// # Panics
 ///
-/// Panics (with a helpful message) on a non-numeric scale, a missing
-/// `--write-baseline` value, or an unknown flag.
+/// Panics (with the usage line) on a non-numeric scale, a missing flag
+/// value, or an unknown flag.
 #[must_use]
 pub fn report_args(default_scale: f64) -> ReportArgs {
     parse_report_args(default_scale, std::env::args().skip(1))
@@ -53,19 +57,26 @@ fn parse_report_args(default_scale: f64, args: impl Iterator<Item = String>) -> 
         scale: default_scale,
         write_baseline: None,
     };
+    let parse_scale = |s: &str| -> f64 {
+        s.parse()
+            .unwrap_or_else(|_| panic!("expected a numeric scale, got {s:?}\n{REPORT_USAGE}"))
+    };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if arg == "--write-baseline" {
             let path = args
                 .next()
-                .unwrap_or_else(|| panic!("--write-baseline needs a PATH"));
+                .unwrap_or_else(|| panic!("--write-baseline needs a PATH\n{REPORT_USAGE}"));
             parsed.write_baseline = Some(path);
+        } else if arg == "--scale" {
+            let s = args
+                .next()
+                .unwrap_or_else(|| panic!("--scale needs a value\n{REPORT_USAGE}"));
+            parsed.scale = parse_scale(&s);
         } else if let Some(rest) = arg.strip_prefix("--") {
-            panic!("unknown flag --{rest} (expected [scale] [--write-baseline PATH])");
+            panic!("unknown flag --{rest}\n{REPORT_USAGE}");
         } else {
-            parsed.scale = arg
-                .parse()
-                .unwrap_or_else(|_| panic!("expected a numeric scale, got {arg:?}"));
+            parsed.scale = parse_scale(&arg);
         }
     }
     parsed
@@ -155,8 +166,33 @@ mod tests {
     }
 
     #[test]
+    fn report_args_accept_scale_flag() {
+        let parse =
+            |args: &[&str]| super::parse_report_args(1.0, args.iter().map(ToString::to_string));
+        assert_eq!(parse(&["--scale", "0.05"]).scale, 0.05);
+        let a = parse(&["--scale", "0.1", "--write-baseline", "out.json"]);
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.write_baseline.as_deref(), Some("out.json"));
+        // Positional and flag forms mix; the last occurrence wins.
+        assert_eq!(parse(&["0.5", "--scale", "0.2"]).scale, 0.2);
+    }
+
+    #[test]
     #[should_panic(expected = "--write-baseline needs a PATH")]
     fn report_args_reject_missing_baseline_path() {
         let _ = super::parse_report_args(1.0, ["--write-baseline".to_string()].into_iter());
+    }
+
+    #[test]
+    #[should_panic(expected = "usage: overhead_report")]
+    fn report_args_print_usage_on_unknown_flag() {
+        let _ = super::parse_report_args(1.0, ["--frobnicate".to_string()].into_iter());
+    }
+
+    #[test]
+    #[should_panic(expected = "usage: overhead_report")]
+    fn report_args_print_usage_on_bad_scale_value() {
+        let _ =
+            super::parse_report_args(1.0, ["--scale".to_string(), "fast".to_string()].into_iter());
     }
 }

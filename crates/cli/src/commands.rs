@@ -208,17 +208,27 @@ fn generate_multi(args: &Args, sources: usize) -> Result<(), String> {
 /// punctuation packets. Returns the flows plus the punctuation export
 /// clocks in milliseconds — the heartbeats that let an idle-but-live
 /// exporter release the multi-source watermark grid.
+///
+/// Files are memory-mapped rather than read into a heap buffer, so the
+/// decoder walks the kernel page cache directly and multi-GB traces
+/// never need a second in-memory copy of the raw bytes; when mapping is
+/// unavailable (non-unix platforms, special files) the mapping layer
+/// falls back to an ordinary heap read transparently.
 fn load_trace_data(path: &str) -> Result<(Vec<FlowRecord>, Vec<u64>), String> {
-    let bytes = if path == "-" {
+    let stdin_buf;
+    let mapping;
+    let bytes: &[u8] = if path == "-" {
         let mut buf = Vec::new();
         std::io::stdin()
             .read_to_end(&mut buf)
             .map_err(|e| format!("cannot read stdin: {e}"))?;
-        buf
+        stdin_buf = buf;
+        &stdin_buf
     } else {
-        fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        mapping = memmap2::Mmap::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        &mapping
     };
-    let items = decode_mixed_stream(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let items = decode_mixed_stream(bytes).map_err(|e| format!("{path}: {e}"))?;
     let mut flows = Vec::new();
     let mut heartbeats = Vec::new();
     for item in items {

@@ -73,7 +73,10 @@ pub use pipeline::{
     extract_with_metadata, extract_with_mode, extract_with_rules, merge_source_rules,
     AnomalyExtractor, Extraction, IntervalOutcome, TransactionMode,
 };
-pub use prefilter::{prefilter, prefilter_indices, PrefilterMode};
+pub use prefilter::{
+    prefilter, prefilter_indices, prefilter_indices_columns, prefilter_indices_columns_range,
+    PrefilterMode,
+};
 pub use report::{render_csv, render_report, render_rule_merge};
 pub use sharded::{
     extract_sharded, extract_sharded_with_rules, observe_sharded, prefilter_indices_sharded,

@@ -15,7 +15,7 @@ use anomex_mining::par::Exec;
 use anomex_mining::{
     merge_rule_sets, ItemSet, LevelStats, MineTask, MinerKind, RuleConfig, RuleSet, TransactionSet,
 };
-use anomex_netflow::FlowRecord;
+use anomex_netflow::{FlowColumns, FlowRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ConfigError, ExtractionConfig};
@@ -57,6 +57,25 @@ impl TransactionMode {
         match self {
             TransactionMode::Canonical => TransactionSet::from_flows_at(flows, indices),
             TransactionMode::WithPrefixes => TransactionSet::from_flows_extended_at(flows, indices),
+        }
+    }
+
+    /// Build the transaction set for the columnar rows selected by
+    /// `indices` — the struct-of-arrays counterpart of
+    /// [`transactions_at`](Self::transactions_at), gathering one feature
+    /// column at a time. Bit-identical to converting the rows to
+    /// [`FlowRecord`]s first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for `cols`.
+    #[must_use]
+    pub fn transactions_at_columns(self, cols: &FlowColumns, indices: &[usize]) -> TransactionSet {
+        match self {
+            TransactionMode::Canonical => TransactionSet::from_columns_at(cols, indices),
+            TransactionMode::WithPrefixes => {
+                TransactionSet::from_columns_extended_at(cols, indices)
+            }
         }
     }
 }
@@ -192,29 +211,89 @@ pub(crate) fn mine_at_indices(
     exec: Exec<'_>,
 ) -> Extraction {
     let transactions = tx_mode.transactions_at(flows, indices);
+    mine_transactions(
+        interval,
+        flows.len(),
+        &transactions,
+        indices.len(),
+        metadata,
+        miner,
+        min_support,
+        rule_config,
+        exec,
+    )
+}
+
+/// The columnar twin of [`mine_at_indices`]: gather transactions from a
+/// [`FlowColumns`] store (one feature column at a time) and run the same
+/// mining tail. Bit-identical to [`mine_at_indices`] over the equivalent
+/// `FlowRecord` slice, by construction — the gathered transaction sets
+/// are equal and everything downstream consumes only transactions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mine_at_indices_columns(
+    interval: u64,
+    cols: &FlowColumns,
+    indices: &[usize],
+    metadata: &MetaData,
+    tx_mode: TransactionMode,
+    miner: MinerKind,
+    min_support: u64,
+    rule_config: Option<&RuleConfig>,
+    exec: Exec<'_>,
+) -> Extraction {
+    let transactions = tx_mode.transactions_at_columns(cols, indices);
+    mine_transactions(
+        interval,
+        cols.len(),
+        &transactions,
+        indices.len(),
+        metadata,
+        miner,
+        min_support,
+        rule_config,
+        exec,
+    )
+}
+
+/// The storage-agnostic mining tail shared by the record and columnar
+/// extraction paths: mine maximal item-sets over the pre-built
+/// transactions, optionally layer the association rules, and assemble
+/// the [`Extraction`].
+#[allow(clippy::too_many_arguments)]
+fn mine_transactions(
+    interval: u64,
+    total_flows: usize,
+    transactions: &TransactionSet,
+    suspicious_flows: usize,
+    metadata: &MetaData,
+    miner: MinerKind,
+    min_support: u64,
+    rule_config: Option<&RuleConfig>,
+    exec: Exec<'_>,
+) -> Extraction {
     let (itemsets, levels, rules) = match rule_config {
         Some(rc) => {
-            let out = MineTask::maximal(miner, &transactions, min_support).run_with_rules(rc, exec);
+            let out = MineTask::maximal(miner, transactions, min_support).run_with_rules(rc, exec);
             (out.itemsets, out.levels, Some(out.rules))
         }
         None => match miner {
             MinerKind::Apriori => {
-                let out = apriori_exec(&transactions, &AprioriConfig::maximal(min_support), exec);
+                let out = apriori_exec(transactions, &AprioriConfig::maximal(min_support), exec);
                 (out.itemsets, out.levels, None)
             }
             other => (
-                other.mine_maximal_exec(&transactions, min_support, exec),
+                other.mine_maximal_exec(transactions, min_support, exec),
                 Vec::new(),
                 None,
             ),
         },
     };
-    let cost = cost_reduction(flows.len() as u64, itemsets.len());
+    let cost = cost_reduction(total_flows as u64, itemsets.len());
     Extraction {
         interval,
         metadata: metadata.clone(),
-        total_flows: flows.len(),
-        suspicious_flows: indices.len(),
+        total_flows,
+        suspicious_flows,
         itemsets,
         levels,
         cost_reduction: cost,

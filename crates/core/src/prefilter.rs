@@ -9,8 +9,10 @@
 //! the event. DoWitcher-style intersection filtering is provided as the
 //! comparison baseline.
 
+use std::ops::Range;
+
 use anomex_detector::MetaData;
-use anomex_netflow::FlowRecord;
+use anomex_netflow::{FlowColumns, FlowRecord};
 use serde::{Deserialize, Serialize};
 
 /// Which matching semantics the pre-filter applies.
@@ -62,6 +64,77 @@ pub fn prefilter_indices(
         .enumerate()
         .filter(|(_, f)| mode.matches(metadata, f))
         .map(|(i, _)| i)
+        .collect()
+}
+
+/// Filter a columnar interval by meta-data, returning the indices of
+/// suspicious flows — the struct-of-arrays counterpart of
+/// [`prefilter_indices`], evaluated one *column* at a time instead of
+/// one flow at a time: each meta-data feature scans only its own
+/// contiguous column, so the other nine columns never enter the cache.
+/// Identical output to running [`prefilter_indices`] over
+/// `cols.to_flows()`.
+#[must_use]
+pub fn prefilter_indices_columns(
+    cols: &FlowColumns,
+    metadata: &MetaData,
+    mode: PrefilterMode,
+) -> Vec<usize> {
+    prefilter_indices_columns_range(cols, 0..cols.len(), metadata, mode)
+}
+
+/// [`prefilter_indices_columns`] restricted to `range` — the shard-local
+/// unit of the sharded engine's columnar pre-filter pass. Returned
+/// indices are *global* (into `cols`), ascending, so concatenating the
+/// results of consecutive ranges reproduces the full-interval answer.
+///
+/// # Panics
+///
+/// Panics if `range` is out of bounds for `cols`.
+#[must_use]
+pub fn prefilter_indices_columns_range(
+    cols: &FlowColumns,
+    range: Range<usize>,
+    metadata: &MetaData,
+    mode: PrefilterMode,
+) -> Vec<usize> {
+    // Only features that actually carry values participate — exactly the
+    // sets `matches_any`/`matches_all` consult.
+    let features: Vec<_> = metadata
+        .features()
+        .map(|f| {
+            (
+                f,
+                metadata
+                    .values_for(f)
+                    .expect("listed features are non-empty"),
+            )
+        })
+        .collect();
+    if features.is_empty() {
+        // Empty meta-data matches nothing under either mode.
+        return Vec::new();
+    }
+    // One pass per participating feature over that feature's column,
+    // counting per-row feature hits; a row passes under Union with ≥1
+    // hit and under Intersection with a hit in every feature (≤ 9
+    // features, so a u8 cannot overflow).
+    let mut hits = vec![0u8; range.len()];
+    for &(feature, values) in &features {
+        let mut row = 0;
+        cols.for_each_raw(feature, range.clone(), |value| {
+            hits[row] += u8::from(values.contains(&value));
+            row += 1;
+        });
+    }
+    let needed = match mode {
+        PrefilterMode::Union => 1,
+        PrefilterMode::Intersection => features.len() as u8,
+    };
+    hits.iter()
+        .enumerate()
+        .filter(|&(_, &h)| h >= needed)
+        .map(|(i, _)| range.start + i)
         .collect()
 }
 
@@ -143,5 +216,51 @@ mod tests {
         let flows = vec![flow(80, 1), flow(9996, 2), flow(443, 12)];
         let idx = prefilter_indices(&flows, &md, PrefilterMode::Union);
         assert_eq!(idx, vec![1, 2]);
+    }
+
+    #[test]
+    fn columnar_prefilter_matches_record_prefilter() {
+        let md = sasser_metadata();
+        let flows: Vec<FlowRecord> = (0..3000)
+            .map(|i| flow(9990 + (i % 10) as u16, (i % 15) as u32 + 1))
+            .collect();
+        let cols = FlowColumns::from_flows(&flows);
+        for mode in [PrefilterMode::Union, PrefilterMode::Intersection] {
+            assert_eq!(
+                prefilter_indices_columns(&cols, &md, mode),
+                prefilter_indices(&flows, &md, mode),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_prefilter_ranges_concatenate_to_the_whole() {
+        let md = sasser_metadata();
+        let flows: Vec<FlowRecord> = (0..997)
+            .map(|i| flow(9990 + (i % 12) as u16, (i % 20) as u32 + 1))
+            .collect();
+        let cols = FlowColumns::from_flows(&flows);
+        for mode in [PrefilterMode::Union, PrefilterMode::Intersection] {
+            let whole = prefilter_indices_columns(&cols, &md, mode);
+            for split in [0usize, 1, 400, 996, 997] {
+                let mut parts = prefilter_indices_columns_range(&cols, 0..split, &md, mode);
+                parts.extend(prefilter_indices_columns_range(
+                    &cols,
+                    split..997,
+                    &md,
+                    mode,
+                ));
+                assert_eq!(parts, whole, "{mode:?} split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_prefilter_rejects_everything_on_empty_metadata() {
+        let md = MetaData::new();
+        let cols = FlowColumns::from_flows(&[flow(80, 1), flow(9996, 12)]);
+        assert!(prefilter_indices_columns(&cols, &md, PrefilterMode::Union).is_empty());
+        assert!(prefilter_indices_columns(&cols, &md, PrefilterMode::Intersection).is_empty());
     }
 }

@@ -44,24 +44,32 @@
 //! did). The flat `observe_sharded`/`prefilter_indices_sharded` helpers
 //! keep scoped threads: they are single-pass calls with nothing to
 //! amortize. Pool jobs are `'static`, so per-interval state is shared
-//! by `Arc`: the flows
-//! ([`process_shared`](ShardedExtractor::process_shared)), the
-//! detector's immutable hash specification ([`BankHasher`]), and the
-//! alarm meta-data.
+//! by `Arc`: the interval's columnar store, the detector's immutable
+//! hash specification ([`BankHasher`]), and the alarm meta-data.
+//!
+//! **Columnar storage.** The engine holds each interval as a
+//! [`FlowColumns`] struct-of-arrays store rather than a
+//! `Vec<FlowRecord>`: every hot pass — histogram partials, pre-filter
+//! verdicts, transaction gathering — walks only the contiguous
+//! column(s) it actually reads, and the shards are *index ranges* over
+//! the columns (the same [`anomex_netflow::shard::chunk_ranges`]
+//! geometry as record chunking), so batch, streaming, and multi-source
+//! operation all ride one store. Record-slice entry points remain and
+//! convert once per interval into a recycled columnar scratch buffer.
 
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 
 use anomex_detector::{BankHasher, BankObservation, DetectorBank, MetaData};
-use anomex_mining::par::{map_chunks, map_chunks_arc, Exec, MIN_ITEMS_PER_THREAD};
+use anomex_mining::par::{map_chunks, map_ranges_arc, Exec};
 use anomex_mining::{MinerKind, RuleConfig};
 use anomex_netflow::shard::default_shards;
-use anomex_netflow::FlowRecord;
+use anomex_netflow::{FlowColumns, FlowRecord};
 pub use crossbeam::PoolStats;
 use crossbeam::WorkerPool;
 
 use crate::config::{ConfigError, ExtractionConfig};
-use crate::pipeline::{mine_at_indices, Extraction, IntervalOutcome, TransactionMode};
+use crate::pipeline::{mine_at_indices_columns, Extraction, IntervalOutcome, TransactionMode};
 use crate::prefilter::PrefilterMode;
 
 /// Observe one interval with a detector bank, histogramming `shards`
@@ -205,11 +213,14 @@ fn extract_sharded_impl(
     rules: Option<&RuleConfig>,
     shards: NonZeroUsize,
 ) -> Extraction {
+    // One conversion into the columnar store up front; every pass below
+    // (pre-filter, transaction gather) walks contiguous columns.
+    let cols = FlowColumns::from_flows(flows);
     if shards.get() == 1 {
-        let indices = crate::prefilter::prefilter_indices(flows, metadata, mode);
-        return mine_at_indices(
+        let indices = crate::prefilter::prefilter_indices_columns(&cols, metadata, mode);
+        return mine_at_indices_columns(
             interval,
-            flows,
+            &cols,
             &indices,
             metadata,
             tx_mode,
@@ -221,14 +232,14 @@ fn extract_sharded_impl(
     }
     let pool = WorkerPool::new(shards);
     let exec = Exec::Pool(&pool);
-    // Pool jobs are `'static`: copy the borrowed flows once into an
+    // Pool jobs are `'static`: move the freshly built columns behind an
     // `Arc` (the same cost the online engine pays per interval).
-    let shared: Arc<Vec<FlowRecord>> = Arc::new(flows.to_vec());
+    let shared = Arc::new(cols);
     let metadata_arc = Arc::new(metadata.clone());
-    let indices = prefilter_indices_exec(&shared, &metadata_arc, mode, exec);
-    mine_at_indices(
+    let indices = prefilter_indices_exec_columns(&shared, &metadata_arc, mode, exec);
+    mine_at_indices_columns(
         interval,
-        flows,
+        &shared,
         &indices,
         metadata,
         tx_mode,
@@ -239,46 +250,45 @@ fn extract_sharded_impl(
     )
 }
 
-/// Observe one interval held behind an `Arc` in the given execution
-/// context: workers build [`BankHasher`] partials over flow shards, the
-/// partials merge in shard order, and the bank scores the result once —
-/// bit-identical KL values to a sequential `observe`, for every context.
-fn observe_exec(
+/// Observe one columnar interval in the given execution context: workers
+/// build [`BankHasher`] partials over *index ranges* of the store (each
+/// feature's histogram fed by a single-column scan), the partials merge
+/// in range order, and the bank scores the result once — bit-identical
+/// KL values to a sequential record-based `observe`, for every context.
+fn observe_exec_columns(
     bank: &mut DetectorBank,
     hasher: &Arc<BankHasher>,
-    flows: &Arc<Vec<FlowRecord>>,
+    cols: &Arc<FlowColumns>,
     exec: Exec<'_>,
 ) -> BankObservation {
     let hasher = Arc::clone(hasher);
-    let partials = map_chunks_arc(exec, flows, move |_, chunk| hasher.partial(chunk));
+    let partials = map_ranges_arc(exec, cols, cols.len(), move |cols, range| {
+        hasher.partial_columns(cols, range)
+    });
     match partials.into_iter().reduce(|mut acc, p| {
         acc.merge(p);
         acc
     }) {
         Some(merged) => bank.observe_partial(merged),
         // Empty interval: nothing to shard, observe it directly.
-        None => bank.observe(flows),
+        None => bank.observe(&[]),
     }
 }
 
-/// Pre-filter `Arc`-shared flows into suspicious indices in the given
-/// execution context, concatenating per-shard indices in shard order —
-/// identical to [`prefilter_indices`](crate::prefilter_indices) for
-/// every context.
-fn prefilter_indices_exec(
-    flows: &Arc<Vec<FlowRecord>>,
+/// Pre-filter an `Arc`-shared columnar interval into suspicious indices
+/// in the given execution context, concatenating per-range indices in
+/// range order — identical to
+/// [`prefilter_indices`](crate::prefilter_indices) over the equivalent
+/// record slice, for every context.
+fn prefilter_indices_exec_columns(
+    cols: &Arc<FlowColumns>,
     metadata: &Arc<MetaData>,
     mode: PrefilterMode,
     exec: Exec<'_>,
 ) -> Vec<usize> {
     let metadata = Arc::clone(metadata);
-    map_chunks_arc(exec, flows, move |start, chunk: &[FlowRecord]| {
-        chunk
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| mode.matches(&metadata, f))
-            .map(|(i, _)| start + i)
-            .collect::<Vec<usize>>()
+    map_ranges_arc(exec, cols, cols.len(), move |cols, range| {
+        crate::prefilter::prefilter_indices_columns_range(cols, range, &metadata, mode)
     })
     .into_iter()
     .flatten()
@@ -306,12 +316,12 @@ pub struct ShardedExtractor {
     hasher: Arc<BankHasher>,
     /// The long-lived worker pool; `None` at one shard (inline).
     pool: Option<WorkerPool>,
-    /// Recycled buffer backing the per-interval `Arc` when the caller
-    /// hands in borrowed flows: after the interval's jobs finish the
-    /// `Arc` is unique again and the allocation is reclaimed, so the
-    /// borrowed-input path costs one memcpy per interval, not one
-    /// allocation.
-    scratch: Vec<FlowRecord>,
+    /// Recycled columnar store backing the per-interval `Arc`: record
+    /// input transposes into these columns, and after the interval's
+    /// jobs finish the `Arc` is unique again and the allocations are
+    /// reclaimed — one column-build pass per interval, no per-interval
+    /// allocation churn.
+    scratch: FlowColumns,
 }
 
 impl ShardedExtractor {
@@ -340,7 +350,7 @@ impl ShardedExtractor {
             bank,
             hasher,
             pool,
-            scratch: Vec::new(),
+            scratch: FlowColumns::new(),
         })
     }
 
@@ -404,54 +414,68 @@ impl ShardedExtractor {
     /// Feed one interval's flows through sharded detection and, on
     /// alarm, sharded extraction.
     ///
-    /// With the pool active (more than one shard), the borrowed flows
-    /// are copied once into a recycled `Arc` buffer so the pool's
-    /// `'static` jobs can share them; at one shard everything runs
-    /// inline with no copy at all. Callers that already own the interval
-    /// (the streaming engine) use
-    /// [`process_shared`](Self::process_shared) and skip the copy.
+    /// The borrowed records transpose once into the engine's recycled
+    /// columnar scratch store; every subsequent pass walks contiguous
+    /// columns (shared with pool jobs behind an `Arc` when the pool is
+    /// active, inline at one shard). Callers that already hold a
+    /// columnar interval use [`process_columns`](Self::process_columns)
+    /// and skip the transpose.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics.
     pub fn process_interval(&mut self, flows: &[FlowRecord]) -> IntervalOutcome {
-        // Below the parallel cutoff every pass runs inline anyway, so
-        // the Arc copy would buy nothing — skip it and take the
-        // (bit-identical) borrowed inline path.
-        if self.pool.is_none() || flows.len() < 2 * MIN_ITEMS_PER_THREAD {
-            return self.process_inline(flows);
+        let mut cols = std::mem::take(&mut self.scratch);
+        cols.clear();
+        for flow in flows {
+            cols.push(flow);
         }
-        let mut buffer = std::mem::take(&mut self.scratch);
-        buffer.clear();
-        buffer.extend_from_slice(flows);
-        let shared = Arc::new(buffer);
-        let outcome = self.process_shared(&shared);
-        if let Ok(buffer) = Arc::try_unwrap(shared) {
-            self.scratch = buffer;
+        let shared = Arc::new(cols);
+        let outcome = self.process_columns(&shared);
+        if let Ok(cols) = Arc::try_unwrap(shared) {
+            self.scratch = cols;
         }
         outcome
     }
 
-    /// Feed one `Arc`-owned interval through the pipeline — the zero-copy
+    /// Feed one `Arc`-owned record interval through the pipeline — the
     /// entry point of the streaming engine, which owns each assembled
-    /// interval outright. Bit-identical to
-    /// [`process_interval`](Self::process_interval) on the same flows.
+    /// interval outright (and keeps the record layout visible to event
+    /// consumers). The records transpose into the recycled columnar
+    /// scratch exactly as [`process_interval`](Self::process_interval)
+    /// does, so the outcome is bit-identical to it on the same flows.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics.
     pub fn process_shared(&mut self, flows: &Arc<Vec<FlowRecord>>) -> IntervalOutcome {
+        self.process_interval(flows)
+    }
+
+    /// Feed one `Arc`-owned columnar interval through the pipeline — the
+    /// transpose-free entry point for callers that already hold the
+    /// interval as a [`FlowColumns`] store (e.g. built straight from
+    /// datagrams via
+    /// [`decode_into_columns`](anomex_netflow::v5::decode_into_columns)).
+    /// Bit-identical to [`process_interval`](Self::process_interval)
+    /// over `cols.to_flows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn process_columns(&mut self, cols: &Arc<FlowColumns>) -> IntervalOutcome {
         let exec = match &self.pool {
             Some(pool) => Exec::Pool(pool),
             None => Exec::Threads(NonZeroUsize::MIN),
         };
-        let observation = observe_exec(&mut self.bank, &self.hasher, flows, exec);
+        let observation = observe_exec_columns(&mut self.bank, &self.hasher, cols, exec);
         let extraction = if observation.alarm && !observation.metadata.is_empty() {
             let metadata = Arc::new(observation.metadata.clone());
-            let indices = prefilter_indices_exec(flows, &metadata, self.config.prefilter, exec);
-            Some(mine_at_indices(
+            let indices =
+                prefilter_indices_exec_columns(cols, &metadata, self.config.prefilter, exec);
+            Some(mine_at_indices_columns(
                 observation.interval,
-                flows,
+                cols,
                 &indices,
                 &metadata,
                 self.config.transactions,
@@ -459,36 +483,6 @@ impl ShardedExtractor {
                 self.config.min_support,
                 self.config.rules.as_ref(),
                 exec,
-            ))
-        } else {
-            None
-        };
-        IntervalOutcome {
-            observation,
-            extraction,
-        }
-    }
-
-    /// The sequential (one-shard) path: borrowed flows, no pool, no
-    /// copies — detection, pre-filtering, and mining all inline.
-    fn process_inline(&mut self, flows: &[FlowRecord]) -> IntervalOutcome {
-        let observation = self.bank.observe(flows);
-        let extraction = if observation.alarm && !observation.metadata.is_empty() {
-            let indices = crate::prefilter::prefilter_indices(
-                flows,
-                &observation.metadata,
-                self.config.prefilter,
-            );
-            Some(mine_at_indices(
-                observation.interval,
-                flows,
-                &indices,
-                &observation.metadata,
-                self.config.transactions,
-                self.config.miner,
-                self.config.min_support,
-                self.config.rules.as_ref(),
-                Exec::inline(),
             ))
         } else {
             None

@@ -6,7 +6,9 @@
 //! **union** into the pre-filter input (Fig. 3). [`DetectorBank`] is that
 //! assembly: feed it intervals, get alarms plus merged [`MetaData`].
 
-use anomex_netflow::{FlowFeature, FlowRecord};
+use std::ops::Range;
+
+use anomex_netflow::{FlowColumns, FlowFeature, FlowRecord};
 use serde::{Deserialize, Serialize};
 
 use crate::detector::{FeatureDetector, FeatureObservation, FeaturePartial};
@@ -155,6 +157,28 @@ impl BankHasher {
     pub fn partial(&self, flows: &[FlowRecord]) -> BankPartial {
         BankPartial {
             features: self.features.iter().map(|h| h.partial(flows)).collect(),
+        }
+    }
+
+    /// Build every detector's partial histograms from a columnar store
+    /// over the row `range` — the struct-of-arrays counterpart of
+    /// [`partial`](Self::partial): each feature scans only its own
+    /// contiguous column
+    /// ([`FeatureHasher::partial_columns`](crate::FeatureHasher::partial_columns)),
+    /// and the partials are bit-identical to the record path's by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for `cols`.
+    #[must_use]
+    pub fn partial_columns(&self, cols: &FlowColumns, range: Range<usize>) -> BankPartial {
+        BankPartial {
+            features: self
+                .features
+                .iter()
+                .map(|h| h.partial_columns(cols, range.clone()))
+                .collect(),
         }
     }
 }
@@ -471,6 +495,38 @@ mod tests {
                 p.merge(hasher.partial(&flows[third..2 * third]));
                 p.merge(hasher.partial(&flows[2 * third..]));
                 via_hasher.observe_partial(p)
+            };
+            assert_eq!(a.alarm, b.alarm, "interval {i}");
+            assert_eq!(a.metadata, b.metadata, "interval {i}");
+            for (x, y) in a.features.iter().zip(&b.features) {
+                assert_eq!(&x.voted_values, &y.voted_values);
+                for (cx, cy) in x.clones.iter().zip(&y.clones) {
+                    assert_eq!(cx.kl.map(f64::to_bits), cy.kl.map(f64::to_bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_partials_are_bit_identical_to_record_partials() {
+        let mut via_records = DetectorBank::new(&config());
+        let mut via_columns = DetectorBank::new(&config());
+        let hasher = via_columns.hasher();
+        for i in 0..16 {
+            let flows = if i == 14 { ddos(i) } else { background(i) };
+            let cols = FlowColumns::from_flows(&flows);
+            let third = flows.len() / 3;
+            let a = {
+                let mut p = via_records.partial(&flows[..third]);
+                p.merge(via_records.partial(&flows[third..2 * third]));
+                p.merge(via_records.partial(&flows[2 * third..]));
+                via_records.observe_partial(p)
+            };
+            let b = {
+                let mut p = hasher.partial_columns(&cols, 0..third);
+                p.merge(hasher.partial_columns(&cols, third..2 * third));
+                p.merge(hasher.partial_columns(&cols, 2 * third..flows.len()));
+                via_columns.observe_partial(p)
             };
             assert_eq!(a.alarm, b.alarm, "interval {i}");
             assert_eq!(a.metadata, b.metadata, "interval {i}");

@@ -1,8 +1,9 @@
 //! Per-feature detector: `n` histogram clones plus l-of-n voting.
 
 use std::collections::BTreeSet;
+use std::ops::Range;
 
-use anomex_netflow::{FlowFeature, FlowRecord};
+use anomex_netflow::{FlowColumns, FlowFeature, FlowRecord};
 
 use crate::clone::{CloneObservation, ClonePhase, HistogramClone};
 use crate::hash::{derive_hashers, BinHasher};
@@ -92,6 +93,42 @@ impl FeatureHasher {
                 })
                 .collect(),
         }
+    }
+
+    /// Build all clones' histograms from a columnar store over the row
+    /// `range` — the struct-of-arrays hot path, touching only the
+    /// feature's single column. The scan is split in two: a tight
+    /// hash-and-count pass per clone over the column's keys, then one
+    /// sort + dedup of the keys so the bin→values reverse map pays its
+    /// insert once per **distinct** value instead of once per flow
+    /// (repeats are set-semantics no-ops, so the result is bit-identical
+    /// to [`partial`](Self::partial) over the reassembled records).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for `cols`.
+    #[must_use]
+    pub fn partial_columns(&self, cols: &FlowColumns, range: Range<usize>) -> FeaturePartial {
+        let mut histograms: Vec<crate::histogram::FeatureHistogram> = self
+            .hashers
+            .iter()
+            .map(|&h| crate::histogram::FeatureHistogram::new(self.feature, h, self.bins))
+            .collect();
+        let mut keys: Vec<u64> = Vec::with_capacity(range.len());
+        cols.for_each_raw(self.feature, range, |value| keys.push(value));
+        for h in &mut histograms {
+            for &value in &keys {
+                h.add_value_count(value);
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        for h in &mut histograms {
+            for &value in &keys {
+                h.note_value(value);
+            }
+        }
+        FeaturePartial { histograms }
     }
 }
 

@@ -90,10 +90,39 @@ impl FeatureHistogram {
 
     /// Count one flow.
     pub fn add(&mut self, flow: &FlowRecord) {
-        let value = self.feature.value_of(flow).raw;
+        self.add_value(self.feature.value_of(flow).raw);
+    }
+
+    /// Count one pre-extracted feature value (the uniform `u64` key of
+    /// [`FlowFeature::value_of`]) — the columnar hot path, where a
+    /// single-column scan extracts the keys and feeds every clone's
+    /// histogram without touching the other nine columns. Bit-identical
+    /// to [`add`](Self::add) by construction: `add` delegates here.
+    pub fn add_value(&mut self, value: u64) {
         let bin = self.hasher.bin_of(value, self.counts.len() as u32);
         self.counts[bin as usize] += 1;
         self.total += 1;
+        self.values.entry(bin).or_default().insert(value);
+    }
+
+    /// Count one value into the bin counts **without** recording it in
+    /// the bin→values reverse map — the tight half of the columnar scan.
+    ///
+    /// Callers must register every distinct value via
+    /// [`note_value`](Self::note_value) for the histogram to stay
+    /// equivalent to [`add_value`](Self::add_value); splitting the two
+    /// lets a column pass pay the map insert once per *distinct* value
+    /// instead of once per flow.
+    pub(crate) fn add_value_count(&mut self, value: u64) {
+        let bin = self.hasher.bin_of(value, self.counts.len() as u32);
+        self.counts[bin as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Record `value` in the bin→values reverse map without counting it
+    /// — the companion of [`add_value_count`](Self::add_value_count).
+    pub(crate) fn note_value(&mut self, value: u64) {
+        let bin = self.hasher.bin_of(value, self.counts.len() as u32);
         self.values.entry(bin).or_default().insert(value);
     }
 

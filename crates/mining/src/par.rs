@@ -13,6 +13,7 @@
 //! determinism guarantee.
 
 use std::num::NonZeroUsize;
+use std::ops::Range;
 use std::sync::Arc;
 
 use anomex_netflow::shard::{chunk_ranges, chunks_of};
@@ -143,6 +144,75 @@ where
                     let items = Arc::clone(items);
                     let map = Arc::clone(&map);
                     Box::new(move || map(range.start, &items[range])) as Box<_>
+                })
+                .collect();
+            pool.run_ordered(jobs)
+        }
+    }
+}
+
+/// [`map_chunks_arc`] for data that is not a slice: map balanced
+/// contiguous **index ranges** of a shared container in parallel,
+/// returning the per-range results **in range order**.
+///
+/// This is how columnar stores
+/// ([`anomex_netflow::FlowColumns`](anomex_netflow::columns::FlowColumns))
+/// ride the engine's parallel passes: the container is shared behind an
+/// `Arc`, each worker receives `(&container, range)` and walks only the
+/// columns it needs over its rows. The ranges are exactly
+/// [`chunk_ranges`]`(len, workers)` — the same single source of truth
+/// that splits record slices — so columnar and record passes shard an
+/// interval at identical boundaries. Worker-count and inline rules are
+/// those of [`map_chunks_arc`]: inline when the context width is 1 or
+/// `len < 2 ×` [`MIN_ITEMS_PER_THREAD`], else
+/// `width.min(len / MIN_ITEMS_PER_THREAD).max(2)` workers.
+///
+/// # Panics
+///
+/// Propagates a panic from the mapper on the calling thread.
+pub fn map_ranges_arc<C, R, F>(exec: Exec<'_>, data: &Arc<C>, len: usize, map: F) -> Vec<R>
+where
+    C: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&C, Range<usize>) -> R + Send + Sync + 'static,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let width = exec.width();
+    if width == 1 || len < 2 * MIN_ITEMS_PER_THREAD {
+        return vec![map(data, 0..len)];
+    }
+    let workers = width.min(len / MIN_ITEMS_PER_THREAD).max(2);
+    let workers = NonZeroUsize::new(workers).expect("workers >= 2");
+    let ranges = chunk_ranges(len, workers);
+    match exec {
+        Exec::Threads(_) => {
+            let map = &map;
+            let data = &**data;
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|range| s.spawn(move |_| map(data, range)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            })
+            .expect("scoped worker threads failed to join")
+        }
+        Exec::Pool(pool) => {
+            let map = Arc::new(map);
+            let jobs: Vec<Box<dyn FnOnce() -> R + Send>> = ranges
+                .into_iter()
+                .map(|range| {
+                    let data = Arc::clone(data);
+                    let map = Arc::clone(&map);
+                    Box::new(move || map(&data, range)) as Box<_>
                 })
                 .collect();
             pool.run_ordered(jobs)
@@ -415,6 +485,54 @@ mod tests {
         });
         assert_eq!(parts, vec![(0, 100)]);
         assert_eq!(Arc::strong_count(&data), 1, "no job kept a handle");
+    }
+
+    #[test]
+    fn range_walks_split_exactly_at_chunk_range_boundaries() {
+        // The dedup-chunking contract: a columnar range walk and a record
+        // chunk walk of the same length shard at identical boundaries,
+        // because both delegate to `chunk_ranges`.
+        let len = 10_000usize;
+        let data: Arc<Vec<u64>> = Arc::new((0..len as u64).collect());
+        let pool = WorkerPool::new(nz(3));
+        for exec in [Exec::Threads(nz(3)), Exec::Pool(&pool)] {
+            let seen: Vec<Range<usize>> = map_ranges_arc(exec, &data, len, |_, range| range);
+            let workers = exec.width().min(len / MIN_ITEMS_PER_THREAD).max(2);
+            let expected = chunk_ranges(len, nz(workers));
+            assert_eq!(seen, expected, "{exec:?}");
+            let chunks = map_chunks_arc(exec, &data, |start, chunk| start..start + chunk.len());
+            assert_eq!(seen, chunks, "record chunks split identically ({exec:?})");
+        }
+    }
+
+    #[test]
+    fn range_walk_sums_match_chunk_sums_for_every_context() {
+        let data: Arc<Vec<u64>> = Arc::new((0..30_000).map(|i| i % 89).collect());
+        let expected: u64 = data.iter().sum();
+        let pool = WorkerPool::new(nz(4));
+        for exec in [
+            Exec::inline(),
+            Exec::Threads(nz(4)),
+            Exec::Threads(nz(7)),
+            Exec::Pool(&pool),
+        ] {
+            let total: u64 = map_ranges_arc(exec, &data, data.len(), |d, range| {
+                d[range].iter().sum::<u64>()
+            })
+            .into_iter()
+            .sum();
+            assert_eq!(total, expected, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn range_walk_small_inputs_run_inline() {
+        let data: Arc<Vec<u64>> = Arc::new((0..100).collect());
+        let pool = WorkerPool::new(nz(4));
+        let parts = map_ranges_arc(Exec::Pool(&pool), &data, data.len(), |_, range| range);
+        assert_eq!(parts, vec![0..100]);
+        assert_eq!(Arc::strong_count(&data), 1, "no job kept a handle");
+        assert!(map_ranges_arc(Exec::inline(), &data, 0, |_, r| r).is_empty());
     }
 
     #[test]

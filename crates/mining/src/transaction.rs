@@ -8,7 +8,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use anomex_netflow::{FlowFeature, FlowRecord};
+use anomex_netflow::{FlowColumns, FlowFeature, FlowRecord};
 
 use crate::item::Item;
 
@@ -225,6 +225,56 @@ impl TransactionSet {
         }
     }
 
+    /// Build canonical transactions for the rows of a columnar store
+    /// selected by `indices` — the struct-of-arrays counterpart of
+    /// [`from_flows_at`](Self::from_flows_at). Items are gathered
+    /// **column-wise**: slot `k` of every transaction is filled from
+    /// feature `k`'s single column before moving to the next feature, so
+    /// the pass reads one contiguous column at a time instead of striding
+    /// over whole records. Bit-identical to the record path: the features
+    /// are visited in [`FlowFeature::ALL`] order (already item-sorted)
+    /// and the raw keys are exactly [`FlowFeature::value_of`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for `cols`.
+    #[must_use]
+    pub fn from_columns_at(cols: &FlowColumns, indices: &[usize]) -> Self {
+        Self::gather_columns(cols, indices, &FlowFeature::ALL)
+    }
+
+    /// [`from_columns_at`](Self::from_columns_at) for width-9 extended
+    /// transactions (with /16 prefix dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for `cols`.
+    #[must_use]
+    pub fn from_columns_extended_at(cols: &FlowColumns, indices: &[usize]) -> Self {
+        Self::gather_columns(cols, indices, &FlowFeature::EXTENDED)
+    }
+
+    /// The column-wise gather shared by the columnar constructors:
+    /// `features` must be in index order (as `ALL`/`EXTENDED` are), so
+    /// every transaction's item array comes out sorted without a sort.
+    fn gather_columns(cols: &FlowColumns, indices: &[usize], features: &[FlowFeature]) -> Self {
+        let mut transactions = vec![
+            Transaction {
+                items: [Item::new(FlowFeature::SrcIp, 0); MAX_WIDTH],
+                len: features.len() as u8,
+            };
+            indices.len()
+        ];
+        for (k, &feat) in features.iter().enumerate() {
+            for (t, &i) in transactions.iter_mut().zip(indices) {
+                t.items[k] = Item::new(feat, cols.raw_at(feat, i));
+            }
+        }
+        TransactionSet {
+            transactions: Arc::new(transactions),
+        }
+    }
+
     /// Build from explicit transactions.
     #[must_use]
     pub fn from_transactions(transactions: Vec<Transaction>) -> Self {
@@ -406,6 +456,34 @@ mod tests {
             TransactionSet::from_flows_extended_at(&flows, &indices).transactions(),
             TransactionSet::from_flows_extended(&copied).transactions()
         );
+    }
+
+    #[test]
+    fn columnar_gather_matches_record_construction() {
+        let flows: Vec<FlowRecord> = (0..60u32)
+            .map(|i| {
+                FlowRecord::new(
+                    u64::from(i),
+                    Ipv4Addr::from(0x0a01_0000 + i * 3),
+                    Ipv4Addr::from(0xc0a8_0000 + i),
+                    (4000 + i) as u16,
+                    (i % 7) as u16,
+                    Protocol::from_number((i % 30) as u8),
+                )
+                .with_volume(i + 1, (i + 1) * 40)
+            })
+            .collect();
+        let cols = FlowColumns::from_flows(&flows);
+        let indices: Vec<usize> = (0..60).filter(|i| i % 4 != 1).collect();
+        assert_eq!(
+            TransactionSet::from_columns_at(&cols, &indices).transactions(),
+            TransactionSet::from_flows_at(&flows, &indices).transactions()
+        );
+        assert_eq!(
+            TransactionSet::from_columns_extended_at(&cols, &indices).transactions(),
+            TransactionSet::from_flows_extended_at(&flows, &indices).transactions()
+        );
+        assert!(TransactionSet::from_columns_at(&cols, &[]).is_empty());
     }
 
     #[test]

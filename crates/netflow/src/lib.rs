@@ -24,7 +24,11 @@
 //! - [`MergeAssembler`] — N exporters fanned in onto one shared interval
 //!   grid with watermark close semantics and per-source drop accounting;
 //! - [`shard`] — deterministic balanced chunking of flow batches, the
-//!   partitioning contract of the sharded parallel extraction engine.
+//!   partitioning contract of the sharded parallel extraction engine;
+//! - [`FlowColumns`] — struct-of-arrays storage of a flow batch (one
+//!   contiguous column per feature) for cache-friendly single-column
+//!   scans, with a v5 fast path ([`v5::decode_into_columns`]) that
+//!   parses datagrams straight into columns.
 //!
 //! This crate has no opinion about detection or mining; it only defines
 //! what a flow is and how flows are grouped in time.
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod columns;
 pub mod error;
 pub mod feature;
 pub mod flow;
@@ -43,6 +48,7 @@ pub mod trace;
 pub mod v5;
 pub mod v9;
 
+pub use columns::FlowColumns;
 pub use error::{DecodeError, EncodeError};
 pub use feature::{FeatureValue, FlowFeature, ParseFeatureValueError};
 pub use flow::{FlowRecord, Protocol, TcpFlags};

@@ -14,6 +14,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::net::Ipv4Addr;
 
+use crate::columns::FlowColumns;
 use crate::error::{DecodeError, EncodeError};
 use crate::flow::{FlowRecord, Protocol, TcpFlags};
 
@@ -178,6 +179,99 @@ pub fn decode_datagram(mut data: &[u8]) -> Result<V5Datagram, DecodeError> {
         });
     }
     Ok(V5Datagram { header, flows })
+}
+
+/// Decode one v5 datagram straight into a [`FlowColumns`] store — the
+/// columnar fast path with no intermediate `FlowRecord` materialization.
+///
+/// Appends the datagram's `count` flows as rows of `out` and returns the
+/// decoded header. The header and the record-byte length are validated
+/// **before** any column is touched, so `out` is unchanged on error
+/// (mirroring [`V5Collector::ingest`]), and the errors are exactly those
+/// of [`decode_datagram`] on the same input.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on short input, a non-v5 version field, a
+/// record count above 30, or fewer record bytes than the header declares.
+pub fn decode_into_columns(
+    mut data: &[u8],
+    out: &mut FlowColumns,
+) -> Result<V5Header, DecodeError> {
+    if data.len() < V5_HEADER_LEN {
+        return Err(DecodeError::TruncatedHeader {
+            have: data.len(),
+            need: V5_HEADER_LEN,
+        });
+    }
+    let version = data.get_u16();
+    if version != 5 {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = data.get_u16();
+    if usize::from(count) > V5_MAX_RECORDS {
+        return Err(DecodeError::TooManyRecords(count));
+    }
+    let header = V5Header {
+        count,
+        sys_uptime_ms: data.get_u32(),
+        unix_secs: data.get_u32(),
+        unix_nsecs: data.get_u32(),
+        flow_sequence: data.get_u32(),
+        engine_type: data.get_u8(),
+        engine_id: data.get_u8(),
+        sampling: data.get_u16(),
+    };
+    let need = usize::from(count) * V5_RECORD_LEN;
+    if data.remaining() < need {
+        return Err(DecodeError::TruncatedRecords {
+            declared: count,
+            have: data.remaining(),
+            need,
+        });
+    }
+    for _ in 0..count {
+        out.src_ip.push(data.get_u32());
+        out.dst_ip.push(data.get_u32());
+        data.advance(4 + 2 + 2); // nexthop, input, output
+        out.packets.push(data.get_u32());
+        out.bytes.push(data.get_u32());
+        out.start_ms.push(u64::from(data.get_u32())); // first
+        out.end_ms.push(u64::from(data.get_u32())); // last
+        out.src_port.push(data.get_u16());
+        out.dst_port.push(data.get_u16());
+        data.advance(1); // pad1
+        out.tcp_flags.push(data.get_u8());
+        out.proto.push(data.get_u8());
+        data.advance(1 + 2 + 2 + 1 + 1 + 2); // tos, ASes, masks, pad2
+    }
+    Ok(header)
+}
+
+/// Decode a concatenated stream of v5 datagrams straight into a
+/// [`FlowColumns`] store, returning the per-datagram headers.
+///
+/// The columnar counterpart of [`decode_stream`]: each datagram is
+/// self-framing, and the first error is returned as-is. Datagrams
+/// decoded before the error remain appended to `out` (the failing
+/// datagram itself leaves `out` untouched, per
+/// [`decode_into_columns`]).
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_stream_into_columns(
+    mut data: &[u8],
+    out: &mut FlowColumns,
+) -> Result<Vec<V5Header>, DecodeError> {
+    let mut headers = Vec::new();
+    while !data.is_empty() {
+        let header = decode_into_columns(data, out)?;
+        let consumed = V5_HEADER_LEN + usize::from(header.count) * V5_RECORD_LEN;
+        data = &data[consumed..];
+        headers.push(header);
+    }
+    Ok(headers)
 }
 
 /// Decode a concatenated stream of v5 datagrams (e.g. a capture file):
@@ -457,5 +551,62 @@ mod tests {
         let dgram = decode_datagram(&bytes).unwrap();
         assert_eq!(dgram.header.count, 0);
         assert!(dgram.flows.is_empty());
+    }
+
+    #[test]
+    fn columnar_decode_matches_decode_then_convert() {
+        let flows: Vec<_> = (0..7).map(sample_flow).collect();
+        let bytes = encode_datagram(&flows, 1234, 99_000).unwrap();
+        let dgram = decode_datagram(&bytes).unwrap();
+        let mut cols = FlowColumns::new();
+        let header = decode_into_columns(&bytes, &mut cols).unwrap();
+        assert_eq!(header, dgram.header);
+        assert_eq!(cols.to_flows(), dgram.flows);
+    }
+
+    #[test]
+    fn columnar_decode_appends_across_datagrams() {
+        let flows: Vec<_> = (0..75).map(sample_flow).collect();
+        let mut exporter = V5Exporter::new();
+        let mut file = Vec::new();
+        for d in exporter.export(&flows) {
+            file.extend_from_slice(&d);
+        }
+        let mut cols = FlowColumns::new();
+        let headers = decode_stream_into_columns(&file, &mut cols).unwrap();
+        assert_eq!(headers.len(), 3);
+        assert_eq!(headers[1].flow_sequence, 30);
+        assert_eq!(cols.to_flows(), flows);
+    }
+
+    #[test]
+    fn columnar_decode_errors_match_and_leave_columns_untouched() {
+        let flows = vec![sample_flow(0), sample_flow(1)];
+        let good = encode_datagram(&flows, 0, 0).unwrap();
+        let mut cols = FlowColumns::new();
+        decode_into_columns(&good, &mut cols).unwrap();
+        let before = cols.clone();
+        for bad in [
+            &good[..10],                            // truncated header
+            &good[..V5_HEADER_LEN + V5_RECORD_LEN], // truncated records
+        ] {
+            let record_err = decode_datagram(bad).unwrap_err();
+            assert_eq!(decode_into_columns(bad, &mut cols).unwrap_err(), record_err);
+            assert_eq!(cols, before, "columns unchanged on error");
+        }
+        let mut wrong_version = good.to_vec();
+        wrong_version[1] = 9;
+        assert_eq!(
+            decode_into_columns(&wrong_version, &mut cols).unwrap_err(),
+            DecodeError::BadVersion(9)
+        );
+        let mut over_count = good.to_vec();
+        over_count[2] = 0;
+        over_count[3] = 31;
+        assert_eq!(
+            decode_into_columns(&over_count, &mut cols).unwrap_err(),
+            DecodeError::TooManyRecords(31)
+        );
+        assert_eq!(cols, before);
     }
 }

@@ -21,9 +21,14 @@ baseline in ci/bench-baseline.json:
 - **rule-layer overhead** — BENCH_rules.json's rule-pass/itemset-only
   wall-time ratio per (support, miner) row is gated the same way against
   the baseline's `rules_overhead_ratio` section, and reported
+  informationally while the baseline lacks it;
+- **columnar ingest** — BENCH_ingest.json's optimized/baseline wall-time
+  ratio per ingest metric (mmap vs heap-read parse, columnar vs record
+  histogram build and pre-filter) is gated the same way against the
+  baseline's `ingest_columnar_ratio` section, and reported
   informationally while the baseline lacks it. `overhead_report
-  --write-baseline` records both sections, so the first re-record on CI
-  hardware arms both gates (see ci/README.md).
+  --write-baseline` records all of these sections, so the first
+  re-record on CI hardware arms the dormant gates (see ci/README.md).
 
 Key skew between the report and the baseline is tolerated in both
 directions: a shard count (or latency percentile) present on one side
@@ -38,7 +43,7 @@ Actions), appended there as a Markdown job summary.
 Exit status: 0 when every gated metric is within budget, 1 otherwise.
 Usage: scripts/bench_trend.py [BENCH_sharded.json [ci/bench-baseline.json
                                [BENCH_streaming.json [BENCH_mining.json
-                               [BENCH_rules.json]]]]]
+                               [BENCH_rules.json [BENCH_ingest.json]]]]]]
 """
 
 import json
@@ -234,6 +239,57 @@ def gate_rules(bench_path, baseline, rows):
     )
 
 
+def gate_ingest(bench_path, baseline, rows):
+    """Gate (or, without a baseline section, report) the columnar-ingest
+    optimized/baseline ratios per metric; returns failures.
+
+    Metrics: "parse" (mmap vs heap read), "histogram" and "prefilter"
+    (columnar vs record layout). Lower is better; the gate uses the same
+    relative tolerance + absolute slack as the other ratio gates and
+    stays dormant until the baseline carries `ingest_columnar_ratio`.
+    """
+    base = baseline.get("ingest_columnar_ratio", {})
+    if not base:
+        warn("baseline has no ingest_columnar_ratio section; rows are informational")
+    try:
+        with open(bench_path) as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        if base:
+            return [f"ingest report {bench_path} is missing"]
+        warn(f"ingest report {bench_path} is missing; skipping (informational)")
+        return []
+
+    failures = []
+    seen = set()
+    for r in report.get("results", []):
+        denom, numer = r["baseline_millis"], r["optimized_millis"]
+        ratio = numer / denom if denom > 0 else 1.0
+        key = r["metric"]
+        seen.add(key)
+        metric = f"ingest {key}"
+        if key in base:
+            budget = base[key] * (1 + RATIO_RELATIVE_TOLERANCE) + RATIO_ABSOLUTE_SLACK
+            verdict = "OK" if ratio <= budget else "REGRESSION"
+            print(
+                f"{metric}: ratio {ratio:.2f}x "
+                f"(baseline {base[key]:.2f}x, budget {budget:.2f}x) {verdict}"
+            )
+            rows.append(
+                (metric, f"{base[key]:.2f}x", f"{ratio:.2f}x", f"{budget:.2f}x", verdict)
+            )
+            if ratio > budget:
+                failures.append(f"{metric}: {ratio:.2f}x exceeds budget {budget:.2f}x")
+        else:
+            if base:
+                warn(f"{key} in {bench_path} but not in baseline; not gated")
+            print(f"{metric}: ratio {ratio:.2f}x info")
+            rows.append((metric, "-", f"{ratio:.2f}x", "-", "info"))
+    for key in sorted(set(base) - seen):
+        warn(f"{key} in baseline but not in {bench_path}; skipping")
+    return failures
+
+
 def write_step_summary(rows):
     """Append the trend table as Markdown to the GitHub job summary."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -261,6 +317,7 @@ def main():
     streaming_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_streaming.json"
     mining_path = sys.argv[4] if len(sys.argv) > 4 else "BENCH_mining.json"
     rules_path = sys.argv[5] if len(sys.argv) > 5 else "BENCH_rules.json"
+    ingest_path = sys.argv[6] if len(sys.argv) > 6 else "BENCH_ingest.json"
     with open(base_path) as f:
         baseline = json.load(f)
 
@@ -269,6 +326,7 @@ def main():
     failures += gate_streaming(streaming_path, baseline, rows)
     failures += gate_mining(mining_path, baseline, rows)
     failures += gate_rules(rules_path, baseline, rows)
+    failures += gate_ingest(ingest_path, baseline, rows)
     write_step_summary(rows)
 
     if failures:

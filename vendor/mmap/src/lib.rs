@@ -1,0 +1,222 @@
+//! Offline stand-in for the [memmap2](https://docs.rs/memmap2) crate.
+//!
+//! Implements the one thing the workspace needs: a **read-only** mapping
+//! of a whole file, dereferencing to `&[u8]`. On unix the mapping is a
+//! real `mmap(2)` private read-only mapping via raw `extern "C"`
+//! bindings (no libc crate in the offline build environment); the file
+//! descriptor is closed after mapping, which POSIX permits. Everywhere
+//! else — and whenever `mmap` itself fails (e.g. a pseudo-file that
+//! cannot be mapped) — the stand-in falls back to reading the file into
+//! a heap buffer, so callers get identical bytes either way and never
+//! have to care which path was taken. [`Mmap::is_mapped`] reports which
+//! one it was, for diagnostics and benchmarks.
+//!
+//! Deliberate simplifications vs the real crate: only whole-file
+//! read-only maps (no `MmapMut`, no offsets/lengths, no advise/lock),
+//! and the constructor takes a path ([`Mmap::open`]) instead of the real
+//! crate's `unsafe Mmap::map(&file)` — the safety argument (the file
+//! must not be truncated while mapped) is the caller's either way, and
+//! the heap fallback makes a safe constructor honest here.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    //! Raw `mmap(2)`/`munmap(2)` bindings — just enough for a private
+    //! read-only whole-file mapping.
+
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+
+    pub fn map_failed(ptr: *mut c_void) -> bool {
+        ptr as isize == -1
+    }
+}
+
+enum Inner {
+    /// A live `mmap` region; unmapped on drop.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// The heap fallback (non-unix targets, empty files, `mmap` failure).
+    Heap(Vec<u8>),
+}
+
+/// A read-only view of a whole file: memory-mapped when the platform
+/// allows it, heap-buffered otherwise.
+pub struct Mmap {
+    inner: Inner,
+}
+
+// SAFETY: the mapping is private and read-only for its whole lifetime;
+// no interior mutability exists on any path.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `path` read-only, falling back to a heap read when mapping is
+    /// unavailable or fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be opened
+    /// or (on the fallback path) read.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Mmap> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        #[cfg(unix)]
+        {
+            // Zero-length mmap is EINVAL; an empty heap buffer is exact.
+            if len > 0 && len <= usize::MAX as u64 {
+                use std::os::unix::io::AsRawFd;
+                let len = len as usize;
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if !sys::map_failed(ptr) {
+                    return Ok(Mmap {
+                        inner: Inner::Mapped {
+                            ptr: ptr as *const u8,
+                            len,
+                        },
+                    });
+                }
+            }
+        }
+        let mut buf = Vec::with_capacity(len.min(usize::MAX as u64) as usize);
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Heap(buf),
+        })
+    }
+
+    /// Whether this view is a live memory mapping (`false` on the heap
+    /// fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+            Inner::Heap(_) => false,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful mmap that lives
+            // until Drop, and the mapping is never written through.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Heap(buf) => buf,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: exactly the region the successful mmap returned.
+                unsafe {
+                    sys::munmap(*ptr as *mut std::ffi::c_void, *len);
+                }
+            }
+            Inner::Heap(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("anomex-mmap-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("contents");
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_be_bytes()).collect();
+        File::create(&path).unwrap().write_all(&data).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(&map[..], &data[..]);
+        assert_eq!(map.as_ref(), &data[..]);
+        if cfg!(unix) {
+            assert!(map.is_mapped(), "regular files map on unix");
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_uses_heap_fallback() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped(), "zero-length maps are EINVAL");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mmap::open(temp_path("missing-never-created")).is_err());
+    }
+
+    #[test]
+    fn debug_mentions_len() {
+        let path = temp_path("debug");
+        File::create(&path).unwrap().write_all(b"abc").unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert!(format!("{map:?}").contains('3'), "{map:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
