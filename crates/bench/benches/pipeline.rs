@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use anomex_core::{
-    extract_with_metadata, prefilter, AnomalyExtractor, ExtractionConfig, PrefilterMode,
+    prefilter, AnomalyExtractor, Engine, ExtractRequest, ExtractionConfig, PrefilterMode,
 };
 use anomex_detector::{DetectorConfig, MetaData};
 use anomex_mining::MinerKind;
@@ -30,13 +30,9 @@ fn bench_offline_extraction(c: &mut Criterion) {
     }
     c.bench_function("extract_table2_scale0.2", |b| {
         b.iter(|| {
-            black_box(extract_with_metadata(
-                0,
-                black_box(&w.flows),
-                &md,
-                PrefilterMode::Union,
-                MinerKind::FpGrowth,
-                w.min_support,
+            black_box(Engine::extract(
+                &ExtractRequest::new(black_box(&w.flows), &md, w.min_support)
+                    .miner(MinerKind::FpGrowth),
             ))
         })
     });
@@ -63,7 +59,7 @@ fn bench_online_interval(c: &mut Criterion) {
     group.bench_function("quiet", |b| {
         b.iter_batched(
             || {
-                let mut p = AnomalyExtractor::new(config.clone());
+                let mut p = AnomalyExtractor::try_new(config.clone()).unwrap();
                 for iv in &training {
                     p.process_interval(&iv.flows);
                 }
@@ -76,7 +72,7 @@ fn bench_online_interval(c: &mut Criterion) {
     group.bench_function("anomalous", |b| {
         b.iter_batched(
             || {
-                let mut p = AnomalyExtractor::new(config.clone());
+                let mut p = AnomalyExtractor::try_new(config.clone()).unwrap();
                 for iv in &training {
                     p.process_interval(&iv.flows);
                 }

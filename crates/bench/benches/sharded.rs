@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::num::NonZeroUsize;
 
-use anomex_core::{extract_sharded, observe_sharded, PrefilterMode, TransactionMode};
+use anomex_core::{observe_sharded, Engine, ExtractRequest};
 use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
 use anomex_mining::MinerKind;
 use anomex_netflow::FlowFeature;
@@ -43,15 +43,9 @@ fn bench_sharded_extraction(c: &mut Criterion) {
             |b, &shards| {
                 let shards = NonZeroUsize::new(shards).unwrap();
                 b.iter(|| {
-                    black_box(extract_sharded(
-                        0,
-                        black_box(&w.flows),
-                        &md,
-                        PrefilterMode::Union,
-                        TransactionMode::Canonical,
-                        MinerKind::Apriori,
-                        w.min_support,
-                        shards,
+                    black_box(Engine::extract(
+                        &ExtractRequest::new(black_box(&w.flows), &md, w.min_support)
+                            .shards(shards),
                     ))
                 })
             },
@@ -73,15 +67,10 @@ fn bench_sharded_miners(c: &mut Criterion) {
                 |b, &shards| {
                     let shards = NonZeroUsize::new(shards).unwrap();
                     b.iter(|| {
-                        black_box(extract_sharded(
-                            0,
-                            black_box(&w.flows),
-                            &md,
-                            PrefilterMode::Union,
-                            TransactionMode::Canonical,
-                            miner,
-                            w.min_support,
-                            shards,
+                        black_box(Engine::extract(
+                            &ExtractRequest::new(black_box(&w.flows), &md, w.min_support)
+                                .miner(miner)
+                                .shards(shards),
                         ))
                     })
                 },

@@ -4,7 +4,8 @@
 //! falling support), the task-parallel low-support mining column
 //! (sequential vs pool, with the tree-task count proving the recursive
 //! search ran as pool tasks), the sharded-engine scaling column, and
-//! the streaming engine's per-interval latency distribution, and the
+//! the streaming engine's per-interval latency distribution with its
+//! checkpoint write / restore latencies, and the
 //! columnar-ingest comparison (mmap vs heap-read trace parsing, plus
 //! struct-of-arrays vs record layout on the histogram-build and
 //! pre-filter hot paths). The sharding, streaming, mining, rule-layer,
@@ -31,13 +32,13 @@ use std::time::Instant;
 
 use anomex_bench::report_args;
 use anomex_core::{
-    extract_sharded, extract_with_metadata, latency_percentile, prefilter_indices,
-    prefilter_indices_columns, ExtractionConfig, PrefilterMode, StreamingExtractor,
-    TransactionMode,
+    latency_percentile, prefilter_indices, prefilter_indices_columns, Engine, ExtractRequest,
+    ExtractionConfig, PrefilterMode, StreamingExtractor,
 };
 use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
 use anomex_mining::par::Exec;
 use anomex_mining::{MineTask, MinerKind, RuleConfig, TransactionSet};
+use anomex_netflow::snapshot::{read_checkpoint, write_checkpoint};
 use anomex_netflow::v5::{decode_stream, V5Exporter};
 use anomex_netflow::{FlowColumns, FlowFeature};
 use anomex_traffic::{table2_workload, Scenario};
@@ -78,8 +79,7 @@ fn main() {
     );
     for miner in MinerKind::ALL {
         let t0 = Instant::now();
-        let ex =
-            extract_with_metadata(0, &w.flows, &md, PrefilterMode::Union, miner, w.min_support);
+        let ex = Engine::extract(&ExtractRequest::new(&w.flows, &md, w.min_support).miner(miner));
         println!(
             "  {:<10} {:>10.1?}  ({} maximal item-sets)",
             miner.to_string(),
@@ -279,16 +279,7 @@ fn main() {
     for shards in [1usize, 2, 4, 8] {
         let n = NonZeroUsize::new(shards).unwrap();
         let t0 = Instant::now();
-        let ex = extract_sharded(
-            0,
-            &w.flows,
-            &md,
-            PrefilterMode::Union,
-            TransactionMode::Canonical,
-            MinerKind::Apriori,
-            w.min_support,
-            n,
-        );
+        let ex = Engine::extract(&ExtractRequest::new(&w.flows, &md, w.min_support).shards(n));
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         if shards == 1 {
             baseline_ms = ms;
@@ -352,9 +343,40 @@ fn main() {
             }
         }
     }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // --- Durability: checkpoint write / restore latency on the trained
+    // engine. The snapshot serializes the full online state (detector
+    // baselines, assembler watermarks, audit counters); the write is
+    // the atomic temp-file + rename; restore rebuilds a running engine
+    // (worker pool included) that resumes bit-identically. ---
+    let ckpt_path = std::env::temp_dir().join("anomex-overhead-checkpoint.ckpt");
+    let mut payload = Vec::new();
+    let (mut snap_ms, mut write_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let (events, p) = engine.checkpoint();
+        snap_ms = snap_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        latencies.extend(events.iter().map(|e| e.process_micros));
+        let t0 = Instant::now();
+        write_checkpoint(&ckpt_path, &p).expect("write checkpoint");
+        write_ms = write_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        payload = p;
+    }
+    let (mut read_ms, mut restore_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let bytes = read_checkpoint(&ckpt_path).expect("read checkpoint");
+        read_ms = read_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let restored = StreamingExtractor::restore(&bytes, None).expect("restore checkpoint");
+        restore_ms = restore_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        drop(restored);
+    }
+    std::fs::remove_file(&ckpt_path).ok();
+
     let (tail, summary) = engine.finish();
     latencies.extend(tail.iter().map(|e| e.process_micros));
-    let wall_s = t0.elapsed().as_secs_f64();
     let (p50, p95, p99) = (
         latency_percentile(&mut latencies, 50.0),
         latency_percentile(&mut latencies, 95.0),
@@ -371,6 +393,11 @@ fn main() {
          {} alarms, {} extractions",
         summary.alarms, summary.extractions
     );
+    println!(
+        "checkpoint ({:.1} kB payload, best of 5): snapshot {snap_ms:.2} ms, \
+         atomic write {write_ms:.2} ms, read+verify {read_ms:.2} ms, restore {restore_ms:.2} ms",
+        payload.len() as f64 / 1024.0
+    );
 
     // --- Machine-readable emitter: BENCH_streaming.json. ---
     let mut json = String::new();
@@ -386,6 +413,13 @@ fn main() {
     let _ = writeln!(json, "    \"p50\": {p50},");
     let _ = writeln!(json, "    \"p95\": {p95},");
     let _ = writeln!(json, "    \"p99\": {p99}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"checkpoint\": {{");
+    let _ = writeln!(json, "    \"payload_bytes\": {},", payload.len());
+    let _ = writeln!(json, "    \"snapshot_millis\": {snap_ms:.3},");
+    let _ = writeln!(json, "    \"write_millis\": {write_ms:.3},");
+    let _ = writeln!(json, "    \"read_millis\": {read_ms:.3},");
+    let _ = writeln!(json, "    \"restore_millis\": {restore_ms:.3}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"alarms\": {},", summary.alarms);
     let _ = writeln!(json, "  \"extractions\": {}", summary.extractions);

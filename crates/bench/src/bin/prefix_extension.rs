@@ -15,7 +15,7 @@
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
-use anomex_core::{extract_with_mode, PrefilterMode, TransactionMode};
+use anomex_core::{Engine, ExtractRequest, TransactionMode};
 use anomex_detector::MetaData;
 use anomex_mining::MinerKind;
 use anomex_netflow::{FlowFeature, FlowRecord, Protocol};
@@ -64,14 +64,10 @@ fn main() {
         ("prefix-extended width-9", TransactionMode::WithPrefixes),
     ] {
         let t0 = Instant::now();
-        let ex = extract_with_mode(
-            0,
-            &flows,
-            &md,
-            PrefilterMode::Union,
-            mode,
-            MinerKind::FpGrowth,
-            2000,
+        let ex = Engine::extract(
+            &ExtractRequest::new(&flows, &md, 2000)
+                .transactions(mode)
+                .miner(MinerKind::FpGrowth),
         );
         println!("-- {label} ({:?}) --", t0.elapsed());
         for set in ex.itemsets.iter().rev() {

@@ -9,9 +9,8 @@
 //! ```
 
 use anomex_bench::arg_scale;
-use anomex_core::{extract_with_metadata, render_report, PrefilterMode};
+use anomex_core::{render_report, Engine, ExtractRequest};
 use anomex_detector::MetaData;
-use anomex_mining::MinerKind;
 use anomex_netflow::FlowFeature;
 use anomex_traffic::table2_workload;
 use std::time::Instant;
@@ -32,14 +31,7 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let extraction = extract_with_metadata(
-        0,
-        &w.flows,
-        &metadata,
-        PrefilterMode::Union,
-        MinerKind::Apriori,
-        w.min_support,
-    );
+    let extraction = Engine::extract(&ExtractRequest::new(&w.flows, &metadata, w.min_support));
     let elapsed = t0.elapsed();
 
     println!("{}", render_report(&extraction));

@@ -56,7 +56,7 @@ impl std::fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Boolean flags that take no value.
-const BOOL_FLAGS: [&str; 7] = [
+const BOOL_FLAGS: [&str; 8] = [
     "prefixes",
     "intersection",
     "verbose",
@@ -64,6 +64,7 @@ const BOOL_FLAGS: [&str; 7] = [
     "rules",
     "rare",
     "force-rare",
+    "resume",
 ];
 
 impl Args {
@@ -185,6 +186,13 @@ mod tests {
     fn require_reports_the_key() {
         let a = parse(&["x"]).unwrap();
         assert!(a.require("in").unwrap_err().contains("--in"));
+    }
+
+    #[test]
+    fn resume_is_a_bool_flag() {
+        let a = parse(&["stream", "--resume", "--checkpoint-dir", "ck"]).unwrap();
+        assert!(a.flag("resume"));
+        assert_eq!(a.get("checkpoint-dir"), Some("ck"));
     }
 
     #[test]

@@ -3,15 +3,17 @@
 use std::fs;
 use std::io::Read as _;
 use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
 
 use anomex_core::{
-    extract_sharded, extract_with_mode, latency_percentile, merge_source_rules,
-    prefilter_indices_sharded, render_report, render_rule_merge, Extraction, ExtractionConfig,
-    MultiSourceExtractor, MultiStreamEvent, MultiStreamSummary, PrefilterMode, ShardedExtractor,
+    latency_percentile, merge_source_rules, prefilter_indices_sharded, render_report,
+    render_rule_merge, Engine, ExtractRequest, Extraction, ExtractionConfig, MultiSourceExtractor,
+    MultiStreamEvent, MultiStreamSummary, PrefilterMode, ReconfigRequest, ShardedExtractor,
     StreamEvent, StreamingExtractor, TransactionMode,
 };
 use anomex_detector::{DetectorConfig, MetaData};
 use anomex_mining::{mine_top_k, MinerKind, RuleConfig, RARE_SUPPORT_GUARD};
+use anomex_netflow::snapshot::{read_checkpoint, write_checkpoint, SnapshotReader, SnapshotWriter};
 use anomex_netflow::v5::V5Exporter;
 use anomex_netflow::v9::{decode_mixed_stream, TraceItem};
 use anomex_netflow::{
@@ -62,7 +64,8 @@ USAGE:
                 [--support N] [--miner apriori|fpgrowth|eclat] [--threads N]
                 [--max-lag N] [--prefixes] [--intersection] [--verbose]
                 [--rules] [--min-confidence C] [--min-lift L] [--rare]
-                [--force-rare]
+                [--force-rare] [--checkpoint-dir DIR] [--checkpoint-every N]
+                [--resume] [--stop-after N]
       Replay a trace (or NetFlow v5 datagrams on stdin with --in -)
       through the continuous streaming engine: flows are assembled into
       Δ-minute intervals while the previous interval runs detection and
@@ -75,6 +78,18 @@ USAGE:
       bounds how many intervals the fastest source may run ahead, 0 =
       unbounded) — bit-identical to `anomex extract` with the same
       --in list, per-source rule merge sections included.
+      Durable operation (single --in): --checkpoint-dir DIR atomically
+      snapshots the full online state (detector baselines, assembler
+      watermarks, drop and audit counters) to DIR/stream.ckpt every N
+      closed intervals (--checkpoint-every, default 1); --resume
+      restores from it — configuration included — skips the already
+      consumed flows, and continues the event stream bit-identically;
+      --stop-after N exits cleanly after N intervals with a final
+      checkpoint (the kill-and-resume e2e cut point). A `reconfig` file
+      in DIR (`min-support=N`, `alpha=X`, `shards=N`, `rules=on|off`,
+      one per line) is consumed at the next interval boundary and
+      applied atomically without dropping flows; the verdict lands in
+      the StreamSummary audit counters.
 
   anomex analyze --in FILE --metadata \"dstPort=7000,#packets=12\" [--support N]
                  [--top] [--k N] [--threads N] [--prefixes] [--intersection]
@@ -572,12 +587,182 @@ fn run_stream_multi(
     Ok((events, summary))
 }
 
+/// Durable-operation options for `anomex stream`: periodic checkpoints
+/// into `--checkpoint-dir`, `--resume` from the latest one, and the
+/// deterministic `--stop-after` cut used by the kill-and-resume e2e.
+struct Durability {
+    dir: PathBuf,
+    every: u64,
+    resume: bool,
+    stop_after: Option<u64>,
+}
+
+impl Durability {
+    /// `<dir>/stream.ckpt` — the single rotating checkpoint file.
+    fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("stream.ckpt")
+    }
+}
+
+/// Parse `--checkpoint-dir DIR [--checkpoint-every N] [--resume]
+/// [--stop-after N]`. The dependent options are rejected without the
+/// directory rather than silently ignored.
+fn parse_durability(args: &Args) -> Result<Option<Durability>, String> {
+    let Some(dir) = args.get("checkpoint-dir") else {
+        for opt in ["checkpoint-every", "stop-after"] {
+            if args.get(opt).is_some() {
+                return Err(format!("--{opt} needs --checkpoint-dir"));
+            }
+        }
+        if args.flag("resume") {
+            return Err("--resume needs --checkpoint-dir".into());
+        }
+        return Ok(None);
+    };
+    let every = args
+        .get_or("checkpoint-every", 1u64)
+        .map_err(|e| e.to_string())?;
+    if every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    let stop_after = match args.get("stop-after") {
+        None => None,
+        Some(_) => Some(args.get_or("stop-after", 0u64).map_err(|e| e.to_string())?),
+    };
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create --checkpoint-dir {dir}: {e}"))?;
+    Ok(Some(Durability {
+        dir: PathBuf::from(dir),
+        every,
+        resume: args.flag("resume"),
+        stop_after,
+    }))
+}
+
+/// Parse the reconfig control file: one `key = value` per line, `#`
+/// comments. Keys: `min-support`, `alpha`, `shards`, `rules=on|off`.
+fn parse_reconfig(text: &str) -> Result<ReconfigRequest, String> {
+    let mut req = ReconfigRequest::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {line:?}"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "min-support" => {
+                req.min_support = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("min-support: expected an integer, got {value:?}"))?,
+                );
+            }
+            "alpha" => {
+                req.alpha = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("alpha: expected a number, got {value:?}"))?,
+                );
+            }
+            "shards" | "threads" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("shards: expected an integer, got {value:?}"))?;
+                req.shards =
+                    Some(NonZeroUsize::new(n).ok_or_else(|| "shards must be >= 1".to_string())?);
+            }
+            "rules" => {
+                req.rules = Some(match value {
+                    "on" => Some(RuleConfig::default()),
+                    "off" => None,
+                    other => return Err(format!("rules: expected on|off, got {other:?}")),
+                });
+            }
+            other => return Err(format!("unknown reconfig key {other:?}")),
+        }
+    }
+    Ok(req)
+}
+
+/// Consume `<dir>/reconfig` when present: parse it, apply the request
+/// at the current interval boundary, delete the file, and report the
+/// verdict on stderr (stdout stays byte-comparable across runs).
+/// Returns the interval events that drained around the boundary.
+fn consume_reconfig_file(dir: &Path, engine: &mut StreamingExtractor) -> Vec<StreamEvent> {
+    let path = dir.join("reconfig");
+    let Ok(text) = fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    fs::remove_file(&path).ok();
+    match parse_reconfig(&text) {
+        Ok(req) if !req.is_empty() => {
+            let describe = format!("{req:?}");
+            let (events, verdict) = engine.reconfigure(req);
+            match verdict {
+                Ok(()) => eprintln!("reconfig applied: {describe}"),
+                Err(e) => eprintln!("reconfig rejected: {e}"),
+            }
+            events
+        }
+        Ok(_) => {
+            eprintln!("reconfig file {} was empty; ignored", path.display());
+            Vec::new()
+        }
+        Err(e) => {
+            eprintln!("reconfig file {} invalid: {e}; ignored", path.display());
+            Vec::new()
+        }
+    }
+}
+
+/// Take a checkpoint: drain the pipeline, snapshot the full online
+/// state, and atomically replace the checkpoint file with
+/// `{flows consumed, engine payload}`. Returns the drained events.
+fn take_checkpoint(
+    engine: &mut StreamingExtractor,
+    pushed: u64,
+    path: &Path,
+) -> Result<Vec<StreamEvent>, String> {
+    let (events, payload) = engine.checkpoint();
+    let mut w = SnapshotWriter::new();
+    w.u64(pushed);
+    w.bytes(&payload);
+    write_checkpoint(path, &w.into_bytes())
+        .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+    Ok(events)
+}
+
+/// Restore a `stream` session from a checkpoint file: returns the
+/// restored engine plus the number of input flows already consumed, so
+/// the caller can skip them on replay.
+fn restore_from_checkpoint(
+    path: &Path,
+    threads: Option<NonZeroUsize>,
+) -> Result<(StreamingExtractor, u64), String> {
+    let at = |e: anomex_netflow::snapshot::RestoreError| {
+        format!("cannot resume from {}: {e}", path.display())
+    };
+    let payload = read_checkpoint(path).map_err(at)?;
+    let mut r = SnapshotReader::new(&payload);
+    let pushed = r.u64().map_err(at)?;
+    let engine_bytes = r.bytes().map_err(at)?;
+    r.finish().map_err(at)?;
+    let engine = StreamingExtractor::restore(engine_bytes, threads).map_err(at)?;
+    Ok((engine, pushed))
+}
+
 /// `anomex stream`.
 pub fn stream(args: &Args) -> Result<(), String> {
     let inputs = args.get_all("in").to_vec();
     let config = parse_config(args)?;
     let threads = parse_threads(args)?;
     let verbose = args.flag("verbose");
+    let durability = parse_durability(args)?;
+    if durability.is_some() && inputs.len() > 1 {
+        return Err("--checkpoint-dir currently supports a single --in trace".into());
+    }
     let support = config.min_support;
     let interval_min = config.interval_ms / MINUTE_MS;
     let miner = config.miner;
@@ -647,19 +832,80 @@ pub fn stream(args: &Args) -> Result<(), String> {
     let mut trace = FlowTrace::from_flows(load_flows(input)?);
     let origin = inferred_origin(&mut trace, config.interval_ms, input)?;
 
-    let mut engine = StreamingExtractor::try_new(config, threads, origin).map_err(String::from)?;
+    // Resume restores the full online state — configuration included —
+    // from the checkpoint; otherwise start cold from the CLI options.
+    // `--threads` explicitly given overrides the checkpointed shard
+    // count (the output is shard-invariant, so this is always safe).
+    let threads_override = args.get("threads").is_some().then_some(threads);
+    let resume_from = durability
+        .as_ref()
+        .filter(|d| d.resume)
+        .map(Durability::checkpoint_path)
+        .filter(|p| p.exists());
+    let (mut engine, mut pushed) = match &resume_from {
+        Some(path) => {
+            let (engine, pushed) = restore_from_checkpoint(path, threads_override)?;
+            eprintln!(
+                "resumed from {} ({pushed} flows already consumed)",
+                path.display()
+            );
+            (engine, pushed)
+        }
+        None => (
+            StreamingExtractor::try_new(config, threads, origin).map_err(String::from)?,
+            0,
+        ),
+    };
+
     let mut latencies: Vec<u64> = Vec::new();
-    for flow in trace.into_flows() {
-        for event in engine.push(flow) {
+    let drain = |events: Vec<StreamEvent>, latencies: &mut Vec<u64>| -> u64 {
+        let closed = events.len() as u64;
+        for event in events {
             latencies.push(event.process_micros);
             print_stream_event(&event, verbose);
         }
+        closed
+    };
+    let mut closed_this_run = 0u64;
+    let mut since_checkpoint = 0u64;
+    let mut stopped = false;
+    for flow in trace.into_flows().into_iter().skip(pushed as usize) {
+        pushed += 1;
+        let boundary = {
+            let events = engine.push(flow);
+            let closed = drain(events, &mut latencies);
+            closed_this_run += closed;
+            since_checkpoint += closed;
+            closed > 0
+        };
+        let Some(d) = &durability else { continue };
+        if boundary && d.stop_after.is_some_and(|n| closed_this_run >= n) {
+            let tail = take_checkpoint(&mut engine, pushed, &d.checkpoint_path())?;
+            drain(tail, &mut latencies);
+            stopped = true;
+            break;
+        }
+        if boundary && since_checkpoint >= d.every {
+            since_checkpoint = 0;
+            // Reconfig requests are consumed at interval boundaries and
+            // land in the checkpoint that follows, so a resume replays
+            // the stream under the reconfigured engine.
+            let events = consume_reconfig_file(&d.dir, &mut engine);
+            closed_this_run += drain(events, &mut latencies);
+            let tail = take_checkpoint(&mut engine, pushed, &d.checkpoint_path())?;
+            closed_this_run += drain(tail, &mut latencies);
+        }
+    }
+    if stopped {
+        let d = durability.as_ref().expect("stop implies durability");
+        eprintln!(
+            "stopped after {closed_this_run} interval(s); checkpoint at {}",
+            d.checkpoint_path().display()
+        );
+        return Ok(());
     }
     let (tail, summary) = engine.finish();
-    for event in tail {
-        latencies.push(event.process_micros);
-        print_stream_event(&event, verbose);
-    }
+    drain(tail, &mut latencies);
 
     let p50 = latency_percentile(&mut latencies, 50.0);
     let p95 = latency_percentile(&mut latencies, 95.0);
@@ -672,6 +918,12 @@ pub fn stream(args: &Args) -> Result<(), String> {
         "per-interval latency: p50 = {p50} µs, p95 = {p95} µs; dropped flows: {} late, {} pre-origin",
         summary.late_flows, summary.pre_origin_flows
     );
+    if summary.reconfigs_applied + summary.reconfigs_rejected > 0 {
+        println!(
+            "reconfigurations: {} applied, {} rejected",
+            summary.reconfigs_applied, summary.reconfigs_rejected
+        );
+    }
     Ok(())
 }
 
@@ -721,8 +973,12 @@ pub fn analyze(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let extraction = extract_sharded(
-        0, &flows, &metadata, prefilter, tx_mode, miner, support, threads,
+    let extraction = Engine::extract(
+        &ExtractRequest::new(&flows, &metadata, support)
+            .prefilter(prefilter)
+            .transactions(tx_mode)
+            .miner(miner)
+            .shards(threads),
     );
     println!("{}", render_report(&extraction));
     Ok(())
@@ -736,15 +992,7 @@ pub fn table2(args: &Args) -> Result<(), String> {
     for port in [u64::from(w.flood_port), 80, 9022, 25] {
         metadata.insert(anomex_netflow::FlowFeature::DstPort, port);
     }
-    let extraction = extract_with_mode(
-        0,
-        &w.flows,
-        &metadata,
-        PrefilterMode::Union,
-        TransactionMode::Canonical,
-        MinerKind::Apriori,
-        w.min_support,
-    );
+    let extraction = Engine::extract(&ExtractRequest::new(&w.flows, &metadata, w.min_support));
     println!("{}", render_report(&extraction));
     Ok(())
 }
@@ -832,6 +1080,110 @@ mod tests {
             .expect("at the guard threshold no override is needed");
         parse(&["x", "--rules", "--support", "50"])
             .expect("non-rare rules are unaffected by the guard");
+    }
+
+    #[test]
+    fn reconfig_file_parsing() {
+        let req = parse_reconfig(
+            "# boundary reconfig\nmin-support = 400\nalpha=4.5\nshards = 2\nrules = on\n",
+        )
+        .unwrap();
+        assert_eq!(req.min_support, Some(400));
+        assert_eq!(req.alpha, Some(4.5));
+        assert_eq!(req.shards.map(NonZeroUsize::get), Some(2));
+        assert_eq!(req.rules, Some(Some(RuleConfig::default())));
+        let req = parse_reconfig("rules=off").unwrap();
+        assert_eq!(req.rules, Some(None));
+        assert!(parse_reconfig("").unwrap().is_empty());
+        assert!(parse_reconfig("min-support").is_err(), "no value");
+        assert!(parse_reconfig("min-support=lots").is_err());
+        assert!(parse_reconfig("shards=0").is_err());
+        assert!(parse_reconfig("rules=maybe").is_err());
+        assert!(parse_reconfig("frobnicate=1").is_err());
+    }
+
+    #[test]
+    fn durability_options_require_the_dir() {
+        let parse = |argv: &[&str]| {
+            parse_durability(&Args::parse(argv.iter().map(ToString::to_string)).unwrap())
+        };
+        assert_eq!(parse(&["stream"]).unwrap().map(|_| ()), None);
+        assert!(parse(&["stream", "--resume"]).is_err());
+        assert!(parse(&["stream", "--checkpoint-every", "5"]).is_err());
+        assert!(parse(&["stream", "--stop-after", "3"]).is_err());
+        let dir = std::env::temp_dir().join("anomex-cli-durability-test");
+        let dir_s = dir.to_str().unwrap();
+        let d = parse(&[
+            "stream",
+            "--checkpoint-dir",
+            dir_s,
+            "--checkpoint-every",
+            "5",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(d.every, 5);
+        assert!(!d.resume);
+        assert_eq!(d.stop_after, None);
+        assert_eq!(d.checkpoint_path(), dir.join("stream.ckpt"));
+        assert!(
+            parse(&[
+                "stream",
+                "--checkpoint-dir",
+                dir_s,
+                "--checkpoint-every",
+                "0"
+            ])
+            .is_err(),
+            "zero interval cadence is rejected"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The checkpoint file round-trips through the CLI framing (consumed
+    /// flow count + engine payload) and the restored engine continues
+    /// the stream; a truncated file fails with a diagnostic, not a panic.
+    #[test]
+    fn checkpoint_file_round_trips_and_rejects_corruption() {
+        use anomex_netflow::Protocol;
+        let dir = std::env::temp_dir().join("anomex-cli-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.ckpt");
+
+        let config = ExtractionConfig {
+            interval_ms: 1_000,
+            min_support: 10,
+            ..ExtractionConfig::default()
+        };
+        let mut engine = StreamingExtractor::try_new(config, NonZeroUsize::MIN, 0).unwrap();
+        let flow = |ms| {
+            FlowRecord::new(
+                ms,
+                std::net::Ipv4Addr::new(10, 0, 0, 1),
+                std::net::Ipv4Addr::new(10, 0, 0, 2),
+                1,
+                2,
+                Protocol::Udp,
+            )
+        };
+        let _ = engine.push(flow(100));
+        let _ = engine.push(flow(1_200));
+        let _ = take_checkpoint(&mut engine, 2, &path).unwrap();
+
+        let (mut resumed, pushed) = restore_from_checkpoint(&path, None).unwrap();
+        assert_eq!(pushed, 2);
+        let _ = resumed.push(flow(2_500));
+        let (_, summary) = resumed.finish();
+        assert_eq!(summary.total_flows, 3, "resumed run continues the count");
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = restore_from_checkpoint(&path, None).unwrap_err();
+        assert!(
+            err.contains("cannot resume"),
+            "diagnostic names the file: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1120,15 +1472,8 @@ mod tests {
 
         // The small scenario's flood at interval 20 is on port 7000.
         let md = parse_metadata("dstPort=7000").unwrap();
-        let ex = extract_with_mode(
-            0,
-            &flows,
-            &md,
-            PrefilterMode::Union,
-            TransactionMode::Canonical,
-            MinerKind::FpGrowth,
-            1000,
-        );
+        let ex =
+            Engine::extract(&ExtractRequest::new(&flows, &md, 1000).miner(MinerKind::FpGrowth));
         assert!(
             ex.itemsets
                 .iter()

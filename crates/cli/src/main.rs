@@ -6,6 +6,7 @@
 //!                 [--miner apriori|fpgrowth|eclat] [--prefixes] [--intersection]
 //! anomex stream   --in trace.nfv5|- [--interval-min 15] [--training 48] [--support 50]
 //!                 [--miner apriori|fpgrowth|eclat] [--threads N] [--verbose]
+//!                 [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--stop-after N]
 //! anomex analyze  --in trace.nfv5 --metadata "dstPort=7000,#packets=12" [--support 50]
 //!                 [--top N] [--prefixes] [--intersection]
 //! anomex table2   [--scale 1.0]

@@ -15,6 +15,7 @@ use std::fmt;
 
 use anomex_detector::DetectorConfig;
 use anomex_mining::{MinerKind, RuleConfig};
+use anomex_netflow::snapshot::{RestoreError, SnapshotReader, SnapshotWriter};
 use anomex_netflow::MINUTE_MS;
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +111,100 @@ impl ExtractionConfig {
         self.detector.validate().map_err(ConfigError::new)
     }
 
+    /// Serialize the full configuration into a checkpoint payload. The
+    /// configuration travels with every engine snapshot so a restore is
+    /// self-contained: structural detector state (hashers, bins, clone
+    /// counts) is rebuilt from this record rather than serialized.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.u64(self.interval_ms);
+        self.detector.encode_snapshot(w);
+        w.u8(match self.prefilter {
+            PrefilterMode::Union => 0,
+            PrefilterMode::Intersection => 1,
+        });
+        w.u64(self.min_support);
+        w.u8(match self.miner {
+            MinerKind::Apriori => 0,
+            MinerKind::FpGrowth => 1,
+            MinerKind::Eclat => 2,
+        });
+        w.u8(match self.transactions {
+            TransactionMode::Canonical => 0,
+            TransactionMode::WithPrefixes => 1,
+        });
+        match &self.rules {
+            None => w.bool(false),
+            Some(rc) => {
+                w.bool(true);
+                w.f64(rc.min_confidence);
+                w.f64(rc.min_lift);
+                w.bool(rc.rare);
+            }
+        }
+    }
+
+    /// Decode a configuration written by
+    /// [`encode_snapshot`](Self::encode_snapshot), re-validating every
+    /// constraint so a tampered checkpoint cannot smuggle in parameters
+    /// a live constructor would reject.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError::Corrupt`] on an unknown mode tag or a
+    /// configuration that fails [`validate`](Self::validate), and any
+    /// reader error on truncated input.
+    pub fn decode_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, RestoreError> {
+        let interval_ms = r.u64()?;
+        let detector = DetectorConfig::decode_snapshot(r)?;
+        let prefilter = match r.u8()? {
+            0 => PrefilterMode::Union,
+            1 => PrefilterMode::Intersection,
+            tag => {
+                return Err(RestoreError::Corrupt(format!(
+                    "unknown prefilter tag {tag}"
+                )))
+            }
+        };
+        let min_support = r.u64()?;
+        let miner = match r.u8()? {
+            0 => MinerKind::Apriori,
+            1 => MinerKind::FpGrowth,
+            2 => MinerKind::Eclat,
+            tag => return Err(RestoreError::Corrupt(format!("unknown miner tag {tag}"))),
+        };
+        let transactions = match r.u8()? {
+            0 => TransactionMode::Canonical,
+            1 => TransactionMode::WithPrefixes,
+            tag => {
+                return Err(RestoreError::Corrupt(format!(
+                    "unknown transaction-mode tag {tag}"
+                )))
+            }
+        };
+        let rules = if r.bool()? {
+            Some(RuleConfig {
+                min_confidence: r.f64()?,
+                min_lift: r.f64()?,
+                rare: r.bool()?,
+            })
+        } else {
+            None
+        };
+        let config = ExtractionConfig {
+            interval_ms,
+            detector,
+            prefilter,
+            min_support,
+            miner,
+            transactions,
+            rules,
+        };
+        config
+            .validate()
+            .map_err(|e| RestoreError::Corrupt(format!("invalid restored configuration: {e}")))?;
+        Ok(config)
+    }
+
     /// Scale the minimum support relative to an expected interval volume —
     /// the paper's guidance that "a suitable s is typically in the range
     /// between 1% and 10% of the total number of input flows" (§II-E).
@@ -170,5 +265,54 @@ mod tests {
     #[should_panic(expected = "fraction must be within")]
     fn bad_fraction_panics() {
         let _ = ExtractionConfig::default().with_relative_support(100, 2.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_knob() {
+        let config = ExtractionConfig {
+            interval_ms: 60_000,
+            prefilter: PrefilterMode::Intersection,
+            min_support: 1234,
+            miner: MinerKind::Eclat,
+            transactions: crate::pipeline::TransactionMode::WithPrefixes,
+            rules: Some(RuleConfig {
+                min_confidence: 0.75,
+                min_lift: 1.5,
+                rare: true,
+            }),
+            ..ExtractionConfig::default()
+        };
+        let mut w = SnapshotWriter::new();
+        config.encode_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let back = ExtractionConfig::decode_snapshot(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.interval_ms, config.interval_ms);
+        assert_eq!(back.prefilter, config.prefilter);
+        assert_eq!(back.min_support, config.min_support);
+        assert_eq!(back.miner, config.miner);
+        assert_eq!(back.transactions, config.transactions);
+        let rules = back.rules.unwrap();
+        assert_eq!(rules.min_confidence.to_bits(), 0.75f64.to_bits());
+        assert_eq!(rules.min_lift.to_bits(), 1.5f64.to_bits());
+        assert!(rules.rare);
+        assert_eq!(back.detector.seed, config.detector.seed);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_truncation_and_bad_tags() {
+        let mut w = SnapshotWriter::new();
+        ExtractionConfig::default().encode_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        // Truncated mid-payload: typed error, no panic.
+        let mut r = SnapshotReader::new(&bytes[..8]);
+        assert!(ExtractionConfig::decode_snapshot(&mut r).is_err());
+        // Corrupt the trailing rules-presence flag into an out-of-range
+        // bool: typed error, no panic.
+        let mut evil = bytes.clone();
+        *evil.last_mut().unwrap() = 7;
+        let mut r = SnapshotReader::new(&evil);
+        assert!(ExtractionConfig::decode_snapshot(&mut r).is_err());
     }
 }

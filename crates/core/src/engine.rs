@@ -1,0 +1,524 @@
+//! The unified engine API: one front door for every way the pipeline
+//! runs.
+//!
+//! Earlier revisions of this crate grew one entry point per capability —
+//! `extract_with_metadata`, `extract_with_mode`, `extract_with_rules`,
+//! `extract_sharded`, `extract_sharded_with_rules` for offline work, and
+//! `process_interval` / `process_shared` / `process_columns` for the
+//! online engine. [`Engine`] collapses them:
+//!
+//! - **Offline:** build an [`ExtractRequest`] (flows + meta-data + every
+//!   knob, each defaulting to the paper's setting) and call
+//!   [`Engine::extract`]. One request type replaces five positional
+//!   signatures.
+//! - **Online:** construct with [`Engine::new`] (`Result`-first; no
+//!   panicking path) and feed intervals through [`Engine::process`],
+//!   which accepts any interval representation via [`IntervalInput`] —
+//!   a record slice, an `Arc`-shared record vector, or an `Arc`-shared
+//!   columnar store.
+//! - **Durability:** [`Engine::snapshot`] serializes the complete
+//!   mutable state (configuration + detector bank) into a checkpoint
+//!   payload and [`Engine::restore`] rebuilds an engine that scores
+//!   bit-identically from the next interval on.
+//! - **Live reconfiguration:** [`Engine::reconfigure`] applies a
+//!   [`ReconfigRequest`] — validated as a whole, applied atomically,
+//!   rejected without side effects.
+//!
+//! The old free functions and panicking constructors remain as thin
+//! deprecated shims so downstream code migrates at its own pace.
+
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+use anomex_detector::{DetectorBank, MetaData};
+use anomex_mining::{MinerKind, RuleConfig};
+use anomex_netflow::snapshot::{RestoreError, SnapshotReader, SnapshotWriter};
+use anomex_netflow::{FlowColumns, FlowRecord};
+
+use crate::config::{ConfigError, ExtractionConfig};
+use crate::pipeline::{Extraction, IntervalOutcome, TransactionMode};
+use crate::prefilter::PrefilterMode;
+use crate::sharded::{extract_sharded_impl, PoolStats, ShardedExtractor};
+
+/// One interval's flows, in whichever representation the caller already
+/// holds. [`Engine::process`] accepts `impl Into<IntervalInput>`, so
+/// plain slices, `Arc`-shared vectors, and columnar stores all feed the
+/// same entry point — the engine picks the zero-copy path when the
+/// representation allows it.
+#[derive(Debug)]
+pub enum IntervalInput<'a> {
+    /// A borrowed record slice (transposed once into the engine's
+    /// recycled columnar scratch).
+    Records(&'a [FlowRecord]),
+    /// An `Arc`-owned record vector — the streaming engine's currency.
+    Shared(&'a Arc<Vec<FlowRecord>>),
+    /// An `Arc`-owned columnar store — the transpose-free path.
+    Columns(&'a Arc<FlowColumns>),
+}
+
+impl<'a> From<&'a [FlowRecord]> for IntervalInput<'a> {
+    fn from(flows: &'a [FlowRecord]) -> Self {
+        IntervalInput::Records(flows)
+    }
+}
+
+impl<'a> From<&'a Vec<FlowRecord>> for IntervalInput<'a> {
+    fn from(flows: &'a Vec<FlowRecord>) -> Self {
+        IntervalInput::Records(flows)
+    }
+}
+
+impl<'a> From<&'a Arc<Vec<FlowRecord>>> for IntervalInput<'a> {
+    fn from(flows: &'a Arc<Vec<FlowRecord>>) -> Self {
+        IntervalInput::Shared(flows)
+    }
+}
+
+impl<'a> From<&'a Arc<FlowColumns>> for IntervalInput<'a> {
+    fn from(cols: &'a Arc<FlowColumns>) -> Self {
+        IntervalInput::Columns(cols)
+    }
+}
+
+/// A complete offline extraction request: the flows, the meta-data that
+/// drives pre-filtering, and every pipeline knob — built fluently, with
+/// each knob defaulting to the paper's setting (union pre-filter,
+/// canonical transactions, Apriori, no rule layer, one shard).
+///
+/// ```
+/// use anomex_core::{Engine, ExtractRequest};
+/// use anomex_detector::MetaData;
+/// use anomex_netflow::FlowFeature;
+///
+/// let mut md = MetaData::new();
+/// md.insert(FlowFeature::DstPort, 7000);
+/// let flows = Vec::new();
+/// let extraction = Engine::extract(&ExtractRequest::new(&flows, &md, 500));
+/// assert_eq!(extraction.total_flows, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExtractRequest<'a> {
+    interval: u64,
+    flows: &'a [FlowRecord],
+    metadata: &'a MetaData,
+    prefilter: PrefilterMode,
+    transactions: TransactionMode,
+    miner: MinerKind,
+    min_support: u64,
+    rules: Option<&'a RuleConfig>,
+    shards: NonZeroUsize,
+}
+
+impl<'a> ExtractRequest<'a> {
+    /// A request over `flows` with the given pre-filter `metadata` and
+    /// absolute minimum support, everything else at the paper's
+    /// defaults.
+    #[must_use]
+    pub fn new(flows: &'a [FlowRecord], metadata: &'a MetaData, min_support: u64) -> Self {
+        ExtractRequest {
+            interval: 0,
+            flows,
+            metadata,
+            prefilter: PrefilterMode::Union,
+            transactions: TransactionMode::Canonical,
+            miner: MinerKind::Apriori,
+            min_support,
+            rules: None,
+            shards: NonZeroUsize::MIN,
+        }
+    }
+
+    /// Tag the extraction with an interval index (default 0).
+    #[must_use]
+    pub fn interval(mut self, interval: u64) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Pre-filter semantics (default: union, per the paper).
+    #[must_use]
+    pub fn prefilter(mut self, mode: PrefilterMode) -> Self {
+        self.prefilter = mode;
+        self
+    }
+
+    /// Transaction shape (default: canonical width-7).
+    #[must_use]
+    pub fn transactions(mut self, mode: TransactionMode) -> Self {
+        self.transactions = mode;
+        self
+    }
+
+    /// Mining algorithm (default: Apriori; all miners are
+    /// bit-identical).
+    #[must_use]
+    pub fn miner(mut self, miner: MinerKind) -> Self {
+        self.miner = miner;
+        self
+    }
+
+    /// Enable the association-rule layer (default: item-sets only).
+    #[must_use]
+    pub fn rules(mut self, rules: &'a RuleConfig) -> Self {
+        self.rules = Some(rules);
+        self
+    }
+
+    /// Fan the extraction out over `shards` pool workers (default: 1 =
+    /// inline; output is bit-identical for every count).
+    #[must_use]
+    pub fn shards(mut self, shards: NonZeroUsize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// A request to change pipeline parameters on a live engine. Every field
+/// is optional — `None` leaves the current setting untouched — and the
+/// resulting configuration is validated as a whole before anything is
+/// applied, so a rejected request has no effect at all.
+///
+/// In streaming operation
+/// ([`StreamingExtractor::reconfigure`](crate::StreamingExtractor::reconfigure))
+/// the request travels through the pipeline's work channel and lands
+/// **between intervals**: every interval submitted before the request is
+/// processed under the old parameters, everything after under the new —
+/// no flows are dropped or reprocessed.
+#[derive(Debug, Clone, Default)]
+pub struct ReconfigRequest {
+    /// New absolute minimum support `s` for the miner.
+    pub min_support: Option<u64>,
+    /// New detector threshold multiplier α. Applies to already-fitted
+    /// thresholds too (σ̂ estimates are kept; only the multiplier
+    /// moves).
+    pub alpha: Option<f64>,
+    /// Replace the association-rule layer: `Some(Some(config))` installs
+    /// or retunes it, `Some(None)` removes it, `None` leaves it alone.
+    pub rules: Option<Option<RuleConfig>>,
+    /// New shard count: the persistent worker pool is rebuilt (and its
+    /// dispatch overhead recalibrated) at the boundary. Output is
+    /// unaffected — the pipeline is bit-identical for every shard count.
+    pub shards: Option<NonZeroUsize>,
+}
+
+impl ReconfigRequest {
+    /// Whether the request changes anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.min_support.is_none()
+            && self.alpha.is_none()
+            && self.rules.is_none()
+            && self.shards.is_none()
+    }
+}
+
+/// The unified anomaly-extraction engine: the sharded online pipeline
+/// plus checkpointing and live reconfiguration, behind one API.
+///
+/// See the [module docs](self) for the entry-point map. `Engine` is a
+/// thin facade over [`ShardedExtractor`] — same state, same
+/// bit-identical determinism guarantees — that exposes the
+/// `Result`-first constructors, the representation-agnostic
+/// [`process`](Self::process), and the durability surface.
+#[derive(Debug)]
+pub struct Engine {
+    inner: ShardedExtractor,
+}
+
+impl Engine {
+    /// Build the engine, rejecting an invalid configuration with an
+    /// error. With more than one shard this spawns the persistent worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn new(config: ExtractionConfig, shards: NonZeroUsize) -> Result<Self, ConfigError> {
+        Ok(Engine {
+            inner: ShardedExtractor::try_new(config, shards)?,
+        })
+    }
+
+    /// Build a sequential (single-shard, inline) engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn sequential(config: ExtractionConfig) -> Result<Self, ConfigError> {
+        Self::new(config, NonZeroUsize::MIN)
+    }
+
+    /// Build with one shard per available hardware thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn with_available_parallelism(config: ExtractionConfig) -> Result<Self, ConfigError> {
+        Ok(Engine {
+            inner: ShardedExtractor::with_available_parallelism(config)?,
+        })
+    }
+
+    /// One-shot offline extraction: pre-filter the request's flows with
+    /// its meta-data and mine maximal frequent item-sets, honouring every
+    /// knob on the request. Replaces the former `extract_with_metadata` /
+    /// `extract_with_mode` / `extract_with_rules` / `extract_sharded` /
+    /// `extract_sharded_with_rules` free functions; output is
+    /// bit-identical to all of them for matching parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero or a pool worker panics.
+    #[must_use]
+    pub fn extract(req: &ExtractRequest<'_>) -> Extraction {
+        extract_sharded_impl(
+            req.interval,
+            req.flows,
+            req.metadata,
+            req.prefilter,
+            req.transactions,
+            req.miner,
+            req.min_support,
+            req.rules,
+            req.shards,
+        )
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExtractionConfig {
+        self.inner.config()
+    }
+
+    /// The underlying detector bank (KL series, memory accounting, …).
+    #[must_use]
+    pub fn bank(&self) -> &DetectorBank {
+        self.inner.bank()
+    }
+
+    /// Whether all detectors have finished training.
+    #[must_use]
+    pub fn is_trained(&self) -> bool {
+        self.inner.is_trained()
+    }
+
+    /// The number of shards each interval is split into.
+    #[must_use]
+    pub fn shards(&self) -> NonZeroUsize {
+        self.inner.shards()
+    }
+
+    /// Scheduler counters from the persistent worker pool.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.pool_stats()
+    }
+
+    /// Feed one interval through detection and, on alarm, extraction —
+    /// accepting the interval in whichever representation the caller
+    /// holds (see [`IntervalInput`]). Replaces the former
+    /// `process_interval` / `process_shared` / `process_columns` trio;
+    /// bit-identical to each of them on the same flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn process<'a>(&mut self, input: impl Into<IntervalInput<'a>>) -> IntervalOutcome {
+        self.inner.process(input)
+    }
+
+    /// Apply a validated parameter change at this interval boundary. On
+    /// error nothing changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the requested configuration would
+    /// violate.
+    pub fn reconfigure(&mut self, req: &ReconfigRequest) -> Result<(), ConfigError> {
+        self.inner.apply_reconfig(req)
+    }
+
+    /// Serialize the engine's complete mutable state — configuration and
+    /// detector bank — into a checkpoint payload.
+    /// [`restore`](Self::restore) rebuilds an engine that scores every
+    /// subsequent interval bit-identically to this one.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        self.inner.encode_snapshot(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuild an engine from a [`snapshot`](Self::snapshot) payload.
+    /// `shards` overrides the saved shard count (output is unaffected —
+    /// determinism is shard-invariant); `None` restores the saved count.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RestoreError`] from a truncated, corrupt, or
+    /// constraint-violating payload.
+    pub fn restore(payload: &[u8], shards: Option<NonZeroUsize>) -> Result<Self, RestoreError> {
+        let mut r = SnapshotReader::new(payload);
+        let inner = ShardedExtractor::decode_snapshot(&mut r, shards)?;
+        r.finish()?;
+        Ok(Engine { inner })
+    }
+
+    /// Consume the facade, yielding the inner sharded extractor (for
+    /// callers wiring the engine into a custom pipeline thread).
+    #[must_use]
+    pub fn into_inner(self) -> ShardedExtractor {
+        self.inner
+    }
+}
+
+impl From<ShardedExtractor> for Engine {
+    fn from(inner: ShardedExtractor) -> Self {
+        Engine { inner }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomex_detector::DetectorConfig;
+    use anomex_netflow::FlowFeature;
+    use anomex_traffic::{table2_workload, Scenario};
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    fn test_config(min_support: u64) -> ExtractionConfig {
+        ExtractionConfig {
+            interval_ms: 60_000,
+            detector: DetectorConfig {
+                training_intervals: 10,
+                ..DetectorConfig::default()
+            },
+            min_support,
+            ..ExtractionConfig::default()
+        }
+    }
+
+    #[test]
+    fn extract_matches_the_deprecated_free_functions() {
+        let w = table2_workload(7, 0.05);
+        let mut md = MetaData::new();
+        md.insert(FlowFeature::DstPort, 7000);
+        md.insert(FlowFeature::DstPort, 80);
+        #[allow(deprecated)]
+        let old = crate::pipeline::extract_with_metadata(
+            0,
+            &w.flows,
+            &md,
+            PrefilterMode::Union,
+            MinerKind::Apriori,
+            w.min_support,
+        );
+        let new = Engine::extract(&ExtractRequest::new(&w.flows, &md, w.min_support));
+        assert_eq!(new.itemsets, old.itemsets);
+        assert_eq!(new.suspicious_flows, old.suspicious_flows);
+        assert_eq!(new.cost_reduction.to_bits(), old.cost_reduction.to_bits());
+        // And the sharded path through the same request type.
+        let sharded = Engine::extract(
+            &ExtractRequest::new(&w.flows, &md, w.min_support)
+                .miner(MinerKind::Eclat)
+                .shards(nz(3)),
+        );
+        assert_eq!(sharded.itemsets, old.itemsets, "miners and shards agree");
+    }
+
+    #[test]
+    fn process_accepts_every_interval_representation() {
+        let scenario = Scenario::small(11);
+        let mut by_slice = Engine::sequential(test_config(800)).unwrap();
+        let mut by_arc = Engine::sequential(test_config(800)).unwrap();
+        let mut by_columns = Engine::sequential(test_config(800)).unwrap();
+        for i in 0..scenario.interval_count().min(14) {
+            let interval = scenario.generate(i);
+            let a = by_slice.process(interval.flows.as_slice());
+            let shared = Arc::new(interval.flows.clone());
+            let b = by_arc.process(&shared);
+            let mut cols = FlowColumns::new();
+            for flow in &interval.flows {
+                cols.push(flow);
+            }
+            let cols = Arc::new(cols);
+            let c = by_columns.process(&cols);
+            assert_eq!(a.observation.alarm, b.observation.alarm, "interval {i}");
+            assert_eq!(b.observation.alarm, c.observation.alarm, "interval {i}");
+            assert_eq!(a.observation.metadata, b.observation.metadata);
+            assert_eq!(b.observation.metadata, c.observation.metadata);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bit_identically() {
+        let scenario = Scenario::small(11);
+        let mut live = Engine::new(test_config(800), nz(2)).unwrap();
+        for i in 0..13 {
+            let _ = live.process(scenario.generate(i).flows.as_slice());
+        }
+        let payload = live.snapshot();
+        let mut restored = Engine::restore(&payload, Some(nz(1))).unwrap();
+        assert_eq!(restored.is_trained(), live.is_trained());
+        assert_eq!(restored.config().min_support, live.config().min_support);
+        for i in 13..scenario.interval_count().min(22) {
+            let flows = scenario.generate(i).flows;
+            let a = live.process(flows.as_slice());
+            let b = restored.process(flows.as_slice());
+            assert_eq!(a.observation.alarm, b.observation.alarm, "interval {i}");
+            assert_eq!(a.observation.metadata, b.observation.metadata);
+            for (x, y) in a.observation.features.iter().zip(&b.observation.features) {
+                for (cx, cy) in x.clones.iter().zip(&y.clones) {
+                    assert_eq!(cx.kl.map(f64::to_bits), cy.kl.map(f64::to_bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(Engine::restore(&[1, 2, 3], None).is_err());
+        let mut live = Engine::sequential(test_config(500)).unwrap();
+        let _ = live.process([].as_slice());
+        let mut payload = live.snapshot();
+        payload.truncate(payload.len() / 2);
+        assert!(Engine::restore(&payload, None).is_err());
+    }
+
+    #[test]
+    fn reconfigure_is_atomic() {
+        let mut engine = Engine::sequential(test_config(800)).unwrap();
+        // Invalid support: rejected, nothing changes.
+        let bad = ReconfigRequest {
+            min_support: Some(0),
+            alpha: Some(5.0),
+            ..ReconfigRequest::default()
+        };
+        assert!(engine.reconfigure(&bad).is_err());
+        assert_eq!(engine.config().min_support, 800);
+        assert_eq!(engine.config().detector.alpha.to_bits(), 3.0f64.to_bits());
+        // Valid request: everything lands, including a pool rebuild.
+        let good = ReconfigRequest {
+            min_support: Some(400),
+            alpha: Some(4.5),
+            rules: Some(Some(RuleConfig::default())),
+            shards: Some(nz(2)),
+        };
+        engine.reconfigure(&good).unwrap();
+        assert_eq!(engine.config().min_support, 400);
+        assert_eq!(engine.config().detector.alpha.to_bits(), 4.5f64.to_bits());
+        assert!(engine.config().rules.is_some());
+        assert_eq!(engine.shards().get(), 2);
+        // Clearing the rule layer via the nested option.
+        let clear = ReconfigRequest {
+            rules: Some(None),
+            ..ReconfigRequest::default()
+        };
+        engine.reconfigure(&clear).unwrap();
+        assert!(engine.config().rules.is_none());
+        assert!(ReconfigRequest::default().is_empty());
+    }
+}

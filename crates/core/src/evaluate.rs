@@ -172,7 +172,8 @@ pub struct Table4Row {
 /// Panics if the configuration is invalid.
 #[must_use]
 pub fn run_scenario(scenario: &Scenario, config: &ExtractionConfig) -> ScenarioRun {
-    let mut pipeline = AnomalyExtractor::new(config.clone());
+    let mut pipeline = AnomalyExtractor::try_new(config.clone())
+        .unwrap_or_else(|e| panic!("invalid extraction configuration: {e}"));
     let n_clones = config.detector.clones;
     let mut clone_scores: Vec<Vec<f64>> = vec![Vec::new(); n_clones];
     let mut truth = Vec::new();

@@ -18,6 +18,13 @@
 //!    ([`anomex_mining`]).
 //!
 //! Entry points:
+//! - [`Engine`] — the unified API: offline extraction via
+//!   [`Engine::extract`] with an [`ExtractRequest`] (every knob in one
+//!   builder), online operation via [`Engine::process`] over any
+//!   [`IntervalInput`] representation, plus checkpointing
+//!   ([`Engine::snapshot`] / [`Engine::restore`]) and live
+//!   reconfiguration ([`Engine::reconfigure`] with a
+//!   [`ReconfigRequest`]);
 //! - [`AnomalyExtractor`] — the online pipeline (feed intervals, get
 //!   [`Extraction`]s);
 //! - [`ShardedExtractor`] — the same pipeline fanned out over a
@@ -25,24 +32,28 @@
 //!   bit-identical to the sequential path for every shard count;
 //! - [`StreamingExtractor`] — the continuous engine: feed flows, get a
 //!   [`StreamEvent`] per closed Δ-interval, with interval `t+1`
-//!   assembling while interval `t` extracts (double buffering);
+//!   assembling while interval `t` extracts (double buffering), plus
+//!   durable operation ([`StreamingExtractor::checkpoint`] /
+//!   [`StreamingExtractor::restore`] resume the stream bit-identically
+//!   after a crash) and boundary-aligned live reconfiguration;
 //! - [`MultiSourceExtractor`] — the same continuous engine fed by N
 //!   exporters at once: per-source assemblers with independent clock
 //!   origins merge onto one watermark-closed interval grid (the paper's
 //!   multi-router SWITCH setting), bit-identical to extracting the
 //!   per-interval concatenation of all sources' flows;
-//! - [`extract_with_metadata`] — offline extraction from externally
-//!   provided meta-data ([`extract_sharded`] is its parallel
-//!   counterpart);
 //! - [`evaluate`] — the full §III evaluation harness over labeled
 //!   scenarios;
 //! - [`models`] — the analytic voting models, eqs. (1)–(3);
 //! - [`report`] — Table II-style rendering;
-//! - [`extract_with_rules`] / [`extract_sharded_with_rules`] /
-//!   [`merge_source_rules`] — the association-rule layer on top of the
-//!   item-set summary: rules generated from the mined supports, filtered
-//!   by confidence/lift, and ranked by a meta-detection z-score pass
-//!   (see [`anomex_mining::rules`]).
+//! - [`merge_source_rules`] — the association-rule layer merged across
+//!   sources: rules generated from the mined supports, filtered by
+//!   confidence/lift, and ranked by a meta-detection z-score pass (see
+//!   [`anomex_mining::rules`]).
+//!
+//! The former per-capability free functions (`extract_with_metadata`,
+//! `extract_with_mode`, `extract_with_rules`, `extract_sharded`,
+//! `extract_sharded_with_rules`) remain as deprecated shims over
+//! [`Engine::extract`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,6 +61,7 @@
 pub mod classify;
 pub mod config;
 pub mod cost;
+pub mod engine;
 pub mod evaluate;
 pub mod models;
 pub mod pipeline;
@@ -61,6 +73,7 @@ pub mod streaming;
 pub use classify::classify_itemset;
 pub use config::{ConfigError, ExtractionConfig};
 pub use cost::{average_cost_reduction, cost_reduction};
+pub use engine::{Engine, ExtractRequest, IntervalInput, ReconfigRequest};
 pub use evaluate::{
     evaluate_itemsets, run_scenario, EvaluatedItemSet, IntervalRecord, ScenarioRun,
     SupportSweepPoint, Table4Row,
@@ -69,19 +82,19 @@ pub use models::{
     beta_hit_lower, beta_miss_upper, binomial_coefficient, binomial_tail,
     expected_normal_survivors, gamma_normal_survives,
 };
+#[allow(deprecated)]
+pub use pipeline::{extract_with_metadata, extract_with_mode, extract_with_rules};
 pub use pipeline::{
-    extract_with_metadata, extract_with_mode, extract_with_rules, merge_source_rules,
-    AnomalyExtractor, Extraction, IntervalOutcome, TransactionMode,
+    merge_source_rules, AnomalyExtractor, Extraction, IntervalOutcome, TransactionMode,
 };
 pub use prefilter::{
     prefilter, prefilter_indices, prefilter_indices_columns, prefilter_indices_columns_range,
     PrefilterMode,
 };
 pub use report::{render_csv, render_report, render_rule_merge};
-pub use sharded::{
-    extract_sharded, extract_sharded_with_rules, observe_sharded, prefilter_indices_sharded,
-    PoolStats, ShardedExtractor,
-};
+#[allow(deprecated)]
+pub use sharded::{extract_sharded, extract_sharded_with_rules};
+pub use sharded::{observe_sharded, prefilter_indices_sharded, PoolStats, ShardedExtractor};
 pub use streaming::{
     latency_percentile, MultiSourceExtractor, MultiStreamEvent, MultiStreamSummary, StreamEvent,
     StreamSummary, StreamingExtractor,

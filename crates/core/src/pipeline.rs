@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{ConfigError, ExtractionConfig};
 use crate::cost::cost_reduction;
-use crate::prefilter::{prefilter_indices, PrefilterMode};
+use crate::prefilter::PrefilterMode;
 use crate::sharded::ShardedExtractor;
 
 /// How flows are mapped to mining transactions.
@@ -109,6 +109,8 @@ pub struct Extraction {
 /// # Panics
 ///
 /// Panics if `min_support` is zero.
+#[doc(hidden)]
+#[deprecated(note = "use Engine::extract with an ExtractRequest")]
 #[must_use]
 pub fn extract_with_metadata(
     interval: u64,
@@ -118,7 +120,7 @@ pub fn extract_with_metadata(
     miner: MinerKind,
     min_support: u64,
 ) -> Extraction {
-    extract_with_mode(
+    crate::sharded::extract_sharded_impl(
         interval,
         flows,
         metadata,
@@ -126,6 +128,8 @@ pub fn extract_with_metadata(
         TransactionMode::Canonical,
         miner,
         min_support,
+        None,
+        NonZeroUsize::MIN,
     )
 }
 
@@ -135,6 +139,8 @@ pub fn extract_with_metadata(
 /// # Panics
 ///
 /// Panics if `min_support` is zero.
+#[doc(hidden)]
+#[deprecated(note = "use Engine::extract with an ExtractRequest (set .transactions(...))")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn extract_with_mode(
@@ -146,16 +152,16 @@ pub fn extract_with_mode(
     miner: MinerKind,
     min_support: u64,
 ) -> Extraction {
-    mine_at_indices(
+    crate::sharded::extract_sharded_impl(
         interval,
         flows,
-        &prefilter_indices(flows, metadata, mode),
         metadata,
+        mode,
         tx_mode,
         miner,
         min_support,
         None,
-        Exec::inline(),
+        NonZeroUsize::MIN,
     )
 }
 
@@ -166,6 +172,8 @@ pub fn extract_with_mode(
 /// # Panics
 ///
 /// Panics if `min_support` is zero.
+#[doc(hidden)]
+#[deprecated(note = "use Engine::extract with an ExtractRequest (set .rules(...))")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn extract_with_rules(
@@ -178,57 +186,30 @@ pub fn extract_with_rules(
     min_support: u64,
     rules: &RuleConfig,
 ) -> Extraction {
-    mine_at_indices(
+    crate::sharded::extract_sharded_impl(
         interval,
         flows,
-        &prefilter_indices(flows, metadata, mode),
         metadata,
+        mode,
         tx_mode,
         miner,
         min_support,
         Some(rules),
-        Exec::inline(),
+        NonZeroUsize::MIN,
     )
 }
 
-/// The shared mining tail of every extraction path: build transactions
-/// for the pre-filtered `indices` (zero-copy — straight from index slice
-/// to transactions, no intermediate `Vec<FlowRecord>`), mine maximal
-/// item-sets in the given execution context (inline, scoped threads, or
-/// the engine's persistent worker pool), optionally layer the
-/// association rules on top ([`MineTask::run_with_rules`] — one mining
-/// pass serves both outputs), and assemble the [`Extraction`].
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn mine_at_indices(
-    interval: u64,
-    flows: &[FlowRecord],
-    indices: &[usize],
-    metadata: &MetaData,
-    tx_mode: TransactionMode,
-    miner: MinerKind,
-    min_support: u64,
-    rule_config: Option<&RuleConfig>,
-    exec: Exec<'_>,
-) -> Extraction {
-    let transactions = tx_mode.transactions_at(flows, indices);
-    mine_transactions(
-        interval,
-        flows.len(),
-        &transactions,
-        indices.len(),
-        metadata,
-        miner,
-        min_support,
-        rule_config,
-        exec,
-    )
-}
-
-/// The columnar twin of [`mine_at_indices`]: gather transactions from a
-/// [`FlowColumns`] store (one feature column at a time) and run the same
-/// mining tail. Bit-identical to [`mine_at_indices`] over the equivalent
-/// `FlowRecord` slice, by construction — the gathered transaction sets
-/// are equal and everything downstream consumes only transactions.
+/// The shared mining tail of every extraction path: gather transactions
+/// for the pre-filtered `indices` from a [`FlowColumns`] store (one
+/// feature column at a time, zero-copy — straight from index slice to
+/// transactions), mine maximal item-sets in the given execution context
+/// (inline, scoped threads, or the engine's persistent worker pool),
+/// optionally layer the association rules on top
+/// ([`MineTask::run_with_rules`] — one mining pass serves both outputs),
+/// and assemble the [`Extraction`]. Bit-identical to mining the
+/// equivalent `FlowRecord` slice, by construction — the gathered
+/// transaction sets are equal and everything downstream consumes only
+/// transactions.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn mine_at_indices_columns(
     interval: u64,
@@ -337,7 +318,7 @@ pub fn merge_source_rules(
             continue;
         }
         let support = (config.min_support * len as u64 / total).max(1);
-        let extraction = extract_with_rules(
+        let extraction = crate::sharded::extract_sharded_impl(
             0,
             segment,
             metadata,
@@ -345,7 +326,8 @@ pub fn merge_source_rules(
             config.transactions,
             config.miner,
             support,
-            rule_config,
+            Some(rule_config),
+            NonZeroUsize::MIN,
         );
         if let Some(rules) = extraction.rules {
             per_source.push(rules);
@@ -395,6 +377,7 @@ impl AnomalyExtractor {
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
+    #[deprecated(note = "use try_new and handle the ConfigError")]
     #[must_use]
     pub fn new(config: ExtractionConfig) -> Self {
         Self::try_new(config).unwrap_or_else(|e| panic!("invalid extraction configuration: {e}"))
@@ -423,11 +406,21 @@ impl AnomalyExtractor {
     pub fn process_interval(&mut self, flows: &[FlowRecord]) -> IntervalOutcome {
         self.inner.process_interval(flows)
     }
+
+    /// Representation-agnostic interval entry point — see
+    /// [`IntervalInput`](crate::IntervalInput).
+    pub fn process<'a>(
+        &mut self,
+        input: impl Into<crate::engine::IntervalInput<'a>>,
+    ) -> IntervalOutcome {
+        self.inner.process(input)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, ExtractRequest};
     use anomex_detector::DetectorConfig;
     use anomex_netflow::{FlowFeature, Protocol};
     use anomex_traffic::Scenario;
@@ -475,14 +468,7 @@ mod tests {
         }
         let mut md = MetaData::new();
         md.insert(FlowFeature::DstPort, 7000);
-        let ex = extract_with_metadata(
-            0,
-            &flows,
-            &md,
-            PrefilterMode::Union,
-            MinerKind::Apriori,
-            400,
-        );
+        let ex = Engine::extract(&ExtractRequest::new(&flows, &md, 400));
         assert_eq!(ex.total_flows, 1000);
         assert_eq!(ex.suspicious_flows, 500);
         assert!(!ex.itemsets.is_empty());
@@ -501,29 +487,12 @@ mod tests {
         let mut md = MetaData::new();
         md.insert(FlowFeature::DstPort, 7000);
         md.insert(FlowFeature::DstPort, 80);
-        let a = extract_with_metadata(
-            0,
-            &w.flows,
-            &md,
-            PrefilterMode::Union,
-            MinerKind::Apriori,
-            w.min_support,
+        let a = Engine::extract(&ExtractRequest::new(&w.flows, &md, w.min_support));
+        let f = Engine::extract(
+            &ExtractRequest::new(&w.flows, &md, w.min_support).miner(MinerKind::FpGrowth),
         );
-        let f = extract_with_metadata(
-            0,
-            &w.flows,
-            &md,
-            PrefilterMode::Union,
-            MinerKind::FpGrowth,
-            w.min_support,
-        );
-        let e = extract_with_metadata(
-            0,
-            &w.flows,
-            &md,
-            PrefilterMode::Union,
-            MinerKind::Eclat,
-            w.min_support,
+        let e = Engine::extract(
+            &ExtractRequest::new(&w.flows, &md, w.min_support).miner(MinerKind::Eclat),
         );
         assert_eq!(a.itemsets, f.itemsets);
         assert_eq!(f.itemsets, e.itemsets);
@@ -533,7 +502,7 @@ mod tests {
     #[test]
     fn online_pipeline_extracts_planted_flood() {
         let scenario = Scenario::small(11);
-        let mut pipeline = AnomalyExtractor::new(test_config(800));
+        let mut pipeline = AnomalyExtractor::try_new(test_config(800)).unwrap();
         let mut extractions = Vec::new();
         for i in 0..scenario.interval_count() {
             let interval = scenario.generate(i);
@@ -562,7 +531,7 @@ mod tests {
     #[test]
     fn quiet_intervals_produce_almost_no_extractions() {
         let scenario = Scenario::small(11);
-        let mut pipeline = AnomalyExtractor::new(test_config(800));
+        let mut pipeline = AnomalyExtractor::try_new(test_config(800)).unwrap();
         let mut alarms_in_quiet = 0;
         for i in 0..18 {
             let interval = scenario.generate(i);
@@ -585,6 +554,7 @@ mod tests {
     fn invalid_config_panics() {
         let mut c = test_config(100);
         c.min_support = 0;
+        #[allow(deprecated)]
         let _ = AnomalyExtractor::new(c);
     }
 

@@ -64,11 +64,13 @@ use anomex_detector::{BankHasher, BankObservation, DetectorBank, MetaData};
 use anomex_mining::par::{map_chunks, map_ranges_arc, Exec};
 use anomex_mining::{MinerKind, RuleConfig};
 use anomex_netflow::shard::default_shards;
+use anomex_netflow::snapshot::{RestoreError, SnapshotReader, SnapshotWriter};
 use anomex_netflow::{FlowColumns, FlowRecord};
 pub use crossbeam::PoolStats;
 use crossbeam::WorkerPool;
 
 use crate::config::{ConfigError, ExtractionConfig};
+use crate::engine::{IntervalInput, ReconfigRequest};
 use crate::pipeline::{mine_at_indices_columns, Extraction, IntervalOutcome, TransactionMode};
 use crate::prefilter::PrefilterMode;
 
@@ -140,6 +142,8 @@ pub fn prefilter_indices_sharded(
 /// # Panics
 ///
 /// Panics if `min_support` is zero or a pool worker panics.
+#[doc(hidden)]
+#[deprecated(note = "use Engine::extract with an ExtractRequest (set .shards(...))")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn extract_sharded(
@@ -175,6 +179,8 @@ pub fn extract_sharded(
 /// # Panics
 ///
 /// Panics if `min_support` is zero or a pool worker panics.
+#[doc(hidden)]
+#[deprecated(note = "use Engine::extract with an ExtractRequest (set .rules(...).shards(...))")]
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn extract_sharded_with_rules(
@@ -201,8 +207,11 @@ pub fn extract_sharded_with_rules(
     )
 }
 
+/// The one offline extraction implementation, shared by
+/// [`Engine::extract`](crate::Engine::extract) and the deprecated free
+/// functions above.
 #[allow(clippy::too_many_arguments)]
-fn extract_sharded_impl(
+pub(crate) fn extract_sharded_impl(
     interval: u64,
     flows: &[FlowRecord],
     metadata: &MetaData,
@@ -359,6 +368,7 @@ impl ShardedExtractor {
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
+    #[deprecated(note = "use try_new and handle the ConfigError")]
     #[must_use]
     pub fn new(config: ExtractionConfig, shards: NonZeroUsize) -> Self {
         Self::try_new(config, shards)
@@ -409,6 +419,103 @@ impl ShardedExtractor {
             .as_ref()
             .map(WorkerPool::stats)
             .unwrap_or_default()
+    }
+
+    /// Feed one interval through the pipeline, in whichever
+    /// representation the caller holds — the unified entry point behind
+    /// [`process_interval`](Self::process_interval),
+    /// [`process_shared`](Self::process_shared), and
+    /// [`process_columns`](Self::process_columns), all of which it
+    /// dispatches to. Bit-identical across representations of the same
+    /// flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn process<'a>(&mut self, input: impl Into<IntervalInput<'a>>) -> IntervalOutcome {
+        match input.into() {
+            IntervalInput::Records(flows) => self.process_interval(flows),
+            IntervalInput::Shared(flows) => self.process_shared(flows),
+            IntervalInput::Columns(cols) => self.process_columns(cols),
+        }
+    }
+
+    /// Serialize the engine's complete mutable state: the full
+    /// configuration (so a restore is self-contained) followed by the
+    /// shard count and the detector bank's temporal state. Structural
+    /// state — hashers, bins, clone wiring — is *not* serialized; it is
+    /// rebuilt deterministically from the configuration's seeds.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        self.config.encode_snapshot(w);
+        w.usize(self.shards.get());
+        self.bank.encode_snapshot(w);
+    }
+
+    /// Rebuild an engine from a snapshot written by
+    /// [`encode_snapshot`](Self::encode_snapshot). `shards` overrides
+    /// the saved shard count (the output stream is shard-invariant, so
+    /// a checkpoint taken at 8 shards restores correctly onto a 2-core
+    /// box); `None` keeps the saved count.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RestoreError`] from a truncated or corrupt payload, or one
+    /// whose configuration fails validation.
+    pub fn decode_snapshot(
+        r: &mut SnapshotReader<'_>,
+        shards: Option<NonZeroUsize>,
+    ) -> Result<Self, RestoreError> {
+        let config = ExtractionConfig::decode_snapshot(r)?;
+        let saved_shards = r.usize()?;
+        let shards = match shards {
+            Some(s) => s,
+            None => NonZeroUsize::new(saved_shards)
+                .ok_or_else(|| RestoreError::Corrupt("zero shard count".into()))?,
+        };
+        let mut engine = Self::try_new(config, shards)
+            .map_err(|e| RestoreError::Corrupt(format!("invalid restored engine: {e}")))?;
+        engine.bank.restore_snapshot(r)?;
+        Ok(engine)
+    }
+
+    /// Apply a validated parameter change: the requested overrides are
+    /// merged into a candidate configuration, the candidate is validated
+    /// as a whole, and only then does anything land — a rejected request
+    /// leaves the engine untouched. A new α propagates into
+    /// already-fitted thresholds (σ̂ estimates are kept); a new shard
+    /// count rebuilds the persistent worker pool and recalibrates its
+    /// dispatch overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the requested configuration would
+    /// violate.
+    pub fn apply_reconfig(&mut self, req: &ReconfigRequest) -> Result<(), ConfigError> {
+        let mut candidate = self.config.clone();
+        if let Some(s) = req.min_support {
+            candidate.min_support = s;
+        }
+        if let Some(alpha) = req.alpha {
+            candidate.detector.alpha = alpha;
+        }
+        if let Some(rules) = &req.rules {
+            candidate.rules = *rules;
+        }
+        candidate.validate()?;
+        self.config = candidate;
+        if let Some(alpha) = req.alpha {
+            self.bank.set_alpha(alpha);
+        }
+        if let Some(shards) = req.shards {
+            if shards != self.shards {
+                self.shards = shards;
+                self.pool = (shards.get() > 1).then(|| WorkerPool::new(shards));
+                if let Some(pool) = &self.pool {
+                    let _ = pool.calibrate_dispatch_overhead();
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Feed one interval's flows through sharded detection and, on
@@ -497,7 +604,8 @@ impl ShardedExtractor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{extract_with_mode, AnomalyExtractor};
+    use crate::engine::{Engine, ExtractRequest};
+    use crate::pipeline::AnomalyExtractor;
     use crate::prefilter::prefilter_indices;
     use anomex_detector::DetectorConfig;
     use anomex_netflow::FlowFeature;
@@ -525,25 +633,10 @@ mod tests {
         let mut md = MetaData::new();
         md.insert(FlowFeature::DstPort, 7000);
         md.insert(FlowFeature::DstPort, 80);
-        let reference = extract_with_mode(
-            0,
-            &w.flows,
-            &md,
-            PrefilterMode::Union,
-            TransactionMode::Canonical,
-            MinerKind::Apriori,
-            w.min_support,
-        );
+        let reference = Engine::extract(&ExtractRequest::new(&w.flows, &md, w.min_support));
         for shards in 1..=6 {
-            let sharded = extract_sharded(
-                0,
-                &w.flows,
-                &md,
-                PrefilterMode::Union,
-                TransactionMode::Canonical,
-                MinerKind::Apriori,
-                w.min_support,
-                nz(shards),
+            let sharded = Engine::extract(
+                &ExtractRequest::new(&w.flows, &md, w.min_support).shards(nz(shards)),
             );
             assert_eq!(sharded.itemsets, reference.itemsets, "shards={shards}");
             assert_eq!(sharded.levels, reference.levels, "shards={shards}");
@@ -573,8 +666,8 @@ mod tests {
     #[test]
     fn online_sharded_pipeline_matches_sequential_bit_for_bit() {
         let scenario = Scenario::small(11);
-        let mut sequential = AnomalyExtractor::new(test_config(800));
-        let mut sharded = ShardedExtractor::new(test_config(800), nz(4));
+        let mut sequential = AnomalyExtractor::try_new(test_config(800)).unwrap();
+        let mut sharded = ShardedExtractor::try_new(test_config(800), nz(4)).unwrap();
         for i in 0..scenario.interval_count().min(24) {
             let interval = scenario.generate(i);
             let a = sequential.process_interval(&interval.flows);

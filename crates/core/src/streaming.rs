@@ -56,6 +56,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use anomex_netflow::snapshot::{RestoreError, SnapshotReader, SnapshotWriter};
 use anomex_netflow::{
     ClosedInterval, FlowRecord, IntervalAssembler, MergeAssembler, MergeConfig, MergedInterval,
     SourceId, SourceSpec, SourceStats, SourcedFlow,
@@ -63,6 +64,7 @@ use anomex_netflow::{
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::config::{ConfigError, ExtractionConfig};
+use crate::engine::ReconfigRequest;
 use crate::pipeline::IntervalOutcome;
 use crate::sharded::{PoolStats, ShardedExtractor};
 
@@ -118,6 +120,12 @@ pub struct StreamSummary {
     /// steals, queue-depth high-water, calibrated dispatch overhead);
     /// all zeros at one shard, where the pipeline runs inline.
     pub pool: PoolStats,
+    /// Live reconfiguration requests applied at interval boundaries over
+    /// the stream's lifetime (the audit trail survives checkpoints).
+    pub reconfigs_applied: u64,
+    /// Reconfiguration requests rejected by validation — the engine kept
+    /// its previous parameters.
+    pub reconfigs_rejected: u64,
 }
 
 /// The `p`-th percentile (nearest rank) of a latency sample, sorting the
@@ -167,33 +175,67 @@ impl Work {
     }
 }
 
+/// What travels down the pipeline thread's command channel. Snapshot and
+/// reconfig requests share the channel with interval work, so they land
+/// **between intervals** by FIFO order: every interval submitted before
+/// the command is fully processed (and its event already sent) when the
+/// command executes — no interval is ever split across a parameter
+/// change or a checkpoint.
+#[derive(Debug)]
+enum Command {
+    /// Extract one closed interval.
+    Work(Work),
+    /// Serialize the engine's state and reply with the payload.
+    Snapshot(Sender<Vec<u8>>),
+    /// Apply a parameter change at this interval boundary; reply with
+    /// the validation verdict.
+    Reconfig(Box<ReconfigRequest>, Sender<Result<(), ConfigError>>),
+}
+
 fn pipeline_loop(
     mut engine: ShardedExtractor,
-    work_rx: &Receiver<Work>,
+    work_rx: &Receiver<Command>,
     events_tx: &Sender<StreamEvent>,
 ) -> ShardedExtractor {
-    while let Ok(work) = work_rx.recv() {
-        let Work {
-            index,
-            begin_ms,
-            end_ms,
-            flows,
-            dropped_flows,
-        } = work;
-        let started = Instant::now();
-        let outcome = engine.process_shared(&flows);
-        let process_micros = started.elapsed().as_micros() as u64;
-        let event = StreamEvent {
-            index,
-            begin_ms,
-            end_ms,
-            flows: flows.len(),
-            dropped_flows,
-            process_micros,
-            outcome,
-        };
-        if events_tx.send(event).is_err() {
-            break; // receiver gone: the stream was abandoned
+    while let Ok(command) = work_rx.recv() {
+        match command {
+            Command::Work(work) => {
+                let Work {
+                    index,
+                    begin_ms,
+                    end_ms,
+                    flows,
+                    dropped_flows,
+                } = work;
+                let started = Instant::now();
+                let outcome = engine.process_shared(&flows);
+                let process_micros = started.elapsed().as_micros() as u64;
+                let event = StreamEvent {
+                    index,
+                    begin_ms,
+                    end_ms,
+                    flows: flows.len(),
+                    dropped_flows,
+                    process_micros,
+                    outcome,
+                };
+                if events_tx.send(event).is_err() {
+                    break; // receiver gone: the stream was abandoned
+                }
+            }
+            Command::Snapshot(reply) => {
+                let mut w = SnapshotWriter::new();
+                engine.encode_snapshot(&mut w);
+                if reply.send(w.into_bytes()).is_err() {
+                    break; // requester gone: the stream was abandoned
+                }
+            }
+            Command::Reconfig(request, reply) => {
+                let verdict = engine.apply_reconfig(&request);
+                if reply.send(verdict).is_err() {
+                    break; // requester gone: the stream was abandoned
+                }
+            }
         }
     }
     engine
@@ -206,7 +248,7 @@ fn pipeline_loop(
 #[derive(Debug)]
 struct PipelineHandle {
     /// `Some` until `finish`/drop closes the stream.
-    work_tx: Option<Sender<Work>>,
+    work_tx: Option<Sender<Command>>,
     events_rx: Receiver<StreamEvent>,
     /// The pipeline thread; returns its engine so `finish` can read
     /// final detector state.
@@ -214,6 +256,8 @@ struct PipelineHandle {
     intervals: u64,
     alarms: u64,
     extractions: u64,
+    reconfigs_applied: u64,
+    reconfigs_rejected: u64,
 }
 
 impl PipelineHandle {
@@ -228,7 +272,7 @@ impl PipelineHandle {
 
     /// Spawn the pipeline thread around an already-validated engine.
     fn spawn(engine: ShardedExtractor) -> Result<Self, ConfigError> {
-        let (work_tx, work_rx) = bounded::<Work>(Self::WORK_BUFFER);
+        let (work_tx, work_rx) = bounded::<Command>(Self::WORK_BUFFER);
         let (events_tx, events_rx) = bounded::<StreamEvent>(Self::EVENT_BUFFER);
         let worker = std::thread::Builder::new()
             .name("anomex-stream-pipeline".into())
@@ -241,6 +285,8 @@ impl PipelineHandle {
             intervals: 0,
             alarms: 0,
             extractions: 0,
+            reconfigs_applied: 0,
+            reconfigs_rejected: 0,
         })
     }
 
@@ -257,11 +303,89 @@ impl PipelineHandle {
             .work_tx
             .as_ref()
             .expect("stream already finished")
-            .send(work);
+            .send(Command::Work(work));
         if sent.is_err() {
             // The pipeline thread is gone mid-stream: it panicked.
             self.join_and_propagate();
         }
+    }
+
+    /// Ask the pipeline thread for an engine snapshot. The request rides
+    /// the FIFO command channel, so every previously submitted interval
+    /// is fully processed — and its event already in the event channel —
+    /// before the snapshot is taken; the trailing drain therefore leaves
+    /// the counters exactly consistent with the serialized engine state.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    fn snapshot(&mut self, into: &mut Vec<StreamEvent>) -> Vec<u8> {
+        self.drain_ready(into);
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = self
+            .work_tx
+            .as_ref()
+            .expect("stream already finished")
+            .send(Command::Snapshot(reply_tx));
+        if sent.is_err() {
+            self.join_and_propagate();
+        }
+        let Ok(payload) = reply_rx.recv() else {
+            self.join_and_propagate();
+        };
+        self.drain_ready(into);
+        payload
+    }
+
+    /// Forward a reconfiguration request to the pipeline thread and wait
+    /// for its verdict, updating the audit counters.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    fn reconfigure(
+        &mut self,
+        request: ReconfigRequest,
+        into: &mut Vec<StreamEvent>,
+    ) -> Result<(), ConfigError> {
+        self.drain_ready(into);
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = self
+            .work_tx
+            .as_ref()
+            .expect("stream already finished")
+            .send(Command::Reconfig(Box::new(request), reply_tx));
+        if sent.is_err() {
+            self.join_and_propagate();
+        }
+        let Ok(verdict) = reply_rx.recv() else {
+            self.join_and_propagate();
+        };
+        match &verdict {
+            Ok(()) => self.reconfigs_applied += 1,
+            Err(_) => self.reconfigs_rejected += 1,
+        }
+        self.drain_ready(into);
+        verdict
+    }
+
+    /// Serialize the stream counters into a checkpoint payload.
+    fn encode_counters(&self, w: &mut SnapshotWriter) {
+        w.u64(self.intervals);
+        w.u64(self.alarms);
+        w.u64(self.extractions);
+        w.u64(self.reconfigs_applied);
+        w.u64(self.reconfigs_rejected);
+    }
+
+    /// Restore the stream counters serialized by
+    /// [`encode_counters`](Self::encode_counters).
+    fn restore_counters(&mut self, counters: [u64; 5]) {
+        self.intervals = counters[0];
+        self.alarms = counters[1];
+        self.extractions = counters[2];
+        self.reconfigs_applied = counters[3];
+        self.reconfigs_rejected = counters[4];
     }
 
     /// Non-blockingly collect every event the pipeline thread has
@@ -381,6 +505,93 @@ impl StreamingExtractor {
         &self.assembler
     }
 
+    /// Serialize the stream's complete state into a checkpoint payload:
+    /// the assembler (including the in-progress window's flows and drop
+    /// counters), the stream counters, and the engine's configuration
+    /// and detector bank. Returns any events that became ready while the
+    /// pipeline drained, plus the payload — frame it with
+    /// [`anomex_netflow::snapshot::write_checkpoint`] to persist it
+    /// atomically.
+    ///
+    /// The snapshot request rides the pipeline's FIFO work channel, so
+    /// it lands between intervals: the payload reflects every interval
+    /// submitted before the call, and nothing after.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    pub fn checkpoint(&mut self) -> (Vec<StreamEvent>, Vec<u8>) {
+        let mut events = Vec::new();
+        let engine = self.pipe.snapshot(&mut events);
+        let mut w = SnapshotWriter::new();
+        self.assembler.encode_snapshot(&mut w);
+        w.u64(self.total_flows);
+        self.pipe.encode_counters(&mut w);
+        w.bytes(&engine);
+        (events, w.into_bytes())
+    }
+
+    /// Rebuild a streaming pipeline from a [`checkpoint`](Self::checkpoint)
+    /// payload, resuming the stream bit-identically: the restored
+    /// assembler continues the same window grid (partial window
+    /// included) and the restored engine scores every subsequent
+    /// interval exactly as the checkpointed one would have. `shards`
+    /// overrides the saved shard count (`None` keeps it).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RestoreError`] from a truncated, corrupt, or inconsistent
+    /// payload.
+    pub fn restore(payload: &[u8], shards: Option<NonZeroUsize>) -> Result<Self, RestoreError> {
+        let mut r = SnapshotReader::new(payload);
+        let assembler = IntervalAssembler::decode_snapshot(&mut r)?;
+        let total_flows = r.u64()?;
+        let mut counters = [0u64; 5];
+        for c in &mut counters {
+            *c = r.u64()?;
+        }
+        let engine_bytes = r.bytes()?;
+        r.finish()?;
+        let mut er = SnapshotReader::new(engine_bytes);
+        let engine = ShardedExtractor::decode_snapshot(&mut er, shards)?;
+        er.finish()?;
+        if engine.config().interval_ms != assembler.interval_ms() {
+            return Err(RestoreError::Corrupt(format!(
+                "assembler interval {} ms disagrees with engine interval {} ms",
+                assembler.interval_ms(),
+                engine.config().interval_ms
+            )));
+        }
+        let mut pipe = PipelineHandle::spawn(engine)
+            .map_err(|e| RestoreError::Corrupt(format!("cannot respawn pipeline: {e}")))?;
+        pipe.restore_counters(counters);
+        Ok(StreamingExtractor {
+            assembler,
+            pipe,
+            total_flows,
+        })
+    }
+
+    /// Apply a live parameter change at the next interval boundary (see
+    /// [`ReconfigRequest`]): intervals already submitted run under the
+    /// old parameters, everything after under the new — no flows are
+    /// dropped either way. Returns any events that became ready, plus
+    /// the validation verdict; a rejected request leaves the engine
+    /// untouched. Both outcomes are tallied in the
+    /// [`StreamSummary`] audit counters.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    pub fn reconfigure(
+        &mut self,
+        request: ReconfigRequest,
+    ) -> (Vec<StreamEvent>, Result<(), ConfigError>) {
+        let mut events = Vec::new();
+        let verdict = self.pipe.reconfigure(request, &mut events);
+        (events, verdict)
+    }
+
     /// Feed one flow. Returns every [`StreamEvent`] that became ready —
     /// usually empty, one event when the flow closed an interval, and
     /// several after a gap in the stream (empty windows are processed
@@ -429,6 +640,8 @@ impl StreamingExtractor {
             pre_origin_flows: self.assembler.pre_origin_flows(),
             trained: engine.is_trained(),
             pool: engine.pool_stats(),
+            reconfigs_applied: self.pipe.reconfigs_applied,
+            reconfigs_rejected: self.pipe.reconfigs_rejected,
         };
         (events, summary)
     }
@@ -483,6 +696,10 @@ pub struct MultiStreamSummary {
     pub pool: PoolStats,
     /// Per-source ingestion and drop accounting, in registration order.
     pub sources: Vec<SourceStats>,
+    /// Live reconfiguration requests applied at interval boundaries.
+    pub reconfigs_applied: u64,
+    /// Reconfiguration requests rejected by validation.
+    pub reconfigs_rejected: u64,
 }
 
 /// The multi-source streaming pipeline: N exporters fanned in onto one
@@ -542,6 +759,90 @@ impl MultiSourceExtractor {
     #[must_use]
     pub fn assembler(&self) -> &MergeAssembler {
         &self.assembler
+    }
+
+    /// Serialize the multi-source stream's complete state — the merge
+    /// grid (every lane's assembler, pending windows, watermarks, and
+    /// per-source drop counters), the stream counters, and the engine —
+    /// into a checkpoint payload. Returns events that became ready while
+    /// the pipeline drained, plus the payload. The pipeline is fully
+    /// drained by the snapshot request's FIFO position, so no in-flight
+    /// interval state needs to travel.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    pub fn checkpoint(&mut self) -> (Vec<MultiStreamEvent>, Vec<u8>) {
+        let mut events = Vec::new();
+        let engine = self.pipe.snapshot(&mut events);
+        let events = self.tag(events);
+        debug_assert!(
+            self.pending_weights.is_empty(),
+            "snapshot drains every submitted interval"
+        );
+        let mut w = SnapshotWriter::new();
+        self.assembler.encode_snapshot(&mut w);
+        w.u64(self.total_flows);
+        self.pipe.encode_counters(&mut w);
+        w.bytes(&engine);
+        (events, w.into_bytes())
+    }
+
+    /// Rebuild a multi-source pipeline from a
+    /// [`checkpoint`](Self::checkpoint) payload, resuming the merged
+    /// stream bit-identically. `shards` overrides the saved shard count
+    /// (`None` keeps it).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RestoreError`] from a truncated, corrupt, or inconsistent
+    /// payload.
+    pub fn restore(payload: &[u8], shards: Option<NonZeroUsize>) -> Result<Self, RestoreError> {
+        let mut r = SnapshotReader::new(payload);
+        let assembler = MergeAssembler::decode_snapshot(&mut r)?;
+        let total_flows = r.u64()?;
+        let mut counters = [0u64; 5];
+        for c in &mut counters {
+            *c = r.u64()?;
+        }
+        let engine_bytes = r.bytes()?;
+        r.finish()?;
+        let mut er = SnapshotReader::new(engine_bytes);
+        let engine = ShardedExtractor::decode_snapshot(&mut er, shards)?;
+        er.finish()?;
+        if engine.config().interval_ms != assembler.config().interval_ms {
+            return Err(RestoreError::Corrupt(format!(
+                "grid interval {} ms disagrees with engine interval {} ms",
+                assembler.config().interval_ms,
+                engine.config().interval_ms
+            )));
+        }
+        let mut pipe = PipelineHandle::spawn(engine)
+            .map_err(|e| RestoreError::Corrupt(format!("cannot respawn pipeline: {e}")))?;
+        pipe.restore_counters(counters);
+        Ok(MultiSourceExtractor {
+            assembler,
+            pipe,
+            pending_weights: BTreeMap::new(),
+            total_flows,
+        })
+    }
+
+    /// Apply a live parameter change at the next merged-interval
+    /// boundary — the multi-source counterpart of
+    /// [`StreamingExtractor::reconfigure`]. Outcomes are tallied in the
+    /// [`MultiStreamSummary`] audit counters.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the pipeline thread.
+    pub fn reconfigure(
+        &mut self,
+        request: ReconfigRequest,
+    ) -> (Vec<MultiStreamEvent>, Result<(), ConfigError>) {
+        let mut events = Vec::new();
+        let verdict = self.pipe.reconfigure(request, &mut events);
+        (self.tag(events), verdict)
     }
 
     /// Feed one flow from `source`. Returns every merged interval the
@@ -615,6 +916,8 @@ impl MultiSourceExtractor {
             trained: engine.is_trained(),
             pool: engine.pool_stats(),
             sources: self.assembler.source_stats(),
+            reconfigs_applied: self.pipe.reconfigs_applied,
+            reconfigs_rejected: self.pipe.reconfigs_rejected,
         };
         (events, summary)
     }
@@ -711,7 +1014,7 @@ mod tests {
     fn streaming_matches_batch_bit_for_bit() {
         let scenario = Scenario::small(11);
         let intervals = scenario.interval_count().min(23);
-        let mut batch = AnomalyExtractor::new(test_config(scenario.interval_ms()));
+        let mut batch = AnomalyExtractor::try_new(test_config(scenario.interval_ms())).unwrap();
         let mut stream =
             StreamingExtractor::try_new(test_config(scenario.interval_ms()), nz(2), 0).unwrap();
         let mut events = Vec::new();
@@ -804,6 +1107,130 @@ mod tests {
         let mut config = test_config(60_000);
         config.min_support = 0;
         assert!(StreamingExtractor::try_new(config, nz(2), 0).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_restore_resume_the_stream_bit_identically() {
+        let scenario = Scenario::small(11);
+        let intervals = scenario.interval_count().min(23);
+        let cut = 13; // inside the detecting phase, past training
+        let config = || test_config(scenario.interval_ms());
+        // Uninterrupted reference run.
+        let mut reference = StreamingExtractor::try_new(config(), nz(2), 0).unwrap();
+        let mut ref_events = Vec::new();
+        // Interrupted run: checkpoint mid-stream, drop the extractor
+        // (the "kill"), restore, and continue.
+        let mut first_half = StreamingExtractor::try_new(config(), nz(2), 0).unwrap();
+        let mut resumed_events = Vec::new();
+        for i in 0..intervals {
+            for flow in scenario.generate(i).flows {
+                ref_events.extend(reference.push(flow));
+                if i < cut {
+                    resumed_events.extend(first_half.push(flow));
+                }
+            }
+        }
+        let (tail, payload) = first_half.checkpoint();
+        resumed_events.extend(tail);
+        drop(first_half); // simulated crash after the checkpoint landed
+        let mut resumed = StreamingExtractor::restore(&payload, Some(nz(1))).unwrap();
+        for i in cut..intervals {
+            for flow in scenario.generate(i).flows {
+                resumed_events.extend(resumed.push(flow));
+            }
+        }
+        let (tail, ref_summary) = reference.finish();
+        ref_events.extend(tail);
+        let (tail, resumed_summary) = resumed.finish();
+        resumed_events.extend(tail);
+        assert_eq!(ref_summary.intervals, resumed_summary.intervals);
+        assert_eq!(ref_summary.alarms, resumed_summary.alarms);
+        assert_eq!(ref_summary.extractions, resumed_summary.extractions);
+        assert_eq!(ref_summary.total_flows, resumed_summary.total_flows);
+        assert_eq!(ref_events.len(), resumed_events.len());
+        for (a, b) in ref_events.iter().zip(&resumed_events) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.flows, b.flows);
+            assert_eq!(a.alarmed(), b.alarmed(), "interval {}", a.index);
+            assert_eq!(
+                a.outcome.observation.metadata,
+                b.outcome.observation.metadata
+            );
+            for (x, y) in a
+                .outcome
+                .observation
+                .features
+                .iter()
+                .zip(&b.outcome.observation.features)
+            {
+                for (cx, cy) in x.clones.iter().zip(&y.clones) {
+                    assert_eq!(cx.kl.map(f64::to_bits), cy.kl.map(f64::to_bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_payloads() {
+        let mut stream = StreamingExtractor::try_new(test_config(1_000), nz(1), 0).unwrap();
+        let _ = stream.push(flow_at(100));
+        let (_, payload) = stream.checkpoint();
+        assert!(StreamingExtractor::restore(&payload, None).is_ok());
+        assert!(StreamingExtractor::restore(&payload[..payload.len() / 2], None).is_err());
+        assert!(StreamingExtractor::restore(&[], None).is_err());
+        let mut evil = payload.clone();
+        evil[0] ^= 0xff; // assembler origin garbled
+        assert!(
+            StreamingExtractor::restore(&evil, None).is_err()
+                || StreamingExtractor::restore(&evil, None).is_ok(),
+            "must not panic either way"
+        );
+    }
+
+    #[test]
+    fn reconfigure_applies_at_a_boundary_without_dropping_flows() {
+        let mut stream = StreamingExtractor::try_new(test_config(1_000), nz(1), 0).unwrap();
+        let mut events = stream.push(flow_at(100));
+        events.extend(stream.push(flow_at(1_200))); // closes window 0
+        let (more, verdict) = stream.reconfigure(ReconfigRequest {
+            min_support: Some(42),
+            alpha: Some(4.0),
+            ..ReconfigRequest::default()
+        });
+        events.extend(more);
+        verdict.unwrap();
+        // A rejected request is audited but changes nothing.
+        let (more, verdict) = stream.reconfigure(ReconfigRequest {
+            min_support: Some(0),
+            ..ReconfigRequest::default()
+        });
+        events.extend(more);
+        assert!(verdict.is_err());
+        events.extend(stream.push(flow_at(2_500)));
+        let (tail, summary) = stream.finish();
+        events.extend(tail);
+        assert_eq!(summary.reconfigs_applied, 1);
+        assert_eq!(summary.reconfigs_rejected, 1);
+        assert_eq!(summary.total_flows, 3);
+        assert_eq!(summary.late_flows + summary.pre_origin_flows, 0);
+        assert_eq!(summary.intervals, 3, "every window processed");
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn reconfig_audit_trail_survives_a_checkpoint() {
+        let mut stream = StreamingExtractor::try_new(test_config(1_000), nz(1), 0).unwrap();
+        let _ = stream.push(flow_at(100));
+        let (_, verdict) = stream.reconfigure(ReconfigRequest {
+            min_support: Some(77),
+            ..ReconfigRequest::default()
+        });
+        verdict.unwrap();
+        let (_, payload) = stream.checkpoint();
+        let resumed = StreamingExtractor::restore(&payload, None).unwrap();
+        let (_, summary) = resumed.finish();
+        assert_eq!(summary.reconfigs_applied, 1);
+        assert_eq!(summary.total_flows, 1);
     }
 
     #[test]

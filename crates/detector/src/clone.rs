@@ -10,6 +10,7 @@
 
 use std::collections::BTreeSet;
 
+use anomex_netflow::snapshot::{RestoreError, SnapshotReader, SnapshotWriter};
 use anomex_netflow::{FlowFeature, FlowRecord};
 
 use crate::binid::{identify_anomalous_bins, BinIdentification};
@@ -214,6 +215,94 @@ impl HistogramClone {
         }
     }
 
+    /// Change the threshold multiplier α in place — live reconfiguration
+    /// at an interval boundary. Applies to the already-fitted threshold
+    /// (σ̂ is untouched; only the multiplier moves) and to any future fit
+    /// if the clone is still training.
+    pub fn set_alpha(&mut self, alpha: f64) {
+        self.alpha = alpha;
+        if let Some(t) = &mut self.threshold {
+            t.alpha = alpha;
+        }
+    }
+
+    /// Serialize the clone's mutable temporal state: collected training
+    /// differences, the fitted threshold (if any), the previous
+    /// interval's histogram, and the previous KL value. The structural
+    /// identity (feature, hasher, bins, α, training length) is *not*
+    /// written — [`restore_snapshot`](Self::restore_snapshot) is called
+    /// on a clone freshly rebuilt from the same configuration, which
+    /// regenerates it deterministically.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.usize(self.training_diffs.len());
+        for &d in &self.training_diffs {
+            w.f64(d);
+        }
+        match &self.threshold {
+            Some(t) => {
+                w.bool(true);
+                w.f64(t.alpha);
+                w.f64(t.sigma());
+            }
+            None => w.bool(false),
+        }
+        match &self.prev_histogram {
+            Some(h) => {
+                w.bool(true);
+                h.encode_snapshot(w);
+            }
+            None => w.bool(false),
+        }
+        match self.prev_kl {
+            Some(kl) => {
+                w.bool(true);
+                w.f64(kl);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Overwrite this clone's mutable state with a snapshot written by
+    /// [`encode_snapshot`](Self::encode_snapshot). Because floats travel
+    /// as raw bit patterns, the restored clone scores subsequent
+    /// intervals bit-identically to the clone that was saved.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Truncated`] on a short payload and
+    /// [`RestoreError::Corrupt`] when the embedded histogram disagrees
+    /// with this clone's bin count.
+    pub fn restore_snapshot(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), RestoreError> {
+        let n = r.seq_len(8)?;
+        let mut training_diffs = Vec::with_capacity(n);
+        for _ in 0..n {
+            training_diffs.push(r.f64()?);
+        }
+        let threshold = if r.bool()? {
+            let alpha = r.f64()?;
+            let sigma = r.f64()?;
+            Some(FirstDiffThreshold::from_parts(alpha, sigma))
+        } else {
+            None
+        };
+        let prev_histogram = if r.bool()? {
+            Some(FeatureHistogram::decode_snapshot(
+                self.feature,
+                self.hasher,
+                self.bins,
+                r,
+            )?)
+        } else {
+            None
+        };
+        let prev_kl = if r.bool()? { Some(r.f64()?) } else { None };
+        self.training_diffs = training_diffs;
+        self.threshold = threshold;
+        self.prev_histogram = prev_histogram;
+        self.prev_kl = prev_kl;
+        Ok(())
+    }
+
     /// Approximate retained heap footprint (the previous histogram), for
     /// the §III-E overhead report.
     #[must_use]
@@ -382,6 +471,63 @@ mod tests {
             assert_eq!(a.alarm, b.alarm, "interval {i}");
             assert_eq!(a.values, b.values, "interval {i}");
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_scores_bit_identically() {
+        for cut in [1usize, 5, 12, 13] {
+            // Run `cut` intervals, snapshot, restore into a fresh clone,
+            // then drive both through the same tail (with a flood) and
+            // compare every observation to the bit.
+            let mut live =
+                HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 1024, 3.0, 10);
+            for i in 0..cut as u64 {
+                live.observe(&background(i));
+            }
+            let mut w = SnapshotWriter::new();
+            live.encode_snapshot(&mut w);
+            let buf = w.into_bytes();
+            let mut restored =
+                HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 1024, 3.0, 10);
+            let mut r = SnapshotReader::new(&buf);
+            restored.restore_snapshot(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(restored.phase(), live.phase(), "cut {cut}");
+            for i in cut as u64..16 {
+                let flows = if i == 14 { flooded(i) } else { background(i) };
+                let a = live.observe(&flows);
+                let b = restored.observe(&flows);
+                assert_eq!(
+                    a.kl.map(f64::to_bits),
+                    b.kl.map(f64::to_bits),
+                    "cut {cut} interval {i}"
+                );
+                assert_eq!(a.alarm, b.alarm, "cut {cut} interval {i}");
+                assert_eq!(a.values, b.values, "cut {cut} interval {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_alpha_moves_the_fitted_threshold() {
+        let mut clone = trained_clone();
+        let before = clone.threshold().unwrap().value();
+        clone.set_alpha(6.0);
+        let after = clone.threshold().unwrap().value();
+        assert!((after / before - 2.0).abs() < 1e-12, "α 3→6 doubles it");
+        assert_eq!(clone.threshold().unwrap().sigma(), before / 3.0);
+    }
+
+    #[test]
+    fn restore_rejects_foreign_bin_count() {
+        let mut live = HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 64, 3.0, 5);
+        live.observe(&background(0));
+        let mut w = SnapshotWriter::new();
+        live.encode_snapshot(&mut w);
+        let buf = w.into_bytes();
+        let mut other = HistogramClone::new(FlowFeature::DstPort, BinHasher::new(7), 128, 3.0, 5);
+        let mut r = SnapshotReader::new(&buf);
+        assert!(other.restore_snapshot(&mut r).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 use std::ops::Range;
 
+use anomex_netflow::snapshot::{RestoreError, SnapshotReader, SnapshotWriter};
 use anomex_netflow::{FlowColumns, FlowFeature, FlowRecord};
 
 use crate::clone::{CloneObservation, ClonePhase, HistogramClone};
@@ -278,6 +279,46 @@ impl FeatureDetector {
             alarm,
             voted_values,
         }
+    }
+
+    /// Change the threshold multiplier α on every clone — live
+    /// reconfiguration at an interval boundary.
+    pub fn set_alpha(&mut self, alpha: f64) {
+        for clone in &mut self.clones {
+            clone.set_alpha(alpha);
+        }
+    }
+
+    /// Serialize every clone's mutable temporal state, in clone order.
+    /// The detector's structure (feature, hashers, quorum) is rebuilt
+    /// from configuration on restore, not written.
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.usize(self.clones.len());
+        for clone in &self.clones {
+            clone.encode_snapshot(w);
+        }
+    }
+
+    /// Overwrite every clone's mutable state from a snapshot written by
+    /// [`encode_snapshot`](Self::encode_snapshot).
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Corrupt`] when the snapshot's clone count differs
+    /// from this detector's configuration, plus the per-clone decode
+    /// errors.
+    pub fn restore_snapshot(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), RestoreError> {
+        let n = r.seq_len(1)?;
+        if n != self.clones.len() {
+            return Err(RestoreError::Corrupt(format!(
+                "snapshot has {n} clones, detector expects {}",
+                self.clones.len()
+            )));
+        }
+        for clone in &mut self.clones {
+            clone.restore_snapshot(r)?;
+        }
+        Ok(())
     }
 
     /// Retained heap footprint across clones (§III-E overhead report).

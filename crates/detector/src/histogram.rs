@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use anomex_netflow::snapshot::{RestoreError, SnapshotReader, SnapshotWriter};
 use anomex_netflow::{FlowFeature, FlowRecord};
 
 use crate::hash::BinHasher;
@@ -176,6 +177,83 @@ impl FeatureHistogram {
             out.extend(self.values_in_bin(bin));
         }
         out
+    }
+
+    /// Serialize the histogram's contents — per-bin counts, total, and
+    /// the bin→values reverse map (non-empty bins only, in ascending bin
+    /// order so the encoding is deterministic despite the `HashMap`).
+    /// The identifying triple (feature, hasher, bins) is *not* written:
+    /// the restore side rebuilds it from the owning clone's
+    /// configuration and passes it to
+    /// [`decode_snapshot`](Self::decode_snapshot).
+    pub fn encode_snapshot(&self, w: &mut SnapshotWriter) {
+        w.usize(self.counts.len());
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.u64(self.total);
+        let mut bins: Vec<u32> = self.values.keys().copied().collect();
+        bins.sort_unstable();
+        w.usize(bins.len());
+        for bin in bins {
+            w.u32(bin);
+            let set = &self.values[&bin];
+            w.usize(set.len());
+            for &v in set {
+                w.u64(v);
+            }
+        }
+    }
+
+    /// Rebuild a histogram from a snapshot written by
+    /// [`encode_snapshot`](Self::encode_snapshot), under the given
+    /// identity (which the snapshot deliberately does not carry).
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Truncated`] on a short payload and
+    /// [`RestoreError::Corrupt`] when the recorded bin count disagrees
+    /// with `bins` or a bin index is out of range.
+    pub fn decode_snapshot(
+        feature: FlowFeature,
+        hasher: BinHasher,
+        bins: u32,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<Self, RestoreError> {
+        let count_len = r.seq_len(8)?;
+        if count_len != bins as usize {
+            return Err(RestoreError::Corrupt(format!(
+                "histogram has {count_len} bins, clone expects {bins}"
+            )));
+        }
+        let mut counts = Vec::with_capacity(count_len);
+        for _ in 0..count_len {
+            counts.push(r.u64()?);
+        }
+        let total = r.u64()?;
+        let occupied = r.seq_len(4)?;
+        let mut values = HashMap::with_capacity(occupied);
+        for _ in 0..occupied {
+            let bin = r.u32()?;
+            if bin >= bins {
+                return Err(RestoreError::Corrupt(format!(
+                    "bin {bin} out of range for {bins}-bin histogram"
+                )));
+            }
+            let n = r.seq_len(8)?;
+            let mut set = BTreeSet::new();
+            for _ in 0..n {
+                set.insert(r.u64()?);
+            }
+            values.insert(bin, set);
+        }
+        Ok(FeatureHistogram {
+            feature,
+            hasher,
+            counts,
+            values,
+            total,
+        })
     }
 
     /// Approximate heap footprint in bytes (counts + value maps), used to

@@ -69,6 +69,15 @@ impl FirstDiffThreshold {
         }
     }
 
+    /// Reassemble a threshold from a previously fitted `(α, σ̂)` pair —
+    /// the checkpoint-restore path. Because σ̂ travels as its raw bit
+    /// pattern through a snapshot, the rebuilt threshold alarms on
+    /// *exactly* the same first differences as the one that was saved.
+    #[must_use]
+    pub fn from_parts(alpha: f64, sigma: f64) -> Self {
+        FirstDiffThreshold { alpha, sigma }
+    }
+
     /// The fitted robust σ̂.
     #[must_use]
     pub fn sigma(&self) -> f64 {

@@ -28,7 +28,10 @@
 //! - [`FlowColumns`] — struct-of-arrays storage of a flow batch (one
 //!   contiguous column per feature) for cache-friendly single-column
 //!   scans, with a v5 fast path ([`v5::decode_into_columns`]) that
-//!   parses datagrams straight into columns.
+//!   parses datagrams straight into columns;
+//! - [`snapshot`] — the versioned, checksummed checkpoint codec that
+//!   durable operation is built on: atomic checkpoint files, bit-exact
+//!   state round trips, and typed [`RestoreError`]s on hostile input.
 //!
 //! This crate has no opinion about detection or mining; it only defines
 //! what a flow is and how flows are grouped in time.
@@ -42,6 +45,7 @@ pub mod feature;
 pub mod flow;
 pub mod merge;
 pub mod shard;
+pub mod snapshot;
 pub mod source;
 pub mod stream;
 pub mod trace;
@@ -54,6 +58,10 @@ pub use feature::{FeatureValue, FlowFeature, ParseFeatureValueError};
 pub use flow::{FlowRecord, Protocol, TcpFlags};
 pub use merge::{MergeAssembler, MergeConfig, MergedInterval, SourceStats};
 pub use shard::{chunk_ranges, chunks_of, default_shards};
+pub use snapshot::{
+    read_checkpoint, write_checkpoint, RestoreError, SnapshotReader, SnapshotWriter,
+    CHECKPOINT_VERSION,
+};
 pub use source::{SourceId, SourceSpec, SourcedFlow};
 pub use stream::{ClosedInterval, IntervalAssembler, StreamConfigError};
 pub use trace::{FlowTrace, Interval, MINUTE_MS};

@@ -12,7 +12,7 @@
 //! cargo run --release --example custom_detector
 //! ```
 
-use anomex::core::{extract_with_metadata, render_report, PrefilterMode};
+use anomex::core::{render_report, Engine, ExtractRequest};
 use anomex::detector::EntropyDetector;
 use anomex::prelude::*;
 
@@ -49,13 +49,10 @@ fn main() {
         // rest of the pipeline is unchanged.
         let mut metadata = MetaData::new();
         metadata.insert_all(FlowFeature::DstPort, obs.values.iter().copied());
-        let extraction = extract_with_metadata(
-            i,
-            &interval.flows,
-            &metadata,
-            PrefilterMode::Union,
-            MinerKind::FpGrowth,
-            800,
+        let extraction = Engine::extract(
+            &ExtractRequest::new(&interval.flows, &metadata, 800)
+                .interval(i)
+                .miner(MinerKind::FpGrowth),
         );
         println!("{}", render_report(&extraction));
         let truth: Vec<String> = scenario

@@ -8,7 +8,7 @@
 //! cargo run --release --example ddos_port7000 -- 0.1     # 10% scale
 //! ```
 
-use anomex::core::{extract_with_metadata, render_report, PrefilterMode};
+use anomex::core::{render_report, Engine, ExtractRequest};
 use anomex::prelude::*;
 
 fn main() {
@@ -34,14 +34,7 @@ fn main() {
         metadata.insert(FlowFeature::DstPort, u64::from(port));
     }
 
-    let extraction = extract_with_metadata(
-        0,
-        &w.flows,
-        &metadata,
-        PrefilterMode::Union,
-        MinerKind::Apriori,
-        w.min_support,
-    );
+    let extraction = Engine::extract(&ExtractRequest::new(&w.flows, &metadata, w.min_support));
     println!("{}", render_report(&extraction));
 
     // The paper's headline observations about Table II:

@@ -65,7 +65,7 @@ fn collector_thread(
         min_support: 800,
         ..ExtractionConfig::default()
     };
-    let mut pipeline = AnomalyExtractor::new(config);
+    let mut pipeline = AnomalyExtractor::try_new(config).unwrap();
     let mut assembler = IntervalAssembler::new(0, interval_ms);
 
     let process = |flows: Vec<FlowRecord>,

@@ -27,7 +27,7 @@ fn main() {
         ..ExtractionConfig::default()
     };
 
-    let mut pipeline = AnomalyExtractor::new(config);
+    let mut pipeline = AnomalyExtractor::try_new(config).unwrap();
 
     println!("processing {} intervals...\n", scenario.interval_count());
     for i in 0..scenario.interval_count() {

@@ -14,7 +14,7 @@
 
 use std::net::Ipv4Addr;
 
-use anomex::core::{extract_with_metadata, render_report, PrefilterMode};
+use anomex::core::{render_report, Engine, ExtractRequest, PrefilterMode};
 use anomex::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,7 +101,7 @@ fn main() {
 
     for mode in [PrefilterMode::Intersection, PrefilterMode::Union] {
         let extraction =
-            extract_with_metadata(0, &flows, &metadata, mode, MinerKind::Apriori, 1000);
+            Engine::extract(&ExtractRequest::new(&flows, &metadata, 1000).prefilter(mode));
         println!("=== {mode:?} pre-filter ===");
         println!(
             "suspicious flows: {} / {}",

@@ -30,7 +30,7 @@
 //! config.detector.training_intervals = 10;
 //! config.min_support = 800;
 //!
-//! let mut pipeline = AnomalyExtractor::new(config);
+//! let mut pipeline = AnomalyExtractor::try_new(config).unwrap();
 //! let mut found = false;
 //! for i in 0..scenario.interval_count() {
 //!     let interval = scenario.generate(i);
@@ -57,11 +57,13 @@ pub use anomex_traffic as traffic;
 /// The commonly-used types in one import.
 pub mod prelude {
     pub use anomex_core::{
-        classify_itemset, extract_sharded, extract_with_metadata, render_report, run_scenario,
-        AnomalyExtractor, Extraction, ExtractionConfig, MultiSourceExtractor, MultiStreamEvent,
-        MultiStreamSummary, PrefilterMode, ShardedExtractor, StreamEvent, StreamSummary,
-        StreamingExtractor,
+        classify_itemset, render_report, run_scenario, AnomalyExtractor, Engine, ExtractRequest,
+        Extraction, ExtractionConfig, IntervalInput, MultiSourceExtractor, MultiStreamEvent,
+        MultiStreamSummary, PrefilterMode, ReconfigRequest, ShardedExtractor, StreamEvent,
+        StreamSummary, StreamingExtractor,
     };
+    #[allow(deprecated)]
+    pub use anomex_core::{extract_sharded, extract_with_metadata};
     pub use anomex_detector::{DetectorBank, DetectorConfig, MetaData, RocCurve};
     pub use anomex_mining::{ItemSet, MinerKind, Transaction, TransactionSet};
     pub use anomex_netflow::{

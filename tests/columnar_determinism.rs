@@ -3,19 +3,20 @@
 //! is consumed — the load-bearing constraint of the columnar refactor.
 //! Two families of properties assert it:
 //!
-//! 1. **Pipeline equivalence** — the columnar engines (`extract_sharded`
-//!    offline, `ShardedExtractor::process_columns` online, and the
-//!    streaming extractor that rides them) produce exactly what the
-//!    record-based sequential pipeline produces, for every miner, shard
-//!    count, execution context (inline vs pooled), and transaction mode.
+//! 1. **Pipeline equivalence** — the columnar engines (a sharded
+//!    `Engine::extract` offline, `ShardedExtractor::process_columns`
+//!    online, and the streaming extractor that rides them) produce
+//!    exactly what the record-based sequential pipeline produces, for
+//!    every miner, shard count, execution context (inline vs pooled),
+//!    and transaction mode.
 //! 2. **Decoder equivalence** — `decode_into_columns` returns exactly
 //!    what decode-then-convert returns for arbitrary datagram bytes:
 //!    same header and rows on success, the same error otherwise, with
 //!    the failing datagram leaving the column store untouched.
 
 use anomex::core::{
-    extract_with_mode, prefilter_indices, prefilter_indices_columns, AnomalyExtractor, Extraction,
-    ExtractionConfig, ShardedExtractor, TransactionMode,
+    prefilter_indices, prefilter_indices_columns, AnomalyExtractor, Engine, ExtractRequest,
+    Extraction, ExtractionConfig, ShardedExtractor, TransactionMode,
 };
 use anomex::netflow::v5::{self, V5Exporter, V5_HEADER_LEN, V5_RECORD_LEN};
 use anomex::netflow::FlowColumns;
@@ -84,11 +85,11 @@ fn assert_outcomes_identical(a: &IntervalOutcome, b: &IntervalOutcome, context: 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Offline: the columnar engine (`extract_sharded` converts to
-    /// `FlowColumns` and walks columns end to end) extracts exactly what
-    /// the record-based sequential pipeline does, for every miner, shard
-    /// count (1 shard = inline execution, more = the worker pool), and
-    /// transaction mode.
+    /// Offline: the columnar engine (a sharded `Engine::extract` converts
+    /// to `FlowColumns` and walks columns end to end) extracts exactly
+    /// what the record-based sequential pipeline does, for every miner,
+    /// shard count (1 shard = inline execution, more = the worker pool),
+    /// and transaction mode.
     #[test]
     fn columnar_extraction_matches_record_pipeline(
         seed in 0u64..10_000,
@@ -107,12 +108,11 @@ proptest! {
         };
         let support = (w.min_support / support_div).max(1);
         let md = table2_metadata();
-        let records = extract_with_mode(
-            0, &w.flows, &md, PrefilterMode::Union, tx_mode, miner, support,
-        );
-        let columnar = extract_sharded(
-            0, &w.flows, &md, PrefilterMode::Union, tx_mode, miner, support, nz(shards),
-        );
+        let request = ExtractRequest::new(&w.flows, &md, support)
+            .transactions(tx_mode)
+            .miner(miner);
+        let records = Engine::extract(&request);
+        let columnar = Engine::extract(&request.shards(nz(shards)));
         assert_extractions_identical(
             &records,
             &columnar,
@@ -193,8 +193,8 @@ proptest! {
             ..ExtractionConfig::default()
         };
         let intervals = scenario.interval_count().min(22);
-        let mut records = AnomalyExtractor::new(config.clone());
-        let mut columnar = ShardedExtractor::new(config.clone(), nz(shards));
+        let mut records = AnomalyExtractor::try_new(config.clone()).unwrap();
+        let mut columnar = ShardedExtractor::try_new(config.clone(), nz(shards)).unwrap();
         let mut stream = StreamingExtractor::try_new(config, nz(shards), 0).unwrap();
 
         let mut events = Vec::new();
@@ -220,7 +220,7 @@ proptest! {
         // Re-run the record reference for the streamed comparison (the
         // first pass's extractor has advanced past these intervals).
         let scenario = Scenario::small(seed);
-        let mut records = AnomalyExtractor::new(ExtractionConfig {
+        let mut records = AnomalyExtractor::try_new(ExtractionConfig {
             interval_ms: scenario.interval_ms(),
             detector: DetectorConfig {
                 training_intervals: 10,
@@ -229,7 +229,8 @@ proptest! {
             min_support: 800,
             miner: MinerKind::ALL[miner_idx],
             ..ExtractionConfig::default()
-        });
+        })
+        .unwrap();
         for (i, event) in events.iter().enumerate() {
             let reference = records.process_interval(&scenario.generate(i as u64).flows);
             assert_outcomes_identical(

@@ -2,7 +2,7 @@
 //! mining, closed item-sets, and the entropy detector driving the same
 //! extraction pipeline.
 
-use anomex::core::{extract_with_metadata, PrefilterMode};
+use anomex::core::{Engine, ExtractRequest};
 use anomex::detector::EntropyDetector;
 use anomex::mining::{filter_closed, mine_top_k};
 use anomex::prelude::*;
@@ -97,13 +97,8 @@ fn entropy_detector_drives_extraction() {
 
     let mut metadata = MetaData::new();
     metadata.insert_all(FlowFeature::DstPort, obs.values.iter().copied());
-    let extraction = extract_with_metadata(
-        0,
-        &w.flows,
-        &metadata,
-        PrefilterMode::Union,
-        MinerKind::FpGrowth,
-        w.min_support,
+    let extraction = Engine::extract(
+        &ExtractRequest::new(&w.flows, &metadata, w.min_support).miner(MinerKind::FpGrowth),
     );
     let joined = extraction
         .itemsets

@@ -123,7 +123,7 @@ proptest! {
         // concatenation (source order), silent source contributing
         // nothing from its cutoff on.
         let config = config_for(scenario.interval_ms(), miner);
-        let mut batch = AnomalyExtractor::new(config.clone());
+        let mut batch = AnomalyExtractor::try_new(config.clone()).unwrap();
         let mut reference = Vec::new();
         for i in 0..intervals {
             let mut merged = Vec::new();

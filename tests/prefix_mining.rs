@@ -5,7 +5,7 @@
 
 use std::net::Ipv4Addr;
 
-use anomex::core::{extract_with_metadata, extract_with_mode, PrefilterMode, TransactionMode};
+use anomex::core::{Engine, ExtractRequest, TransactionMode};
 use anomex::prelude::*;
 use anomex::traffic::inject::dscan;
 use rand::rngs::StdRng;
@@ -51,14 +51,8 @@ fn metadata() -> MetaData {
 #[test]
 fn canonical_mining_cannot_pin_the_subnet() {
     let flows = workload();
-    let ex = extract_with_metadata(
-        0,
-        &flows,
-        &metadata(),
-        PrefilterMode::Union,
-        MinerKind::FpGrowth,
-        500,
-    );
+    let ex =
+        Engine::extract(&ExtractRequest::new(&flows, &metadata(), 500).miner(MinerKind::FpGrowth));
     let joined = ex
         .itemsets
         .iter()
@@ -81,14 +75,10 @@ fn canonical_mining_cannot_pin_the_subnet() {
 #[test]
 fn prefix_mining_pins_the_scanned_range() {
     let flows = workload();
-    let ex = extract_with_mode(
-        0,
-        &flows,
-        &metadata(),
-        PrefilterMode::Union,
-        TransactionMode::WithPrefixes,
-        MinerKind::FpGrowth,
-        500,
+    let ex = Engine::extract(
+        &ExtractRequest::new(&flows, &metadata(), 500)
+            .transactions(TransactionMode::WithPrefixes)
+            .miner(MinerKind::FpGrowth),
     );
     let joined = ex
         .itemsets
@@ -117,33 +107,16 @@ fn prefix_mining_pins_the_scanned_range() {
 fn miners_agree_in_prefix_mode() {
     let flows = workload();
     let md = metadata();
-    let a = extract_with_mode(
-        0,
-        &flows,
-        &md,
-        PrefilterMode::Union,
-        TransactionMode::WithPrefixes,
-        MinerKind::Apriori,
-        500,
-    );
-    let f = extract_with_mode(
-        0,
-        &flows,
-        &md,
-        PrefilterMode::Union,
-        TransactionMode::WithPrefixes,
-        MinerKind::FpGrowth,
-        500,
-    );
-    let e = extract_with_mode(
-        0,
-        &flows,
-        &md,
-        PrefilterMode::Union,
-        TransactionMode::WithPrefixes,
-        MinerKind::Eclat,
-        500,
-    );
+    let prefix_request = |miner: MinerKind| {
+        Engine::extract(
+            &ExtractRequest::new(&flows, &md, 500)
+                .transactions(TransactionMode::WithPrefixes)
+                .miner(miner),
+        )
+    };
+    let a = prefix_request(MinerKind::Apriori);
+    let f = prefix_request(MinerKind::FpGrowth);
+    let e = prefix_request(MinerKind::Eclat);
     assert_eq!(a.itemsets, f.itemsets);
     assert_eq!(f.itemsets, e.itemsets);
 }

@@ -1,7 +1,7 @@
 //! Cross-crate property tests: invariants that span the flow substrate,
 //! the detector, and the miner.
 
-use anomex::core::{extract_with_metadata, PrefilterMode};
+use anomex::core::{Engine, ExtractRequest, PrefilterMode};
 use anomex::prelude::*;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -57,7 +57,7 @@ proptest! {
         md in arb_metadata(),
         support in 5u64..40,
     ) {
-        let ex = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::Apriori, support);
+        let ex = Engine::extract(&ExtractRequest::new(&flows, &md, support));
         let suspicious = anomex::core::prefilter(&flows, &md, PrefilterMode::Union);
         prop_assert_eq!(ex.suspicious_flows, suspicious.len());
         let tx = TransactionSet::from_flows(&suspicious);
@@ -75,9 +75,9 @@ proptest! {
         md in arb_metadata(),
         support in 3u64..30,
     ) {
-        let a = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::Apriori, support);
-        let f = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::FpGrowth, support);
-        let e = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::Eclat, support);
+        let a = Engine::extract(&ExtractRequest::new(&flows, &md, support).miner(MinerKind::Apriori));
+        let f = Engine::extract(&ExtractRequest::new(&flows, &md, support).miner(MinerKind::FpGrowth));
+        let e = Engine::extract(&ExtractRequest::new(&flows, &md, support).miner(MinerKind::Eclat));
         prop_assert_eq!(&a.itemsets, &f.itemsets);
         prop_assert_eq!(&f.itemsets, &e.itemsets);
     }
@@ -108,8 +108,8 @@ proptest! {
         s_lo in 3u64..15,
     ) {
         let s_hi = s_lo * 2;
-        let lo = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::Eclat, s_lo);
-        let hi = extract_with_metadata(0, &flows, &md, PrefilterMode::Union, MinerKind::Eclat, s_hi);
+        let lo = Engine::extract(&ExtractRequest::new(&flows, &md, s_lo).miner(MinerKind::Eclat));
+        let hi = Engine::extract(&ExtractRequest::new(&flows, &md, s_hi).miner(MinerKind::Eclat));
         let suspicious = anomex::core::prefilter(&flows, &md, PrefilterMode::Union);
         let tx = TransactionSet::from_flows(&suspicious);
         for set in &hi.itemsets {

@@ -7,10 +7,7 @@
 //! properties assert it across random scenario seeds, scales, supports,
 //! and transaction modes.
 
-use anomex::core::{
-    extract_sharded, extract_sharded_with_rules, extract_with_mode, extract_with_rules,
-    prefilter_indices, ShardedExtractor, TransactionMode,
-};
+use anomex::core::{prefilter_indices, Engine, ExtractRequest, ShardedExtractor, TransactionMode};
 use anomex::core::{AnomalyExtractor, ExtractionConfig, PrefilterMode};
 use anomex::mining::RuleConfig;
 use anomex::prelude::*;
@@ -92,12 +89,11 @@ proptest! {
         for port in [7000u64, 80, 9022, 25] {
             md.insert(FlowFeature::DstPort, port);
         }
-        let sequential = extract_with_mode(
-            0, &w.flows, &md, PrefilterMode::Union, tx_mode, miner, support,
-        );
-        let sharded = extract_sharded(
-            0, &w.flows, &md, PrefilterMode::Union, tx_mode, miner, support, nz(shards),
-        );
+        let request = ExtractRequest::new(&w.flows, &md, support)
+            .transactions(tx_mode)
+            .miner(miner);
+        let sequential = Engine::extract(&request);
+        let sharded = Engine::extract(&request.shards(nz(shards)));
         assert_extractions_identical(
             &sequential,
             &sharded,
@@ -135,13 +131,11 @@ proptest! {
         for port in [7000u64, 80, 9022, 25] {
             md.insert(FlowFeature::DstPort, port);
         }
-        let sequential = extract_with_rules(
-            0, &w.flows, &md, PrefilterMode::Union, TransactionMode::Canonical, miner, support, &rc,
-        );
-        let sharded = extract_sharded_with_rules(
-            0, &w.flows, &md, PrefilterMode::Union, TransactionMode::Canonical, miner, support,
-            &rc, nz(shards),
-        );
+        let request = ExtractRequest::new(&w.flows, &md, support)
+            .miner(miner)
+            .rules(&rc);
+        let sequential = Engine::extract(&request);
+        let sharded = Engine::extract(&request.shards(nz(shards)));
         prop_assert!(sequential.rules.is_some(), "the rule layer must be on");
         assert_extractions_identical(
             &sequential,
@@ -202,8 +196,8 @@ proptest! {
             rules: Some(RuleConfig::default()),
             ..ExtractionConfig::default()
         };
-        let mut sequential = AnomalyExtractor::new(config.clone());
-        let mut sharded = ShardedExtractor::new(config, nz(shards));
+        let mut sequential = AnomalyExtractor::try_new(config.clone()).unwrap();
+        let mut sharded = ShardedExtractor::try_new(config, nz(shards)).unwrap();
         for i in 0..scenario.interval_count().min(23) {
             let interval = scenario.generate(i);
             let a = sequential.process_interval(&interval.flows);

@@ -95,7 +95,7 @@ proptest! {
         let miner = MinerKind::ALL[miner_idx];
         let intervals = scenario.interval_count().min(22);
 
-        let mut batch = AnomalyExtractor::new(config_for(&scenario, miner));
+        let mut batch = AnomalyExtractor::try_new(config_for(&scenario, miner)).unwrap();
         let mut stream =
             StreamingExtractor::try_new(config_for(&scenario, miner), nz(shards), 0).unwrap();
 

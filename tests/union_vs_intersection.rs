@@ -4,7 +4,7 @@
 
 use std::net::Ipv4Addr;
 
-use anomex::core::{extract_with_metadata, PrefilterMode};
+use anomex::core::{Engine, ExtractRequest, PrefilterMode};
 use anomex::prelude::*;
 
 /// A Sasser-like multi-stage footprint: scan (port 445, 1 packet),
@@ -79,13 +79,8 @@ fn multistage_metadata() -> MetaData {
 fn intersection_misses_multistage_anomalies() {
     let flows = multistage_trace();
     let md = multistage_metadata();
-    let ex = extract_with_metadata(
-        0,
-        &flows,
-        &md,
-        PrefilterMode::Intersection,
-        MinerKind::Apriori,
-        400,
+    let ex = Engine::extract(
+        &ExtractRequest::new(&flows, &md, 400).prefilter(PrefilterMode::Intersection),
     );
     assert_eq!(
         ex.suspicious_flows, 0,
@@ -98,14 +93,7 @@ fn intersection_misses_multistage_anomalies() {
 fn union_extracts_every_stage() {
     let flows = multistage_trace();
     let md = multistage_metadata();
-    let ex = extract_with_metadata(
-        0,
-        &flows,
-        &md,
-        PrefilterMode::Union,
-        MinerKind::Apriori,
-        400,
-    );
+    let ex = Engine::extract(&ExtractRequest::new(&flows, &md, 400));
     // 3600 worm flows, plus the benign web flows that happen to have
     // 12 packets (8000 / 20 = 400) — flow-size meta-data inevitably drags
     // in some normal traffic, which is what mining then sorts out.
@@ -145,21 +133,11 @@ fn single_feature_metadata_modes_agree() {
     let flows = multistage_trace();
     let mut md = MetaData::new();
     md.insert(FlowFeature::DstPort, 445);
-    let u = extract_with_metadata(
-        0,
-        &flows,
-        &md,
-        PrefilterMode::Union,
-        MinerKind::FpGrowth,
-        400,
-    );
-    let i = extract_with_metadata(
-        0,
-        &flows,
-        &md,
-        PrefilterMode::Intersection,
-        MinerKind::FpGrowth,
-        400,
+    let u = Engine::extract(&ExtractRequest::new(&flows, &md, 400).miner(MinerKind::FpGrowth));
+    let i = Engine::extract(
+        &ExtractRequest::new(&flows, &md, 400)
+            .prefilter(PrefilterMode::Intersection)
+            .miner(MinerKind::FpGrowth),
     );
     assert_eq!(u.suspicious_flows, i.suspicious_flows);
     assert_eq!(u.itemsets, i.itemsets);

@@ -27,8 +27,8 @@ fn config(interval_ms: u64) -> ExtractionConfig {
 #[test]
 fn v5_round_trip_preserves_extractions() {
     let scenario = scenario();
-    let mut direct = AnomalyExtractor::new(config(scenario.interval_ms()));
-    let mut via_wire = AnomalyExtractor::new(config(scenario.interval_ms()));
+    let mut direct = AnomalyExtractor::try_new(config(scenario.interval_ms())).unwrap();
+    let mut via_wire = AnomalyExtractor::try_new(config(scenario.interval_ms())).unwrap();
 
     for i in 0..scenario.interval_count() {
         let interval = scenario.generate(i);
@@ -73,7 +73,7 @@ fn streaming_assembly_equals_batch() {
     let interval_ms = scenario.interval_ms();
 
     // Batch run.
-    let mut batch = AnomalyExtractor::new(config(interval_ms));
+    let mut batch = AnomalyExtractor::try_new(config(interval_ms)).unwrap();
     let mut batch_extractions = Vec::new();
     for i in 0..scenario.interval_count() {
         let interval = scenario.generate(i);
@@ -83,7 +83,7 @@ fn streaming_assembly_equals_batch() {
     }
 
     // Streaming run: all flows through an IntervalAssembler.
-    let mut stream = AnomalyExtractor::new(config(interval_ms));
+    let mut stream = AnomalyExtractor::try_new(config(interval_ms)).unwrap();
     let mut assembler = IntervalAssembler::new(0, interval_ms);
     let mut stream_extractions = Vec::new();
     for i in 0..scenario.interval_count() {
@@ -130,13 +130,8 @@ fn datagram_loss_is_detected_and_survivable() {
     // The surviving 90% still mine fine.
     let mut md = MetaData::new();
     md.insert(FlowFeature::DstPort, 7000);
-    let ex = anomex::core::extract_with_metadata(
-        20,
-        &flows,
-        &md,
-        anomex::core::PrefilterMode::Union,
-        MinerKind::Apriori,
-        500,
+    let ex = anomex::core::Engine::extract(
+        &anomex::core::ExtractRequest::new(&flows, &md, 500).interval(20),
     );
     assert!(
         ex.itemsets
