@@ -8,11 +8,13 @@
 //! checkpoint write / restore latencies, and the
 //! columnar-ingest comparison (mmap vs heap-read trace parsing, plus
 //! struct-of-arrays vs record layout on the histogram-build and
-//! pre-filter hot paths). The sharding, streaming, mining, rule-layer,
-//! and ingest numbers are also emitted as `BENCH_sharded.json` /
+//! pre-filter hot paths), and the vectorized-kernel comparison (batched
+//! SplitMix64 binning and branch-free membership vs their scalar
+//! loops). The sharding, streaming, mining, rule-layer, ingest, and
+//! kernel numbers are also emitted as `BENCH_sharded.json` /
 //! `BENCH_streaming.json` / `BENCH_mining.json` / `BENCH_rules.json` /
-//! `BENCH_ingest.json` in the working directory so the perf trajectory
-//! is machine-readable across PRs.
+//! `BENCH_ingest.json` / `BENCH_kernels.json` in the working directory
+//! so the perf trajectory is machine-readable across PRs.
 //!
 //! ```sh
 //! cargo run --release -p anomex-bench --bin overhead_report -- [scale] \
@@ -21,7 +23,8 @@
 //!
 //! `--write-baseline PATH` re-records the gated metrics (sharded
 //! overhead ratios, streaming latency percentiles, mining pool/seq
-//! ratios, rule-layer overhead ratios, columnar-ingest ratios) as a fresh
+//! ratios, rule-layer overhead ratios, columnar-ingest ratios,
+//! kernel batched/scalar ratios) as a fresh
 //! `ci/bench-baseline.json`-shaped file measured by **this** run, so
 //! the perf gates track the environment that produces the numbers —
 //! see `ci/README.md` for the procedure.
@@ -35,7 +38,8 @@ use anomex_core::{
     latency_percentile, prefilter_indices, prefilter_indices_columns, Engine, ExtractRequest,
     ExtractionConfig, PrefilterMode, StreamingExtractor,
 };
-use anomex_detector::{DetectorBank, DetectorConfig, MetaData};
+use anomex_detector::kernels::{self, SmallValueSet};
+use anomex_detector::{BinHasher, DetectorBank, DetectorConfig, MetaData};
 use anomex_mining::par::Exec;
 use anomex_mining::{MineTask, MinerKind, RuleConfig, TransactionSet};
 use anomex_netflow::snapshot::{read_checkpoint, write_checkpoint};
@@ -529,6 +533,109 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
     }
 
+    // --- Vectorized kernels: batched SplitMix64 binning vs the scalar
+    // per-value BinHasher loop, and branch-free small-set membership vs
+    // the BTreeSet probe, over the same fixed 0.05-scale Table II
+    // DstPort column. Output is bit-identical either way (proptest-
+    // pinned by tests/kernel_equivalence.rs); ratio < 1 means the
+    // batched kernel wins. ---
+    let mut kernel_values = Vec::with_capacity(cols.len());
+    cols.for_each_raw(FlowFeature::DstPort, 0..cols.len(), |v| {
+        kernel_values.push(v);
+    });
+    const KERNEL_BINS: u32 = 1024;
+    let kernel_hasher = BinHasher::new(0x616e_6f6d_6578);
+    let mut kernel_bins = vec![0u32; kernel_values.len()];
+    let bin_scalar_ms = best_ms(&mut || {
+        for (o, &v) in kernel_bins.iter_mut().zip(&kernel_values) {
+            *o = kernel_hasher.bin_of(v, KERNEL_BINS);
+        }
+        std::hint::black_box(kernel_bins.last().copied());
+    });
+    let bin_batched_ms = best_ms(&mut || {
+        kernels::bin_batch(
+            kernel_hasher.seed(),
+            KERNEL_BINS,
+            &kernel_values,
+            &mut kernel_bins,
+        );
+        std::hint::black_box(kernel_bins.last().copied());
+    });
+    let meta_ports: Vec<u64> = md
+        .values_for(FlowFeature::DstPort)
+        .map_or_else(|| vec![7000, 80, 9022, 25], |s| s.iter().copied().collect());
+    let small_set = SmallValueSet::new(meta_ports.iter().copied()).expect("meta ports fit");
+    let tree_set: std::collections::BTreeSet<u64> = meta_ports.iter().copied().collect();
+    let mut kernel_hits = vec![0u8; kernel_values.len()];
+    let member_scalar_ms = best_ms(&mut || {
+        for (h, &v) in kernel_hits.iter_mut().zip(&kernel_values) {
+            *h = u8::from(tree_set.contains(&v));
+        }
+        std::hint::black_box(kernel_hits.last().copied());
+    });
+    let member_batched_ms = best_ms(&mut || {
+        kernel_hits.iter_mut().for_each(|h| *h = 0);
+        kernels::member_batch(&small_set, &kernel_values, &mut kernel_hits);
+        std::hint::black_box(kernel_hits.last().copied());
+    });
+    let kernel_rows: [(&str, f64, f64); 2] = [
+        ("bin", bin_scalar_ms, bin_batched_ms),
+        ("prefilter", member_scalar_ms, member_batched_ms),
+    ];
+    println!(
+        "\nvectorized kernels ({} values at fixed {INGEST_SCALE} scale, backend {}; best of 5):",
+        kernel_values.len(),
+        kernels::active_backend().name()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>7}",
+        "metric", "scalar", "batched", "ratio"
+    );
+    for &(metric, scalar_ms, batched_ms) in &kernel_rows {
+        let ratio = if scalar_ms > 0.0 {
+            batched_ms / scalar_ms
+        } else {
+            1.0
+        };
+        println!("{metric:>10} {scalar_ms:>10.3}ms {batched_ms:>10.3}ms {ratio:>6.2}x");
+    }
+    println!(
+        "(bin: per-value BinHasher loop vs bin_batch; prefilter: BTreeSet probe vs member_batch)"
+    );
+
+    // --- Machine-readable emitter: BENCH_kernels.json. ---
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"kernels_table2\",");
+    let _ = writeln!(json, "  \"scale\": {INGEST_SCALE},");
+    let _ = writeln!(json, "  \"values\": {},", kernel_values.len());
+    let _ = writeln!(
+        json,
+        "  \"backend\": \"{}\",",
+        kernels::active_backend().name()
+    );
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, &(metric, scalar_ms, batched_ms)) in kernel_rows.iter().enumerate() {
+        let ratio = if scalar_ms > 0.0 {
+            batched_ms / scalar_ms
+        } else {
+            1.0
+        };
+        let comma = if i + 1 < kernel_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"metric\": \"{metric}\", \"scalar_millis\": {scalar_ms:.3}, \
+             \"batched_millis\": {batched_ms:.3}, \"ratio\": {ratio:.3}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    match std::fs::write("BENCH_kernels.json", &json) {
+        Ok(()) => println!("wrote BENCH_kernels.json"),
+        Err(e) => eprintln!("could not write BENCH_kernels.json: {e}"),
+    }
+
     // --- Baseline re-record: persist the gated metrics as measured by
     // THIS run, in the ci/bench-baseline.json shape, so the perf gates
     // track the environment that produces the numbers. ---
@@ -549,7 +656,9 @@ fn main() {
              >25% relative plus absolute slack, and the gates stay dormant until the \
              baseline carries the sections. ingest_columnar_ratio maps an ingest metric \
              (parse/histogram/prefilter) -> (optimized wall time / baseline wall time) from \
-             BENCH_ingest.json and follows the same dormant-gate rules. Re-record with \
+             BENCH_ingest.json and follows the same dormant-gate rules. kernel_bin_ratio and \
+             kernel_prefilter_ratio are (batched kernel wall time / scalar wall time) from \
+             BENCH_kernels.json, likewise dormant until recorded here. Re-record with \
              `overhead_report <scale> \
              --write-baseline <path>` on the hardware CI actually uses (see ci/README.md); \
              keys missing on either side warn instead of failing.\","
@@ -599,7 +708,22 @@ fn main() {
             let comma = if i + 1 < ingest_rows.len() { "," } else { "" };
             let _ = writeln!(json, "    \"{metric}\": {ratio:.3}{comma}");
         }
-        let _ = writeln!(json, "  }}");
+        let _ = writeln!(json, "  }},");
+        let kernel_bin_ratio = if bin_scalar_ms > 0.0 {
+            bin_batched_ms / bin_scalar_ms
+        } else {
+            1.0
+        };
+        let kernel_prefilter_ratio = if member_scalar_ms > 0.0 {
+            member_batched_ms / member_scalar_ms
+        } else {
+            1.0
+        };
+        let _ = writeln!(json, "  \"kernel_bin_ratio\": {kernel_bin_ratio:.3},");
+        let _ = writeln!(
+            json,
+            "  \"kernel_prefilter_ratio\": {kernel_prefilter_ratio:.3}"
+        );
         let _ = writeln!(json, "}}");
         match std::fs::write(&path, &json) {
             Ok(()) => println!("re-recorded perf baseline to {path}"),

@@ -89,7 +89,7 @@ pub use pipeline::{
 };
 pub use prefilter::{
     prefilter, prefilter_indices, prefilter_indices_columns, prefilter_indices_columns_range,
-    PrefilterMode,
+    prefilter_indices_columns_range_with, PrefilterMode, PrefilterScratch,
 };
 pub use report::{render_csv, render_report, render_rule_merge};
 #[allow(deprecated)]

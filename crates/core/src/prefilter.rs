@@ -11,8 +11,9 @@
 
 use std::ops::Range;
 
+use anomex_detector::kernels::{self, SmallValueSet};
 use anomex_detector::MetaData;
-use anomex_netflow::{FlowColumns, FlowRecord};
+use anomex_netflow::{FlowColumns, FlowRecord, LANES};
 use serde::{Deserialize, Serialize};
 
 /// Which matching semantics the pre-filter applies.
@@ -98,6 +99,48 @@ pub fn prefilter_indices_columns_range(
     metadata: &MetaData,
     mode: PrefilterMode,
 ) -> Vec<usize> {
+    prefilter_indices_columns_range_with(
+        cols,
+        range,
+        metadata,
+        mode,
+        &mut PrefilterScratch::default(),
+    )
+}
+
+/// Reusable working memory for the columnar pre-filter — the per-row hit
+/// counters. The sharded engine keeps a pool of these and threads one
+/// through every shard's [`prefilter_indices_columns_range_with`] call,
+/// so steady-state intervals stop re-allocating `range.len()` bytes per
+/// shard. Contents never leak between calls (the buffer is re-zeroed on
+/// entry), so recycling cannot change any output.
+#[derive(Debug, Default)]
+pub struct PrefilterScratch {
+    hits: Vec<u8>,
+}
+
+/// [`prefilter_indices_columns_range`] with caller-provided scratch —
+/// the allocation-recycling form the sharded engine uses.
+///
+/// Per-feature membership runs branch-free where it can: meta-data value
+/// sets of at most [`SmallValueSet::MAX`] members (the common case —
+/// voted value sets are small) are probed as fixed arrays with a
+/// byte-lane add per [`LANES`]-wide chunk through the kernel layer;
+/// larger sets fall back to the ordinary `BTreeSet` lookup. Both paths
+/// count the same hits, so output is identical to the scalar reference
+/// regardless of set size or backend.
+///
+/// # Panics
+///
+/// Panics if `range` is out of bounds for `cols`.
+#[must_use]
+pub fn prefilter_indices_columns_range_with(
+    cols: &FlowColumns,
+    range: Range<usize>,
+    metadata: &MetaData,
+    mode: PrefilterMode,
+    scratch: &mut PrefilterScratch,
+) -> Vec<usize> {
     // Only features that actually carry values participate — exactly the
     // sets `matches_any`/`matches_all` consult.
     let features: Vec<_> = metadata
@@ -119,23 +162,48 @@ pub fn prefilter_indices_columns_range(
     // counting per-row feature hits; a row passes under Union with ≥1
     // hit and under Intersection with a hit in every feature (≤ 9
     // features, so a u8 cannot overflow).
-    let mut hits = vec![0u8; range.len()];
+    let hits = &mut scratch.hits;
+    hits.clear();
+    hits.resize(range.len(), 0);
+    let backend = kernels::active_backend();
     for &(feature, values) in &features {
-        let mut row = 0;
-        cols.for_each_raw(feature, range.clone(), |value| {
-            hits[row] += u8::from(values.contains(&value));
-            row += 1;
-        });
+        if let Some(set) = SmallValueSet::new(values.iter().copied()) {
+            // Branch-free fast path: probe the fixed array per lane and
+            // add the 0/1 outcome into the row's hit counter.
+            let chunks = cols.raw_chunks(feature, range.clone());
+            let mut lanes = [0u64; LANES];
+            for (c, slot) in hits.chunks_exact_mut(LANES).enumerate() {
+                chunks.load(c, &mut lanes);
+                let slot: &mut [u8; LANES] = slot.try_into().expect("exact chunk");
+                kernels::member_chunk(backend, &set, &lanes, slot);
+            }
+            let tail_start = range.len() - chunks.tail().len();
+            for (h, &value) in hits[tail_start..].iter_mut().zip(chunks.tail()) {
+                *h += u8::from(set.contains(value));
+            }
+        } else {
+            let mut row = 0;
+            cols.for_each_raw(feature, range.clone(), |value| {
+                hits[row] += u8::from(values.contains(&value));
+                row += 1;
+            });
+        }
     }
     let needed = match mode {
         PrefilterMode::Union => 1,
         PrefilterMode::Intersection => features.len() as u8,
     };
-    hits.iter()
-        .enumerate()
-        .filter(|&(_, &h)| h >= needed)
-        .map(|(i, _)| range.start + i)
-        .collect()
+    // Exact-count pass first so the output vector is built with its
+    // final capacity reserved — no growth re-allocations on the fill.
+    let kept = hits.iter().filter(|&&h| h >= needed).count();
+    let mut out = Vec::with_capacity(kept);
+    out.extend(
+        hits.iter()
+            .enumerate()
+            .filter(|&(_, &h)| h >= needed)
+            .map(|(i, _)| range.start + i),
+    );
+    out
 }
 
 #[cfg(test)]

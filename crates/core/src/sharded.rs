@@ -58,7 +58,7 @@
 //! convert once per interval into a recycled columnar scratch buffer.
 
 use std::num::NonZeroUsize;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use anomex_detector::{BankHasher, BankObservation, DetectorBank, MetaData};
 use anomex_mining::par::{map_chunks, map_ranges_arc, Exec};
@@ -72,7 +72,20 @@ use crossbeam::WorkerPool;
 use crate::config::{ConfigError, ExtractionConfig};
 use crate::engine::{IntervalInput, ReconfigRequest};
 use crate::pipeline::{mine_at_indices_columns, Extraction, IntervalOutcome, TransactionMode};
-use crate::prefilter::PrefilterMode;
+use crate::prefilter::{PrefilterMode, PrefilterScratch};
+
+/// A pool of recycled [`PrefilterScratch`] buffers shared with `'static`
+/// worker-pool closures: each shard pops one (or starts fresh), filters
+/// with it, and pushes it back for the next interval's shards.
+type ScratchPool = Arc<Mutex<Vec<PrefilterScratch>>>;
+
+/// Lock a scratch pool, shrugging off poisoning: scratch contents never
+/// affect outputs (buffers are re-zeroed on use), so a panicked worker
+/// cannot leave the pool in a state worth dying over.
+fn lock_scratch(pool: &ScratchPool) -> std::sync::MutexGuard<'_, Vec<PrefilterScratch>> {
+    pool.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Observe one interval with a detector bank, histogramming `shards`
 /// flow shards on worker threads and scoring the merged result — the
@@ -245,7 +258,8 @@ pub(crate) fn extract_sharded_impl(
     // `Arc` (the same cost the online engine pays per interval).
     let shared = Arc::new(cols);
     let metadata_arc = Arc::new(metadata.clone());
-    let indices = prefilter_indices_exec_columns(&shared, &metadata_arc, mode, exec);
+    let indices =
+        prefilter_indices_exec_columns(&shared, &metadata_arc, mode, exec, &ScratchPool::default());
     mine_at_indices_columns(
         interval,
         &shared,
@@ -294,10 +308,17 @@ fn prefilter_indices_exec_columns(
     metadata: &Arc<MetaData>,
     mode: PrefilterMode,
     exec: Exec<'_>,
+    scratch: &ScratchPool,
 ) -> Vec<usize> {
     let metadata = Arc::clone(metadata);
+    let scratch = Arc::clone(scratch);
     map_ranges_arc(exec, cols, cols.len(), move |cols, range| {
-        crate::prefilter::prefilter_indices_columns_range(cols, range, &metadata, mode)
+        let mut s = lock_scratch(&scratch).pop().unwrap_or_default();
+        let out = crate::prefilter::prefilter_indices_columns_range_with(
+            cols, range, &metadata, mode, &mut s,
+        );
+        lock_scratch(&scratch).push(s);
+        out
     })
     .into_iter()
     .flatten()
@@ -331,6 +352,10 @@ pub struct ShardedExtractor {
     /// reclaimed — one column-build pass per interval, no per-interval
     /// allocation churn.
     scratch: FlowColumns,
+    /// Recycled pre-filter hit buffers, one per in-flight shard —
+    /// popped/pushed by the `'static` pool closures each alarmed
+    /// interval, so steady-state pre-filtering allocates nothing.
+    prefilter_scratch: ScratchPool,
 }
 
 impl ShardedExtractor {
@@ -360,6 +385,7 @@ impl ShardedExtractor {
             hasher,
             pool,
             scratch: FlowColumns::new(),
+            prefilter_scratch: ScratchPool::default(),
         })
     }
 
@@ -578,8 +604,13 @@ impl ShardedExtractor {
         let observation = observe_exec_columns(&mut self.bank, &self.hasher, cols, exec);
         let extraction = if observation.alarm && !observation.metadata.is_empty() {
             let metadata = Arc::new(observation.metadata.clone());
-            let indices =
-                prefilter_indices_exec_columns(cols, &metadata, self.config.prefilter, exec);
+            let indices = prefilter_indices_exec_columns(
+                cols,
+                &metadata,
+                self.config.prefilter,
+                exec,
+                &self.prefilter_scratch,
+            );
             Some(mine_at_indices_columns(
                 observation.interval,
                 cols,

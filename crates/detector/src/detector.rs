@@ -98,27 +98,46 @@ impl FeatureHasher {
 
     /// Build all clones' histograms from a columnar store over the row
     /// `range` — the struct-of-arrays hot path, touching only the
-    /// feature's single column. The scan is split in two: a tight
-    /// hash-and-count pass per clone over the column's keys, then one
-    /// sort + dedup of the keys so the bin→values reverse map pays its
+    /// feature's single column. The scan walks the column in fixed
+    /// [`LANES`](crate::kernels::LANES)-wide chunks; each loaded chunk
+    /// feeds **every** clone through the batched bin kernel
+    /// ([`crate::kernels::bin_chunk`], seed-major inner loop) before the
+    /// next chunk is read, so one column pass serves all clones. A final
+    /// sort + dedup of the keys lets the bin→values reverse map pay its
     /// insert once per **distinct** value instead of once per flow
     /// (repeats are set-semantics no-ops, so the result is bit-identical
-    /// to [`partial`](Self::partial) over the reassembled records).
+    /// to [`partial`](Self::partial) over the reassembled records — the
+    /// kernels match `BinHasher` bit-for-bit and integer count sums are
+    /// order-independent).
     ///
     /// # Panics
     ///
     /// Panics if `range` is out of bounds for `cols`.
     #[must_use]
     pub fn partial_columns(&self, cols: &FlowColumns, range: Range<usize>) -> FeaturePartial {
+        use crate::kernels::{self, LANES};
+
         let mut histograms: Vec<crate::histogram::FeatureHistogram> = self
             .hashers
             .iter()
             .map(|&h| crate::histogram::FeatureHistogram::new(self.feature, h, self.bins))
             .collect();
-        let mut keys: Vec<u64> = Vec::with_capacity(range.len());
-        cols.for_each_raw(self.feature, range, |value| keys.push(value));
-        for h in &mut histograms {
-            for &value in &keys {
+        let chunks = cols.raw_chunks(self.feature, range);
+        let backend = kernels::active_backend();
+        let mut keys: Vec<u64> = Vec::with_capacity(chunks.len());
+        let mut lanes = [0u64; LANES];
+        let mut bins_out = [0u32; LANES];
+        for c in 0..chunks.full_chunks() {
+            chunks.load(c, &mut lanes);
+            keys.extend_from_slice(&lanes);
+            for (h, hasher) in histograms.iter_mut().zip(&self.hashers) {
+                kernels::bin_chunk(backend, hasher.seed(), self.bins, &lanes, &mut bins_out);
+                h.add_bins(&bins_out);
+            }
+        }
+        for &value in chunks.tail() {
+            keys.push(value);
+            for h in &mut histograms {
                 h.add_value_count(value);
             }
         }

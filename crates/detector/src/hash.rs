@@ -31,7 +31,11 @@ impl BinHasher {
 
     /// Mix a value to a uniform 64-bit output (SplitMix64 finalizer over
     /// the seed-offset input).
+    ///
+    /// This is the scalar reference the batched kernels in
+    /// [`crate::kernels`] are bit-identical to.
     #[must_use]
+    #[inline]
     pub fn mix(&self, value: u64) -> u64 {
         let mut z = value
             .wrapping_add(self.seed)
@@ -43,10 +47,14 @@ impl BinHasher {
 
     /// Map a feature value to a bin in `0..bins`.
     ///
+    /// The batched form is [`crate::kernels::bin_batch`], which matches
+    /// this bit-for-bit on every input.
+    ///
     /// # Panics
     ///
     /// Panics if `bins` is zero.
     #[must_use]
+    #[inline]
     pub fn bin_of(&self, value: u64, bins: u32) -> u32 {
         assert!(bins > 0, "bin count must be positive");
         // Multiply-shift range reduction: unbiased enough for binning and

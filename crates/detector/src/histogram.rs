@@ -120,6 +120,22 @@ impl FeatureHistogram {
         self.total += 1;
     }
 
+    /// Count a chunk of pre-hashed bins — the kernel half of the
+    /// columnar scan, fed by [`crate::kernels::bin_chunk`]. Equivalent
+    /// to [`add_value_count`](Self::add_value_count) per bin (integer
+    /// adds, so order and chunking cannot change the result); the same
+    /// [`note_value`](Self::note_value) obligation applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bin is out of range for this histogram.
+    pub(crate) fn add_bins(&mut self, bins: &[u32]) {
+        for &bin in bins {
+            self.counts[bin as usize] += 1;
+        }
+        self.total += bins.len() as u64;
+    }
+
     /// Record `value` in the bin→values reverse map without counting it
     /// — the companion of [`add_value_count`](Self::add_value_count).
     pub(crate) fn note_value(&mut self, value: u64) {

@@ -1,0 +1,604 @@
+//! Batched, lane-oriented kernels for the two columnar hot loops:
+//! SplitMix64 bin hashing and pre-filter set membership.
+//!
+//! The scalar reference for hashing is [`BinHasher`]: `mix` is the
+//! SplitMix64 finalizer over the seed-offset value and `bin_of` is the
+//! multiply-shift range reduction `(mix · bins) >> 64`. The kernels here
+//! process fixed-width chunks of [`LANES`] `u64` lanes at a time and are
+//! **bit-identical** to that reference for every input — same bins, same
+//! order — which is what lets the sharded/streaming/multi-source
+//! determinism suites ride on top of them unchanged.
+//!
+//! Two implementations exist behind one dispatch:
+//!
+//! - **Scalar** — branch-free array loops over `[u64; LANES]` chunks
+//!   that delegate lane-by-lane to [`BinHasher`] (and to
+//!   [`SmallValueSet::contains`] for membership). The compiler
+//!   autovectorizes these; they are the always-correct fallback and the
+//!   only implementation on non-x86-64 targets.
+//! - **Avx2** — explicit `std::arch::x86_64` intrinsics, selected at
+//!   runtime behind `is_x86_feature_detected!("avx2")`. 64-bit lane
+//!   multiplies are composed from `_mm256_mul_epu32` partial products
+//!   (exact mod 2⁶⁴), and the range reduction uses the exact 32-bit
+//!   decomposition `bin = (hi·b + ((lo·b) >> 32)) >> 32` of the 128-bit
+//!   multiply-shift (`hi`/`lo` are the mixed value's halves, `b` the bin
+//!   count), which never overflows 64 bits.
+//!
+//! The backend is resolved **once** per process ([`active_backend`],
+//! a `OnceLock`): setting the `ANOMEX_FORCE_SCALAR` environment variable
+//! (to anything but `0` or the empty string) pins the scalar path, so CI
+//! runs the whole suite under both variants and diffs them.
+//!
+//! # Safety
+//!
+//! This module is the **only** `unsafe` surface of the detector crate
+//! (the crate is `deny(unsafe_code)` with a scoped allow here, mirroring
+//! how `vendor/mmap` isolates its FFI). The unsafety is exactly the
+//! `#[target_feature(enable = "avx2")]` functions in the private `avx2`
+//! submodule and the calls into them:
+//!
+//! - every call site re-checks `is_x86_feature_detected!("avx2")`
+//!   (a cached atomic load) before entering the `unsafe` block, so the
+//!   required CPU feature is present no matter which [`KernelBackend`]
+//!   value a caller passes — requesting [`KernelBackend::Avx2`] on a
+//!   CPU without AVX2 silently runs the scalar fallback instead;
+//! - all loads and stores are `loadu`/`storeu` (no alignment
+//!   requirement) over `&[u64; LANES]` / `&mut` borrows whose size is
+//!   fixed by the type, so every pointer dereference stays in bounds by
+//!   construction.
+
+use std::sync::OnceLock;
+
+pub use anomex_netflow::LANES;
+
+use crate::hash::BinHasher;
+
+/// Which kernel implementation batched calls run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Portable branch-free loops (autovectorized; always correct).
+    Scalar,
+    /// Runtime-detected AVX2 `std::arch` intrinsics (x86-64 only).
+    /// Requesting it on a CPU without AVX2 falls back to scalar.
+    Avx2,
+}
+
+impl KernelBackend {
+    /// Stable lowercase name, for reports and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The backend every batched entry point dispatches to, resolved once
+/// per process: scalar when `ANOMEX_FORCE_SCALAR` is set (to anything
+/// but `0`/empty), otherwise AVX2 when the CPU supports it, otherwise
+/// scalar.
+pub fn active_backend() -> KernelBackend {
+    static BACKEND: OnceLock<KernelBackend> = OnceLock::new();
+    *BACKEND.get_or_init(detect_backend)
+}
+
+fn detect_backend() -> KernelBackend {
+    if std::env::var("ANOMEX_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return KernelBackend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return KernelBackend::Avx2;
+    }
+    KernelBackend::Scalar
+}
+
+// ---------------------------------------------------------------------
+// SplitMix64 mixing + multiply-shift binning
+// ---------------------------------------------------------------------
+
+/// Mix one chunk of values with the seeded SplitMix64 finalizer on the
+/// requested backend — lane `k` of `out` is exactly
+/// `BinHasher::new(seed).mix(values[k])`.
+#[inline]
+pub fn mix_chunk(backend: KernelBackend, seed: u64, values: &[u64; LANES], out: &mut [u64; LANES]) {
+    match backend {
+        KernelBackend::Scalar => scalar_mix_chunk(seed, values, out),
+        KernelBackend::Avx2 => avx2_mix_chunk(seed, values, out),
+    }
+}
+
+/// Bin one chunk of values on the requested backend — lane `k` of `out`
+/// is exactly `BinHasher::new(seed).bin_of(values[k], bins)`.
+///
+/// # Panics
+///
+/// Panics if `bins` is zero.
+#[inline]
+pub fn bin_chunk(
+    backend: KernelBackend,
+    seed: u64,
+    bins: u32,
+    values: &[u64; LANES],
+    out: &mut [u32; LANES],
+) {
+    assert!(bins > 0, "bin count must be positive");
+    match backend {
+        KernelBackend::Scalar => scalar_bin_chunk(seed, bins, values, out),
+        KernelBackend::Avx2 => avx2_bin_chunk(seed, bins, values, out),
+    }
+}
+
+/// [`mix_chunk`] over a whole slice on an explicit backend: full chunks
+/// go through the chunk kernel, the `len % LANES` tail runs the scalar
+/// reference. `out[k] == BinHasher::new(seed).mix(values[k])` for every
+/// `k`.
+///
+/// # Panics
+///
+/// Panics if `values` and `out` differ in length.
+pub fn mix_batch_with(backend: KernelBackend, seed: u64, values: &[u64], out: &mut [u64]) {
+    assert_eq!(values.len(), out.len(), "mix_batch length mismatch");
+    let mut pairs = out.chunks_exact_mut(LANES).zip(values.chunks_exact(LANES));
+    for (o, v) in &mut pairs {
+        let v: &[u64; LANES] = v.try_into().expect("exact chunk");
+        let o: &mut [u64; LANES] = o.try_into().expect("exact chunk");
+        mix_chunk(backend, seed, v, o);
+    }
+    let hasher = BinHasher::new(seed);
+    let tail = values.len() - values.len() % LANES;
+    for (o, &v) in out[tail..].iter_mut().zip(&values[tail..]) {
+        *o = hasher.mix(v);
+    }
+}
+
+/// [`mix_batch_with`] on the process-wide [`active_backend`].
+pub fn mix_batch(seed: u64, values: &[u64], out: &mut [u64]) {
+    mix_batch_with(active_backend(), seed, values, out);
+}
+
+/// [`bin_chunk`] over a whole slice on an explicit backend: full chunks
+/// go through the chunk kernel, the `len % LANES` tail runs the scalar
+/// reference. `out[k] == BinHasher::new(seed).bin_of(values[k], bins)`
+/// for every `k`.
+///
+/// # Panics
+///
+/// Panics if `bins` is zero or `values` and `out` differ in length.
+pub fn bin_batch_with(
+    backend: KernelBackend,
+    seed: u64,
+    bins: u32,
+    values: &[u64],
+    out: &mut [u32],
+) {
+    assert!(bins > 0, "bin count must be positive");
+    assert_eq!(values.len(), out.len(), "bin_batch length mismatch");
+    let mut pairs = out.chunks_exact_mut(LANES).zip(values.chunks_exact(LANES));
+    for (o, v) in &mut pairs {
+        let v: &[u64; LANES] = v.try_into().expect("exact chunk");
+        let o: &mut [u32; LANES] = o.try_into().expect("exact chunk");
+        bin_chunk(backend, seed, bins, v, o);
+    }
+    let hasher = BinHasher::new(seed);
+    let tail = values.len() - values.len() % LANES;
+    for (o, &v) in out[tail..].iter_mut().zip(&values[tail..]) {
+        *o = hasher.bin_of(v, bins);
+    }
+}
+
+/// [`bin_batch_with`] on the process-wide [`active_backend`].
+pub fn bin_batch(seed: u64, bins: u32, values: &[u64], out: &mut [u32]) {
+    bin_batch_with(active_backend(), seed, bins, values, out);
+}
+
+fn scalar_mix_chunk(seed: u64, values: &[u64; LANES], out: &mut [u64; LANES]) {
+    let hasher = BinHasher::new(seed);
+    for (o, &v) in out.iter_mut().zip(values) {
+        *o = hasher.mix(v);
+    }
+}
+
+fn scalar_bin_chunk(seed: u64, bins: u32, values: &[u64; LANES], out: &mut [u32; LANES]) {
+    let hasher = BinHasher::new(seed);
+    for (o, &v) in out.iter_mut().zip(values) {
+        *o = hasher.bin_of(v, bins);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch-free small-set membership (the pre-filter's common case)
+// ---------------------------------------------------------------------
+
+/// A value set of at most [`SmallValueSet::MAX`] members stored as a
+/// fixed array padded by repetition, so membership probes touch every
+/// slot without branching — the pre-filter's representation for the
+/// common small meta-data sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallValueSet {
+    /// Member values padded to `MAX` by repeating the first member
+    /// (duplicates cannot change membership).
+    padded: [u64; SmallValueSet::MAX],
+    members: usize,
+}
+
+impl SmallValueSet {
+    /// Largest membership the fixed probe array covers.
+    pub const MAX: usize = 16;
+
+    /// Build from the member values; `None` when the set is empty or
+    /// holds more than [`MAX`](Self::MAX) values (callers then keep
+    /// their ordinary set representation).
+    pub fn new<I: IntoIterator<Item = u64>>(values: I) -> Option<Self> {
+        let mut padded = [0u64; Self::MAX];
+        let mut members = 0usize;
+        for v in values {
+            if members == Self::MAX {
+                return None;
+            }
+            padded[members] = v;
+            members += 1;
+        }
+        if members == 0 {
+            return None;
+        }
+        let first = padded[0];
+        for slot in padded.iter_mut().skip(members) {
+            *slot = first;
+        }
+        Some(SmallValueSet { padded, members })
+    }
+
+    /// Number of members the set was built from.
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.members
+    }
+
+    /// Branch-free membership probe over all [`MAX`](Self::MAX) padded
+    /// slots — the scalar reference the chunk kernel matches.
+    #[must_use]
+    #[inline]
+    pub fn contains(&self, value: u64) -> bool {
+        let mut hit = 0u8;
+        for &slot in &self.padded {
+            hit |= u8::from(slot == value);
+        }
+        hit != 0
+    }
+}
+
+/// Accumulate membership of one chunk into per-lane hit counters on the
+/// requested backend: `hits[k] += 1` exactly when `set.contains(values[k])`
+/// — the byte-lane add of the pre-filter's per-row hit counting.
+#[inline]
+pub fn member_chunk(
+    backend: KernelBackend,
+    set: &SmallValueSet,
+    values: &[u64; LANES],
+    hits: &mut [u8; LANES],
+) {
+    match backend {
+        KernelBackend::Scalar => scalar_member_chunk(set, values, hits),
+        KernelBackend::Avx2 => avx2_member_chunk(set, values, hits),
+    }
+}
+
+/// [`member_chunk`] over a whole slice on an explicit backend, scalar
+/// tail included.
+///
+/// # Panics
+///
+/// Panics if `values` and `hits` differ in length.
+pub fn member_batch_with(
+    backend: KernelBackend,
+    set: &SmallValueSet,
+    values: &[u64],
+    hits: &mut [u8],
+) {
+    assert_eq!(values.len(), hits.len(), "member_batch length mismatch");
+    let mut pairs = hits.chunks_exact_mut(LANES).zip(values.chunks_exact(LANES));
+    for (h, v) in &mut pairs {
+        let v: &[u64; LANES] = v.try_into().expect("exact chunk");
+        let h: &mut [u8; LANES] = h.try_into().expect("exact chunk");
+        member_chunk(backend, set, v, h);
+    }
+    let tail = values.len() - values.len() % LANES;
+    for (h, &v) in hits[tail..].iter_mut().zip(&values[tail..]) {
+        *h += u8::from(set.contains(v));
+    }
+}
+
+/// [`member_batch_with`] on the process-wide [`active_backend`].
+pub fn member_batch(set: &SmallValueSet, values: &[u64], hits: &mut [u8]) {
+    member_batch_with(active_backend(), set, values, hits);
+}
+
+fn scalar_member_chunk(set: &SmallValueSet, values: &[u64; LANES], hits: &mut [u8; LANES]) {
+    for (h, &v) in hits.iter_mut().zip(values) {
+        *h += u8::from(set.contains(v));
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 dispatch shims: the crate's entire unsafe surface.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+fn avx2_mix_chunk(seed: u64, values: &[u64; LANES], out: &mut [u64; LANES]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified on this CPU; the
+        // target-feature function performs only unaligned loads/stores
+        // within the fixed-size borrows it receives.
+        unsafe { avx2::mix_chunk(seed, values, out) }
+    } else {
+        scalar_mix_chunk(seed, values, out);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+fn avx2_bin_chunk(seed: u64, bins: u32, values: &[u64; LANES], out: &mut [u32; LANES]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified on this CPU; the
+        // target-feature function performs only unaligned loads/stores
+        // within the fixed-size borrows it receives.
+        unsafe { avx2::bin_chunk(seed, bins, values, out) }
+    } else {
+        scalar_bin_chunk(seed, bins, values, out);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+fn avx2_member_chunk(set: &SmallValueSet, values: &[u64; LANES], hits: &mut [u8; LANES]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified on this CPU; the
+        // target-feature function performs only unaligned loads/stores
+        // within the fixed-size borrows it receives.
+        unsafe { avx2::member_chunk(set, values, hits) }
+    } else {
+        scalar_member_chunk(set, values, hits);
+    }
+}
+
+// Off x86-64 the Avx2 variant is never selected by `detect_backend`;
+// honoring an explicit request with the scalar loop keeps the API total.
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_mix_chunk(seed: u64, values: &[u64; LANES], out: &mut [u64; LANES]) {
+    scalar_mix_chunk(seed, values, out);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_bin_chunk(seed: u64, bins: u32, values: &[u64; LANES], out: &mut [u32; LANES]) {
+    scalar_bin_chunk(seed, bins, values, out);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_member_chunk(set: &SmallValueSet, values: &[u64; LANES], hits: &mut [u8; LANES]) {
+    scalar_member_chunk(set, values, hits);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    //! The explicit AVX2 kernels. Every function here is
+    //! `#[target_feature(enable = "avx2")]` and therefore `unsafe` to
+    //! call: the caller must have verified AVX2 support (the shims above
+    //! do, via the cached `is_x86_feature_detected!`). Within the
+    //! functions, all memory access is `loadu`/`storeu` over fixed-size
+    //! array borrows — no pointer arithmetic beyond the second half of
+    //! an 8-lane chunk, which the `[u64; LANES]` type guarantees exists.
+
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_cmpeq_epi64, _mm256_loadu_si256, _mm256_mul_epu32,
+        _mm256_or_si256, _mm256_set1_epi64x, _mm256_setzero_si256, _mm256_slli_epi64,
+        _mm256_srli_epi64, _mm256_storeu_si256, _mm256_xor_si256,
+    };
+
+    use super::{SmallValueSet, LANES};
+
+    const GOLDEN: i64 = 0x9E37_79B9_7F4A_7C15_u64 as i64;
+    const MUL1: i64 = 0xBF58_476D_1CE4_E5B9_u64 as i64;
+    const MUL2: i64 = 0x94D0_49BB_1331_11EB_u64 as i64;
+
+    /// Four-lane 64-bit multiply mod 2⁶⁴ from 32×32→64 partial
+    /// products: `a·b = lo(a)·lo(b) + ((lo(a)·hi(b) + hi(a)·lo(b)) << 32)`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul64(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let low = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+        _mm256_add_epi64(low, _mm256_slli_epi64(cross, 32))
+    }
+
+    /// The SplitMix64 finalizer over four seed-offset lanes —
+    /// bit-identical to `BinHasher::mix` per lane (wrapping adds and
+    /// multiplies are exactly the mod-2⁶⁴ lane ops).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn splitmix(v: __m256i, seed_plus_golden: __m256i) -> __m256i {
+        let z = _mm256_add_epi64(v, seed_plus_golden);
+        let z = mul64(
+            _mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+            _mm256_set1_epi64x(MUL1),
+        );
+        let z = mul64(
+            _mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+            _mm256_set1_epi64x(MUL2),
+        );
+        _mm256_xor_si256(z, _mm256_srli_epi64(z, 31))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mix_chunk(seed: u64, values: &[u64; LANES], out: &mut [u64; LANES]) {
+        let offset = _mm256_set1_epi64x((seed.wrapping_add(GOLDEN as u64)) as i64);
+        let src = values.as_ptr().cast::<__m256i>();
+        let dst = out.as_mut_ptr().cast::<__m256i>();
+        for half in 0..2 {
+            let v = _mm256_loadu_si256(src.add(half));
+            _mm256_storeu_si256(dst.add(half), splitmix(v, offset));
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bin_chunk(seed: u64, bins: u32, values: &[u64; LANES], out: &mut [u32; LANES]) {
+        let offset = _mm256_set1_epi64x((seed.wrapping_add(GOLDEN as u64)) as i64);
+        // Bin count in the low 32 bits of each lane (high bits zero), as
+        // `_mm256_mul_epu32` requires.
+        let b = _mm256_set1_epi64x(i64::from(bins));
+        let src = values.as_ptr().cast::<__m256i>();
+        for half in 0..2 {
+            let m = splitmix(_mm256_loadu_si256(src.add(half)), offset);
+            // Exact 128-bit multiply-shift via 32-bit halves:
+            //   (m · b) >> 64  ==  (hi(m)·b + ((lo(m)·b) >> 32)) >> 32
+            // hi(m)·b ≤ (2³²−1)² and the added term is < 2³², so the
+            // sum never wraps 64 bits and flooring composes exactly.
+            let hi_prod = _mm256_mul_epu32(_mm256_srli_epi64(m, 32), b);
+            let lo_prod = _mm256_mul_epu32(m, b);
+            let sum = _mm256_add_epi64(hi_prod, _mm256_srli_epi64(lo_prod, 32));
+            let bin = _mm256_srli_epi64(sum, 32);
+            let mut lanes = [0u64; LANES / 2];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), bin);
+            for (k, &lane) in lanes.iter().enumerate() {
+                out[half * (LANES / 2) + k] = lane as u32;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn member_chunk(set: &SmallValueSet, values: &[u64; LANES], hits: &mut [u8; LANES]) {
+        let src = values.as_ptr().cast::<__m256i>();
+        for half in 0..2 {
+            let v = _mm256_loadu_si256(src.add(half));
+            let mut mask = _mm256_setzero_si256();
+            for &slot in &set.padded {
+                mask =
+                    _mm256_or_si256(mask, _mm256_cmpeq_epi64(v, _mm256_set1_epi64x(slot as i64)));
+            }
+            // Each lane is now all-ones (member) or all-zeros; its low
+            // bit is exactly the 0/1 increment the hit counter wants.
+            let mut lanes = [0u64; LANES / 2];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), mask);
+            for (k, &lane) in lanes.iter().enumerate() {
+                hits[half * (LANES / 2) + k] += (lane & 1) as u8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOTH: [KernelBackend; 2] = [KernelBackend::Scalar, KernelBackend::Avx2];
+
+    fn sample_values(n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| {
+                i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left((i % 64) as u32)
+                    ^ (i << 7)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backend_name_round_trips() {
+        assert_eq!(KernelBackend::Scalar.name(), "scalar");
+        assert_eq!(KernelBackend::Avx2.name(), "avx2");
+        // Resolving twice yields the same pinned backend.
+        assert_eq!(active_backend(), active_backend());
+    }
+
+    #[test]
+    fn mix_batch_matches_scalar_reference_on_every_backend() {
+        for &backend in &BOTH {
+            for n in [0usize, 1, 7, 8, 9, 16, 63, 64, 65] {
+                let values = sample_values(n);
+                let mut out = vec![0u64; n];
+                for seed in [0u64, 1, 42, u64::MAX] {
+                    mix_batch_with(backend, seed, &values, &mut out);
+                    let h = BinHasher::new(seed);
+                    for (k, &v) in values.iter().enumerate() {
+                        assert_eq!(out[k], h.mix(v), "{backend:?} n={n} seed={seed} lane {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bin_batch_matches_scalar_reference_on_every_backend() {
+        for &backend in &BOTH {
+            for n in [0usize, 1, 7, 8, 9, 40, 100] {
+                let values = sample_values(n);
+                let mut out = vec![0u32; n];
+                for seed in [0u64, 7, 0x616e_6f6d_6578] {
+                    for bins in [1u32, 2, 3, 64, 1000, 1024, u32::MAX] {
+                        bin_batch_with(backend, seed, bins, &values, &mut out);
+                        let h = BinHasher::new(seed);
+                        for (k, &v) in values.iter().enumerate() {
+                            assert_eq!(
+                                out[k],
+                                h.bin_of(v, bins),
+                                "{backend:?} n={n} seed={seed} bins={bins} lane {k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn member_batch_accumulates_like_contains_on_every_backend() {
+        let set = SmallValueSet::new([3u64, 9, 27, u64::MAX]).expect("4 values fit");
+        for &backend in &BOTH {
+            for n in [0usize, 1, 8, 13, 80] {
+                let values: Vec<u64> = (0..n as u64).map(|i| i % 30).collect();
+                let mut hits = vec![1u8; n]; // nonzero start: kernel must ADD
+                member_batch_with(backend, &set, &values, &mut hits);
+                for (k, &v) in values.iter().enumerate() {
+                    let expected = 1 + u8::from(set.contains(v));
+                    assert_eq!(hits[k], expected, "{backend:?} n={n} lane {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_value_set_bounds() {
+        assert!(SmallValueSet::new(std::iter::empty()).is_none(), "empty");
+        assert!(SmallValueSet::new(0..17u64).is_none(), "17 values overflow");
+        let full = SmallValueSet::new(0..16u64).expect("16 values fit");
+        assert_eq!(full.member_count(), 16);
+        for v in 0..16u64 {
+            assert!(full.contains(v));
+        }
+        assert!(!full.contains(16));
+        // Padding repeats a member: padded slots must not admit extras.
+        let one = SmallValueSet::new([5u64]).expect("singleton");
+        assert_eq!(one.member_count(), 1);
+        assert!(one.contains(5));
+        assert!(!one.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count must be positive")]
+    fn zero_bins_panics() {
+        let mut out = [0u32; LANES];
+        bin_chunk(KernelBackend::Scalar, 1, 0, &[0u64; LANES], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn batch_length_mismatch_panics() {
+        let mut out = vec![0u32; 3];
+        bin_batch(1, 16, &[1u64, 2, 3, 4], &mut out);
+    }
+}

@@ -10,6 +10,9 @@
 //!   `α·σ̂` alarm test on the first difference of the KL series;
 //! - [`hash`] / [`histogram`] — histogram *cloning*: per-clone seeded hash
 //!   binning with bin→value reverse maps;
+//! - [`kernels`] — batched, lane-oriented kernels for the columnar hot
+//!   loops (SplitMix64 binning, small-set membership) with runtime
+//!   scalar/AVX2 dispatch, bit-identical to the scalar reference;
 //! - [`binid`] — the iterative anomalous-bin identification that simulates
 //!   flow removal until the alarm clears (Fig. 5);
 //! - [`mod@vote`] — l-of-n voting across clones;
@@ -24,7 +27,10 @@
 //! frequent item-set mining.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the AVX2
+// kernel layer in [`kernels`], which scopes an `allow(unsafe_code)` to
+// its runtime-dispatched `std::arch` surface (documented there).
+#![deny(unsafe_code)]
 
 pub mod bank;
 pub mod binid;
@@ -33,6 +39,7 @@ pub mod detector;
 pub mod entropy;
 pub mod hash;
 pub mod histogram;
+pub mod kernels;
 pub mod kl;
 pub mod metadata;
 pub mod roc;
@@ -46,6 +53,7 @@ pub use detector::{FeatureDetector, FeatureHasher, FeatureObservation, FeaturePa
 pub use entropy::{shannon_entropy, EntropyDetector, EntropyObservation};
 pub use hash::{derive_hashers, BinHasher};
 pub use histogram::FeatureHistogram;
+pub use kernels::{active_backend, KernelBackend, SmallValueSet};
 pub use kl::{kl_distance, kl_divergence_raw};
 pub use metadata::MetaData;
 pub use roc::{RocCurve, RocPoint};

@@ -26,7 +26,12 @@ baseline in ci/bench-baseline.json:
   ratio per ingest metric (mmap vs heap-read parse, columnar vs record
   histogram build and pre-filter) is gated the same way against the
   baseline's `ingest_columnar_ratio` section, and reported
-  informationally while the baseline lacks it. `overhead_report
+  informationally while the baseline lacks it;
+- **vectorized kernels** — BENCH_kernels.json's batched/scalar wall-time
+  ratio per kernel metric (SplitMix64 binning, small-set membership) is
+  gated the same way against the baseline's top-level
+  `kernel_bin_ratio` / `kernel_prefilter_ratio` keys, and reported
+  informationally while the baseline lacks them. `overhead_report
   --write-baseline` records all of these sections, so the first
   re-record on CI hardware arms the dormant gates (see ci/README.md).
 
@@ -43,7 +48,8 @@ Actions), appended there as a Markdown job summary.
 Exit status: 0 when every gated metric is within budget, 1 otherwise.
 Usage: scripts/bench_trend.py [BENCH_sharded.json [ci/bench-baseline.json
                                [BENCH_streaming.json [BENCH_mining.json
-                               [BENCH_rules.json [BENCH_ingest.json]]]]]]
+                               [BENCH_rules.json [BENCH_ingest.json
+                               [BENCH_kernels.json]]]]]]]
 """
 
 import json
@@ -290,6 +296,64 @@ def gate_ingest(bench_path, baseline, rows):
     return failures
 
 
+def gate_kernels(bench_path, baseline, rows):
+    """Gate (or, without baseline keys, report) the vectorized-kernel
+    batched/scalar ratios; returns failures.
+
+    Metrics: "bin" (batched SplitMix64 binning vs the per-value scalar
+    loop) and "prefilter" (branch-free small-set membership vs the
+    BTreeSet probe), mapped to the top-level baseline scalars
+    `kernel_bin_ratio` / `kernel_prefilter_ratio`. Lower is better; the
+    gate uses the same relative tolerance + absolute slack as the other
+    ratio gates and stays dormant until the baseline carries the keys
+    (re-record on CI hardware to arm, see ci/README.md).
+    """
+    base = {
+        key: baseline[f"kernel_{key}_ratio"]
+        for key in ("bin", "prefilter")
+        if f"kernel_{key}_ratio" in baseline
+    }
+    if not base:
+        warn("baseline has no kernel_*_ratio keys; rows are informational")
+    try:
+        with open(bench_path) as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        if base:
+            return [f"kernels report {bench_path} is missing"]
+        warn(f"kernels report {bench_path} is missing; skipping (informational)")
+        return []
+
+    failures = []
+    seen = set()
+    for r in report.get("results", []):
+        denom, numer = r["scalar_millis"], r["batched_millis"]
+        ratio = numer / denom if denom > 0 else 1.0
+        key = r["metric"]
+        seen.add(key)
+        metric = f"kernel {key}"
+        if key in base:
+            budget = base[key] * (1 + RATIO_RELATIVE_TOLERANCE) + RATIO_ABSOLUTE_SLACK
+            verdict = "OK" if ratio <= budget else "REGRESSION"
+            print(
+                f"{metric}: ratio {ratio:.2f}x "
+                f"(baseline {base[key]:.2f}x, budget {budget:.2f}x) {verdict}"
+            )
+            rows.append(
+                (metric, f"{base[key]:.2f}x", f"{ratio:.2f}x", f"{budget:.2f}x", verdict)
+            )
+            if ratio > budget:
+                failures.append(f"{metric}: {ratio:.2f}x exceeds budget {budget:.2f}x")
+        else:
+            if base:
+                warn(f"{key} in {bench_path} but not in baseline; not gated")
+            print(f"{metric}: ratio {ratio:.2f}x info")
+            rows.append((metric, "-", f"{ratio:.2f}x", "-", "info"))
+    for key in sorted(set(base) - seen):
+        warn(f"kernel_{key}_ratio in baseline but not in {bench_path}; skipping")
+    return failures
+
+
 def write_step_summary(rows):
     """Append the trend table as Markdown to the GitHub job summary."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -318,6 +382,7 @@ def main():
     mining_path = sys.argv[4] if len(sys.argv) > 4 else "BENCH_mining.json"
     rules_path = sys.argv[5] if len(sys.argv) > 5 else "BENCH_rules.json"
     ingest_path = sys.argv[6] if len(sys.argv) > 6 else "BENCH_ingest.json"
+    kernels_path = sys.argv[7] if len(sys.argv) > 7 else "BENCH_kernels.json"
     with open(base_path) as f:
         baseline = json.load(f)
 
@@ -327,6 +392,7 @@ def main():
     failures += gate_mining(mining_path, baseline, rows)
     failures += gate_rules(rules_path, baseline, rows)
     failures += gate_ingest(ingest_path, baseline, rows)
+    failures += gate_kernels(kernels_path, baseline, rows)
     write_step_summary(rows)
 
     if failures:
